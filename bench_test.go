@@ -1,0 +1,144 @@
+// Package repro's root benchmarks: one testing.B benchmark per table and
+// figure of the paper's evaluation, each delegating to the experiment
+// harness in internal/bench. Benchmarks run the quick parameterization so
+// `go test -bench=. -benchmem` finishes in minutes; the full sweeps are
+// `go run ./cmd/musicbench -exp all`.
+//
+// Each benchmark reports the headline figure of its artifact through
+// b.ReportMetric and logs the full table with -v.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runExperiment executes one experiment per b.N batch (virtual-time
+// measurement: wall-clock b.N scaling adds nothing, so one run per
+// iteration is the honest unit).
+func runExperiment(b *testing.B, id string) []bench.Table {
+	b.Helper()
+	exp, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := bench.Options{Quick: true, Workers: 60}
+	var tables []bench.Table
+	for i := 0; i < b.N; i++ {
+		tables = exp.Run(opts)
+	}
+	for _, t := range tables {
+		b.Logf("\n%s", t.String())
+	}
+	return tables
+}
+
+// metricFromCell parses a throughput or latency cell into a float for
+// ReportMetric (best effort; unparseable cells report nothing).
+func metricFromCell(cell string) (float64, bool) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(cell, "K"):
+		mult, cell = 1000, strings.TrimSuffix(cell, "K")
+	case strings.HasSuffix(cell, "µs"):
+		mult, cell = 0.001, strings.TrimSuffix(cell, "µs")
+	case strings.HasSuffix(cell, "ms"):
+		mult, cell = 1, strings.TrimSuffix(cell, "ms")
+	case strings.HasSuffix(cell, "s"):
+		mult, cell = 1000, strings.TrimSuffix(cell, "s")
+	case strings.HasSuffix(cell, "x"):
+		mult, cell = 1, strings.TrimSuffix(cell, "x")
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}
+
+func reportCell(b *testing.B, tables []bench.Table, row, col int, unit string) {
+	b.Helper()
+	if len(tables) == 0 || row >= len(tables[0].Rows) || col >= len(tables[0].Rows[row]) {
+		return
+	}
+	if v, ok := metricFromCell(tables[0].Rows[row][col]); ok {
+		b.ReportMetric(v, unit)
+	}
+}
+
+func BenchmarkTable2LatencyProfiles(b *testing.B) {
+	runExperiment(b, "table2")
+}
+
+func BenchmarkFig4aThroughputByProfile(b *testing.B) {
+	tables := runExperiment(b, "fig4a")
+	// Headline: MUSIC throughput on the IUs profile (paper: ≈885 op/s).
+	reportCell(b, tables, 1, 2, "music-ius-ops/s")
+}
+
+func BenchmarkFig4bThroughputByClusterSize(b *testing.B) {
+	tables := runExperiment(b, "fig4b")
+	reportCell(b, tables, 0, 1, "music-3node-ops/s")
+}
+
+func BenchmarkFig5aLatencyByProfile(b *testing.B) {
+	tables := runExperiment(b, "fig5a")
+	// Headline: MSCP/MUSIC latency ratio on IUs (paper: ≈1.3x).
+	reportCell(b, tables, 1, 4, "mscp/music-ratio")
+}
+
+func BenchmarkFig5bOperationBreakdown(b *testing.B) {
+	tables := runExperiment(b, "fig5b")
+	// Headline: createLockRef mean (paper: 219-230ms).
+	reportCell(b, tables, 0, 2, "createlockref-ms")
+}
+
+func BenchmarkFig6aBatchSize(b *testing.B) {
+	tables := runExperiment(b, "fig6a")
+	// Headline: MUSIC/ZooKeeper ratio at the largest measured batch.
+	if len(tables) > 0 && len(tables[0].Rows) > 0 {
+		reportCell(b, tables, len(tables[0].Rows)-1, 4, "music/zk-ratio")
+	}
+}
+
+func BenchmarkFig6bDataSize(b *testing.B) {
+	tables := runExperiment(b, "fig6b")
+	if len(tables) > 0 && len(tables[0].Rows) > 0 {
+		reportCell(b, tables, len(tables[0].Rows)-1, 4, "music/zk-ratio")
+	}
+}
+
+func BenchmarkFig7aCrdbBatchSize(b *testing.B) {
+	tables := runExperiment(b, "fig7a")
+	if len(tables) > 0 && len(tables[0].Rows) > 0 {
+		reportCell(b, tables, len(tables[0].Rows)-1, 3, "cdb/music-ratio")
+	}
+}
+
+func BenchmarkFig7bCrdbDataSize(b *testing.B) {
+	tables := runExperiment(b, "fig7b")
+	if len(tables) > 0 && len(tables[0].Rows) > 0 {
+		reportCell(b, tables, len(tables[0].Rows)-1, 3, "cdb/music-ratio")
+	}
+}
+
+func BenchmarkFig8LatencyCDF(b *testing.B) {
+	tables := runExperiment(b, "fig8")
+	// Headline: MUSIC p50 on IUs.
+	reportCell(b, tables, 1, 4, "music-ius-p50-ms")
+}
+
+func BenchmarkFig9YCSB(b *testing.B) {
+	tables := runExperiment(b, "fig9")
+	// Headline: MUSIC/MSCP ratio on the update-only workload.
+	reportCell(b, tables, 2, 6, "music/mscp-u-ratio")
+}
+
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	tables := runExperiment(b, "ablation")
+	// Headline: baseline uncontended critical-section latency.
+	reportCell(b, tables, 0, 1, "baseline-cs-ms")
+}

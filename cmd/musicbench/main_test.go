@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunRequiresExperiments(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no -exp accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTable2BothFormats(t *testing.T) {
+	if err := run([]string{"-exp", "table2", "-quick", "-quiet"}); err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if err := run([]string{"-exp", "table2", "-quick", "-quiet", "-markdown"}); err != nil {
+		t.Fatalf("table2 markdown: %v", err)
+	}
+}

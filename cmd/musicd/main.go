@@ -1,0 +1,67 @@
+// Command musicd serves MUSIC's REST API (Fig 1's multi-site web service)
+// over an in-process live cluster: one HTTP listener per site, each backed
+// by that site's MUSIC replica.
+//
+//	musicd -addr :8080                      # one listener, first site
+//	musicd -addrs :8080,:8081,:8082         # one listener per site
+//	musicd -profile local -t 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/music"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "musicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("musicd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address for the first site")
+		addrs   = fs.String("addrs", "", "comma-separated per-site listen addresses (overrides -addr)")
+		profile = fs.String("profile", music.ProfileLocal, "latency profile: 11, IUs, IUsEu, local")
+		t       = fs.Duration("t", time.Minute, "critical-section bound T")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := music.New(music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	sites := c.Sites()
+	listen := []string{*addr}
+	if *addrs != "" {
+		listen = strings.Split(*addrs, ",")
+	}
+	if len(listen) > len(sites) {
+		return fmt.Errorf("%d addresses for %d sites", len(listen), len(sites))
+	}
+
+	errc := make(chan error, len(listen))
+	for i, a := range listen {
+		site := sites[i]
+		srv := httpapi.New(c.Client(site))
+		log.Printf("serving site %s on %s", site, a)
+		go func(a string) {
+			errc <- http.ListenAndServe(a, srv)
+		}(a)
+	}
+	return <-errc
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadProfile(t *testing.T) {
+	if err := run([]string{"-profile", "mars"}); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestRunRejectsTooManyAddrs(t *testing.T) {
+	if err := run([]string{"-addrs", ":1,:2,:3,:4"}); err == nil {
+		t.Fatal("more addresses than sites accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Transfer: multi-key critical sections (§III-A). Concurrent clients at
+// different sites move funds between accounts, each transfer locking both
+// accounts — acquired in lexicographic order, the paper's deadlock
+// avoidance rule — so balances never tear and the total is conserved even
+// with opposite-direction transfers racing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"repro/music"
+)
+
+func main() {
+	c, err := music.New(music.WithProfile(music.ProfileIUs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = c.Run(func() {
+		cl := c.Client("ohio")
+		for _, acct := range []string{"acct:alice", "acct:bob"} {
+			if err := cl.Put(acct, []byte("1000")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("opened acct:alice and acct:bob with 1000 each")
+
+		// Opposite-direction transfers race from two sites; lexicographic
+		// lock order prevents deadlock.
+		done := make(chan error, 2)
+		c.Go(func() { done <- transferN(c.Client("ncalifornia"), "acct:alice", "acct:bob", 10, 5) })
+		c.Go(func() { done <- transferN(c.Client("oregon"), "acct:bob", "acct:alice", 25, 5) })
+		deadline := c.Now() + 10*time.Minute
+		for len(done) < 2 {
+			if c.Now() > deadline {
+				log.Fatal("transfers deadlocked")
+			}
+			c.Sleep(100 * time.Millisecond)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		a := balance(cl, "acct:alice")
+		b := balance(cl, "acct:bob")
+		fmt.Printf("final balances: alice=%d bob=%d (total %d)\n", a, b, a+b)
+		if a+b != 2000 {
+			log.Fatalf("money not conserved: %d", a+b)
+		}
+		fmt.Println("total conserved across 10 racing cross-site transfers")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// transferN moves amount from -> to, n times, in one critical section pair
+// per transfer.
+func transferN(cl *music.Client, from, to string, amount int, n int) error {
+	for i := 0; i < n; i++ {
+		err := cl.RunCriticalMulti([]string{from, to}, func(cs map[string]*music.CriticalSection) error {
+			src, err := readBalance(cs[from])
+			if err != nil {
+				return err
+			}
+			dst, err := readBalance(cs[to])
+			if err != nil {
+				return err
+			}
+			if src < amount {
+				return fmt.Errorf("insufficient funds in %s: %d < %d", from, src, amount)
+			}
+			if err := cs[from].Put([]byte(strconv.Itoa(src - amount))); err != nil {
+				return err
+			}
+			return cs[to].Put([]byte(strconv.Itoa(dst + amount)))
+		})
+		if err != nil {
+			return fmt.Errorf("transfer %s->%s: %w", from, to, err)
+		}
+		fmt.Printf("%s: moved %d from %s to %s\n", cl.Site(), amount, from, to)
+	}
+	return nil
+}
+
+func readBalance(cs *music.CriticalSection) (int, error) {
+	v, err := cs.Get()
+	if err != nil {
+		return 0, err
+	}
+	if v == nil {
+		return 0, nil
+	}
+	return strconv.Atoi(string(v))
+}
+
+func balance(cl *music.Client, acct string) int {
+	v, err := cl.Get(acct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := strconv.Atoi(string(v))
+	return n
+}

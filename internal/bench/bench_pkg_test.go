@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps package tests fast.
+var quickOpts = Options{Quick: true, Workers: 30}
+
+func findTable(t *testing.T, tables []Table, id string) Table {
+	t.Helper()
+	for _, tb := range tables {
+		if tb.ID == id {
+			return tb
+		}
+	}
+	t.Fatalf("table %s missing", id)
+	return Table{}
+}
+
+// parseTP turns a formatted throughput cell back into a float.
+func parseTP(t *testing.T, s string) float64 {
+	t.Helper()
+	mult := 1.0
+	if strings.HasSuffix(s, "K") {
+		mult = 1000
+		s = strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v * mult
+}
+
+// parseLat turns a formatted latency cell into milliseconds.
+func parseLat(t *testing.T, s string) float64 {
+	t.Helper()
+	switch {
+	case strings.HasSuffix(s, "µs"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "µs"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v / 1000
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v * 1000
+	}
+	t.Fatalf("unrecognized latency %q", s)
+	return 0
+}
+
+func TestRegistryAndRunValidation(t *testing.T) {
+	if len(Experiments()) != 12 {
+		t.Fatalf("experiments = %d, want 12 (every paper artifact + ablation)", len(Experiments()))
+	}
+	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, ok := Find("fig4a"); !ok {
+		t.Fatal("fig4a missing")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tables := runTable2(quickOpts)
+	tb := findTable(t, tables, "table2")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 profiles", len(tb.Rows))
+	}
+	if tb.Rows[1][0] != "IUs" {
+		t.Fatalf("row order: %v", tb.Rows)
+	}
+	if s := tb.String(); !strings.Contains(s, "IUsEu") {
+		t.Fatalf("render missing profile:\n%s", s)
+	}
+	if md := tb.Markdown(); !strings.Contains(md, "| Profile |") {
+		t.Fatalf("markdown malformed:\n%s", md)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tb := findTable(t, runFig4a(quickOpts), "fig4a")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ev := parseTP(t, row[1])
+		music := parseTP(t, row[2])
+		mscp := parseTP(t, row[3])
+		// The paper's ordering: CassaEV ≫ MUSIC > MSCP.
+		if !(ev > music && music > mscp) {
+			t.Errorf("%s: ordering violated: ev=%v music=%v mscp=%v", row[0], ev, music, mscp)
+		}
+		// MUSIC ≈ 1.2-1.5x MSCP.
+		if r := music / mscp; r < 1.1 || r > 1.9 {
+			t.Errorf("%s: MUSIC/MSCP = %.2f, want ~1.3", row[0], r)
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tb := findTable(t, runFig5a(quickOpts), "fig5a")
+	for _, row := range tb.Rows {
+		ev := parseLat(t, row[1])
+		music := parseLat(t, row[2])
+		mscp := parseLat(t, row[3])
+		if !(ev < music && music < mscp) {
+			t.Errorf("%s: latency ordering violated: ev=%v music=%v mscp=%v", row[0], ev, music, mscp)
+		}
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	tb := findTable(t, runFig5b(quickOpts), "fig5b")
+	lat := make(map[string]float64)
+	for _, row := range tb.Rows {
+		lat[row[0]] = parseLat(t, row[2])
+	}
+	if lat["acquireLock peek"] > 2 {
+		t.Errorf("peek = %.2fms, want local sub-ms", lat["acquireLock peek"])
+	}
+	if !(lat["createLockRef"] > 3*lat["criticalPut (MUSIC)"]) {
+		t.Errorf("createLockRef %.0fms not ≈4x quorum put %.0fms", lat["createLockRef"], lat["criticalPut (MUSIC)"])
+	}
+	if !(lat["criticalPut (MSCP)"] > 2.5*lat["criticalPut (MUSIC)"]) {
+		t.Errorf("LWT put %.0fms not ≫ quorum put %.0fms", lat["criticalPut (MSCP)"], lat["criticalPut (MUSIC)"])
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	tb := findTable(t, runFig6a(quickOpts), "fig6a")
+	if len(tb.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	musicFirst, zk := parseTP(t, first[1]), parseTP(t, first[3])
+	musicLast, zkLast := parseTP(t, last[1]), parseTP(t, last[3])
+	// Batch 1: ZooKeeper ahead of MUSIC; large batches: MUSIC ahead.
+	if musicFirst >= zk {
+		t.Errorf("batch 1: MUSIC %v not below ZK %v", musicFirst, zk)
+	}
+	if musicLast <= zkLast {
+		t.Errorf("batch %s: MUSIC %v not above ZK %v", last[0], musicLast, zkLast)
+	}
+	// Amortization: MUSIC throughput grows with batch size.
+	if musicLast < 2*musicFirst {
+		t.Errorf("MUSIC did not amortize: %v -> %v", musicFirst, musicLast)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb := findTable(t, runFig8(quickOpts), "fig8")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 systems × 2 profiles)", len(tb.Rows))
+	}
+	// On IUs the MUSIC median sits left of MSCP's.
+	var musicP50, mscpP50 float64
+	for _, row := range tb.Rows {
+		if row[1] != "IUs" {
+			continue
+		}
+		if row[0] == "MUSIC" {
+			musicP50 = parseLat(t, row[4])
+		} else {
+			mscpP50 = parseLat(t, row[4])
+		}
+	}
+	if !(musicP50 < mscpP50) {
+		t.Errorf("IUs p50: MUSIC %v not below MSCP %v", musicP50, mscpP50)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tb := findTable(t, runAblation(quickOpts), "ablation")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 variants", len(tb.Rows))
+	}
+	base := parseLat(t, tb.Rows[0][1])
+	noSynchFlag := parseLat(t, tb.Rows[1][1])
+	noLocalPeek := parseLat(t, tb.Rows[2][1])
+	// Both ablations must cost extra quorum round trips per section.
+	if noSynchFlag < base+80 {
+		t.Errorf("always-synchronize CS %.0fms not ≫ baseline %.0fms", noSynchFlag, base)
+	}
+	if noLocalPeek < base+80 {
+		t.Errorf("quorum-peek CS %.0fms not ≫ baseline %.0fms", noLocalPeek, base)
+	}
+}

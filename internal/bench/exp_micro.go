@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// runTable2 prints the latency-profile matrix (Table II).
+func runTable2(opts Options) []Table {
+	t := Table{
+		ID:      "table2",
+		Title:   "Latency profiles used for 3-site deployments",
+		Columns: []string{"Profile", "Site 1", "Site 2", "Site 3", "RTT 1-2", "RTT 1-3", "RTT 2-3"},
+	}
+	for _, p := range simnet.Profiles() {
+		s := p.Sites()
+		t.Rows = append(t.Rows, []string{
+			p.Name(), s[0], s[1], s[2],
+			stats.FormatDuration(p.RTT(s[0], s[1])),
+			stats.FormatDuration(p.RTT(s[0], s[2])),
+			stats.FormatDuration(p.RTT(s[1], s[2])),
+		})
+	}
+	return []Table{t}
+}
+
+// throughputDurations returns (warmup, window) per mode.
+func throughputDurations(opts Options) (time.Duration, time.Duration) {
+	if opts.Quick {
+		return 500 * time.Millisecond, 1500 * time.Millisecond
+	}
+	return time.Second, 5 * time.Second
+}
+
+// measureMUSICThroughput measures critical sections per second for the
+// given mode, with one CS = lockRef + acquire + batch puts + release.
+func measureMUSICThroughput(profile *simnet.Profile, nodesPerSite int, mode core.Mode, workersPerNode, batch, valSize int, opts Options) tpResult {
+	w := buildMUSIC(profile, nodesPerSite, mode, 42, nil)
+	val := value(valSize)
+	warm, window := throughputDurations(opts)
+	var res tpResult
+	if err := w.rt.Run(func() {
+		workers := workersPerNode * len(w.reps)
+		res = measureThroughput(w.rt, workers, warm, window, func(worker, iter int) error {
+			rep := w.replicaFor(worker)
+			key := fmt.Sprintf("key-%04d", worker)
+			return runCS(w.rt, rep, key, batch, val)
+		})
+	}); err != nil {
+		panic(fmt.Sprintf("bench: music throughput: %v", err))
+	}
+	return res
+}
+
+// measureCassaEVThroughput measures plain eventual writes per second — the
+// performance upper bound (§VIII-b).
+func measureCassaEVThroughput(profile *simnet.Profile, opts Options) tpResult {
+	w := buildMUSIC(profile, 1, core.ModeQuorum, 42, nil)
+	val := value(10)
+	warm, window := throughputDurations(opts)
+	var res tpResult
+	if err := w.rt.Run(func() {
+		workers := opts.workers() * len(w.reps)
+		res = measureThroughput(w.rt, workers, warm, window, func(worker, iter int) error {
+			rep := w.replicaFor(worker)
+			return rep.Put(fmt.Sprintf("key-%04d", worker), val)
+		})
+	}); err != nil {
+		panic(fmt.Sprintf("bench: cassaev throughput: %v", err))
+	}
+	return res
+}
+
+// runFig4a reproduces Fig 4(a): CassaEV / MUSIC / MSCP peak throughput
+// across the three latency profiles.
+func runFig4a(opts Options) []Table {
+	t := Table{
+		ID:      "fig4a",
+		Title:   "Peak write throughput (op/s) by latency profile",
+		Columns: []string{"Profile", "CassaEV", "MUSIC", "MSCP", "MUSIC/MSCP"},
+		Notes: []string{
+			"paper: CassaEV ≈41K; MUSIC ≈885 (IUs); MUSIC ≈1.3x MSCP across profiles",
+		},
+	}
+	for _, p := range simnet.Profiles() {
+		opts.logf("  fig4a: profile %s", p.Name())
+		ev := measureCassaEVThroughput(p, opts)
+		music := measureMUSICThroughput(p, 1, core.ModeQuorum, opts.workers(), 1, 10, opts)
+		mscp := measureMUSICThroughput(p, 1, core.ModeLWT, opts.workers(), 1, 10, opts)
+		t.Rows = append(t.Rows, []string{
+			p.Name(), fmtTP(ev.PerSec), fmtTP(music.PerSec), fmtTP(mscp.PerSec),
+			fmtRatio(music.PerSec, mscp.PerSec),
+		})
+	}
+	return []Table{t}
+}
+
+// runFig4b reproduces Fig 4(b): throughput vs cluster size on IUs, RF 3,
+// keys sharded across all nodes.
+func runFig4b(opts Options) []Table {
+	t := Table{
+		ID:      "fig4b",
+		Title:   "Peak throughput (op/s) vs cluster size, IUs, fully sharded",
+		Columns: []string{"Nodes", "MUSIC", "MSCP", "MUSIC/MSCP"},
+		Notes: []string{
+			"paper: both scale with nodes; MUSIC outperforms MSCP by ~30-36%",
+		},
+	}
+	sizes := []int{1, 2, 3} // nodes per site → 3, 6, 9 total
+	if opts.Quick {
+		sizes = []int{1, 3}
+	}
+	for _, nps := range sizes {
+		opts.logf("  fig4b: %d nodes", nps*3)
+		music := measureMUSICThroughput(simnet.ProfileIUs, nps, core.ModeQuorum, opts.workers(), 1, 10, opts)
+		mscp := measureMUSICThroughput(simnet.ProfileIUs, nps, core.ModeLWT, opts.workers(), 1, 10, opts)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nps*3), fmtTP(music.PerSec), fmtTP(mscp.PerSec),
+			fmtRatio(music.PerSec, mscp.PerSec),
+		})
+	}
+	return []Table{t}
+}
+
+// latencyIters returns (measured, discarded) iteration counts.
+func latencyIters(opts Options) (int, int) {
+	if opts.Quick {
+		return 10, 2
+	}
+	return 40, 5
+}
+
+// runFig5a reproduces Fig 5(a): single-thread mean latency per profile.
+func runFig5a(opts Options) []Table {
+	t := Table{
+		ID:      "fig5a",
+		Title:   "Mean operation latency by profile (single thread)",
+		Columns: []string{"Profile", "CassaEV", "MUSIC", "MSCP", "MSCP/MUSIC"},
+		Notes: []string{
+			"paper: MUSIC ≈30% below MSCP on cross-region profiles (IUs, IUsEu)",
+		},
+	}
+	iters, discard := latencyIters(opts)
+	for _, p := range simnet.Profiles() {
+		opts.logf("  fig5a: profile %s", p.Name())
+		var evMean, musicMean, mscpMean time.Duration
+		{
+			w := buildMUSIC(p, 1, core.ModeQuorum, 7, nil)
+			val := value(10)
+			mustRun(w, func() {
+				ev := measureLatency(w.rt, iters, discard, func(i int) error {
+					return w.reps[0].Put("k", val)
+				})
+				evMean = ev.Hist.Mean()
+				music := measureLatency(w.rt, iters, discard, func(i int) error {
+					return runCS(w.rt, w.reps[0], fmt.Sprintf("mk-%d", i), 1, val)
+				})
+				musicMean = music.Hist.Mean()
+			})
+		}
+		{
+			w := buildMUSIC(p, 1, core.ModeLWT, 7, nil)
+			val := value(10)
+			mustRun(w, func() {
+				mscp := measureLatency(w.rt, iters, discard, func(i int) error {
+					return runCS(w.rt, w.reps[0], fmt.Sprintf("sk-%d", i), 1, val)
+				})
+				mscpMean = mscp.Hist.Mean()
+			})
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Name(),
+			stats.FormatDuration(evMean),
+			stats.FormatDuration(musicMean),
+			stats.FormatDuration(mscpMean),
+			fmt.Sprintf("%.2fx", float64(mscpMean)/float64(musicMean)),
+		})
+	}
+	return []Table{t}
+}
+
+// opCollector accumulates per-operation latencies from a core Observer.
+type opCollector struct {
+	mu sync.Mutex
+	m  map[core.Op]*stats.Summary
+}
+
+func newOpCollector() *opCollector {
+	return &opCollector{m: make(map[core.Op]*stats.Summary)}
+}
+
+func (c *opCollector) observe(op core.Op, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[op]
+	if !ok {
+		s = &stats.Summary{}
+		c.m[op] = s
+	}
+	s.Add(float64(d))
+}
+
+func (c *opCollector) mean(op core.Op) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.m[op]; ok {
+		return time.Duration(s.Mean())
+	}
+	return 0
+}
+
+// runFig5b reproduces Fig 5(b): the per-operation latency breakdown of a
+// MUSIC critical section on IUs, with the MSCP LWT put alongside.
+func runFig5b(opts Options) []Table {
+	iters, discard := latencyIters(opts)
+
+	musicC := newOpCollector()
+	wm := buildMUSIC(simnet.ProfileIUs, 1, core.ModeQuorum, 7, musicC.observe)
+	mustRun(wm, func() {
+		measureLatency(wm.rt, iters, discard, func(i int) error {
+			return runCS(wm.rt, wm.reps[0], fmt.Sprintf("k-%d", i), 1, value(10))
+		})
+	})
+
+	mscpC := newOpCollector()
+	ws := buildMUSIC(simnet.ProfileIUs, 1, core.ModeLWT, 7, mscpC.observe)
+	mustRun(ws, func() {
+		measureLatency(ws.rt, iters, discard, func(i int) error {
+			return runCS(ws.rt, ws.reps[0], fmt.Sprintf("k-%d", i), 1, value(10))
+		})
+	})
+
+	t := Table{
+		ID:      "fig5b",
+		Title:   "MUSIC operation latency breakdown, IUs (L=local, Q=quorum, P=Paxos/LWT)",
+		Columns: []string{"Operation", "Kind", "Mean latency"},
+		Notes: []string{
+			"paper: create/release ≈219-230ms (4 RTTs); peek ≈0.67ms; grant ≈55ms; put(Q) ≈93ms; put(P) ≈270ms",
+		},
+	}
+	rows := []struct {
+		name string
+		kind string
+		d    time.Duration
+	}{
+		{"createLockRef", "P", musicC.mean(core.OpCreateLockRef)},
+		{"acquireLock peek", "L", musicC.mean(core.OpAcquirePeek)},
+		{"acquireLock grant", "Q", musicC.mean(core.OpAcquireGrant)},
+		{"criticalPut (MUSIC)", "Q", musicC.mean(core.OpCriticalPut)},
+		{"criticalPut (MSCP)", "P", mscpC.mean(core.OpCriticalPut)},
+		{"releaseLock", "P", musicC.mean(core.OpReleaseLock)},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.name, r.kind, stats.FormatDuration(r.d)})
+	}
+	return []Table{t}
+}
+
+// mustRun propagates simulator failures as panics (benchmark plumbing, not
+// measured behaviour).
+func mustRun(w *musicWorld, fn func()) {
+	if err := w.rt.Run(fn); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// TestChaosECFUnderFalseDetection drives contending clients through
+// critical sections while an adversarial "failure detector" forcibly
+// releases the current lockholder at random moments (the paper's false
+// failure detection) and the scheduler explores randomized interleavings.
+// It then checks the end-to-end ECF consequences on the observed history:
+//
+//   - distinct lockRefs across successful sections (exclusivity of grants);
+//   - no successful section reads state older than the newest fully
+//     completed earlier section (latest state): every value read was
+//     written under a lockRef no older than the last full section's, i.e.
+//     committed-and-released updates are never lost;
+//   - every value ever read was actually written by some section (no
+//     corruption).
+func TestChaosECFUnderFalseDetection(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+// record is one client's attempt at a critical section.
+type record struct {
+	ref    int64
+	read   string // value observed by criticalGet ("" = none)
+	wrote  string // value attempted by criticalPut
+	putAck bool   // put acknowledged
+	full   bool   // get+put+release all succeeded, never preempted
+}
+
+func runChaos(t *testing.T, seed int64) {
+	t.Helper()
+	rt := sim.New(seed)
+	rt.SetScheduleShuffle(true)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs, Seed: seed})
+	st := store.New(net, store.Config{})
+	reps := make([]*Replica, 3)
+	for i := range reps {
+		reps[i] = NewReplica(st.Client(simnet.NodeID(i)), Config{T: 30 * time.Second})
+	}
+
+	const key = "chaos"
+	var records []*record
+
+	err := rt.Run(func() {
+		// The adversary: randomly preempts whatever lockRef is at the head,
+		// regardless of whether its holder is alive (false detection).
+		stopChaos := false
+		rt.Go(func() {
+			for !stopChaos {
+				rt.Sleep(time.Duration(50+rt.Rand().Intn(400)) * time.Millisecond)
+				if head, ok, err := reps[2].ls.Peek(key); err == nil && ok {
+					_ = reps[2].ForcedRelease(key, head.Ref)
+				}
+			}
+		})
+
+		done := sim.NewMailbox[struct{}](rt)
+		const clients, rounds = 3, 3
+		for ci := 0; ci < clients; ci++ {
+			ci := ci
+			rep := reps[ci]
+			rt.Go(func() {
+				defer done.Send(struct{}{})
+				for round := 0; round < rounds; round++ {
+					rec := &record{wrote: fmt.Sprintf("c%d-r%d", ci, round)}
+					records = append(records, rec)
+
+					ref, err := rep.CreateLockRef(key)
+					if err != nil {
+						continue
+					}
+					rec.ref = ref
+					acquired := false
+					for tries := 0; tries < 3000; tries++ {
+						ok, err := rep.AcquireLock(key, ref)
+						if err != nil {
+							break // preempted while waiting
+						}
+						if ok {
+							acquired = true
+							break
+						}
+						rt.Sleep(5 * time.Millisecond)
+					}
+					if !acquired {
+						_ = rep.ReleaseLock(key, ref) // evict our reference
+						continue
+					}
+
+					v, err := rep.CriticalGet(key, ref)
+					if err != nil {
+						continue
+					}
+					rec.read = string(v)
+
+					if err := rep.CriticalPut(key, ref, []byte(rec.wrote)); err != nil {
+						continue
+					}
+					rec.putAck = true
+
+					if err := rep.ReleaseLock(key, ref); err != nil {
+						continue
+					}
+					// ReleaseLock succeeds silently even when the section
+					// was forcibly preempted (§IV-A), so "full" also
+					// requires our write to have survived as the true
+					// value: a quorum read right after release. (A racing
+					// next writer makes this check conservatively false.)
+					row, err := st.Client(simnet.NodeID(ci)).GetCols(DataTable, key, []string{colValue}, store.Quorum)
+					if err == nil {
+						if c, ok := row[colValue]; ok && string(c.Value) == rec.wrote {
+							rec.full = true
+						}
+					}
+				}
+			})
+		}
+		for i := 0; i < clients; i++ {
+			if _, err := done.RecvTimeout(30 * time.Minute); err != nil {
+				t.Errorf("client never finished: %v", err)
+				return
+			}
+		}
+		stopChaos = true
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	checkChaosHistory(t, records)
+}
+
+func checkChaosHistory(t *testing.T, records []*record) {
+	t.Helper()
+	// Index writes by value.
+	writerRef := make(map[string]int64)
+	refs := make(map[int64]bool)
+	fullCount := 0
+	for _, r := range records {
+		if r.ref == 0 {
+			continue
+		}
+		if r.wrote != "" {
+			writerRef[r.wrote] = r.ref
+		}
+		if r.full {
+			fullCount++
+			if refs[r.ref] {
+				t.Errorf("two full sections share lockRef %d", r.ref)
+			}
+			refs[r.ref] = true
+		}
+	}
+
+	// Order successful sections by lockRef (the lock's serialization
+	// order) and check the latest-state property against full sections.
+	var ordered []*record
+	for _, r := range records {
+		if r.ref != 0 && r.read != "" || (r.ref != 0 && r.full) {
+			ordered = append(ordered, r)
+		}
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].ref < ordered[i].ref {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+
+	lastFull := int64(0)
+	for _, r := range ordered {
+		if r.read != "" {
+			wref, known := writerRef[r.read]
+			if !known {
+				t.Errorf("section ref %d read unwritten value %q", r.ref, r.read)
+			} else if wref < lastFull {
+				t.Errorf("section ref %d read %q (writer ref %d), older than last full section ref %d — lost update",
+					r.ref, r.read, wref, lastFull)
+			}
+		} else if r.full && lastFull > 0 {
+			t.Errorf("section ref %d read no value although full section ref %d wrote one", r.ref, lastFull)
+		}
+		if r.full {
+			lastFull = r.ref
+		}
+	}
+
+	if fullCount == 0 {
+		t.Log("warning: chaos so aggressive that no section completed fully")
+	}
+}
+
+// TestCriticalSectionsSurviveMessageLoss exercises the §III-A failure
+// semantics: with lossy links, individual quorum operations may fail with
+// ErrUnavailable, and retrying (per the paper's client obligations) must
+// eventually complete the critical section without violating exclusivity.
+func TestCriticalSectionsSurviveMessageLoss(t *testing.T) {
+	rt := sim.New(77)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs, Seed: 77})
+	st := store.New(net, store.Config{Timeout: 800 * time.Millisecond})
+	rep := NewReplica(st.Client(0), Config{T: time.Minute})
+	net.SetLossRate(0.03)
+
+	err := rt.Run(func() {
+		retry := func(op func() error) error {
+			var err error
+			for i := 0; i < 25; i++ {
+				err = op()
+				if err == nil || !errors.Is(err, ErrUnavailable) {
+					return err
+				}
+				rt.Sleep(100 * time.Millisecond)
+			}
+			return err
+		}
+
+		var ref int64
+		if err := retry(func() error {
+			r, err := rep.CreateLockRef("k")
+			if err == nil {
+				ref = r
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("createLockRef under loss: %v", err)
+		}
+		for i := 0; i < 5000; i++ {
+			ok, err := rep.AcquireLock("k", ref)
+			if err != nil && !errors.Is(err, ErrUnavailable) {
+				t.Fatalf("acquire: %v", err)
+			}
+			if ok {
+				break
+			}
+			rt.Sleep(10 * time.Millisecond)
+		}
+		if err := retry(func() error { return rep.CriticalPut("k", ref, []byte("lossy")) }); err != nil {
+			t.Fatalf("criticalPut under loss: %v", err)
+		}
+		var got []byte
+		if err := retry(func() error {
+			v, err := rep.CriticalGet("k", ref)
+			if err == nil {
+				got = v
+			}
+			return err
+		}); err != nil {
+			t.Fatalf("criticalGet under loss: %v", err)
+		}
+		if string(got) != "lossy" {
+			t.Fatalf("read %q, want lossy", got)
+		}
+		if err := retry(func() error { return rep.ReleaseLock("k", ref) }); err != nil {
+			t.Fatalf("release under loss: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,597 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/lockstore"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// DataTable is the data-store table holding client key-value pairs.
+const DataTable = "music_data"
+
+// Data-table columns: the client value and the per-key synchFlag ("dirty
+// bit", §IV-B), both carried as timestamped cells like Fig 2.
+const (
+	colValue = "value"
+	colSynch = "synch"
+)
+
+// Mode selects how criticalPut updates the data store.
+type Mode int
+
+const (
+	// ModeQuorum is MUSIC: critical puts are quorum writes (1 round trip).
+	ModeQuorum Mode = iota + 1
+	// ModeLWT is the paper's MSCP baseline: critical puts go through a
+	// Paxos LWT (4 round trips) — identical guarantees, higher cost (§VIII-b).
+	ModeLWT
+)
+
+// Errors returned by critical operations.
+var (
+	// ErrNoLongerLockHolder means the lock was released or forcibly
+	// preempted; the client must abandon this lockRef (§III-A).
+	ErrNoLongerLockHolder = errors.New("music: no longer lock holder")
+	// ErrNotLockHolder means the lockRef is not (yet) first in the queue —
+	// either another client holds the lock or the local lock-store replica
+	// has not caught up. Retryable.
+	ErrNotLockHolder = errors.New("music: not the lock holder")
+	// ErrExpired means the critical section exceeded its T bound; the
+	// replica force-releases the lock (§VI).
+	ErrExpired = errors.New("music: critical section exceeded T")
+	// ErrUnavailable mirrors store.ErrUnavailable: too few back-end
+	// replicas responded; the client should retry, possibly at another
+	// MUSIC replica (§III-A "Failure Semantics").
+	ErrUnavailable = store.ErrUnavailable
+)
+
+// Op identifies a MUSIC operation (or sub-phase) for latency observers —
+// the granularity of the paper's Fig 5(b) breakdown.
+type Op int
+
+// Operations observed by Config.Observer.
+const (
+	OpCreateLockRef Op = iota + 1
+	OpAcquirePeek      // the local lsPeek ("L" in Fig 5b)
+	OpAcquireGrant     // the synchFlag quorum read on grant ("Q")
+	OpCriticalPut      // quorum put ("Q") or LWT put ("P") depending on mode
+	OpCriticalGet
+	OpReleaseLock
+	OpForcedRelease
+	OpEventualPut
+	OpEventualGet
+)
+
+// String names the operation for reports.
+func (o Op) String() string {
+	switch o {
+	case OpCreateLockRef:
+		return "createLockRef"
+	case OpAcquirePeek:
+		return "acquireLock:peek"
+	case OpAcquireGrant:
+		return "acquireLock:grant"
+	case OpCriticalPut:
+		return "criticalPut"
+	case OpCriticalGet:
+		return "criticalGet"
+	case OpReleaseLock:
+		return "releaseLock"
+	case OpForcedRelease:
+		return "forcedRelease"
+	case OpEventualPut:
+		return "put"
+	case OpEventualGet:
+		return "get"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Config parameterizes a MUSIC replica.
+type Config struct {
+	// T bounds the duration of one critical section (§VI): critical
+	// operations past T are rejected and the lock is force-released.
+	// Defaults to 1 minute.
+	T time.Duration
+	// OrphanTimeout bounds how long an ungranted lockRef may sit at the
+	// head of a queue before MUSIC replicas presume its client died after
+	// createLockRef and reap it (§IV-B a). Defaults to T.
+	OrphanTimeout time.Duration
+	// Mode selects quorum (MUSIC) or LWT (MSCP) critical puts.
+	// Defaults to ModeQuorum.
+	Mode Mode
+	// Observer, when set, receives the latency of every completed
+	// operation (bench instrumentation for Fig 5b).
+	Observer func(op Op, d time.Duration)
+
+	// Ablations (benchmarking only — they disable MUSIC's optimizations
+	// while preserving correctness):
+	//
+	// AlwaysSynchronize makes every grant run the full data-store
+	// synchronization instead of consulting the synchFlag "dirty bit"
+	// (§IV-B), costing one extra quorum read and two quorum writes per
+	// critical section.
+	AlwaysSynchronize bool
+	// QuorumPeek makes lock-queue peeks quorum reads instead of local
+	// eventual reads, turning every acquireLock poll and critical-op guard
+	// into a WAN round trip (§III-A motivates the local peek).
+	QuorumPeek bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.T == 0 {
+		c.T = time.Minute
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeQuorum
+	}
+	if c.OrphanTimeout == 0 {
+		c.OrphanTimeout = c.T
+	}
+	return c
+}
+
+// Replica is one MUSIC replica (Fig 1): clients send it operations, and it
+// drives the back-end lock and data stores. A replica is colocated with a
+// store coordinator node; its CPU work and message origins are that node's.
+type Replica struct {
+	cfg  Config
+	ds   *store.Client
+	ls   *lockstore.Service
+	node simnet.NodeID
+
+	mu     sync.Mutex
+	grants map[string]grant   // key → local record of our granted head
+	seen   map[string]headAge // key → when we first saw the current head
+}
+
+type grant struct {
+	ref         int64
+	startMicros int64
+}
+
+type headAge struct {
+	ref         int64
+	sinceMicros int64
+}
+
+// NewReplica builds a MUSIC replica issuing store operations through st
+// (which fixes both the coordinator node and the site).
+func NewReplica(st *store.Client, cfg Config) *Replica {
+	return &Replica{
+		cfg:    cfg.withDefaults(),
+		ds:     st,
+		ls:     lockstore.New(st),
+		node:   st.Node(),
+		grants: make(map[string]grant),
+		seen:   make(map[string]headAge),
+	}
+}
+
+// Node returns the store node this replica coordinates through.
+func (r *Replica) Node() simnet.NodeID { return r.node }
+
+// T returns the configured critical-section bound.
+func (r *Replica) T() time.Duration { return r.cfg.T }
+
+// Mode returns the critical-put mode.
+func (r *Replica) Mode() Mode { return r.cfg.Mode }
+
+func (r *Replica) nowMicros() int64 { return r.ds.Cluster().NowMicros() }
+
+func (r *Replica) observe(op Op, start time.Duration) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(op, r.ds.Cluster().Net().Runtime().Now()-start)
+	}
+}
+
+// CreateLockRef enqueues and returns a new per-key unique increasing lock
+// reference, good for one critical section. Cost: one consensus write (an
+// LWT batching the guard increment with the enqueue, §VI).
+func (r *Replica) CreateLockRef(key string) (int64, error) {
+	start := r.now()
+	ref, err := r.ls.GenerateAndEnqueue(key)
+	if err != nil {
+		return 0, fmt.Errorf("createLockRef %s: %w", key, err)
+	}
+	r.observe(OpCreateLockRef, start)
+	return ref, nil
+}
+
+// AcquireLock reports whether lockRef now holds the key's lock. False with
+// a nil error means "not yet" — poll again (Listing 1). On the granting
+// call the replica checks the synchFlag with a quorum read and, if a
+// preemption left the data store unsynchronized, synchronizes it before
+// admitting the new lockholder (§IV-B). Cost: a local peek while waiting;
+// one synchFlag quorum read on grant; plus the synchronization writes only
+// after a forced release.
+func (r *Replica) AcquireLock(key string, ref int64) (bool, error) {
+	peekStart := r.now()
+	head, ok, err := r.peek(key)
+	r.observe(OpAcquirePeek, peekStart)
+	if err != nil {
+		return false, err
+	}
+	if !ok || ref > head.Ref {
+		// lockRef not first yet, or the local lock store is behind.
+		if ok {
+			r.reapExpiredHead(key, head)
+		}
+		return false, nil
+	}
+	if ref < head.Ref {
+		return false, ErrNoLongerLockHolder // lock forcibly released
+	}
+
+	// ref is first in the queue. Idempotent re-acquire after a grant.
+	r.mu.Lock()
+	g, granted := r.grants[key]
+	r.mu.Unlock()
+	if granted && g.ref == ref {
+		return true, nil
+	}
+
+	grantStart := r.now()
+	needSync := r.cfg.AlwaysSynchronize
+	if !needSync {
+		sfRow, err := r.ds.GetCols(DataTable, key, []string{colSynch}, store.Quorum)
+		if err != nil {
+			return false, fmt.Errorf("acquireLock %s: synchFlag: %w", key, err)
+		}
+		needSync = synchTrue(sfRow)
+	}
+	if needSync {
+		if err := r.synchronize(key, ref); err != nil {
+			return false, fmt.Errorf("acquireLock %s: %w", key, err)
+		}
+	}
+	r.observe(OpAcquireGrant, grantStart)
+
+	now := r.nowMicros()
+	r.mu.Lock()
+	r.grants[key] = grant{ref: ref, startMicros: now}
+	r.mu.Unlock()
+	// Record the grant time in the lock store so other MUSIC replicas can
+	// detect expiry and serve failover clients. Best-effort, off the
+	// critical path.
+	rt := r.ds.Cluster().Net().Runtime()
+	rt.Go(func() { _ = r.ls.SetGrant(key, ref, now) })
+	return true, nil
+}
+
+// synchronize restores the "data store defined as the true value" invariant
+// after a forced release: a quorum read followed by re-writing the result
+// (or a tombstone if nothing was ever written) with the new lockholder's
+// timestamp, then resetting the synchFlag (§IV-B). Whatever a preempted
+// lockholder's straggling write contained, it can no longer win.
+func (r *Replica) synchronize(key string, ref int64) error {
+	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
+	if err != nil {
+		return fmt.Errorf("synchronize read: %w", err)
+	}
+	valueCell := store.Cell{TS: v2s(ref, 0, r.cfg.T), Deleted: true}
+	if c, ok := row[colValue]; ok {
+		valueCell = store.Cell{Value: c.Value, TS: v2s(ref, 0, r.cfg.T)}
+	}
+	if err := r.ds.Put(DataTable, key, store.Row{colValue: valueCell}, store.Quorum); err != nil {
+		return fmt.Errorf("synchronize rewrite: %w", err)
+	}
+	reset := store.Row{colSynch: store.Cell{Value: synchFalse, TS: v2s(ref, time.Microsecond, r.cfg.T)}}
+	if err := r.ds.Put(DataTable, key, reset, store.Quorum); err != nil {
+		return fmt.Errorf("synchronize reset: %w", err)
+	}
+	return nil
+}
+
+// CriticalPut writes the latest value of key for the current lockholder.
+// Cost: one quorum write of the value (MUSIC) or one LWT (MSCP).
+func (r *Replica) CriticalPut(key string, ref int64, value []byte) error {
+	start := r.now()
+	elapsed, err := r.guardCritical(key, ref)
+	if err != nil {
+		return err
+	}
+	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T)}
+	if r.cfg.Mode == ModeLWT {
+		res, casErr := r.ds.CAS(DataTable, key, nil, store.Row{colValue: cell})
+		if casErr != nil {
+			return fmt.Errorf("criticalPut %s: %w", key, casErr)
+		}
+		if !res.Applied {
+			return fmt.Errorf("criticalPut %s: lwt not applied", key)
+		}
+	} else {
+		if putErr := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); putErr != nil {
+			return fmt.Errorf("criticalPut %s: %w", key, putErr)
+		}
+	}
+	r.observe(OpCriticalPut, start)
+	return nil
+}
+
+// CriticalDelete removes the key's value for the current lockholder (the
+// delete counterpart the paper mentions in footnote 3).
+func (r *Replica) CriticalDelete(key string, ref int64) error {
+	elapsed, err := r.guardCritical(key, ref)
+	if err != nil {
+		return err
+	}
+	cell := store.Cell{TS: v2s(ref, elapsed, r.cfg.T), Deleted: true}
+	if err := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
+		return fmt.Errorf("criticalDelete %s: %w", key, err)
+	}
+	return nil
+}
+
+// CriticalGet reads the latest (true) value of key for the current
+// lockholder. A nil value with nil error means the key has no value.
+// Cost: one quorum read.
+func (r *Replica) CriticalGet(key string, ref int64) ([]byte, error) {
+	start := r.now()
+	if _, err := r.guardCritical(key, ref); err != nil {
+		return nil, err
+	}
+	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
+	if err != nil {
+		return nil, fmt.Errorf("criticalGet %s: %w", key, err)
+	}
+	r.observe(OpCriticalGet, start)
+	if c, ok := row[colValue]; ok {
+		return c.Value, nil
+	}
+	return nil, nil
+}
+
+// guardCritical enforces the Exclusivity guards of §IV-A: the lockRef must
+// be first in the (locally peeked) queue, granted, and within its T bound.
+// It returns the elapsed time within the critical section for v2s.
+func (r *Replica) guardCritical(key string, ref int64) (time.Duration, error) {
+	head, ok, err := r.peek(key)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || ref > head.Ref {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNotLockHolder, key, ref)
+	}
+	if ref < head.Ref {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoLongerLockHolder, key, ref)
+	}
+
+	start, err := r.grantTime(key, ref, head)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Duration(r.nowMicros()-start) * time.Microsecond
+	if elapsed >= r.cfg.T {
+		// The critical section overran its bound: preempt ourselves so the
+		// next client can synchronize and proceed (§VI).
+		_ = r.ForcedRelease(key, ref)
+		return 0, fmt.Errorf("%w: %s/%d elapsed %v", ErrExpired, key, ref, elapsed)
+	}
+	return elapsed, nil
+}
+
+// peek reads the head of the key's lock queue: a local eventual read in
+// standard MUSIC, or a quorum read under the QuorumPeek ablation.
+func (r *Replica) peek(key string) (lockstore.Entry, bool, error) {
+	if !r.cfg.QuorumPeek {
+		return r.ls.Peek(key)
+	}
+	queue, err := r.ls.Queue(key)
+	if err != nil || len(queue) == 0 {
+		return lockstore.Entry{}, false, err
+	}
+	return queue[0], true, nil
+}
+
+// grantTime finds when ref was granted: from this replica's local record,
+// from the (replicated) grant cell, or — for failover to a replica that has
+// seen neither — from a quorum read of the lock row.
+func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64, error) {
+	r.mu.Lock()
+	g, ok := r.grants[key]
+	r.mu.Unlock()
+	if ok && g.ref == ref {
+		return g.startMicros, nil
+	}
+	if head.StartTime > 0 {
+		r.rememberGrant(key, ref, head.StartTime)
+		return head.StartTime, nil
+	}
+	queue, err := r.ls.Queue(key)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range queue {
+		if e.Ref == ref && e.StartTime > 0 {
+			r.rememberGrant(key, ref, e.StartTime)
+			return e.StartTime, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s/%d not granted", ErrNotLockHolder, key, ref)
+}
+
+func (r *Replica) rememberGrant(key string, ref, startMicros int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.grants[key] = grant{ref: ref, startMicros: startMicros}
+}
+
+// ReleaseLock removes lockRef from the queue, making the lock available.
+// Cost: one consensus write (an LWT delete).
+func (r *Replica) ReleaseLock(key string, ref int64) error {
+	start := r.now()
+	r.forgetGrant(key, ref)
+	head, ok, err := r.ls.Peek(key)
+	if err != nil {
+		return err
+	}
+	if ok && ref < head.Ref {
+		return nil // lock was forcibly released already (§IV-A)
+	}
+	if err := r.ls.Dequeue(key, ref); err != nil {
+		return fmt.Errorf("releaseLock %s/%d: %w", key, ref, err)
+	}
+	r.observe(OpReleaseLock, start)
+	return nil
+}
+
+// ForcedRelease preempts lockRef, e.g. when its holder is presumed failed
+// (§IV-B). It first marks the key's data store as needing synchronization —
+// stamping the synchFlag with the δ timestamp so the mark survives a racing
+// reset by the same lockRef but yields to the next lockholder's reset — and
+// only then dequeues the reference, so the next grant is guaranteed to see
+// the flag. Internal to MUSIC in the paper; exposed for ownership-stealing
+// services like the Portal (§VII-b).
+func (r *Replica) ForcedRelease(key string, ref int64) error {
+	start := r.now()
+	head, ok, err := r.ls.Peek(key)
+	if err != nil {
+		return err
+	}
+	if ok && ref < head.Ref {
+		return nil // previously released
+	}
+	mark := store.Row{colSynch: store.Cell{Value: synchTrueVal, TS: v2sForced(ref, r.cfg.T)}}
+	if err := r.ds.Put(DataTable, key, mark, store.Quorum); err != nil {
+		return fmt.Errorf("forcedRelease %s/%d: synchFlag: %w", key, ref, err)
+	}
+	if err := r.ls.Dequeue(key, ref); err != nil {
+		return fmt.Errorf("forcedRelease %s/%d: %w", key, ref, err)
+	}
+	r.forgetGrant(key, ref)
+	r.observe(OpForcedRelease, start)
+	return nil
+}
+
+func (r *Replica) forgetGrant(key string, ref int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.grants[key]; ok && g.ref == ref {
+		delete(r.grants, key)
+	}
+}
+
+// reapExpiredHead force-releases a head lockRef whose holder appears failed:
+// granted more than T ago, or never granted (orphaned by a client that died
+// after createLockRef) for more than T (§IV-B a).
+func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
+	now := r.nowMicros()
+	tMicros := int64(r.cfg.T / time.Microsecond)
+	if head.StartTime > 0 {
+		if now-head.StartTime > tMicros {
+			_ = r.ForcedRelease(key, head.Ref)
+		}
+		return
+	}
+	r.mu.Lock()
+	age, ok := r.seen[key]
+	if !ok || age.ref != head.Ref {
+		r.seen[key] = headAge{ref: head.Ref, sinceMicros: now}
+		r.mu.Unlock()
+		return
+	}
+	expired := now-age.sinceMicros > int64(r.cfg.OrphanTimeout/time.Microsecond)
+	r.mu.Unlock()
+	if expired {
+		_ = r.ForcedRelease(key, head.Ref)
+	}
+}
+
+// Put writes a key without locks at eventual consistency — for keys with no
+// ECF expectations (§VI). A value written in any critical section dominates
+// plain puts on the same key.
+func (r *Replica) Put(key string, value []byte) error {
+	start := r.now()
+	err := r.ds.Put(DataTable, key, store.Row{colValue: store.Cell{Value: value}}, store.One)
+	if err != nil {
+		return fmt.Errorf("put %s: %w", key, err)
+	}
+	r.observe(OpEventualPut, start)
+	return nil
+}
+
+// Get reads a key without locks from the nearest replica; the result may be
+// stale (§VI).
+func (r *Replica) Get(key string) ([]byte, error) {
+	start := r.now()
+	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.One)
+	if err != nil {
+		return nil, fmt.Errorf("get %s: %w", key, err)
+	}
+	r.observe(OpEventualGet, start)
+	if c, ok := row[colValue]; ok {
+		return c.Value, nil
+	}
+	return nil, nil
+}
+
+// GetAllKeys lists keys with a live value, eventually consistent (the
+// homing workers' job-discovery helper, §VII-a).
+func (r *Replica) GetAllKeys() ([]string, error) {
+	return r.ds.AllKeys(DataTable)
+}
+
+// Remove retires a key entirely (tombstones that dominate even critical
+// writes) — how the homing Client API deletes completed jobs. The key must
+// not be reused afterwards.
+func (r *Replica) Remove(key string) error {
+	cell := store.Cell{TS: int64(1<<63 - 1), Deleted: true}
+	if err := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
+		return fmt.Errorf("remove %s: %w", key, err)
+	}
+	return nil
+}
+
+// StartJanitor runs a background sweeper that force-releases expired or
+// orphaned head lockRefs across all lock keys every interval. Returns a
+// stop function.
+func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
+	rt := r.ds.Cluster().Net().Runtime()
+	var mu sync.Mutex
+	stopped := false
+	var loop func()
+	loop = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		keys, err := r.ds.AllKeys(lockstore.Table)
+		if err == nil {
+			for _, key := range keys {
+				if head, ok, peekErr := r.ls.Peek(key); peekErr == nil && ok {
+					r.reapExpiredHead(key, head)
+				}
+			}
+		}
+		rt.After(interval, loop)
+	}
+	rt.After(interval, loop)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+	}
+}
+
+// now returns the runtime clock (for observers).
+func (r *Replica) now() time.Duration { return r.ds.Cluster().Net().Runtime().Now() }
+
+// synchFlag encoding.
+var (
+	synchTrueVal = []byte{1}
+	synchFalse   = []byte{0}
+)
+
+func synchTrue(row store.Row) bool {
+	c, ok := row[colSynch]
+	return ok && len(c.Value) == 1 && c.Value[0] == 1
+}

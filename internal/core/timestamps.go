@@ -1,0 +1,51 @@
+// Package core implements the paper's primary contribution: the MUSIC
+// replica algorithms providing critical sections with entry consistency
+// under failures (ECF, §III-§IV). A Replica executes createLockRef,
+// acquireLock, criticalPut, criticalGet, releaseLock and forcedRelease
+// against a lock store (Paxos-backed FIFO lock queues) and a data store
+// (quorum reads/writes over an eventually consistent replicated KV),
+// ordering data-store cells with vector timestamps (lockRef, time) mapped
+// to scalars by the order-preserving v2s function (§VI, §X-A2).
+package core
+
+import "time"
+
+// lockEpoch offsets every critical-section timestamp above any plain
+// (wall-clock microsecond) write timestamp, so the true value written under
+// a lock always dominates unlocked puts on the same key (§VI "Additional
+// Functions": plain get/put carry no ECF guarantees).
+const lockEpoch = int64(1) << 62
+
+// v2s maps the vector timestamp (lockRef, elapsed) to a scalar, preserving
+// vector order (§X-A2): lockRef is most significant, and each lockRef owns a
+// window of T ticks. The top tick of each window is reserved for the δ
+// timestamp used by forcedRelease (§IV-B): it beats every in-section write
+// of the same lockRef but loses to the next lockRef's first write.
+func v2s(ref int64, elapsed time.Duration, t time.Duration) int64 {
+	ticks := int64(t / time.Microsecond)
+	e := int64(elapsed / time.Microsecond)
+	if e < 0 {
+		e = 0
+	}
+	if e > ticks-2 {
+		e = ticks - 2
+	}
+	return lockEpoch + ref*ticks + e
+}
+
+// v2sForced is the δ timestamp forcedRelease stamps the synchFlag with:
+// strictly above any v2s(ref, ·) and strictly below v2s(ref+1, 0).
+func v2sForced(ref int64, t time.Duration) int64 {
+	ticks := int64(t / time.Microsecond)
+	return lockEpoch + ref*ticks + ticks - 1
+}
+
+// refOfTS recovers the lockRef component from a v2s scalar; zero for plain
+// (non-critical) timestamps.
+func refOfTS(ts int64, t time.Duration) int64 {
+	if ts < lockEpoch {
+		return 0
+	}
+	ticks := int64(t / time.Microsecond)
+	return (ts - lockEpoch) / ticks
+}

@@ -1,0 +1,420 @@
+// Package crdb implements a CockroachDB-like transactional key-value store
+// over Raft — the paper's "highly optimized geo-distributed database"
+// comparator (§VIII-d, §X-B3/B4). A read-write transaction costs two
+// consensus rounds: one to begin (writing the transaction record and taking
+// key locks, deterministically through the replicated log) and one to
+// commit (applying the writes and releasing the locks). Reads are served by
+// the leaseholder (the Raft leader). The cost analysis in §X-B4 — 2·x·C for
+// x state updates in exclusive transactions versus MUSIC's 2C+(x+1)·Q —
+// falls directly out of this structure.
+package crdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/raft"
+	"repro/internal/simnet"
+)
+
+// Service names.
+const (
+	svcTxnWait = "crdb.txnWait"
+	svcRead    = "crdb.read"
+)
+
+// Errors returned by transactions.
+var (
+	// ErrConflict means the transaction lost a lock race; retry.
+	ErrConflict = errors.New("crdb: transaction conflict")
+	// ErrUnavailable means consensus could not complete in time.
+	ErrUnavailable = errors.New("crdb: consensus unavailable")
+)
+
+// KV is one write.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Cond requires Key to currently equal Want (nil Want = absent).
+type Cond struct {
+	Key  string
+	Want []byte
+}
+
+// Replicated log payloads.
+type beginTxn struct {
+	ID   uint64
+	Keys []string // keys to lock, sorted
+}
+
+type commitTxn struct {
+	ID     uint64
+	Writes []KV
+}
+
+type abortTxn struct {
+	ID uint64
+}
+
+type txnStatus int
+
+const (
+	statusLocked txnStatus = iota + 1
+	statusRefused
+	statusCommitted
+	statusAborted
+)
+
+// Cluster is a crdb deployment: one replicated range over a Raft group.
+type Cluster struct {
+	net  *simnet.Network
+	rc   *raft.Cluster
+	sms  map[simnet.NodeID]*stateMachine
+	mu   sync.Mutex
+	next uint64 // txn id counter
+}
+
+// stateMachine is the deterministic per-replica KV + lock table.
+type stateMachine struct {
+	mu      sync.Mutex
+	applied uint64
+	kv      map[string][]byte
+	locks   map[string]uint64    // key → txn holding its lock
+	txns    map[uint64]txnStatus // txn outcomes
+	txnKeys map[uint64][]string  // locked keys per txn
+}
+
+// New builds a crdb cluster on the given nodes.
+func New(net *simnet.Network, nodes []simnet.NodeID) (*Cluster, error) {
+	c := &Cluster{net: net, sms: make(map[simnet.NodeID]*stateMachine)}
+	for _, id := range nodes {
+		c.sms[id] = &stateMachine{
+			kv:      make(map[string][]byte),
+			locks:   make(map[string]uint64),
+			txns:    make(map[uint64]txnStatus),
+			txnKeys: make(map[uint64][]string),
+		}
+	}
+	rc, err := raft.New(net, raft.Config{Nodes: nodes, Apply: c.apply})
+	if err != nil {
+		return nil, err
+	}
+	c.rc = rc
+	for _, id := range nodes {
+		id := id
+		sm := c.sms[id]
+		net.Node(id).HandleWithCost(svcTxnWait, func(from simnet.NodeID, req any) (any, error) {
+			return sm.waitTxn(net, req.(waitReq))
+		}, 80*time.Microsecond, 0)
+		net.Node(id).HandleWithCost(svcRead, func(from simnet.NodeID, req any) (any, error) {
+			return sm.read(req.(readReq)), nil
+		}, 90*time.Microsecond, 0)
+	}
+	return c, nil
+}
+
+// Raft exposes the underlying consensus group (tests, warmup).
+func (c *Cluster) Raft() *raft.Cluster { return c.rc }
+
+// apply is the replicated state machine; identical order on every peer
+// makes lock acquisition deterministic cluster-wide.
+func (c *Cluster) apply(peer simnet.NodeID, index uint64, e raft.Entry) {
+	sm := c.sms[peer]
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.applied = index
+	switch op := e.Data.(type) {
+	case beginTxn:
+		for _, k := range op.Keys {
+			if holder, locked := sm.locks[k]; locked && holder != op.ID {
+				sm.txns[op.ID] = statusRefused
+				return
+			}
+		}
+		for _, k := range op.Keys {
+			sm.locks[k] = op.ID
+		}
+		sm.txns[op.ID] = statusLocked
+		sm.txnKeys[op.ID] = op.Keys
+	case commitTxn:
+		if sm.txns[op.ID] != statusLocked {
+			return
+		}
+		for _, w := range op.Writes {
+			if w.Value == nil {
+				delete(sm.kv, w.Key)
+			} else {
+				sm.kv[w.Key] = w.Value
+			}
+		}
+		sm.releaseLocked(op.ID)
+		sm.txns[op.ID] = statusCommitted
+	case abortTxn:
+		if sm.txns[op.ID] == statusLocked {
+			sm.releaseLocked(op.ID)
+		}
+		sm.txns[op.ID] = statusAborted
+	}
+}
+
+// releaseLocked drops a txn's locks. Caller holds sm.mu.
+func (sm *stateMachine) releaseLocked(id uint64) {
+	for _, k := range sm.txnKeys[id] {
+		if sm.locks[k] == id {
+			delete(sm.locks, k)
+		}
+	}
+	delete(sm.txnKeys, id)
+}
+
+// waitReq asks a replica for a txn's status once it has applied minIndex,
+// along with the current values of the requested keys.
+type waitReq struct {
+	ID       uint64
+	MinIndex uint64
+	Keys     []string
+}
+
+type waitResp struct {
+	Status txnStatus
+	Values map[string][]byte
+}
+
+func (sm *stateMachine) waitTxn(net *simnet.Network, req waitReq) (waitResp, error) {
+	rt := net.Runtime()
+	for i := 0; i < 100000; i++ {
+		sm.mu.Lock()
+		if sm.applied >= req.MinIndex {
+			resp := waitResp{Status: sm.txns[req.ID], Values: make(map[string][]byte, len(req.Keys))}
+			for _, k := range req.Keys {
+				if v, ok := sm.kv[k]; ok {
+					resp.Values[k] = append([]byte(nil), v...)
+				}
+			}
+			sm.mu.Unlock()
+			return resp, nil
+		}
+		sm.mu.Unlock()
+		rt.Sleep(200 * time.Microsecond)
+	}
+	return waitResp{}, fmt.Errorf("crdb: index %d never applied", req.MinIndex)
+}
+
+type readReq struct {
+	Key string
+}
+
+type readResp struct {
+	Value []byte
+	Found bool
+}
+
+func (sm *stateMachine) read(req readReq) readResp {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	v, ok := sm.kv[req.Key]
+	if !ok {
+		return readResp{}
+	}
+	return readResp{Value: append([]byte(nil), v...), Found: true}
+}
+
+// Client issues transactions from one gateway node.
+type Client struct {
+	c    *Cluster
+	node simnet.NodeID
+}
+
+// Client binds to a gateway node.
+func (c *Cluster) Client(node simnet.NodeID) *Client { return &Client{c: c, node: node} }
+
+func (c *Cluster) nextTxnID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	return c.next
+}
+
+// Txn runs one conditional read-write transaction: it locks the condition
+// and write keys (consensus round 1), evaluates the conditions against the
+// locked state, and on success applies the writes (consensus round 2).
+// It reports whether the writes were applied, plus the observed values of
+// the condition keys. Lock conflicts surface as ErrConflict (retry).
+func (cl *Client) Txn(conds []Cond, writes []KV) (bool, map[string][]byte, error) {
+	id := cl.c.nextTxnID()
+	keySet := make(map[string]bool, len(conds)+len(writes))
+	var condKeys []string
+	for _, cond := range conds {
+		keySet[cond.Key] = true
+		condKeys = append(condKeys, cond.Key)
+	}
+	for _, w := range writes {
+		keySet[w.Key] = true
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+
+	size := 0
+	for _, w := range writes {
+		size += len(w.Key) + len(w.Value)
+	}
+
+	// Consensus round 1: transaction record + locks.
+	beginIdx, err := cl.c.rc.Propose(cl.node, beginTxn{ID: id, Keys: keys}, 64)
+	if err != nil {
+		return false, nil, fmt.Errorf("%w: begin: %v", ErrUnavailable, err)
+	}
+	status, err := cl.waitTxn(id, beginIdx, condKeys)
+	if err != nil {
+		return false, nil, err
+	}
+	if status.Status != statusLocked {
+		return false, nil, ErrConflict
+	}
+
+	// Evaluate conditions against the locked state.
+	for _, cond := range conds {
+		got, ok := status.Values[cond.Key]
+		if cond.Want == nil {
+			if ok {
+				cl.abort(id)
+				return false, status.Values, nil
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(got, cond.Want) {
+			cl.abort(id)
+			return false, status.Values, nil
+		}
+	}
+
+	// Consensus round 2: commit record with the writes.
+	if _, err := cl.c.rc.Propose(cl.node, commitTxn{ID: id, Writes: writes}, size); err != nil {
+		return false, nil, fmt.Errorf("%w: commit: %v", ErrUnavailable, err)
+	}
+	return true, status.Values, nil
+}
+
+// waitTxn fetches the txn status from the leaseholder once it caught up.
+func (cl *Client) waitTxn(id, minIndex uint64, keys []string) (waitResp, error) {
+	lead := cl.c.rc.Leader()
+	if lead < 0 {
+		lead = cl.node
+	}
+	resp, err := cl.c.net.Call(cl.node, lead, svcTxnWait, waitReq{ID: id, MinIndex: minIndex, Keys: keys})
+	if err != nil {
+		return waitResp{}, fmt.Errorf("%w: status: %v", ErrUnavailable, err)
+	}
+	return resp.(waitResp), nil
+}
+
+// abort releases a txn's locks (consensus, fire-and-forget semantics but
+// awaited here for determinism).
+func (cl *Client) abort(id uint64) {
+	_, _ = cl.c.rc.Propose(cl.node, abortTxn{ID: id}, 32)
+}
+
+// Put writes a key in its own (unconditional) transaction.
+func (cl *Client) Put(key string, value []byte) error {
+	ok, _, err := cl.Txn(nil, []KV{{Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrConflict
+	}
+	return nil
+}
+
+// Get reads a key at the leaseholder.
+func (cl *Client) Get(key string) ([]byte, bool, error) {
+	lead := cl.c.rc.Leader()
+	if lead < 0 {
+		lead = cl.node
+	}
+	resp, err := cl.c.net.Call(cl.node, lead, svcRead, readReq{Key: key})
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: read: %v", ErrUnavailable, err)
+	}
+	r := resp.(readResp)
+	return r.Value, r.Found, nil
+}
+
+// lockFree is the sentinel for an unheld critical-section lock row.
+var lockFree = []byte("NONE")
+
+// AcquireCS takes the §X-B3 critical-section lock row: a transaction that
+// checks the lock row and upserts the owner, retried until it wins.
+func (cl *Client) AcquireCS(lockKey, owner string) error {
+	rt := cl.c.net.Runtime()
+	for attempt := 0; attempt < 1000; attempt++ {
+		// Free means: absent, or explicitly NONE.
+		applied, vals, err := cl.Txn(
+			[]Cond{{Key: lockKey, Want: lockFree}},
+			[]KV{{Key: lockKey, Value: []byte(owner)}})
+		if err == nil && applied {
+			return nil
+		}
+		if err == nil && vals != nil {
+			if _, exists := vals[lockKey]; !exists {
+				applied, _, err = cl.Txn(
+					[]Cond{{Key: lockKey, Want: nil}},
+					[]KV{{Key: lockKey, Value: []byte(owner)}})
+				if err == nil && applied {
+					return nil
+				}
+			}
+		}
+		if err != nil && !errors.Is(err, ErrConflict) {
+			return err
+		}
+		rt.Sleep(time.Duration(10+rt.Rand().Intn(40)) * time.Millisecond)
+	}
+	return fmt.Errorf("crdb: lock %s: %w", lockKey, ErrConflict)
+}
+
+// UpdateCS performs one state update inside the critical section — its own
+// exclusive transaction (lock check + write), costing two consensus rounds
+// like a Spanner read-write transaction (§X-B4).
+func (cl *Client) UpdateCS(lockKey, owner, key string, value []byte) error {
+	applied, _, err := cl.Txn(
+		[]Cond{{Key: lockKey, Want: []byte(owner)}},
+		[]KV{{Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if !applied {
+		return fmt.Errorf("crdb: lost cs lock %s", lockKey)
+	}
+	return nil
+}
+
+// ReleaseCS exits the critical section.
+func (cl *Client) ReleaseCS(lockKey, owner string) error {
+	applied, _, err := cl.Txn(
+		[]Cond{{Key: lockKey, Want: []byte(owner)}},
+		[]KV{{Key: lockKey, Value: lockFree}})
+	if err != nil {
+		return err
+	}
+	if !applied {
+		return fmt.Errorf("crdb: release: not the owner of %s", lockKey)
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package crdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func fixture(t *testing.T, fn func(rt *sim.Virtual, net *simnet.Network, c *Cluster)) {
+	t.Helper()
+	rt := sim.New(13)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs})
+	c, err := New(net, net.Nodes())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Run(func() {
+		if _, err := c.Raft().WaitForLeader(time.Minute); err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		fn(rt, net, c)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if err := cl.Put("k", []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, found, err := cl.Get("k")
+		if err != nil || !found || string(got) != "v" {
+			t.Fatalf("Get = (%q, %v, %v)", got, found, err)
+		}
+	})
+}
+
+func TestGetMissing(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		_, found, err := c.Client(1).Get("nope")
+		if err != nil || found {
+			t.Fatalf("Get missing = (%v, %v)", found, err)
+		}
+	})
+}
+
+func TestConditionalTxn(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		// Insert-if-absent succeeds once.
+		ok, _, err := cl.Txn([]Cond{{Key: "k", Want: nil}}, []KV{{Key: "k", Value: []byte("a")}})
+		if err != nil || !ok {
+			t.Fatalf("first insert = (%v, %v)", ok, err)
+		}
+		ok, vals, err := cl.Txn([]Cond{{Key: "k", Want: nil}}, []KV{{Key: "k", Value: []byte("b")}})
+		if err != nil || ok {
+			t.Fatalf("second insert = (%v, %v), want refused", ok, err)
+		}
+		if string(vals["k"]) != "a" {
+			t.Fatalf("observed = %q, want a", vals["k"])
+		}
+		// Compare-and-set with the right expectation succeeds.
+		ok, _, err = cl.Txn([]Cond{{Key: "k", Want: []byte("a")}}, []KV{{Key: "k", Value: []byte("b")}})
+		if err != nil || !ok {
+			t.Fatalf("cas = (%v, %v)", ok, err)
+		}
+		got, _, _ := cl.Get("k")
+		if string(got) != "b" {
+			t.Fatalf("final = %q", got)
+		}
+	})
+}
+
+func TestTxnReleasesLocksOnConditionFailure(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if err := cl.Put("k", []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		// Condition fails; locks must be released for the next txn.
+		ok, _, err := cl.Txn([]Cond{{Key: "k", Want: []byte("wrong")}}, []KV{{Key: "k", Value: []byte("x")}})
+		if err != nil || ok {
+			t.Fatalf("failing txn = (%v, %v)", ok, err)
+		}
+		if err := cl.Put("k", []byte("after")); err != nil {
+			t.Fatalf("Put after failed txn: %v", err)
+		}
+	})
+}
+
+func TestCriticalSectionRecipe(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if err := cl.AcquireCS("lock", "me"); err != nil {
+			t.Fatalf("AcquireCS: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := cl.UpdateCS("lock", "me", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+				t.Fatalf("UpdateCS %d: %v", i, err)
+			}
+		}
+		if err := cl.ReleaseCS("lock", "me"); err != nil {
+			t.Fatalf("ReleaseCS: %v", err)
+		}
+		// Reacquirable after release.
+		if err := cl.AcquireCS("lock", "me2"); err != nil {
+			t.Fatalf("reacquire: %v", err)
+		}
+		if err := cl.ReleaseCS("lock", "me2"); err != nil {
+			t.Fatalf("release 2: %v", err)
+		}
+	})
+}
+
+func TestCSExcludesSecondOwner(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl1, cl2 := c.Client(0), c.Client(1)
+		if err := cl1.AcquireCS("lock", "one"); err != nil {
+			t.Fatalf("AcquireCS: %v", err)
+		}
+		// The second owner's updates are refused while one holds the lock.
+		if err := cl2.UpdateCS("lock", "two", "k", []byte("v")); err == nil {
+			t.Fatal("non-owner update succeeded")
+		}
+		done := sim.NewMailbox[error](rt)
+		rt.Go(func() { done.Send(cl2.AcquireCS("lock", "two")) })
+		rt.Sleep(2 * time.Second)
+		if done.Len() != 0 {
+			t.Fatal("second acquire completed while lock held")
+		}
+		if err := cl1.ReleaseCS("lock", "one"); err != nil {
+			t.Fatalf("ReleaseCS: %v", err)
+		}
+		if err, recvErr := done.RecvTimeout(2 * time.Minute); recvErr != nil || err != nil {
+			t.Fatalf("second acquire: %v / %v", err, recvErr)
+		}
+	})
+}
+
+func TestConcurrentTxnsOnSameKeyConflictAndRetrySucceeds(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		done := sim.NewMailbox[error](rt)
+		for i := 0; i < 4; i++ {
+			cl := c.Client(simnet.NodeID(i % 3))
+			val := []byte{byte(i)}
+			rt.Go(func() {
+				for {
+					err := cl.Put("hot", val)
+					if err == nil {
+						done.Send(nil)
+						return
+					}
+					if !errors.Is(err, ErrConflict) {
+						done.Send(err)
+						return
+					}
+					rt.Sleep(20 * time.Millisecond)
+				}
+			})
+		}
+		for i := 0; i < 4; i++ {
+			if err, recvErr := done.RecvTimeout(5 * time.Minute); recvErr != nil || err != nil {
+				t.Fatalf("writer %d: %v / %v", i, err, recvErr)
+			}
+		}
+		_, found, err := c.Client(0).Get("hot")
+		if err != nil || !found {
+			t.Fatalf("final Get = (%v, %v)", found, err)
+		}
+	})
+}
+
+func TestTxnCostIsTwoConsensusRounds(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		lead := c.Raft().Leader()
+		cl := c.Client(lead)
+		if err := cl.Put("warm", []byte("x")); err != nil {
+			t.Fatalf("warm Put: %v", err)
+		}
+		start := rt.Now()
+		if err := cl.Put("k", []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		elapsed := rt.Now() - start
+		// Two quorum rounds from the leader: each costs the RTT to its
+		// nearest peer (the second ack is the leader's own).
+		leadSite := net.SiteOf(lead)
+		round := time.Duration(1<<62 - 1)
+		for _, id := range net.Nodes() {
+			if id == lead {
+				continue
+			}
+			if rtt := simnet.ProfileIUs.RTT(leadSite, net.SiteOf(id)); rtt < round {
+				round = rtt
+			}
+		}
+		if elapsed < 2*round || elapsed > 2*round+round/2 {
+			t.Fatalf("txn took %v, want ≈2×%v (2 consensus rounds)", elapsed, round)
+		}
+	})
+}
+
+func TestDeleteViaNilValue(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if err := cl.Put("k", []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		ok, _, err := cl.Txn(nil, []KV{{Key: "k", Value: nil}})
+		if err != nil || !ok {
+			t.Fatalf("delete txn = (%v, %v)", ok, err)
+		}
+		_, found, _ := cl.Get("k")
+		if found {
+			t.Fatal("key survives delete")
+		}
+	})
+}

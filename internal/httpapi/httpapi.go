@@ -1,0 +1,207 @@
+// Package httpapi exposes MUSIC's Table I operations as the REST web
+// service of the paper's production deployment (Fig 1): clients talk HTTP
+// to a nearby MUSIC replica, which drives the back-end stores.
+//
+//	POST   /v1/locks/{key}                 → {"lockRef": n}        createLockRef
+//	GET    /v1/locks/{key}/{ref}           → {"holder": bool}      acquireLock (one poll)
+//	DELETE /v1/locks/{key}/{ref}           → 204                   releaseLock
+//	DELETE /v1/locks/{key}/{ref}?forced=1  → 204                   forcedRelease
+//	PUT    /v1/keys/{key}?lockRef={ref}    body = value            criticalPut
+//	GET    /v1/keys/{key}?lockRef={ref}    → value bytes           criticalGet
+//	DELETE /v1/keys/{key}?lockRef={ref}    → 204                   criticalDelete
+//	PUT    /v1/keys/{key}                  body = value            put (eventual)
+//	GET    /v1/keys/{key}                  → value bytes           get (eventual)
+//	GET    /v1/keys                        → {"keys": [...]}       getAllKeys
+//
+// ECF errors map to HTTP statuses: 409 Conflict for
+// "youAreNoLongerLockHolder" / expired sections (dead lockRef, give up),
+// 412 Precondition Failed for "not (yet) the lock holder" (retry), and
+// 503 Service Unavailable when a back-end quorum is unreachable (retry,
+// possibly at another site).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/music"
+)
+
+// Server handles the REST API for one site's MUSIC client.
+type Server struct {
+	cl  *music.Client
+	mux *http.ServeMux
+}
+
+// New builds a server around cl.
+func New(cl *music.Client) *Server {
+	s := &Server{cl: cl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/locks/{key}", s.createLockRef)
+	s.mux.HandleFunc("GET /v1/locks/{key}/{ref}", s.acquireLock)
+	s.mux.HandleFunc("DELETE /v1/locks/{key}/{ref}", s.releaseLock)
+	s.mux.HandleFunc("PUT /v1/keys/{key}", s.putKey)
+	s.mux.HandleFunc("GET /v1/keys/{key}", s.getKey)
+	s.mux.HandleFunc("DELETE /v1/keys/{key}", s.deleteKey)
+	s.mux.HandleFunc("GET /v1/keys", s.allKeys)
+	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "site": s.cl.Site()})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) createLockRef(w http.ResponseWriter, r *http.Request) {
+	ref, err := s.cl.CreateLockRef(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"lockRef": int64(ref)})
+}
+
+func (s *Server) acquireLock(w http.ResponseWriter, r *http.Request) {
+	ref, ok := parseRef(w, r.PathValue("ref"))
+	if !ok {
+		return
+	}
+	holder, err := s.cl.AcquireLock(r.PathValue("key"), ref)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"holder": holder})
+}
+
+func (s *Server) releaseLock(w http.ResponseWriter, r *http.Request) {
+	ref, ok := parseRef(w, r.PathValue("ref"))
+	if !ok {
+		return
+	}
+	key := r.PathValue("key")
+	var err error
+	if r.URL.Query().Get("forced") != "" {
+		err = s.cl.ForcedRelease(key, ref)
+	} else {
+		err = s.cl.ReleaseLock(key, ref)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) putKey(w http.ResponseWriter, r *http.Request) {
+	value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad body: "+err.Error()))
+		return
+	}
+	key := r.PathValue("key")
+	if refStr := r.URL.Query().Get("lockRef"); refStr != "" {
+		ref, ok := parseRef(w, refStr)
+		if !ok {
+			return
+		}
+		err = s.cl.CriticalPut(key, ref, value)
+	} else {
+		err = s.cl.Put(key, value)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) getKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var (
+		value []byte
+		err   error
+	)
+	if refStr := r.URL.Query().Get("lockRef"); refStr != "" {
+		ref, ok := parseRef(w, refStr)
+		if !ok {
+			return
+		}
+		value, err = s.cl.CriticalGet(key, ref)
+	} else {
+		value, err = s.cl.Get(key)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if value == nil {
+		writeJSON(w, http.StatusNotFound, errBody("no value"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(value)
+}
+
+func (s *Server) deleteKey(w http.ResponseWriter, r *http.Request) {
+	refStr := r.URL.Query().Get("lockRef")
+	if refStr == "" {
+		writeJSON(w, http.StatusBadRequest, errBody("deletes require a lockRef"))
+		return
+	}
+	ref, ok := parseRef(w, refStr)
+	if !ok {
+		return
+	}
+	if err := s.cl.CriticalDelete(r.PathValue("key"), ref); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) allKeys(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.cl.GetAllKeys()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"keys": keys})
+}
+
+func parseRef(w http.ResponseWriter, s string) (music.LockRef, bool) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		writeJSON(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad lockRef %q", s)))
+		return 0, false
+	}
+	return music.LockRef(n), true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, music.ErrNoLongerLockHolder), errors.Is(err, music.ErrExpired):
+		writeJSON(w, http.StatusConflict, errBody(err.Error()))
+	case errors.Is(err, music.ErrNotLockHolder):
+		writeJSON(w, http.StatusPreconditionFailed, errBody(err.Error()))
+	case errors.Is(err, music.ErrUnavailable):
+		writeJSON(w, http.StatusServiceUnavailable, errBody(err.Error()))
+	default:
+		writeJSON(w, http.StatusInternalServerError, errBody(err.Error()))
+	}
+}
+
+func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,195 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/music"
+)
+
+// harness spins up a live (real-time, local-profile) cluster behind an
+// httptest server.
+func harness(t *testing.T) (*httptest.Server, *music.Cluster) {
+	t.Helper()
+	c, err := music.New(music.WithProfile(music.ProfileLocal), music.WithRealTime())
+	if err != nil {
+		t.Fatalf("New cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	srv := httptest.NewServer(New(c.Client("site-a")))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func do(t *testing.T, method, url string, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, string(b)
+}
+
+// lockViaAPI drives the full REST lock flow and returns the lockRef.
+func lockViaAPI(t *testing.T, base, key string) int64 {
+	t.Helper()
+	resp, body := do(t, "POST", base+"/v1/locks/"+key, "")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create lock: %d %s", resp.StatusCode, body)
+	}
+	var created struct {
+		LockRef int64 `json:"lockRef"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		resp, body = do(t, "GET", fmt.Sprintf("%s/v1/locks/%s/%d", base, key, created.LockRef), "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("acquire: %d %s", resp.StatusCode, body)
+		}
+		var acq struct {
+			Holder bool `json:"holder"`
+		}
+		if err := json.Unmarshal([]byte(body), &acq); err != nil {
+			t.Fatalf("decode acquire: %v", err)
+		}
+		if acq.Holder {
+			return created.LockRef
+		}
+	}
+	t.Fatal("never acquired")
+	return 0
+}
+
+func TestFullCriticalSectionOverREST(t *testing.T) {
+	srv, _ := harness(t)
+	ref := lockViaAPI(t, srv.URL, "k")
+
+	resp, body := do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "hello")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("criticalPut: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, "GET", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "")
+	if resp.StatusCode != http.StatusOK || body != "hello" {
+		t.Fatalf("criticalGet = %d %q", resp.StatusCode, body)
+	}
+	resp, body = do(t, "DELETE", fmt.Sprintf("%s/v1/locks/k/%d", srv.URL, ref), "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestEventualPutGetAndKeys(t *testing.T) {
+	srv, _ := harness(t)
+	resp, body := do(t, "PUT", srv.URL+"/v1/keys/plain", "v1")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, "GET", srv.URL+"/v1/keys/plain", "")
+	if resp.StatusCode != http.StatusOK || body != "v1" {
+		t.Fatalf("get = %d %q", resp.StatusCode, body)
+	}
+	resp, body = do(t, "GET", srv.URL+"/v1/keys", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "plain") {
+		t.Fatalf("keys = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestGetMissingKeyIs404(t *testing.T) {
+	srv, _ := harness(t)
+	resp, _ := do(t, "GET", srv.URL+"/v1/keys/nothing", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestNonHolderPutIs412(t *testing.T) {
+	srv, _ := harness(t)
+	_ = lockViaAPI(t, srv.URL, "k")
+	// A second lockRef exists but is not the holder.
+	resp, body := do(t, "POST", srv.URL+"/v1/locks/k", "")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create 2nd ref: %d", resp.StatusCode)
+	}
+	var created struct {
+		LockRef int64 `json:"lockRef"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, created.LockRef), "x")
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("non-holder put = %d, want 412", resp.StatusCode)
+	}
+}
+
+func TestPreemptedHolderIs409(t *testing.T) {
+	srv, _ := harness(t)
+	ref := lockViaAPI(t, srv.URL, "k")
+	// Another MUSIC replica force-releases the lock.
+	resp, body := do(t, "DELETE", fmt.Sprintf("%s/v1/locks/k/%d?forced=1", srv.URL, ref), "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("forced release: %d %s", resp.StatusCode, body)
+	}
+	ref2 := lockViaAPI(t, srv.URL, "k")
+	if ref2 == ref {
+		t.Fatal("same ref reissued")
+	}
+	resp, _ = do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "stale")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("preempted put = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestCriticalDelete(t *testing.T) {
+	srv, _ := harness(t)
+	ref := lockViaAPI(t, srv.URL, "k")
+	do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "v")
+	resp, body := do(t, "DELETE", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = do(t, "GET", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	srv, _ := harness(t)
+	resp, _ := do(t, "GET", srv.URL+"/v1/locks/k/notanumber", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ref = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = do(t, "DELETE", srv.URL+"/v1/keys/k", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("delete without ref = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", srv.URL+"/v1/keys/k?lockRef=0", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero ref = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := harness(t)
+	resp, body := do(t, "GET", srv.URL+"/v1/health", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "site-a") {
+		t.Fatalf("health = %d %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,270 @@
+// Package lockstore implements MUSIC's lock store (§III-B, §VI): a per-key
+// FIFO queue of unique, increasing lock references, kept sequentially
+// consistent through the data store's Paxos-based compare-and-set. Each key
+// has a 64-bit guard counter whose atomic increment-and-enqueue realizes
+// lsGenerateAndEnqueue with a single LWT, exactly like the paper's batched
+// guard UPDATE + queue INSERT; lsDequeue is an LWT removal; lsPeek is an
+// eventual read served by the local replica.
+package lockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Table is the lock table name within the shared store cluster.
+const Table = "music_locks"
+
+// Column names within a lock row.
+const (
+	colGuard = "guard"
+	colQueue = "queue"
+)
+
+// Entry is one queued lock reference. StartTime is the grant time in
+// microseconds (0 until the reference reaches the head and is granted).
+// Nonce identifies the enqueueing client: a compare-and-set that loses its
+// Paxos race can still be completed by a competing proposer (a "ghost"
+// application), and the nonce lets the issuer recognize its own enqueue in
+// that case instead of abandoning an orphan lockRef.
+type Entry struct {
+	Ref       int64
+	StartTime int64
+	Nonce     uint64
+}
+
+// ErrContention is returned when the enqueue/dequeue CAS loop exhausts its
+// retries against competing clients.
+var ErrContention = errors.New("lockstore: contention, retries exhausted")
+
+// Service issues lock-store operations through one store coordinator (the
+// one colocated with the calling MUSIC replica).
+type Service struct {
+	st *store.Client
+}
+
+// New wraps a store client as a lock store.
+func New(st *store.Client) *Service { return &Service{st: st} }
+
+// GenerateAndEnqueue atomically mints the next lock reference for key and
+// appends it to the key's queue. One LWT on the fast path: the expected
+// guard and queue come from a cheap local read, and CAS failures retry from
+// the authoritative row returned by the failed CAS.
+func (s *Service) GenerateAndEnqueue(key string) (int64, error) {
+	row, err := s.st.Get(Table, key, store.One)
+	if err != nil {
+		// A local read failure still allows CAS-driven discovery.
+		row = store.Row{}
+	}
+	nonce := s.nonce()
+	for attempt := 0; attempt < 24; attempt++ {
+		s.backoff(attempt)
+		guard := decodeGuard(row)
+		queue := decodeQueue(row)
+		next := guard + 1
+		update := store.Row{
+			colGuard: store.Cell{Value: encodeGuard(next)},
+			colQueue: store.Cell{Value: encodeQueue(append(queue, Entry{Ref: next, Nonce: nonce}))},
+		}
+		res, err := s.st.CAS(Table, key, rowConds(row), update)
+		if err != nil {
+			return 0, fmt.Errorf("enqueue %s: %w", key, err)
+		}
+		if res.Applied {
+			return next, nil
+		}
+		row = res.Current
+		// A lost CAS may still have been applied on our behalf by the
+		// proposer that completed our in-progress Paxos round; the nonce
+		// tells us the resulting lockRef is really ours.
+		for _, e := range decodeQueue(row) {
+			if e.Nonce == nonce {
+				return e.Ref, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("enqueue %s: %w", key, ErrContention)
+}
+
+// Dequeue removes ref from the key's queue (a no-op if absent, as required
+// by forcedRelease). Its grant cell is tombstoned alongside.
+func (s *Service) Dequeue(key string, ref int64) error {
+	row, err := s.st.Get(Table, key, store.One)
+	if err != nil {
+		row = store.Row{}
+	}
+	for attempt := 0; attempt < 24; attempt++ {
+		s.backoff(attempt)
+		queue := decodeQueue(row)
+		trimmed := removeRef(queue, ref)
+		if len(trimmed) == len(queue) {
+			// Verify absence against a quorum before declaring the no-op:
+			// the local replica may simply not have seen the enqueue yet.
+			qrow, err := s.st.Get(Table, key, store.Quorum)
+			if err != nil {
+				return fmt.Errorf("dequeue %s/%d: %w", key, ref, err)
+			}
+			qqueue := decodeQueue(qrow)
+			if len(removeRef(qqueue, ref)) == len(qqueue) {
+				return nil
+			}
+			row = qrow
+			continue
+		}
+		update := store.Row{
+			colQueue:      store.Cell{Value: encodeQueue(trimmed)},
+			grantCol(ref): store.Cell{Deleted: true},
+		}
+		res, err := s.st.CAS(Table, key, rowConds(row), update)
+		if err != nil {
+			return fmt.Errorf("dequeue %s/%d: %w", key, ref, err)
+		}
+		if res.Applied {
+			return nil
+		}
+		row = res.Current
+	}
+	return fmt.Errorf("dequeue %s/%d: %w", key, ref, ErrContention)
+}
+
+// Peek returns the head of the key's queue as seen by the local (same-site)
+// replica — an eventual read, so the result may lag the true queue, which
+// acquireLock's retry loop tolerates by design.
+func (s *Service) Peek(key string) (Entry, bool, error) {
+	row, err := s.st.Get(Table, key, store.One)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("peek %s: %w", key, err)
+	}
+	queue := decodeQueue(row)
+	if len(queue) == 0 {
+		return Entry{}, false, nil
+	}
+	head := queue[0]
+	head.StartTime = decodeGrant(row, head.Ref)
+	return head, true, nil
+}
+
+// Queue returns the full queue at quorum consistency (diagnostics, tests,
+// and the lock janitor).
+func (s *Service) Queue(key string) ([]Entry, error) {
+	row, err := s.st.Get(Table, key, store.Quorum)
+	if err != nil {
+		return nil, fmt.Errorf("queue %s: %w", key, err)
+	}
+	queue := decodeQueue(row)
+	for i := range queue {
+		queue[i].StartTime = decodeGrant(row, queue[i].Ref)
+	}
+	return queue, nil
+}
+
+// SetGrant records the grant time for a head lock reference with a plain
+// replicated write (not an LWT — the cell is uncontended, written once by
+// the granting MUSIC replica, mirroring the paper's startTime column).
+func (s *Service) SetGrant(key string, ref int64, startMicros int64) error {
+	cell := store.Cell{Value: encodeGuard(startMicros)}
+	if err := s.st.Put(Table, key, store.Row{grantCol(ref): cell}, store.Quorum); err != nil {
+		return fmt.Errorf("set grant %s/%d: %w", key, ref, err)
+	}
+	return nil
+}
+
+// nonce mints a random enqueue identity.
+func (s *Service) nonce() uint64 {
+	rt := s.st.Cluster().Net().Runtime()
+	return uint64(rt.Rand().Int63())<<1 | 1
+}
+
+// backoff sleeps a randomized, linearly growing delay before CAS retries,
+// so clients hammering the same hot lock row (Zipfian workloads) do not
+// collapse the Paxos path into livelock.
+func (s *Service) backoff(attempt int) {
+	if attempt == 0 {
+		return
+	}
+	rt := s.st.Cluster().Net().Runtime()
+	rt.Sleep(time.Duration(5+rt.Rand().Intn(25*attempt)) * time.Millisecond)
+}
+
+// grantCol names the per-reference grant-time column.
+func grantCol(ref int64) string { return fmt.Sprintf("st:%d", ref) }
+
+// rowConds builds the CAS condition asserting guard and queue are unchanged
+// from the observed row.
+func rowConds(row store.Row) []store.Cond {
+	return []store.Cond{
+		{Col: colGuard, Want: cellBytes(row, colGuard)},
+		{Col: colQueue, Want: cellBytes(row, colQueue)},
+	}
+}
+
+func cellBytes(row store.Row, col string) []byte {
+	c, ok := row[col]
+	if !ok || c.Deleted {
+		return nil
+	}
+	return c.Value
+}
+
+func removeRef(queue []Entry, ref int64) []Entry {
+	out := queue[:0:0]
+	for _, e := range queue {
+		if e.Ref != ref {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// encodeGuard encodes an int64 counter or timestamp.
+func encodeGuard(v int64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func decodeGuard(row store.Row) int64 {
+	b := cellBytes(row, colGuard)
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func decodeGrant(row store.Row, ref int64) int64 {
+	b := cellBytes(row, grantCol(ref))
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// encodeQueue packs queue entries as big-endian (ref, nonce) word pairs.
+func encodeQueue(queue []Entry) []byte {
+	b := make([]byte, 16*len(queue))
+	for i, e := range queue {
+		binary.BigEndian.PutUint64(b[i*16:], uint64(e.Ref))
+		binary.BigEndian.PutUint64(b[i*16+8:], e.Nonce)
+	}
+	return b
+}
+
+func decodeQueue(row store.Row) []Entry {
+	b := cellBytes(row, colQueue)
+	n := len(b) / 16
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		out[i] = Entry{
+			Ref:   int64(binary.BigEndian.Uint64(b[i*16:])),
+			Nonce: binary.BigEndian.Uint64(b[i*16+8:]),
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package lockstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// fixture runs fn against a 3-site lock store on a virtual runtime.
+func fixture(t *testing.T, fn func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster)) {
+	t.Helper()
+	rt := sim.New(3)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs})
+	c := store.New(net, store.Config{})
+	if err := rt.Run(func() { fn(rt, net, c) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestGenerateAndEnqueueIncreasing(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		var last int64
+		for i := 0; i < 5; i++ {
+			ref, err := svc.GenerateAndEnqueue("k")
+			if err != nil {
+				t.Fatalf("enqueue %d: %v", i, err)
+			}
+			if ref <= last {
+				t.Fatalf("ref %d not increasing past %d", ref, last)
+			}
+			last = ref
+		}
+		queue, err := svc.Queue("k")
+		if err != nil {
+			t.Fatalf("Queue: %v", err)
+		}
+		if len(queue) != 5 {
+			t.Fatalf("queue length = %d, want 5", len(queue))
+		}
+		for i := 1; i < len(queue); i++ {
+			if queue[i].Ref <= queue[i-1].Ref {
+				t.Fatalf("queue not FIFO-increasing: %+v", queue)
+			}
+		}
+	})
+}
+
+func TestRefsUniqueAcrossKeys(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		r1, err := svc.GenerateAndEnqueue("a")
+		if err != nil {
+			t.Fatalf("enqueue a: %v", err)
+		}
+		r2, err := svc.GenerateAndEnqueue("b")
+		if err != nil {
+			t.Fatalf("enqueue b: %v", err)
+		}
+		// Guards are per key: both start at 1.
+		if r1 != 1 || r2 != 1 {
+			t.Fatalf("first refs = %d, %d, want 1, 1", r1, r2)
+		}
+	})
+}
+
+func TestPeekHeadAndDequeue(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		r1, _ := svc.GenerateAndEnqueue("k")
+		r2, _ := svc.GenerateAndEnqueue("k")
+
+		head, ok, err := svc.Peek("k")
+		if err != nil || !ok {
+			t.Fatalf("Peek = (%v, %v, %v)", head, ok, err)
+		}
+		if head.Ref != r1 {
+			t.Fatalf("head = %d, want %d", head.Ref, r1)
+		}
+
+		if err := svc.Dequeue("k", r1); err != nil {
+			t.Fatalf("Dequeue: %v", err)
+		}
+		head, ok, err = svc.Peek("k")
+		if err != nil || !ok || head.Ref != r2 {
+			t.Fatalf("after dequeue: Peek = (%v, %v, %v), want head %d", head, ok, err, r2)
+		}
+
+		if err := svc.Dequeue("k", r2); err != nil {
+			t.Fatalf("Dequeue r2: %v", err)
+		}
+		_, ok, err = svc.Peek("k")
+		if err != nil || ok {
+			t.Fatalf("empty queue: Peek ok = %v, err = %v", ok, err)
+		}
+	})
+}
+
+func TestDequeueMissingRefIsNoOp(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		r1, _ := svc.GenerateAndEnqueue("k")
+		if err := svc.Dequeue("k", 999); err != nil {
+			t.Fatalf("Dequeue missing: %v", err)
+		}
+		head, ok, _ := svc.Peek("k")
+		if !ok || head.Ref != r1 {
+			t.Fatalf("queue disturbed by missing dequeue: %+v ok=%v", head, ok)
+		}
+	})
+}
+
+func TestDequeueMiddleOfQueue(t *testing.T) {
+	// A client that failed to win the lock evicts its reference from the
+	// middle (the homing workers' removeLockReference pattern).
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		r1, _ := svc.GenerateAndEnqueue("k")
+		r2, _ := svc.GenerateAndEnqueue("k")
+		r3, _ := svc.GenerateAndEnqueue("k")
+		if err := svc.Dequeue("k", r2); err != nil {
+			t.Fatalf("Dequeue middle: %v", err)
+		}
+		queue, err := svc.Queue("k")
+		if err != nil {
+			t.Fatalf("Queue: %v", err)
+		}
+		if len(queue) != 2 || queue[0].Ref != r1 || queue[1].Ref != r3 {
+			t.Fatalf("queue = %+v, want [%d %d]", queue, r1, r3)
+		}
+	})
+}
+
+func TestConcurrentEnqueuesDistinctRefs(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		refs := sim.NewMailbox[int64](rt)
+		const n = 6
+		for i := 0; i < n; i++ {
+			node := simnet.NodeID(i % 3)
+			svc := New(c.Client(node))
+			rt.Go(func() {
+				ref, err := svc.GenerateAndEnqueue("k")
+				if err != nil {
+					t.Errorf("enqueue: %v", err)
+					refs.Send(-1)
+					return
+				}
+				refs.Send(ref)
+			})
+		}
+		seen := make(map[int64]bool)
+		for i := 0; i < n; i++ {
+			ref, err := refs.RecvTimeout(5 * time.Minute)
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if ref < 0 {
+				return
+			}
+			if seen[ref] {
+				t.Fatalf("ref %d issued twice", ref)
+			}
+			seen[ref] = true
+		}
+		// Queue must contain every issued ref in increasing order (possibly
+		// with orphan ghosts from completed-but-unreported CASes).
+		svc := New(c.Client(0))
+		queue, err := svc.Queue("k")
+		if err != nil {
+			t.Fatalf("Queue: %v", err)
+		}
+		inQueue := make(map[int64]bool, len(queue))
+		for i, e := range queue {
+			if i > 0 && e.Ref <= queue[i-1].Ref {
+				t.Fatalf("queue out of order: %+v", queue)
+			}
+			inQueue[e.Ref] = true
+		}
+		for ref := range seen {
+			if !inQueue[ref] {
+				t.Fatalf("issued ref %d missing from queue %+v", ref, queue)
+			}
+		}
+	})
+}
+
+func TestGrantTimeVisibleInPeek(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		ref, _ := svc.GenerateAndEnqueue("k")
+		head, ok, _ := svc.Peek("k")
+		if !ok || head.StartTime != 0 {
+			t.Fatalf("ungranted head StartTime = %d, want 0", head.StartTime)
+		}
+		if err := svc.SetGrant("k", ref, 12345); err != nil {
+			t.Fatalf("SetGrant: %v", err)
+		}
+		head, ok, _ = svc.Peek("k")
+		if !ok || head.StartTime != 12345 {
+			t.Fatalf("granted head = %+v, want StartTime 12345", head)
+		}
+	})
+}
+
+func TestPeekIsLocalAndFast(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc := New(c.Client(0))
+		if _, err := svc.GenerateAndEnqueue("k"); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+		start := rt.Now()
+		if _, _, err := svc.Peek("k"); err != nil {
+			t.Fatalf("Peek: %v", err)
+		}
+		if d := rt.Now() - start; d > 5*time.Millisecond {
+			t.Fatalf("local peek took %v, want sub-ms", d)
+		}
+	})
+}
+
+func TestPeekSeesStaleLocalReplica(t *testing.T) {
+	// A peek on a partitioned site must not see enqueues it missed —
+	// acquireLock's "local store not yet updated" case.
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *store.Cluster) {
+		svc0 := New(c.Client(0))
+		svc2 := New(c.Client(2))
+		net.Isolate(2)
+		if _, err := svc0.GenerateAndEnqueue("k"); err != nil {
+			t.Fatalf("enqueue during partition: %v", err)
+		}
+		if _, ok, err := svc2.Peek("k"); err != nil || ok {
+			t.Fatalf("isolated peek = ok %v err %v, want empty", ok, err)
+		}
+		net.Heal()
+	})
+}
+
+func TestQueueCodecRoundTrip(t *testing.T) {
+	queue := []Entry{{Ref: 1}, {Ref: 7}, {Ref: 1 << 40}}
+	row := store.Row{colQueue: store.Cell{Value: encodeQueue(queue)}}
+	got := decodeQueue(row)
+	if len(got) != 3 || got[0].Ref != 1 || got[1].Ref != 7 || got[2].Ref != 1<<40 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if decodeQueue(store.Row{}) != nil {
+		t.Fatal("empty row decodes non-nil")
+	}
+	if g := decodeGuard(store.Row{colGuard: store.Cell{Value: encodeGuard(99)}}); g != 99 {
+		t.Fatalf("guard round trip = %d", g)
+	}
+}

@@ -1,0 +1,541 @@
+// Package model is an explicit-state model checker for MUSIC's ECF
+// semantics — this repository's analogue of the paper's Alloy verification
+// (§V). It exhaustively enumerates the reachable states of a fine-grained
+// event model (clients crossing critical sections, lock-queue operations,
+// forced releases, crashes, quorum writes that linger as pending pairs) and
+// checks the paper's invariants in every state:
+//
+//   - Critical-Section Invariant: when the lockholding client is Critical
+//     or Getting, the data store is defined as the true value (§IV-A);
+//   - Latest-State Property: a criticalGet reply delivered to the
+//     lockholder carries the true value (§III-A);
+//   - SynchFlag Invariant: a released lockRef at or above the true
+//     timestamp's lockRef implies the synchFlag is set (§IV-B);
+//   - lock-queue sanity: distinct increasing refs, grants only at the head.
+//
+// The back-end stores follow §V-C: the lock store is atomic (sequentially
+// consistent); the data store is only a set of attempted write pairs split
+// into pending and succeeded, with the true pair the one with the highest
+// timestamp, and "defined" meaning the true pair succeeded. Quorum reads
+// return the true pair only when the store was continuously defined.
+//
+// Checker options deliberately re-introduce the bugs MUSIC's design guards
+// against (skipping synchronization; dropping the δ timestamp), and the
+// tests confirm the checker catches them — evidence it has teeth.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// pc is a client's program counter.
+type pc int
+
+// Client states; Putting and Getting match the paper's state names.
+const (
+	pcIdle pc = iota + 1
+	pcHasRef
+	pcCritical
+	pcPutting
+	pcGetting
+	pcDone
+	pcCrashed
+)
+
+func (p pc) String() string {
+	return [...]string{"?", "Idle", "HasRef", "Critical", "Putting", "Getting", "Done", "Crashed"}[p]
+}
+
+// ts is the vector timestamp of a data-store write: lockRef-major, then a
+// per-section sequence number; Forced marks the δ stamp of a forced
+// release, sitting above every sequence number of its ref (§IV-B).
+type ts struct {
+	Ref    int
+	Seq    int
+	Forced bool
+}
+
+// less orders timestamps; δ beats any seq of the same ref.
+func (a ts) less(b ts) bool {
+	if a.Ref != b.Ref {
+		return a.Ref < b.Ref
+	}
+	if a.Forced != b.Forced {
+		return b.Forced
+	}
+	return a.Seq < b.Seq
+}
+
+// write is one attempted data-store write pair (§V-C).
+type write struct {
+	TS        ts
+	Val       int
+	Succeeded bool
+}
+
+// client is one modeled client.
+type client struct {
+	PC      pc
+	Ref     int
+	OpsLeft int
+	Seq     int // next write sequence within its critical section
+	Granted bool
+	// getOK tracks "store continuously defined since the get request".
+	GetOK bool
+}
+
+// state is one global system state. It must be deeply copied on branch.
+type state struct {
+	Guard   int
+	Queue   []int
+	Writes  []write
+	Flag    bool
+	FlagTS  ts
+	Clients []client
+	NextVal int
+}
+
+// Options bounds and mutates the exploration.
+type Options struct {
+	// Clients is the number of concurrent clients (default 2).
+	Clients int
+	// OpsPerCS is how many critical operations each client performs
+	// (default 2). Each op nondeterministically becomes a put or a get.
+	OpsPerCS int
+	// MaxStates aborts exploration beyond this many distinct states
+	// (default 2,000,000).
+	MaxStates int
+	// Crashes enables client crash events.
+	Crashes bool
+	// ForcedRelease enables spontaneous forced release of the queue head
+	// (modeling failure detection, including false detection).
+	ForcedRelease bool
+
+	// Bug injections (the checker must catch these):
+	// SkipSync grants locks without checking/clearing the synchFlag.
+	SkipSync bool
+	// NoDelta stamps forced-release synchFlag writes with a plain (ref, 0)
+	// timestamp instead of the δ stamp, losing the race against the same
+	// ref's flag reset.
+	NoDelta bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients == 0 {
+		o.Clients = 2
+	}
+	if o.OpsPerCS == 0 {
+		o.OpsPerCS = 2
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 2_000_000
+	}
+	return o
+}
+
+// Result reports an exploration.
+type Result struct {
+	States     int
+	Violations []string
+	Truncated  bool // hit MaxStates
+	// Stuck counts reachable states with no enabled transition while some
+	// client still wants to make progress — e.g. a crashed lockholder
+	// blocking everyone when forced release is disabled. The paper's
+	// liveness argument (§V-B) rests on failure detection making such
+	// states recoverable, and the checker shows exactly that: Stuck > 0
+	// without ForcedRelease, Stuck == 0 with it.
+	Stuck int
+}
+
+// Check explores all reachable states under opts and returns any invariant
+// violations (deduplicated, capped at 10).
+func Check(opts Options) Result {
+	opts = opts.withDefaults()
+	init := &state{Clients: make([]client, opts.Clients)}
+	for i := range init.Clients {
+		init.Clients[i] = client{PC: pcIdle, OpsLeft: opts.OpsPerCS}
+	}
+
+	seen := map[string]bool{encode(init): true}
+	queue := []*state{init}
+	res := Result{}
+	report := func(s *state, msg string) {
+		if len(res.Violations) < 10 {
+			v := msg + " in " + encode(s)
+			for _, existing := range res.Violations {
+				if existing == v {
+					return
+				}
+			}
+			res.Violations = append(res.Violations, v)
+		}
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > opts.MaxStates {
+			res.Truncated = true
+			break
+		}
+
+		checkInvariants(s, report)
+
+		succ := successors(s, opts, report)
+		if wantsProgress(s) {
+			// A live client can always crash, so crash transitions do not
+			// count as progress when deciding whether a state is stuck.
+			noCrash := opts
+			noCrash.Crashes = false
+			if len(successors(s, noCrash, func(*state, string) {})) == 0 {
+				res.Stuck++
+			}
+		}
+		for _, next := range succ {
+			key := encode(next)
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return res
+}
+
+// trueWrite returns the write pair with the highest timestamp; ok is false
+// before any write exists (the initial "no value" is treated as defined).
+func trueWrite(s *state) (write, bool) {
+	var best write
+	found := false
+	for _, w := range s.Writes {
+		if !found || best.TS.less(w.TS) {
+			best = w
+			found = true
+		}
+	}
+	return best, found
+}
+
+// defined reports whether the data store is defined as the true value.
+func defined(s *state) bool {
+	w, ok := trueWrite(s)
+	return !ok || w.Succeeded
+}
+
+func head(s *state) (int, bool) {
+	if len(s.Queue) == 0 {
+		return 0, false
+	}
+	return s.Queue[0], true
+}
+
+func inQueue(s *state, ref int) bool {
+	for _, r := range s.Queue {
+		if r == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// checkInvariants validates the paper's invariants in state s.
+func checkInvariants(s *state, report func(*state, string)) {
+	h, hasHead := head(s)
+
+	// Lock-queue sanity: increasing distinct refs, bounded by the guard.
+	for i, r := range s.Queue {
+		if r > s.Guard || (i > 0 && r <= s.Queue[i-1]) {
+			report(s, fmt.Sprintf("queue corrupt: %v guard %d", s.Queue, s.Guard))
+		}
+	}
+
+	for ci := range s.Clients {
+		c := &s.Clients[ci]
+		// Grants only at the head.
+		if c.Granted && c.PC != pcDone && c.PC != pcCrashed && inQueue(s, c.Ref) && (!hasHead || h != c.Ref) {
+			report(s, fmt.Sprintf("client %d granted but ref %d not head", ci, c.Ref))
+		}
+		// Critical-Section Invariant (§IV-A): the lockholding client in
+		// Critical or Getting implies the store is defined as true value.
+		isHolder := hasHead && c.Ref == h && c.Granted
+		if isHolder && (c.PC == pcCritical || c.PC == pcGetting) && !defined(s) {
+			report(s, fmt.Sprintf("critical-section invariant: holder %d in %v with undefined store", ci, c.PC))
+		}
+	}
+
+	// SynchFlag Invariant (§IV-B): a past (forcibly released) lockRef at or
+	// above the true timestamp's ref implies the synchFlag is set —
+	// required for live preempted clients (which may still issue critical
+	// puts) and for crashed clients whose writes linger as pending traces.
+	tw, ok := trueWrite(s)
+	if ok && !s.Flag {
+		for ci := range s.Clients {
+			c := &s.Clients[ci]
+			if c.Ref == 0 || inQueue(s, c.Ref) || c.Ref < tw.TS.Ref {
+				continue
+			}
+			needsFlag := false
+			switch c.PC {
+			case pcHasRef, pcCritical, pcPutting, pcGetting:
+				needsFlag = true
+			case pcCrashed:
+				needsFlag = hasPendingTrace(s, c.Ref)
+			}
+			if needsFlag {
+				report(s, fmt.Sprintf("synchflag invariant: released ref %d ≥ true ref %d with flag clear (client %d %v)", c.Ref, tw.TS.Ref, ci, c.PC))
+			}
+		}
+	}
+}
+
+// successors enumerates every enabled transition of s.
+func successors(s *state, opts Options, report func(*state, string)) []*state {
+	var out []*state
+	// emit finalizes a successor: whenever the store is (or becomes)
+	// undefined, every in-flight get loses its "continuously defined"
+	// property (§V-C).
+	emit := func(n *state) {
+		if !defined(n) {
+			for i := range n.Clients {
+				if n.Clients[i].PC == pcGetting {
+					n.Clients[i].GetOK = false
+				}
+			}
+		}
+		out = append(out, n)
+	}
+
+	h, hasHead := head(s)
+
+	for ci := range s.Clients {
+		c := s.Clients[ci]
+		switch c.PC {
+		case pcIdle:
+			// createLockRef: atomic guard increment + enqueue.
+			n := clone(s)
+			n.Guard++
+			n.Queue = append(n.Queue, n.Guard)
+			n.Clients[ci].Ref = n.Guard
+			n.Clients[ci].PC = pcHasRef
+			emit(n)
+
+		case pcHasRef:
+			if c.Ref != 0 && !inQueue(s, c.Ref) {
+				// The ref was forcibly released before it was ever granted;
+				// the client's next acquireLock answers
+				// youAreNoLongerLockHolder and it abandons the section
+				// (§III-A).
+				n := clone(s)
+				n.Clients[ci].PC = pcDone
+				emit(n)
+				break
+			}
+			if hasHead && h == c.Ref {
+				if s.Flag && !opts.SkipSync {
+					// acquireLock with synchronization: quorum read the
+					// value, rewrite it under the new ref, reset the flag.
+					// If the store is undefined, the read nondeterministically
+					// returns the pending true pair or the latest succeeded
+					// pair — both commits are modeled (§III-A's refinement).
+					for _, val := range syncReadChoices(s) {
+						n := clone(s)
+						n.Writes = append(n.Writes, write{TS: ts{Ref: c.Ref, Seq: 0}, Val: val, Succeeded: true})
+						reset := ts{Ref: c.Ref, Seq: 1}
+						if n.FlagTS.less(reset) {
+							n.Flag = false
+							n.FlagTS = reset
+						}
+						n.Clients[ci].PC = pcCritical
+						n.Clients[ci].Granted = true
+						n.Clients[ci].Seq = 2
+						emit(n)
+					}
+				} else {
+					// Plain grant (flag clear, or the SkipSync bug).
+					n := clone(s)
+					n.Clients[ci].PC = pcCritical
+					n.Clients[ci].Granted = true
+					n.Clients[ci].Seq = 2
+					emit(n)
+				}
+			}
+
+		case pcCritical:
+			if c.OpsLeft > 0 {
+				// criticalPut issue: MUSIC's local-peek guard may be stale,
+				// so a preempted client's put can still be issued — the
+				// timestamp mechanism must render it harmless.
+				n := clone(s)
+				n.NextVal++
+				n.Writes = append(n.Writes, write{TS: ts{Ref: c.Ref, Seq: c.Seq}, Val: n.NextVal})
+				n.Clients[ci].PC = pcPutting
+				emit(n)
+
+				// criticalGet issue.
+				g := clone(s)
+				g.Clients[ci].PC = pcGetting
+				g.Clients[ci].GetOK = defined(s)
+				emit(g)
+			} else {
+				// releaseLock.
+				n := clone(s)
+				n.Queue = removeRef(n.Queue, c.Ref)
+				n.Clients[ci].PC = pcDone
+				emit(n)
+			}
+
+		case pcPutting:
+			// Ack arrives: the write reached a quorum.
+			n := clone(s)
+			for wi := range n.Writes {
+				if n.Writes[wi].TS == (ts{Ref: c.Ref, Seq: c.Seq}) {
+					n.Writes[wi].Succeeded = true
+				}
+			}
+			n.Clients[ci].PC = pcCritical
+			n.Clients[ci].Seq++
+			n.Clients[ci].OpsLeft--
+			emit(n)
+
+			// Ack lost: the pair lingers pending forever and the client
+			// must abandon the key (§III-A). Its lockRef stays queued until
+			// a forced release reaps it; the abandoned write is a "trace"
+			// in the paper's sense, so we model the client as crashed.
+			l := clone(s)
+			l.Clients[ci].PC = pcCrashed
+			emit(l)
+
+		case pcGetting:
+			// Reply arrives. With the store continuously defined, the reply
+			// is the true value — assert the Latest-State Property. An
+			// interrupted-definedness reply only happens to non-holders
+			// (their MUSIC replica would reject them eventually); a holder
+			// with GetOK lost means the CS invariant was already violated.
+			n := clone(s)
+			isHolder := hasHead && h == c.Ref && c.Granted
+			if isHolder && !n.Clients[ci].GetOK {
+				report(s, fmt.Sprintf("latest-state: holder %d get reply with interrupted definedness", ci))
+			}
+			n.Clients[ci].PC = pcCritical
+			n.Clients[ci].OpsLeft--
+			emit(n)
+		}
+
+		// Crash: a client can fail in any live state.
+		if opts.Crashes && c.PC != pcDone && c.PC != pcCrashed && c.PC != pcIdle {
+			n := clone(s)
+			n.Clients[ci].PC = pcCrashed
+			emit(n)
+		}
+	}
+
+	// forcedRelease of the head (timeout-based failure detection — true or
+	// false; time is not modeled, so it may fire at any moment).
+	if opts.ForcedRelease && hasHead {
+		n := clone(s)
+		stamp := ts{Ref: h, Forced: true}
+		if opts.NoDelta {
+			stamp = ts{Ref: h, Seq: 0}
+		}
+		if n.FlagTS.less(stamp) {
+			n.Flag = true
+			n.FlagTS = stamp
+		}
+		n.Queue = removeRef(n.Queue, h)
+		emit(n)
+	}
+
+	return out
+}
+
+// syncReadChoices lists the values the synchronization read may return: the
+// true pair's value, plus (when undefined) the latest succeeded pair's —
+// "the read may or may not catch the updated value" (§IV-B).
+func syncReadChoices(s *state) []int {
+	tw, ok := trueWrite(s)
+	if !ok {
+		return []int{0} // no value ever written: rewrite the empty value
+	}
+	choices := []int{tw.Val}
+	if !tw.Succeeded {
+		best, found := write{}, false
+		for _, w := range s.Writes {
+			if w.Succeeded && (!found || best.TS.less(w.TS)) {
+				best = w
+				found = true
+			}
+		}
+		old := 0
+		if found {
+			old = best.Val
+		}
+		if old != tw.Val {
+			choices = append(choices, old)
+		}
+	}
+	return choices
+}
+
+// wantsProgress reports whether some client still has work it would do if
+// it could (it is neither Done nor Crashed).
+func wantsProgress(s *state) bool {
+	for _, c := range s.Clients {
+		if c.PC != pcDone && c.PC != pcCrashed {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPendingTrace reports whether ref has an attempted write still pending.
+func hasPendingTrace(s *state, ref int) bool {
+	for _, w := range s.Writes {
+		if w.TS.Ref == ref && !w.Succeeded {
+			return true
+		}
+	}
+	return false
+}
+
+func removeRef(queue []int, ref int) []int {
+	out := queue[:0:0]
+	for _, r := range queue {
+		if r != ref {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func clone(s *state) *state {
+	n := &state{
+		Guard:   s.Guard,
+		Queue:   append([]int(nil), s.Queue...),
+		Writes:  append([]write(nil), s.Writes...),
+		Flag:    s.Flag,
+		FlagTS:  s.FlagTS,
+		Clients: append([]client(nil), s.Clients...),
+		NextVal: s.NextVal,
+	}
+	return n
+}
+
+// encode canonicalizes a state for deduplication and reporting.
+func encode(s *state) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g%d q%v f%v@%v n%d w[", s.Guard, s.Queue, s.Flag, s.FlagTS, s.NextVal)
+	ws := append([]write(nil), s.Writes...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].TS.less(ws[j].TS) })
+	for _, w := range ws {
+		fmt.Fprintf(&b, "(%v=%d,%v)", w.TS, w.Val, w.Succeeded)
+	}
+	b.WriteString("] c[")
+	for _, c := range s.Clients {
+		fmt.Fprintf(&b, "(%v r%d o%d s%d g%v k%v)", c.PC, c.Ref, c.OpsLeft, c.Seq, c.Granted, c.GetOK)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailureFreeScenariosClean(t *testing.T) {
+	res := Check(Options{Clients: 2, OpsPerCS: 2})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations in failure-free model:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d", res.States)
+	}
+	t.Logf("failure-free: %d states", res.States)
+}
+
+func TestCrashesOnlyClean(t *testing.T) {
+	res := Check(Options{Clients: 2, OpsPerCS: 2, Crashes: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations with crashes:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	t.Logf("crashes: %d states", res.States)
+}
+
+func TestForcedReleaseOnlyClean(t *testing.T) {
+	res := Check(Options{Clients: 2, OpsPerCS: 2, ForcedRelease: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations with forced release (false detection):\n%s", strings.Join(res.Violations, "\n"))
+	}
+	t.Logf("forced release: %d states", res.States)
+}
+
+func TestFullFailureModelClean(t *testing.T) {
+	// The paper's headline claim: ECF holds despite crashes AND imperfect
+	// failure detection (forced release may fire on live clients).
+	res := Check(Options{Clients: 2, OpsPerCS: 2, Crashes: true, ForcedRelease: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("ECF violations under full failure model:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; raise MaxStates")
+	}
+	t.Logf("full failure model: %d states", res.States)
+}
+
+func TestThreeClientsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	res := Check(Options{Clients: 3, OpsPerCS: 1, Crashes: true, ForcedRelease: true, MaxStates: 4_000_000})
+	if len(res.Violations) != 0 {
+		t.Fatalf("ECF violations with 3 clients:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	t.Logf("3 clients: %d states (truncated=%v)", res.States, res.Truncated)
+}
+
+func TestCheckerCatchesSkippedSynchronization(t *testing.T) {
+	// Bug injection: granting locks without consulting the synchFlag must
+	// break the Critical-Section or Latest-State invariant — proof the
+	// checker can actually find the class of bug MUSIC's design prevents.
+	res := Check(Options{Clients: 2, OpsPerCS: 2, Crashes: true, ForcedRelease: true, SkipSync: true})
+	if len(res.Violations) == 0 {
+		t.Fatal("checker missed the skipped-synchronization bug")
+	}
+	t.Logf("found: %s", res.Violations[0])
+}
+
+func TestCheckerCatchesMissingDelta(t *testing.T) {
+	// Bug injection: forcedRelease stamping the synchFlag without the δ
+	// offset loses the race against the same lockRef's flag reset (§IV-B),
+	// so a later lockholder can skip a required synchronization.
+	res := Check(Options{Clients: 2, OpsPerCS: 2, Crashes: true, ForcedRelease: true, NoDelta: true})
+	if len(res.Violations) == 0 {
+		t.Fatal("checker missed the missing-δ bug")
+	}
+	t.Logf("found: %s", res.Violations[0])
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	tests := []struct {
+		a, b ts
+		want bool
+	}{
+		{ts{Ref: 1, Seq: 5}, ts{Ref: 2, Seq: 0}, true},
+		{ts{Ref: 2, Seq: 0}, ts{Ref: 1, Seq: 5}, false},
+		{ts{Ref: 1, Seq: 0}, ts{Ref: 1, Seq: 1}, true},
+		{ts{Ref: 1, Seq: 99}, ts{Ref: 1, Forced: true}, true}, // δ beats any seq
+		{ts{Ref: 1, Forced: true}, ts{Ref: 2, Seq: 0}, true},  // δ below next ref
+		{ts{Ref: 1, Forced: true}, ts{Ref: 1, Forced: true}, false},
+	}
+	for i, tt := range tests {
+		if got := tt.a.less(tt.b); got != tt.want {
+			t.Errorf("case %d: %v.less(%v) = %v, want %v", i, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDefinedSemantics(t *testing.T) {
+	s := &state{}
+	if !defined(s) {
+		t.Fatal("empty store must be defined")
+	}
+	s.Writes = append(s.Writes, write{TS: ts{Ref: 1, Seq: 2}, Val: 1, Succeeded: true})
+	if !defined(s) {
+		t.Fatal("succeeded true pair must define the store")
+	}
+	s.Writes = append(s.Writes, write{TS: ts{Ref: 1, Seq: 3}, Val: 2})
+	if defined(s) {
+		t.Fatal("pending true pair must undefine the store")
+	}
+	tw, ok := trueWrite(s)
+	if !ok || tw.Val != 2 {
+		t.Fatalf("true pair = (%+v, %v), want pending val 2", tw, ok)
+	}
+}
+
+func TestSingleClientStateSpaceIsSmallAndClean(t *testing.T) {
+	res := Check(Options{Clients: 1, OpsPerCS: 3, Crashes: true, ForcedRelease: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.States < 10 || res.States > 100000 {
+		t.Fatalf("states = %d", res.States)
+	}
+}
+
+func TestLivenessRequiresForcedRelease(t *testing.T) {
+	// The paper's liveness argument (§V-B) rests on timing out failed
+	// lockholders: without forced release, a crashed holder wedges every
+	// waiting client forever; with it, no reachable state is stuck.
+	without := Check(Options{Clients: 2, OpsPerCS: 1, Crashes: true})
+	if without.Stuck == 0 {
+		t.Fatal("no stuck states with crashes but no forced release — the checker lost its liveness signal")
+	}
+	with := Check(Options{Clients: 2, OpsPerCS: 1, Crashes: true, ForcedRelease: true})
+	if with.Stuck != 0 {
+		t.Fatalf("%d stuck states despite forced release", with.Stuck)
+	}
+}

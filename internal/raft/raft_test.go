@@ -1,0 +1,239 @@
+package raft
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// recorder collects applied entries per peer.
+type recorder struct {
+	mu      sync.Mutex
+	applied map[simnet.NodeID][]any
+}
+
+func newRecorder() *recorder {
+	return &recorder{applied: make(map[simnet.NodeID][]any)}
+}
+
+func (r *recorder) apply(peer simnet.NodeID, index uint64, e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applied[peer] = append(r.applied[peer], e.Data)
+}
+
+func (r *recorder) log(peer simnet.NodeID) []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]any(nil), r.applied[peer]...)
+}
+
+func fixture(t *testing.T, fn func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder)) {
+	t.Helper()
+	rt := sim.New(9)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs})
+	rec := newRecorder()
+	c, err := New(net, Config{Apply: rec.apply})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Run(func() { fn(rt, net, c, rec) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestElectsExactlyOneLeader(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		id, err := c.WaitForLeader(30 * time.Second)
+		if err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		rt.Sleep(2 * time.Second)
+		leaders := 0
+		for _, p := range c.peers {
+			p.mu.Lock()
+			if p.role == leader {
+				leaders++
+			}
+			p.mu.Unlock()
+		}
+		if leaders != 1 {
+			t.Fatalf("leaders = %d, want 1 (first %d)", leaders, id)
+		}
+	})
+}
+
+func TestProposeCommitsAndApplies(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		if _, err := c.WaitForLeader(30 * time.Second); err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c.Propose(0, i, 10); err != nil {
+				t.Fatalf("Propose %d: %v", i, err)
+			}
+		}
+		rt.Sleep(2 * time.Second) // let followers apply
+		for _, id := range net.Nodes() {
+			got := rec.log(id)
+			if len(got) != 5 {
+				t.Fatalf("peer %d applied %d entries, want 5: %v", id, len(got), got)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("peer %d applied %v, want ordered 0..4", id, got)
+				}
+			}
+		}
+	})
+}
+
+func TestApplyOrderIdenticalAcrossPeers(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		if _, err := c.WaitForLeader(30 * time.Second); err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		done := sim.NewMailbox[error](rt)
+		for i := 0; i < 3; i++ {
+			from := simnet.NodeID(i)
+			rt.Go(func() {
+				for j := 0; j < 5; j++ {
+					if _, err := c.Propose(from, int(from)*100+j, 10); err != nil {
+						done.Send(err)
+						return
+					}
+				}
+				done.Send(nil)
+			})
+		}
+		for i := 0; i < 3; i++ {
+			if err, recvErr := done.RecvTimeout(2 * time.Minute); recvErr != nil || err != nil {
+				t.Fatalf("proposer: %v / %v", err, recvErr)
+			}
+		}
+		rt.Sleep(2 * time.Second)
+		ref := rec.log(0)
+		if len(ref) != 15 {
+			t.Fatalf("peer 0 applied %d, want 15", len(ref))
+		}
+		for _, id := range net.Nodes()[1:] {
+			got := rec.log(id)
+			if len(got) != len(ref) {
+				t.Fatalf("peer %d applied %d, want %d", id, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("peer %d diverges at %d: %v vs %v", id, i, got[i], ref[i])
+				}
+			}
+		}
+	})
+}
+
+func TestLeaderFailover(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		first, err := c.WaitForLeader(30 * time.Second)
+		if err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		if _, err := c.Propose(first, "before", 10); err != nil {
+			t.Fatalf("Propose before: %v", err)
+		}
+		net.Crash(first)
+		// A new leader emerges among the remaining peers.
+		var second simnet.NodeID = -1
+		deadline := rt.Now() + time.Minute
+		for rt.Now() < deadline {
+			if id := c.Leader(); id >= 0 && id != first {
+				second = id
+				break
+			}
+			rt.Sleep(100 * time.Millisecond)
+		}
+		if second < 0 {
+			t.Fatal("no new leader after crash")
+		}
+		if _, err := c.Propose(second, "after", 10); err != nil {
+			t.Fatalf("Propose after failover: %v", err)
+		}
+		got := rec.log(second)
+		if len(got) < 2 || got[len(got)-1] != "after" {
+			t.Fatalf("new leader log = %v, want ...after", got)
+		}
+
+		// The old leader catches up on restart.
+		net.Restart(first)
+		rt.Sleep(5 * time.Second)
+		old := rec.log(first)
+		if len(old) != len(got) {
+			t.Fatalf("restarted peer applied %d, want %d", len(old), len(got))
+		}
+	})
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		first, err := c.WaitForLeader(30 * time.Second)
+		if err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		net.Isolate(first)
+		// Proposals through the isolated old leader must not commit; the
+		// majority side elects a new leader and commits there.
+		var majority simnet.NodeID = -1
+		deadline := rt.Now() + time.Minute
+		for rt.Now() < deadline {
+			for _, id := range net.Nodes() {
+				if id == first {
+					continue
+				}
+				p := c.peers[id]
+				p.mu.Lock()
+				isLeader := p.role == leader
+				p.mu.Unlock()
+				if isLeader {
+					majority = id
+				}
+			}
+			if majority >= 0 {
+				break
+			}
+			rt.Sleep(100 * time.Millisecond)
+		}
+		if majority < 0 {
+			t.Fatal("majority side never elected a leader")
+		}
+		if _, err := c.Propose(majority, "major", 10); err != nil {
+			t.Fatalf("majority propose: %v", err)
+		}
+		if got := rec.log(first); len(got) != 0 {
+			t.Fatalf("isolated peer applied %v", got)
+		}
+		net.Heal()
+		rt.Sleep(5 * time.Second)
+		if got := rec.log(first); len(got) != 1 || got[0] != "major" {
+			t.Fatalf("healed peer log = %v, want [major]", got)
+		}
+	})
+}
+
+func TestProposalLatencyIsClientHopPlusQuorumRT(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster, rec *recorder) {
+		lead, err := c.WaitForLeader(30 * time.Second)
+		if err != nil {
+			t.Fatalf("WaitForLeader: %v", err)
+		}
+		// From the leader itself: one quorum round trip.
+		start := rt.Now()
+		if _, err := c.Propose(lead, "x", 10); err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		elapsed := rt.Now() - start
+		if elapsed > 100*time.Millisecond {
+			t.Fatalf("leader-local proposal took %v, want ≈1 quorum RTT", elapsed)
+		}
+	})
+}

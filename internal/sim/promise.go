@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Promise is a one-shot value passed between tasks: one side resolves or
+// rejects it, the other awaits it. It backs every RPC reply in the network
+// layer. Await may be called by multiple tasks; all observe the same result.
+type Promise[T any] struct {
+	impl promiseImpl[T]
+}
+
+type promiseImpl[T any] interface {
+	resolve(v T, err error)
+	await(timeout int64) (T, error) // timeout in nanoseconds; <0 means none
+	done() bool
+}
+
+// NewPromise returns an unresolved promise bound to rt.
+func NewPromise[T any](rt Runtime) *Promise[T] {
+	switch r := rt.(type) {
+	case *Virtual:
+		return &Promise[T]{impl: &vPromise[T]{v: r}}
+	case *Real:
+		return &Promise[T]{impl: &rPromise[T]{ch: make(chan struct{})}}
+	default:
+		panic("sim: unknown runtime implementation")
+	}
+}
+
+// Resolve fulfills the promise with v. Later resolutions are ignored.
+func (p *Promise[T]) Resolve(v T) { p.impl.resolve(v, nil) }
+
+// Reject fails the promise with err. Later resolutions are ignored.
+func (p *Promise[T]) Reject(err error) {
+	var zero T
+	p.impl.resolve(zero, err)
+}
+
+// Await blocks until the promise settles and returns its result.
+func (p *Promise[T]) Await() (T, error) { return p.impl.await(-1) }
+
+// AwaitTimeout is Await with a deadline; it returns ErrTimeout if the
+// promise has not settled within d.
+func (p *Promise[T]) AwaitTimeout(d time.Duration) (T, error) { return p.impl.await(int64(d)) }
+
+// Done reports whether the promise has settled.
+func (p *Promise[T]) Done() bool { return p.impl.done() }
+
+// vPromise is the virtual-runtime promise. Single-threaded scheduling means
+// no locking is required.
+type vPromise[T any] struct {
+	v       *Virtual
+	settled bool
+	val     T
+	err     error
+	waiters []waiter
+}
+
+type waiter struct {
+	t   *vtask
+	gen uint64
+}
+
+func (p *vPromise[T]) resolve(v T, err error) {
+	if p.settled {
+		return
+	}
+	p.settled, p.val, p.err = true, v, err
+	for _, w := range p.waiters {
+		p.v.unpark(w.t, w.gen)
+	}
+	p.waiters = nil
+}
+
+func (p *vPromise[T]) await(timeout int64) (T, error) {
+	var deadline time.Duration
+	if timeout >= 0 {
+		deadline = p.v.now + time.Duration(timeout)
+	}
+	for !p.settled {
+		if timeout >= 0 && p.v.now >= deadline {
+			var zero T
+			return zero, ErrTimeout
+		}
+		t, gen := p.v.prepare()
+		p.waiters = append(p.waiters, waiter{t, gen})
+		if timeout >= 0 {
+			p.v.wakeAt(deadline, t, gen)
+		}
+		p.v.park(t)
+	}
+	return p.val, p.err
+}
+
+func (p *vPromise[T]) done() bool { return p.settled }
+
+// rPromise is the wall-clock promise, built on a closed channel.
+type rPromise[T any] struct {
+	mu      sync.Mutex
+	settled bool
+	val     T
+	err     error
+	ch      chan struct{}
+}
+
+func (p *rPromise[T]) resolve(v T, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.settled {
+		return
+	}
+	p.settled, p.val, p.err = true, v, err
+	close(p.ch)
+}
+
+func (p *rPromise[T]) await(timeout int64) (T, error) {
+	if timeout < 0 {
+		<-p.ch
+	} else {
+		select {
+		case <-p.ch:
+		case <-newTimeoutChan(time.Duration(timeout)):
+			p.mu.Lock()
+			settled := p.settled
+			p.mu.Unlock()
+			if !settled {
+				var zero T
+				return zero, ErrTimeout
+			}
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.val, p.err
+}
+
+func (p *rPromise[T]) done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.settled
+}

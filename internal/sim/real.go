@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Real is the wall-clock implementation of Runtime: tasks are plain
+// goroutines, Sleep is time.Sleep, and timers are time.AfterFunc. It lets
+// the same protocol code that runs under the simulator run live, which the
+// examples and musicd use.
+type Real struct {
+	start time.Time
+	rng   *rand.Rand
+}
+
+var _ Runtime = (*Real)(nil)
+
+// NewReal returns a wall-clock runtime seeded with seed.
+func NewReal(seed int64) *Real {
+	return &Real{
+		start: time.Now(),
+		rng:   rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
+	}
+}
+
+// Now implements Runtime.
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+// Sleep implements Runtime.
+func (r *Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Go implements Runtime.
+func (r *Real) Go(fn func()) { go fn() }
+
+// After implements Runtime.
+func (r *Real) After(d time.Duration, fn func()) *Timer {
+	t := time.AfterFunc(d, fn)
+	return &Timer{stop: t.Stop}
+}
+
+// Rand implements Runtime. The returned source is safe for concurrent use.
+func (r *Real) Rand() *rand.Rand { return r.rng }
+
+func (r *Real) isRuntime() {}
+
+// lockedSource makes a rand.Source64 safe for concurrent use.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}

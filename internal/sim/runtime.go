@@ -1,0 +1,65 @@
+// Package sim provides the execution substrate for every protocol in this
+// repository: a Runtime abstraction over time, task spawning and blocking
+// synchronization, with two interchangeable implementations.
+//
+// The virtual runtime (New) is a deterministic, cooperatively scheduled
+// discrete-event simulator. Tasks run one at a time; when every task is
+// blocked, the clock jumps to the next timer. A full "minute" of simulated
+// WAN traffic executes in milliseconds of wall time, and a given seed always
+// produces the same schedule, which makes distributed-systems tests
+// reproducible.
+//
+// The real runtime (NewReal) maps the same operations onto goroutines and
+// the wall clock, so protocol code written against Runtime also runs live
+// (used by the examples and the musicd REST daemon).
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Runtime is the clock/scheduler facade protocol code is written against.
+//
+// Implementations are provided by New (virtual time) and NewReal (wall
+// clock); the unexported method keeps the set closed so the synchronization
+// primitives in this package can special-case each implementation.
+type Runtime interface {
+	// Now returns the current time as an offset from the runtime's start.
+	Now() time.Duration
+	// Sleep blocks the calling task for d.
+	Sleep(d time.Duration)
+	// Go spawns fn as a new task.
+	Go(fn func())
+	// After schedules fn to run as a new task after d. The returned Timer
+	// can cancel it before it fires.
+	After(d time.Duration, fn func()) *Timer
+	// Rand returns the runtime's deterministic random source. It must only
+	// be used from within tasks.
+	Rand() *rand.Rand
+
+	isRuntime()
+}
+
+// ErrTimeout is returned by AwaitTimeout and RecvTimeout when the deadline
+// expires first.
+var ErrTimeout = errors.New("sim: timeout")
+
+// ErrDeadlock is returned by Run when no task can make progress and no
+// timers remain while the root task has not finished.
+var ErrDeadlock = errors.New("sim: deadlock: all tasks blocked with no pending timers")
+
+// Timer is a handle to a pending After callback.
+type Timer struct {
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stop on a nil Timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkVirtualTaskSwitch measures the cost of one park/unpark cycle —
+// the unit everything in the simulator is built from.
+func BenchmarkVirtualTaskSwitch(b *testing.B) {
+	v := New(1)
+	err := v.Run(func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Sleep(time.Microsecond)
+		}
+	})
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// BenchmarkVirtualPingPong measures two tasks exchanging messages through
+// mailboxes, the shape of every RPC in the network layer.
+func BenchmarkVirtualPingPong(b *testing.B) {
+	v := New(1)
+	err := v.Run(func() {
+		ping := NewMailbox[int](v)
+		pong := NewMailbox[int](v)
+		v.Go(func() {
+			for {
+				x, err := ping.Recv()
+				if err != nil {
+					return
+				}
+				pong.Send(x)
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ping.Send(i)
+			if _, err := pong.Recv(); err != nil {
+				b.Fatalf("Recv: %v", err)
+			}
+		}
+		b.StopTimer()
+		ping.Close()
+	})
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// BenchmarkVirtualTimerFanout measures many timers firing in order.
+func BenchmarkVirtualTimerFanout(b *testing.B) {
+	v := New(1)
+	err := v.Run(func() {
+		b.ResetTimer()
+		fired := 0
+		for i := 0; i < b.N; i++ {
+			v.After(time.Duration(i)*time.Microsecond, func() { fired++ })
+		}
+		v.Sleep(time.Duration(b.N+1) * time.Microsecond)
+		if fired != b.N {
+			b.Fatalf("fired = %d, want %d", fired, b.N)
+		}
+	})
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}

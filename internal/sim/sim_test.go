@@ -1,0 +1,595 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualSleepAdvancesClock(t *testing.T) {
+	v := New(1)
+	var got time.Duration
+	err := v.Run(func() {
+		v.Sleep(250 * time.Millisecond)
+		got = v.Now()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 250*time.Millisecond {
+		t.Fatalf("Now after sleep = %v, want 250ms", got)
+	}
+}
+
+func TestVirtualSleepZeroDoesNotAdvance(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		v.Sleep(0)
+		if v.Now() != 0 {
+			t.Errorf("Now = %v, want 0", v.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestVirtualConcurrentSleepsOverlap(t *testing.T) {
+	v := New(1)
+	var end time.Duration
+	err := v.Run(func() {
+		done := NewPromise[struct{}](v)
+		v.Go(func() {
+			v.Sleep(100 * time.Millisecond)
+			done.Resolve(struct{}{})
+		})
+		v.Sleep(60 * time.Millisecond)
+		if _, err := done.Await(); err != nil {
+			t.Errorf("Await: %v", err)
+		}
+		end = v.Now()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 100*time.Millisecond {
+		t.Fatalf("overlapping sleeps ended at %v, want 100ms", end)
+	}
+}
+
+func TestVirtualManyTasksDeterministicOrder(t *testing.T) {
+	run := func() []int {
+		v := New(42)
+		var order []int
+		if err := v.Run(func() {
+			var wg int
+			done := NewMailbox[int](v)
+			for i := 0; i < 50; i++ {
+				i := i
+				wg++
+				v.Go(func() {
+					v.Sleep(time.Duration(v.Rand().Intn(1000)) * time.Microsecond)
+					done.Send(i)
+				})
+			}
+			for ; wg > 0; wg-- {
+				id, err := done.Recv()
+				if err != nil {
+					t.Errorf("Recv: %v", err)
+					return
+				}
+				order = append(order, id)
+			}
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths = %d, %d, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVirtualDeadlockDetected(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		p.Await() // never resolved
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestVirtualDeadline(t *testing.T) {
+	v := New(1)
+	v.SetDeadline(time.Second)
+	err := v.Run(func() {
+		v.Sleep(time.Hour)
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := New(1)
+	var fired []int
+	err := v.Run(func() {
+		done := NewPromise[struct{}](v)
+		v.After(30*time.Millisecond, func() { fired = append(fired, 3) })
+		v.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+		v.After(20*time.Millisecond, func() {
+			fired = append(fired, 2)
+		})
+		v.After(40*time.Millisecond, func() { done.Resolve(struct{}{}) })
+		if _, err := done.Await(); err != nil {
+			t.Errorf("Await: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [1 2 3]", fired)
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := New(1)
+	fired := false
+	err := v.Run(func() {
+		tm := v.After(10*time.Millisecond, func() { fired = true })
+		if !tm.Stop() {
+			t.Error("Stop = false, want true")
+		}
+		if tm.Stop() {
+			t.Error("second Stop = true, want false")
+		}
+		v.Sleep(50 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestPromiseResolveBeforeAwait(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		p.Resolve(7)
+		got, err := p.Await()
+		if err != nil || got != 7 {
+			t.Errorf("Await = (%d, %v), want (7, nil)", got, err)
+		}
+		if !p.Done() {
+			t.Error("Done = false after resolve")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPromiseReject(t *testing.T) {
+	boom := errors.New("boom")
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		v.Go(func() {
+			v.Sleep(time.Millisecond)
+			p.Reject(boom)
+		})
+		if _, err := p.Await(); !errors.Is(err, boom) {
+			t.Errorf("Await err = %v, want boom", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPromiseAwaitTimeout(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		start := v.Now()
+		if _, err := p.AwaitTimeout(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if d := v.Now() - start; d != 20*time.Millisecond {
+			t.Errorf("timeout took %v, want 20ms", d)
+		}
+		// A late resolve must still be awaitable.
+		p.Resolve(3)
+		if got, err := p.AwaitTimeout(time.Millisecond); err != nil || got != 3 {
+			t.Errorf("late Await = (%d, %v), want (3, nil)", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPromiseDoubleResolveIgnored(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		p.Resolve(1)
+		p.Resolve(2)
+		p.Reject(errors.New("late"))
+		got, err := p.Await()
+		if err != nil || got != 1 {
+			t.Errorf("Await = (%d, %v), want (1, nil)", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPromiseMultipleAwaiters(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		p := NewPromise[int](v)
+		results := NewMailbox[int](v)
+		for i := 0; i < 3; i++ {
+			v.Go(func() {
+				got, _ := p.Await()
+				results.Send(got)
+			})
+		}
+		v.Sleep(time.Millisecond)
+		p.Resolve(9)
+		for i := 0; i < 3; i++ {
+			got, err := results.Recv()
+			if err != nil || got != 9 {
+				t.Errorf("awaiter %d got (%d, %v), want (9, nil)", i, got, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		for i := 0; i < 10; i++ {
+			m.Send(i)
+		}
+		if m.Len() != 10 {
+			t.Errorf("Len = %d, want 10", m.Len())
+		}
+		for i := 0; i < 10; i++ {
+			got, err := m.Recv()
+			if err != nil || got != i {
+				t.Errorf("Recv = (%d, %v), want (%d, nil)", got, err, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxBlockingRecv(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[string](v)
+		v.Go(func() {
+			v.Sleep(5 * time.Millisecond)
+			m.Send("hello")
+		})
+		got, err := m.Recv()
+		if err != nil || got != "hello" {
+			t.Errorf("Recv = (%q, %v)", got, err)
+		}
+		if v.Now() != 5*time.Millisecond {
+			t.Errorf("Recv returned at %v, want 5ms", v.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxRecvTimeout(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		if _, err := m.RecvTimeout(time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		// An item arriving within the window is delivered.
+		v.Go(func() {
+			v.Sleep(time.Millisecond)
+			m.Send(1)
+		})
+		got, err := m.RecvTimeout(10 * time.Millisecond)
+		if err != nil || got != 1 {
+			t.Errorf("RecvTimeout = (%d, %v), want (1, nil)", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		m.Send(1)
+		m.Close()
+		m.Send(2) // dropped
+		if got, err := m.Recv(); err != nil || got != 1 {
+			t.Errorf("Recv = (%d, %v), want (1, nil)", got, err)
+		}
+		if _, err := m.Recv(); !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxCloseWakesBlockedReceiver(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		done := NewPromise[error](v)
+		v.Go(func() {
+			_, err := m.Recv()
+			done.Resolve(err)
+		})
+		v.Sleep(time.Millisecond)
+		m.Close()
+		got, _ := done.Await()
+		if !errors.Is(got, ErrClosed) {
+			t.Errorf("blocked Recv err = %v, want ErrClosed", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		if _, ok := m.TryRecv(); ok {
+			t.Error("TryRecv on empty = ok")
+		}
+		m.Send(4)
+		got, ok := m.TryRecv()
+		if !ok || got != 4 {
+			t.Errorf("TryRecv = (%d, %v), want (4, true)", got, ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMailboxMultipleReceiversNoItemLoss(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		m := NewMailbox[int](v)
+		out := NewMailbox[int](v)
+		for i := 0; i < 4; i++ {
+			v.Go(func() {
+				for {
+					got, err := m.Recv()
+					if err != nil {
+						return
+					}
+					out.Send(got)
+				}
+			})
+		}
+		for i := 0; i < 100; i++ {
+			m.Send(i)
+		}
+		seen := make(map[int]bool, 100)
+		for i := 0; i < 100; i++ {
+			got, err := out.Recv()
+			if err != nil {
+				t.Fatalf("out.Recv: %v", err)
+			}
+			if seen[got] {
+				t.Fatalf("item %d delivered twice", got)
+			}
+			seen[got] = true
+		}
+		m.Close()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestVirtualShuffleStillCompletes(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		v := New(seed)
+		v.SetScheduleShuffle(true)
+		sum := 0
+		err := v.Run(func() {
+			m := NewMailbox[int](v)
+			for i := 1; i <= 20; i++ {
+				i := i
+				v.Go(func() { m.Send(i) })
+			}
+			for i := 0; i < 20; i++ {
+				x, err := m.Recv()
+				if err != nil {
+					t.Errorf("Recv: %v", err)
+					return
+				}
+				sum += x
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if sum != 210 {
+			t.Fatalf("seed %d: sum = %d, want 210", seed, sum)
+		}
+	}
+}
+
+func TestVirtualRunTwiceFails(t *testing.T) {
+	v := New(1)
+	if err := v.Run(func() {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := v.Run(func() {}); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+func TestVirtualAbandonedTasksUnwound(t *testing.T) {
+	v := New(1)
+	err := v.Run(func() {
+		for i := 0; i < 10; i++ {
+			v.Go(func() {
+				v.Sleep(time.Hour) // never completes before root exits
+			})
+		}
+		v.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(v.live) != 0 {
+		t.Fatalf("%d tasks leaked after Run", len(v.live))
+	}
+}
+
+func TestVirtualRandDeterministic(t *testing.T) {
+	draw := func(seed int64) []int {
+		v := New(seed)
+		var out []int
+		if err := v.Run(func() {
+			for i := 0; i < 5; i++ {
+				out = append(out, v.Rand().Intn(1000))
+			}
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rand sequences diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRealRuntimeBasics(t *testing.T) {
+	r := NewReal(1)
+	start := r.Now()
+	r.Sleep(5 * time.Millisecond)
+	if r.Now()-start < 5*time.Millisecond {
+		t.Fatal("real Sleep returned early")
+	}
+
+	p := NewPromise[int](r)
+	r.Go(func() {
+		time.Sleep(2 * time.Millisecond)
+		p.Resolve(11)
+	})
+	got, err := p.Await()
+	if err != nil || got != 11 {
+		t.Fatalf("Await = (%d, %v), want (11, nil)", got, err)
+	}
+}
+
+func TestRealPromiseTimeout(t *testing.T) {
+	r := NewReal(1)
+	p := NewPromise[int](r)
+	if _, err := p.AwaitTimeout(2 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRealMailboxConcurrent(t *testing.T) {
+	r := NewReal(1)
+	m := NewMailbox[int](r)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				m.Send(i*10 + j)
+			}
+		}()
+	}
+	wg.Wait()
+	var got []int
+	for i := 0; i < 100; i++ {
+		x, err := m.RecvTimeout(time.Second)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		got = append(got, x)
+	}
+	sort.Ints(got)
+	for i, x := range got {
+		if x != i {
+			t.Fatalf("missing item: got[%d] = %d", i, x)
+		}
+	}
+}
+
+func TestRealMailboxRecvTimeout(t *testing.T) {
+	r := NewReal(1)
+	m := NewMailbox[int](r)
+	if _, err := m.RecvTimeout(2 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	m.Close()
+	if _, err := m.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRealAfterAndStop(t *testing.T) {
+	r := NewReal(1)
+	fired := make(chan struct{}, 1)
+	r.After(time.Millisecond, func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+	tm2 := r.After(time.Hour, func() { t.Error("should not fire") })
+	if !tm2.Stop() {
+		t.Fatal("Stop = false on pending timer")
+	}
+}
+
+func TestTimerStopNil(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil Timer Stop = true")
+	}
+}

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrDeadlineExceeded is returned by Virtual.Run when virtual time reaches
+// the deadline configured with SetDeadline before the root task finishes.
+var ErrDeadlineExceeded = errors.New("sim: virtual-time deadline exceeded")
+
+// poison is the panic value used to unwind abandoned tasks when Run exits.
+type poison struct{}
+
+// taskState tracks where a virtual task is in its lifecycle.
+type taskState int
+
+const (
+	stateReady taskState = iota + 1
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// vtask is one cooperatively scheduled task of a Virtual runtime.
+type vtask struct {
+	v        *Virtual
+	resume   chan struct{}
+	state    taskState
+	gen      uint64 // bumped on every park; stale wakeups are ignored
+	poisoned bool
+}
+
+// event is a pending timer entry.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func() // spawn-style event: runs as a new task
+	wake      *vtask // wake-style event: unparks wake if gen still matches
+	gen       uint64
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Virtual is the deterministic discrete-event runtime. All tasks execute one
+// at a time on dedicated goroutines, handing control back to the scheduler
+// whenever they block; when no task is runnable the clock advances to the
+// next timer. Create one with New and drive it with Run.
+type Virtual struct {
+	now      time.Duration
+	seq      uint64
+	ready    []*vtask
+	timers   eventHeap
+	cur      *vtask
+	yield    chan struct{}
+	rng      *rand.Rand
+	root     *vtask
+	rootDone bool
+	live     map[*vtask]struct{}
+	taskErr  any
+	deadline time.Duration
+	shuffle  bool
+}
+
+var _ Runtime = (*Virtual)(nil)
+
+// New returns a virtual runtime whose random source is seeded with seed.
+// The same seed yields the same schedule.
+func New(seed int64) *Virtual {
+	return &Virtual{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		live:  make(map[*vtask]struct{}),
+	}
+}
+
+// SetDeadline makes Run fail with ErrDeadlineExceeded if virtual time would
+// advance past d. Zero disables the deadline.
+func (v *Virtual) SetDeadline(d time.Duration) { v.deadline = d }
+
+// SetScheduleShuffle toggles randomized selection among runnable tasks.
+// The default (false) is FIFO order; enabling it explores alternative
+// interleavings while remaining reproducible for a given seed.
+func (v *Virtual) SetScheduleShuffle(on bool) { v.shuffle = on }
+
+// Run executes fn as the root task and drives the simulation until the root
+// returns, a deadline or deadlock is hit, or a task panics (the panic is
+// re-raised on the caller's goroutine). Any tasks still alive when the root
+// finishes are unwound, so Run does not leak goroutines.
+func (v *Virtual) Run(fn func()) error {
+	if v.root != nil {
+		return errors.New("sim: Run called twice on the same Virtual")
+	}
+	v.root = v.spawn(fn)
+	v.ready = append(v.ready, v.root)
+
+	var err error
+loop:
+	for {
+		if v.taskErr != nil {
+			break
+		}
+		if len(v.ready) > 0 {
+			i := 0
+			if v.shuffle && len(v.ready) > 1 {
+				i = v.rng.Intn(len(v.ready))
+			}
+			t := v.ready[i]
+			v.ready = append(v.ready[:i], v.ready[i+1:]...)
+			v.step(t)
+			if v.rootDone {
+				break
+			}
+			continue
+		}
+		for len(v.timers) > 0 {
+			e := heap.Pop(&v.timers).(*event)
+			if e.cancelled {
+				continue
+			}
+			if v.deadline > 0 && e.at > v.deadline {
+				err = ErrDeadlineExceeded
+				break loop
+			}
+			if e.at > v.now {
+				v.now = e.at
+			}
+			v.fire(e)
+			continue loop
+		}
+		if !v.rootDone {
+			err = ErrDeadlock
+		}
+		break
+	}
+
+	v.unwind()
+	if v.taskErr != nil {
+		panic(v.taskErr)
+	}
+	return err
+}
+
+// Now implements Runtime.
+func (v *Virtual) Now() time.Duration { return v.now }
+
+// Go implements Runtime.
+func (v *Virtual) Go(fn func()) {
+	t := v.spawn(fn)
+	t.state = stateReady
+	v.ready = append(v.ready, t)
+}
+
+// Sleep implements Runtime.
+func (v *Virtual) Sleep(d time.Duration) {
+	t, gen := v.prepare()
+	v.wakeAt(v.now+d, t, gen)
+	v.park(t)
+}
+
+// After implements Runtime.
+func (v *Virtual) After(d time.Duration, fn func()) *Timer {
+	e := &event{at: v.now + d, seq: v.nextSeq(), fn: fn}
+	heap.Push(&v.timers, e)
+	return &Timer{stop: func() bool {
+		if e.cancelled || e.fn == nil {
+			return false
+		}
+		e.cancelled = true
+		return true
+	}}
+}
+
+// Rand implements Runtime.
+func (v *Virtual) Rand() *rand.Rand { return v.rng }
+
+func (v *Virtual) isRuntime() {}
+
+// spawn creates a task goroutine parked until its first resume.
+func (v *Virtual) spawn(fn func()) *vtask {
+	t := &vtask{v: v, resume: make(chan struct{}), state: stateReady}
+	v.live[t] = struct{}{}
+	go func() {
+		defer func() {
+			r := recover()
+			if r != nil {
+				if _, ok := r.(poison); !ok && v.taskErr == nil {
+					v.taskErr = r
+				}
+			}
+			t.state = stateDone
+			delete(v.live, t)
+			if t == v.root {
+				v.rootDone = true
+			}
+			v.yield <- struct{}{}
+		}()
+		<-t.resume
+		if t.poisoned {
+			panic(poison{})
+		}
+		fn()
+	}()
+	return t
+}
+
+// step hands the baton to t and waits for it to block or finish.
+func (v *Virtual) step(t *vtask) {
+	t.state = stateRunning
+	v.cur = t
+	t.resume <- struct{}{}
+	<-v.yield
+	v.cur = nil
+}
+
+// fire processes a due timer entry on the scheduler goroutine.
+func (v *Virtual) fire(e *event) {
+	if e.fn != nil {
+		v.Go(e.fn)
+		return
+	}
+	v.unpark(e.wake, e.gen)
+}
+
+// prepare readies the current task for parking and returns its wake token.
+// Waiter registrations (mailbox lists, timers) must capture the returned
+// generation so stale wakeups are discarded.
+func (v *Virtual) prepare() (*vtask, uint64) {
+	t := v.cur
+	if t == nil {
+		panic("sim: blocking operation outside a sim task")
+	}
+	t.gen++
+	return t, t.gen
+}
+
+// park blocks the prepared task until something unparks it.
+func (v *Virtual) park(t *vtask) {
+	t.state = stateBlocked
+	v.yield <- struct{}{}
+	<-t.resume
+	if t.poisoned {
+		panic(poison{})
+	}
+	t.state = stateRunning
+}
+
+// unpark makes t runnable again if it is still parked on generation gen.
+func (v *Virtual) unpark(t *vtask, gen uint64) {
+	if t == nil || t.state != stateBlocked || t.gen != gen {
+		return
+	}
+	t.state = stateReady
+	v.ready = append(v.ready, t)
+}
+
+// wakeAt schedules an unpark of (t, gen) at time at.
+func (v *Virtual) wakeAt(at time.Duration, t *vtask, gen uint64) {
+	heap.Push(&v.timers, &event{at: at, seq: v.nextSeq(), wake: t, gen: gen})
+}
+
+func (v *Virtual) nextSeq() uint64 {
+	v.seq++
+	return v.seq
+}
+
+// unwind poisons every remaining task so their goroutines exit.
+func (v *Virtual) unwind() {
+	for len(v.live) > 0 {
+		var t *vtask
+		for cand := range v.live {
+			t = cand
+			break
+		}
+		t.poisoned = true
+		t.resume <- struct{}{}
+		<-v.yield
+	}
+}
+
+// String describes the runtime state, useful in test failure messages.
+func (v *Virtual) String() string {
+	return fmt.Sprintf("sim.Virtual{now: %v, ready: %d, timers: %d, live: %d}",
+		v.now, len(v.ready), len(v.timers), len(v.live))
+}

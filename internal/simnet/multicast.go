@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CallResult is one target's outcome in a Multicast.
+type CallResult struct {
+	From NodeID // the target that produced this result
+	Resp any
+	Err  error
+}
+
+// Multicast sends req to every target in parallel and collects replies until
+// `need` of them have succeeded, all targets have answered or failed, or the
+// timeout elapses — whichever comes first. It returns the results gathered
+// so far; callers count successes themselves. This is the primitive behind
+// quorum reads/writes, Paxos rounds and log replication.
+func (n *Network) Multicast(from NodeID, targets []NodeID, svc string, req any, need int, timeout time.Duration) []CallResult {
+	results := sim.NewMailbox[CallResult](n.rt)
+	for _, to := range targets {
+		to := to
+		n.rt.Go(func() {
+			resp, err := n.CallTimeout(from, to, svc, req, timeout)
+			results.Send(CallResult{From: to, Resp: resp, Err: err})
+		})
+	}
+
+	deadline := n.rt.Now() + timeout
+	collected := make([]CallResult, 0, len(targets))
+	successes := 0
+	for len(collected) < len(targets) {
+		remaining := deadline - n.rt.Now()
+		if remaining <= 0 {
+			break
+		}
+		r, err := results.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		collected = append(collected, r)
+		if r.Err == nil {
+			successes++
+			if need > 0 && successes >= need {
+				break
+			}
+		}
+	}
+	return collected
+}
+
+// Successes filters a Multicast result set down to successful replies.
+func Successes(results []CallResult) []CallResult {
+	var ok []CallResult
+	for _, r := range results {
+		if r.Err == nil {
+			ok = append(ok, r)
+		}
+	}
+	return ok
+}

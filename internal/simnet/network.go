@@ -1,0 +1,299 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node within a Network. IDs are dense, site-major.
+type NodeID int
+
+// Handler processes one inbound request on a node and returns the reply.
+type Handler func(from NodeID, req any) (any, error)
+
+// Sizer lets a message declare its payload size in bytes so the network can
+// model NIC serialization and bandwidth. Messages without it are assumed to
+// be header-only.
+type Sizer interface {
+	WireSize() int
+}
+
+// RemoteError wraps an application-level error returned by a remote
+// handler, distinguishing it from transport failures such as timeouts.
+type RemoteError struct {
+	Err error
+}
+
+func (e *RemoteError) Error() string { return "remote: " + e.Err.Error() }
+
+// Unwrap exposes the handler's error to errors.Is / errors.As.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// ErrTimeout is returned by Call when no reply arrives within the timeout
+// (due to partitions, crashes, loss, or a down destination).
+var ErrTimeout = sim.ErrTimeout
+
+// ErrNoHandler is returned (as a RemoteError) when the destination has no
+// handler registered for the service.
+var ErrNoHandler = errors.New("simnet: no handler for service")
+
+// Config describes the cluster to build.
+type Config struct {
+	// Profile supplies the inter-site latency matrix. Required.
+	Profile *Profile
+	// NodesPerSite is the number of nodes placed in each profile site.
+	// Defaults to 1.
+	NodesPerSite int
+	// Workers is the per-node CPU worker count. Defaults to 8 (the paper's
+	// testbed has eight cores per server).
+	Workers int
+	// Bandwidth is the per-node NIC egress rate in bytes/second. Defaults
+	// to 125 MB/s (1 Gbit/s). Zero keeps the default; negative disables
+	// bandwidth modeling.
+	Bandwidth float64
+	// JitterFrac adds uniform jitter of up to this fraction of the one-way
+	// latency to each message. Defaults to 0.02.
+	JitterFrac float64
+	// MsgOverhead is the fixed per-message wire overhead in bytes added to
+	// each message's payload size. Defaults to 256.
+	MsgOverhead int
+	// RPCTimeout is the default Call timeout. Defaults to 4s.
+	RPCTimeout time.Duration
+	// Seed seeds jitter and loss decisions (only used in virtual mode; the
+	// runtime's own RNG is used regardless).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NodesPerSite == 0 {
+		c.NodesPerSite = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 125e6
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.02
+	}
+	if c.MsgOverhead == 0 {
+		c.MsgOverhead = 256
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 4 * time.Second
+	}
+	return c
+}
+
+// Network is the simulated (or live, depending on the runtime) multi-site
+// cluster. All methods are safe to call from any task.
+type Network struct {
+	rt  sim.Runtime
+	cfg Config
+
+	nodes []*Node
+
+	mu      sync.Mutex
+	loss    float64
+	blocked map[[2]NodeID]bool
+	closed  bool
+}
+
+// New builds a network of len(profile.Sites()) × NodesPerSite nodes over rt.
+func New(rt sim.Runtime, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	if cfg.Profile == nil {
+		panic("simnet: Config.Profile is required")
+	}
+	n := &Network{
+		rt:      rt,
+		cfg:     cfg,
+		blocked: make(map[[2]NodeID]bool),
+	}
+	id := NodeID(0)
+	for _, site := range cfg.Profile.Sites() {
+		for i := 0; i < cfg.NodesPerSite; i++ {
+			node := &Node{
+				net:      n,
+				id:       id,
+				site:     site,
+				up:       true,
+				handlers: make(map[string]handlerSpec),
+				exec:     newExecutor(rt, cfg.Workers),
+			}
+			n.nodes = append(n.nodes, node)
+			id++
+		}
+	}
+	return n
+}
+
+// Runtime returns the runtime the network was built on.
+func (n *Network) Runtime() sim.Runtime { return n.rt }
+
+// Config returns the effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns all node IDs.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, len(n.nodes))
+	for i := range n.nodes {
+		ids[i] = NodeID(i)
+	}
+	return ids
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node {
+	return n.nodes[id]
+}
+
+// SiteOf returns the site name hosting id.
+func (n *Network) SiteOf(id NodeID) string { return n.nodes[id].site }
+
+// NodesInSite returns the IDs of all nodes in the named site.
+func (n *Network) NodesInSite(site string) []NodeID {
+	var ids []NodeID
+	for _, node := range n.nodes {
+		if node.site == site {
+			ids = append(ids, node.id)
+		}
+	}
+	return ids
+}
+
+// Close shuts down all node executors. Only needed in real-time mode; the
+// virtual runtime unwinds abandoned tasks itself.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, node := range n.nodes {
+		node.exec.close()
+	}
+}
+
+// Call sends req from -> to for service svc and waits for the reply using
+// the default RPC timeout.
+func (n *Network) Call(from, to NodeID, svc string, req any) (any, error) {
+	return n.CallTimeout(from, to, svc, req, n.cfg.RPCTimeout)
+}
+
+// CallTimeout is Call with an explicit timeout. A transport failure
+// (partition, loss, crash) surfaces as ErrTimeout; an error returned by the
+// remote handler surfaces wrapped in RemoteError.
+func (n *Network) CallTimeout(from, to NodeID, svc string, req any, timeout time.Duration) (any, error) {
+	reply := sim.NewPromise[any](n.rt)
+	n.dispatch(from, to, svc, req, reply)
+	return reply.AwaitTimeout(timeout)
+}
+
+// Send delivers req from -> to without waiting for a reply (best effort).
+func (n *Network) Send(from, to NodeID, svc string, req any) {
+	n.dispatch(from, to, svc, req, nil)
+}
+
+// dispatch models the full path: sender NIC, propagation, receiver CPU
+// admission, handler execution, and the reply trip back.
+func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Promise[any]) {
+	src, dst := n.nodes[from], n.nodes[to]
+	delay, ok := n.transit(src, dst, n.sizeOf(req))
+	if !ok {
+		return // lost; caller times out
+	}
+	n.rt.After(delay, func() {
+		if !dst.isUp() {
+			return
+		}
+		spec, ok := dst.handler(svc)
+		if !ok {
+			n.sendReply(dst, src, reply, nil, &RemoteError{Err: fmt.Errorf("%w: %q on node %d", ErrNoHandler, svc, to)})
+			return
+		}
+		dst.exec.admit(spec.cost(n.sizeOf(req)))
+		if !dst.isUp() {
+			return
+		}
+		resp, err := spec.fn(from, req)
+		if err != nil {
+			err = &RemoteError{Err: err}
+		}
+		n.sendReply(dst, src, reply, resp, err)
+	})
+}
+
+// sendReply models the reply trip; nil promise means a one-way Send.
+func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, err error) {
+	if reply == nil {
+		return
+	}
+	delay, ok := n.transit(src, dst, n.sizeOf(resp))
+	if !ok {
+		return
+	}
+	n.rt.After(delay, func() {
+		if !dst.isUp() {
+			return
+		}
+		if err != nil {
+			reply.Reject(err)
+			return
+		}
+		reply.Resolve(resp)
+	})
+}
+
+// sizeOf returns the modeled wire size of a message.
+func (n *Network) sizeOf(msg any) int {
+	size := n.cfg.MsgOverhead
+	if s, ok := msg.(Sizer); ok {
+		size += s.WireSize()
+	}
+	return size
+}
+
+// transit computes the one-way delivery delay from src to dst for a message
+// of the given size, charging the sender's NIC. ok is false if the message
+// is dropped (either endpoint down, partitioned, or lost).
+func (n *Network) transit(src, dst *Node, size int) (time.Duration, bool) {
+	if !src.isUp() || !dst.isUp() {
+		return 0, false
+	}
+	if src.id == dst.id {
+		return 20 * time.Microsecond, true // loopback: no NIC, no loss
+	}
+
+	n.mu.Lock()
+	blocked := n.blocked[pairKey(src.id, dst.id)]
+	loss := n.loss
+	n.mu.Unlock()
+	if blocked {
+		return 0, false
+	}
+	if loss > 0 && n.rt.Rand().Float64() < loss {
+		return 0, false
+	}
+
+	prop := n.cfg.Profile.OneWay(src.site, dst.site)
+	jitter := time.Duration(0)
+	if n.cfg.JitterFrac > 0 {
+		jitter = time.Duration(n.rt.Rand().Float64() * n.cfg.JitterFrac * float64(prop))
+	}
+	return src.chargeNIC(n.rt.Now(), size, n.cfg.Bandwidth) + prop + jitter, true
+}
+
+func pairKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}

@@ -1,0 +1,230 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Node is one machine in the network: a service registry, a CPU executor
+// bounding how much work it can process per unit time, and a NIC whose
+// egress serializes outbound bytes at the configured bandwidth.
+type Node struct {
+	net  *Network
+	id   NodeID
+	site string
+	exec *executor
+
+	mu        sync.Mutex
+	up        bool
+	handlers  map[string]handlerSpec
+	onRestart []func()
+	nicBusy   time.Duration
+}
+
+type handlerSpec struct {
+	fn    Handler
+	base  time.Duration
+	perKB time.Duration
+}
+
+// cost returns the CPU time this request consumes on the node.
+func (s handlerSpec) cost(size int) time.Duration {
+	return s.base + time.Duration(float64(s.perKB)*float64(size)/1024)
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Site returns the node's site name.
+func (n *Node) Site() string { return n.site }
+
+// Handle registers h for service svc with zero modeled CPU cost.
+func (n *Node) Handle(svc string, h Handler) {
+	n.HandleWithCost(svc, h, 0, 0)
+}
+
+// HandleWithCost registers h for svc; each request consumes
+// base + perKB·(size/1KiB) of one CPU worker before the handler runs, which
+// is what bounds the node's saturation throughput.
+func (n *Node) HandleWithCost(svc string, h Handler, base, perKB time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[svc] = handlerSpec{fn: h, base: base, perKB: perKB}
+}
+
+// OnRestart registers a hook run when the node restarts after a crash,
+// letting services reset volatile state while keeping durable state.
+func (n *Node) OnRestart(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onRestart = append(n.onRestart, fn)
+}
+
+func (n *Node) handler(svc string) (handlerSpec, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.handlers[svc]
+	return s, ok
+}
+
+func (n *Node) isUp() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// Work charges cost of CPU time to this node's executor, blocking the
+// caller until a worker has burned it. Coordinator-side logic (which runs
+// in the client's task but "on" a node) uses this to model its CPU usage.
+func (n *Node) Work(cost time.Duration) {
+	if !n.isUp() {
+		return
+	}
+	n.exec.admit(cost)
+}
+
+// chargeNIC reserves the sender NIC for size bytes and returns the total
+// local delay (queueing behind earlier messages plus serialization).
+func (n *Node) chargeNIC(now time.Duration, size int, bandwidth float64) time.Duration {
+	if bandwidth <= 0 {
+		return 0
+	}
+	ser := time.Duration(float64(size) / bandwidth * float64(time.Second))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := now
+	if n.nicBusy > start {
+		start = n.nicBusy
+	}
+	n.nicBusy = start + ser
+	return n.nicBusy - now
+}
+
+// Crash takes the node down: inbound and outbound messages drop and queued
+// work is discarded on admission.
+func (n *Network) Crash(id NodeID) {
+	node := n.nodes[id]
+	node.mu.Lock()
+	node.up = false
+	node.mu.Unlock()
+}
+
+// Restart brings a crashed node back up and runs its restart hooks.
+func (n *Network) Restart(id NodeID) {
+	node := n.nodes[id]
+	node.mu.Lock()
+	node.up = true
+	hooks := append([]func(){}, node.onRestart...)
+	node.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// SetLossRate drops each inter-node message independently with probability p.
+func (n *Network) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = p
+}
+
+// PartitionNodes splits the cluster into the given groups; messages between
+// nodes in different groups are dropped. Nodes absent from every group stay
+// connected to all groups. Partitions replace any previous partition.
+func (n *Network) PartitionNodes(groups ...[]NodeID) {
+	group := make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			group[id] = gi + 1
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]NodeID]bool)
+	for a := 0; a < len(n.nodes); a++ {
+		for b := a + 1; b < len(n.nodes); b++ {
+			ga, oka := group[NodeID(a)]
+			gb, okb := group[NodeID(b)]
+			if oka && okb && ga != gb {
+				n.blocked[pairKey(NodeID(a), NodeID(b))] = true
+			}
+		}
+	}
+}
+
+// PartitionSites partitions whole sites from each other.
+func (n *Network) PartitionSites(groups ...[]string) {
+	nodeGroups := make([][]NodeID, len(groups))
+	for i, sites := range groups {
+		for _, site := range sites {
+			nodeGroups[i] = append(nodeGroups[i], n.NodesInSite(site)...)
+		}
+	}
+	n.PartitionNodes(nodeGroups...)
+}
+
+// Isolate cuts a single node off from every other node.
+func (n *Network) Isolate(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if NodeID(other) != id {
+			n.blocked[pairKey(id, NodeID(other))] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]NodeID]bool)
+}
+
+// executor is a node's CPU: a fixed pool of workers consuming admission
+// requests in FIFO order. Handlers pay their modeled CPU cost here before
+// running, so a node saturates at workers/servicetime requests per second.
+type executor struct {
+	rt sim.Runtime
+	q  *sim.Mailbox[execJob]
+}
+
+type execJob struct {
+	cost time.Duration
+	done *sim.Promise[struct{}]
+}
+
+func newExecutor(rt sim.Runtime, workers int) *executor {
+	e := &executor{rt: rt, q: sim.NewMailbox[execJob](rt)}
+	for i := 0; i < workers; i++ {
+		rt.Go(e.worker)
+	}
+	return e
+}
+
+func (e *executor) worker() {
+	for {
+		j, err := e.q.Recv()
+		if err != nil {
+			return
+		}
+		if j.cost > 0 {
+			e.rt.Sleep(j.cost)
+		}
+		j.done.Resolve(struct{}{})
+	}
+}
+
+// admit blocks until a worker has burned cost of CPU time for this request.
+func (e *executor) admit(cost time.Duration) {
+	if cost <= 0 {
+		return
+	}
+	done := sim.NewPromise[struct{}](e.rt)
+	e.q.Send(execJob{cost: cost, done: done})
+	_, _ = done.Await()
+}
+
+func (e *executor) close() { e.q.Close() }

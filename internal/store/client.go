@@ -1,0 +1,222 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Client issues store operations through a fixed coordinator node, the way
+// a MUSIC replica queries its nearby Cassandra node (Fig 1).
+type Client struct {
+	c    *Cluster
+	node simnet.NodeID
+}
+
+// Client returns a client coordinated by the given node.
+func (c *Cluster) Client(node simnet.NodeID) *Client {
+	return &Client{c: c, node: node}
+}
+
+// Node returns the coordinator node ID.
+func (cl *Client) Node() simnet.NodeID { return cl.node }
+
+// Cluster returns the owning cluster.
+func (cl *Client) Cluster() *Cluster { return cl.c }
+
+// Put writes cells to a row at the given consistency. Cells with TS == 0
+// are stamped with the coordinator clock. A write that fails with
+// ErrUnavailable is not rolled back — it may survive on some replicas.
+func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
+	cfg := cl.c.cfg
+	stamped := make(Row, len(cells))
+	for col, c := range cells {
+		if c.TS == 0 {
+			c.TS = cl.c.nextWriteTS()
+		}
+		stamped[col] = c
+	}
+	req := applyReq{Table: table, Key: key, Cells: stamped}
+	cl.c.net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, req.WireSize()))
+	return cl.replicate(req, cons)
+}
+
+// Delete tombstones the given columns (all current columns if cols is nil
+// is not supported — callers name what they delete).
+func (cl *Client) Delete(table, key string, cols []string, cons Consistency) error {
+	now := cl.c.NowMicros()
+	cells := make(Row, len(cols))
+	for _, col := range cols {
+		cells[col] = Cell{TS: now, Deleted: true}
+	}
+	return cl.Put(table, key, cells, cons)
+}
+
+// replicate sends an apply to every replica of the key and waits for the
+// consistency level's ack count. Replicas that miss the write are caught up
+// in the background (hinted handoff) unless disabled.
+func (cl *Client) replicate(req applyReq, cons Consistency) error {
+	cfg := cl.c.cfg
+	rt := cl.c.net.Runtime()
+	targets := cl.c.ring.replicasFor(req.Key)
+	need := cons.need(len(targets))
+
+	firstTry := sim.NewMailbox[error](rt)
+	for _, to := range targets {
+		to := to
+		rt.Go(func() {
+			_, err := cl.c.net.CallTimeout(cl.node, to, svcApply, req, cfg.Timeout)
+			firstTry.Send(err)
+			if err != nil && !cfg.NoHintedHandoff {
+				cl.handoff(to, req)
+			}
+		})
+	}
+
+	oks := 0
+	for i := 0; i < len(targets); i++ {
+		err, recvErr := firstTry.RecvTimeout(cfg.Timeout)
+		if recvErr != nil {
+			break
+		}
+		if err == nil {
+			oks++
+			if oks >= need {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: %d/%d acks for %s/%s", ErrUnavailable, oks, need, req.Table, req.Key)
+}
+
+// handoff retries a failed replica write with backoff until it lands or the
+// attempts run out.
+func (cl *Client) handoff(to simnet.NodeID, req applyReq) {
+	rt := cl.c.net.Runtime()
+	backoff := 200 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		rt.Sleep(backoff)
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+		if _, err := cl.c.net.CallTimeout(cl.node, to, svcApply, req, cl.c.cfg.Timeout); err == nil {
+			return
+		}
+	}
+}
+
+// Get reads a row's live cells at the given consistency. A missing row
+// yields an empty Row and no error. Quorum and All reads merge replica
+// responses cell-wise and (unless disabled) repair stale replicas in the
+// background.
+func (cl *Client) Get(table, key string, cons Consistency) (Row, error) {
+	return cl.get(table, key, nil, cons, true)
+}
+
+// GetCols is Get restricted to the named columns.
+func (cl *Client) GetCols(table, key string, cols []string, cons Consistency) (Row, error) {
+	return cl.get(table, key, cols, cons, true)
+}
+
+func (cl *Client) get(table, key string, cols []string, cons Consistency, chargeCoord bool) (Row, error) {
+	cfg := cl.c.cfg
+	if chargeCoord {
+		cl.c.net.Node(cl.node).Work(cfg.Costs.CoordRead)
+	}
+	req := readReq{Table: table, Key: key, Cols: cols}
+	targets := cl.c.ring.replicasFor(key)
+
+	if cons == One {
+		to := cl.nearest(targets)
+		resp, err := cl.c.net.CallTimeout(cl.node, to, svcRead, req, cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: read %s/%s: %v", ErrUnavailable, table, key, err)
+		}
+		return resp.(readResp).Cells.live(), nil
+	}
+
+	need := cons.need(len(targets))
+	results := cl.c.net.Multicast(cl.node, targets, svcRead, req, need, cfg.Timeout)
+	oks := simnet.Successes(results)
+	if len(oks) < need {
+		return nil, fmt.Errorf("%w: %d/%d replies for %s/%s", ErrUnavailable, len(oks), need, table, key)
+	}
+
+	merged := make(Row)
+	for _, r := range oks {
+		mergeInto(merged, r.Resp.(readResp).Cells)
+	}
+	if !cfg.NoReadRepair {
+		cl.readRepair(table, key, merged, oks)
+	}
+	return merged.live(), nil
+}
+
+// readRepair pushes the merged row back to any responder that returned
+// stale cells, asynchronously.
+func (cl *Client) readRepair(table, key string, merged Row, responders []simnet.CallResult) {
+	for _, r := range responders {
+		theirs := r.Resp.(readResp).Cells
+		stale := false
+		for col, c := range merged {
+			cur, ok := theirs[col]
+			if !ok || c.wins(cur) {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			cl.c.net.Send(cl.node, r.From, svcApply, applyReq{Table: table, Key: key, Cells: merged.clone()})
+		}
+	}
+}
+
+// nearest orders targets by site RTT from the coordinator (self first) and
+// returns the closest — the replica an eventual (ONE) read consults.
+func (cl *Client) nearest(targets []simnet.NodeID) simnet.NodeID {
+	mySite := cl.c.net.SiteOf(cl.node)
+	best := targets[0]
+	bestRTT := time.Duration(1<<62 - 1)
+	for _, t := range targets {
+		if t == cl.node {
+			return t
+		}
+		rtt := cl.c.net.Config().Profile.RTT(mySite, cl.c.net.SiteOf(t))
+		if rtt < bestRTT || (rtt == bestRTT && t < best) {
+			best, bestRTT = t, rtt
+		}
+	}
+	return best
+}
+
+// AllKeys lists keys with at least one live cell, scanning every store node
+// at eventual consistency (used by the homing service's getAllKeys, which
+// tolerates staleness).
+func (cl *Client) AllKeys(table string) ([]string, error) {
+	cfg := cl.c.cfg
+	cl.c.net.Node(cl.node).Work(cfg.Costs.CoordRead)
+	results := cl.c.net.Multicast(cl.node, cl.c.cfg.Nodes, svcScan, scanReq{Table: table}, len(cl.c.cfg.Nodes), cfg.Timeout)
+	oks := simnet.Successes(results)
+	if len(oks) == 0 {
+		return nil, fmt.Errorf("%w: scan %s", ErrUnavailable, table)
+	}
+	seen := make(map[string]bool)
+	var keys []string
+	for _, r := range oks {
+		for _, k := range r.Resp.(scanResp).Keys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func perKBCost(perKB time.Duration, size int) time.Duration {
+	return time.Duration(float64(perKB) * float64(size) / 1024)
+}

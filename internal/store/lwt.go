@@ -1,0 +1,141 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// CASResult reports the outcome of a light-weight transaction.
+type CASResult struct {
+	// Applied is true when the condition held and the update committed.
+	Applied bool
+	// Current is the row's live cells as read during the Paxos round —
+	// the pre-image on success, the current state on condition failure.
+	Current Row
+}
+
+// CAS atomically applies update to a row if every condition holds,
+// Cassandra-LWT style: prepare → serial read → propose → commit, four
+// quorum round trips among the key's replicas (§X-A1). Competing proposals
+// are linearized by Paxos; in-progress proposals found during prepare are
+// completed first. Update cells with TS == 0 are stamped by the committing
+// replicas so later LWTs always supersede earlier ones.
+func (cl *Client) CAS(table, key string, conds []Cond, update Row) (CASResult, error) {
+	cfg := cl.c.cfg
+	net := cl.c.net
+	rt := net.Runtime()
+	targets := cl.c.ring.replicasFor(key)
+	quorum := len(targets)/2 + 1
+
+	net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, rowSize(update)))
+
+	var observed uint64 // highest refusing ballot seen, to leapfrog it
+	for attempt := 0; attempt < cfg.MaxCASAttempts; attempt++ {
+		if attempt > 0 {
+			// Randomized backoff keeps competing proposers from livelock.
+			rt.Sleep(time.Duration(1+rt.Rand().Intn(20*(attempt+1))) * time.Millisecond)
+		}
+		b := cl.c.nextBallot(cl.node, observed)
+
+		// Round 1: prepare.
+		prepResults := net.Multicast(cl.node, targets, svcPrepare,
+			prepareReq{Table: table, Key: key, B: b}, quorum, cfg.Timeout)
+		promises := 0
+		var inProgress paxos.Ballot
+		var inProgressVal Row
+		var committed paxos.Ballot
+		refused := false
+		for _, r := range simnet.Successes(prepResults) {
+			resp := r.Resp.(prepareResp)
+			if resp.Committed.Compare(committed) > 0 {
+				committed = resp.Committed
+			}
+			if !resp.OK {
+				refused = true
+				if resp.RefusedBy.Counter > observed {
+					observed = resp.RefusedBy.Counter
+				}
+				continue
+			}
+			promises++
+			if !resp.InProgress.IsZero() && resp.InProgress.Compare(inProgress) > 0 {
+				inProgress = resp.InProgress
+				if v, ok := resp.InProgressValue.(Row); ok {
+					inProgressVal = v
+				}
+			}
+		}
+		if promises < quorum {
+			if refused {
+				continue // lost the ballot race; retry higher
+			}
+			return CASResult{}, fmt.Errorf("%w: cas prepare %s/%s", ErrUnavailable, table, key)
+		}
+
+		// Complete a stranded earlier proposal before our own, unless a
+		// commit already covered it.
+		if !inProgress.IsZero() && inProgress.Compare(committed) > 0 {
+			err := cl.proposeCommit(table, key, targets, quorum, b, inProgressVal)
+			if err != nil && err != errProposeRejected {
+				return CASResult{}, err
+			}
+			continue // restart our own CAS from a fresh ballot
+		}
+
+		// Round 2: serial read of the current row.
+		current, err := cl.get(table, key, nil, Quorum, false)
+		if err != nil {
+			return CASResult{}, err
+		}
+
+		// Condition evaluation; a failed condition needs no more rounds.
+		if !condsMatch(conds, current) {
+			return CASResult{Applied: false, Current: current}, nil
+		}
+
+		// Rounds 3 and 4: propose and commit.
+		if err := cl.proposeCommit(table, key, targets, quorum, b, update.clone()); err != nil {
+			if err == errProposeRejected {
+				continue // beaten by a higher ballot; retry
+			}
+			return CASResult{}, err
+		}
+		return CASResult{Applied: true, Current: current}, nil
+	}
+	return CASResult{}, fmt.Errorf("%w: cas %s/%s", ErrContention, table, key)
+}
+
+// errProposeRejected is an internal retry signal: a quorum refused the
+// proposal because a higher ballot got there first.
+var errProposeRejected = fmt.Errorf("store: propose rejected")
+
+// proposeCommit runs the accept and commit rounds for (b, update).
+func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quorum int, b paxos.Ballot, update Row) error {
+	cfg := cl.c.cfg
+	net := cl.c.net
+
+	propResults := net.Multicast(cl.node, targets, svcPropose,
+		proposeReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
+	acks := 0
+	for _, r := range simnet.Successes(propResults) {
+		if r.Resp.(proposeResp).OK {
+			acks++
+		}
+	}
+	if acks < quorum {
+		if len(simnet.Successes(propResults)) >= quorum {
+			return errProposeRejected
+		}
+		return fmt.Errorf("%w: cas propose %s/%s", ErrUnavailable, table, key)
+	}
+
+	commitResults := net.Multicast(cl.node, targets, svcCommit,
+		commitReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
+	if len(simnet.Successes(commitResults)) < quorum {
+		return fmt.Errorf("%w: cas commit %s/%s", ErrUnavailable, table, key)
+	}
+	return nil
+}

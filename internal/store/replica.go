@@ -1,0 +1,234 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// Service names registered by each replica.
+const (
+	svcApply   = "store.apply"
+	svcRead    = "store.read"
+	svcScan    = "store.scan"
+	svcPrepare = "store.prepare"
+	svcPropose = "store.propose"
+	svcCommit  = "store.commit"
+)
+
+// Wire messages. WireSize feeds the network's bandwidth model.
+
+type applyReq struct {
+	Table, Key string
+	Cells      Row
+}
+
+func (r applyReq) WireSize() int { return len(r.Table) + len(r.Key) + rowSize(r.Cells) }
+
+type readReq struct {
+	Table, Key string
+	Cols       []string // nil = all columns
+}
+
+type readResp struct {
+	Cells Row // nil when the row does not exist
+}
+
+func (r readResp) WireSize() int { return rowSize(r.Cells) }
+
+type scanReq struct {
+	Table string
+}
+
+type scanResp struct {
+	Keys []string
+}
+
+func (r scanResp) WireSize() int {
+	n := 0
+	for _, k := range r.Keys {
+		n += len(k) + 8
+	}
+	return n
+}
+
+type prepareReq struct {
+	Table, Key string
+	B          paxos.Ballot
+}
+
+type prepareResp struct {
+	paxos.PrepareResponse
+}
+
+func (r prepareResp) WireSize() int {
+	if v, ok := r.InProgressValue.(Row); ok {
+		return rowSize(v)
+	}
+	return 0
+}
+
+type proposeReq struct {
+	Table, Key string
+	B          paxos.Ballot
+	Update     Row
+}
+
+func (r proposeReq) WireSize() int { return rowSize(r.Update) }
+
+type proposeResp struct {
+	OK bool
+}
+
+type commitReq struct {
+	Table, Key string
+	B          paxos.Ballot
+	Update     Row
+}
+
+func (r commitReq) WireSize() int { return rowSize(r.Update) }
+
+// replica is the per-node storage engine: tables of rows plus per-row Paxos
+// acceptor state. State survives Crash/Restart (it models durable storage).
+type replica struct {
+	node *simnet.Node
+
+	mu     sync.Mutex
+	tables map[string]map[string]*rowState
+}
+
+type rowState struct {
+	cells Row
+	ax    paxos.Acceptor
+}
+
+func newReplica(node *simnet.Node) *replica {
+	return &replica{node: node, tables: make(map[string]map[string]*rowState)}
+}
+
+// register installs the replica's services with their CPU costs.
+func (r *replica) register(costs CostModel) {
+	r.node.HandleWithCost(svcApply, r.handleApply, costs.ReplicaApply, costs.PerKB)
+	r.node.HandleWithCost(svcRead, r.handleRead, costs.ReplicaRead, costs.PerKB)
+	r.node.HandleWithCost(svcScan, r.handleScan, costs.ReplicaRead, 0)
+	r.node.HandleWithCost(svcPrepare, r.handlePrepare, costs.PaxosMsg, 0)
+	r.node.HandleWithCost(svcPropose, r.handlePropose, costs.PaxosMsg, costs.PerKB)
+	r.node.HandleWithCost(svcCommit, r.handleCommit, costs.PaxosMsg, costs.PerKB)
+}
+
+// row returns the row state, creating it when create is set.
+func (r *replica) row(table, key string, create bool) *rowState {
+	t, ok := r.tables[table]
+	if !ok {
+		if !create {
+			return nil
+		}
+		t = make(map[string]*rowState)
+		r.tables[table] = t
+	}
+	rs, ok := t[key]
+	if !ok {
+		if !create {
+			return nil
+		}
+		rs = &rowState{cells: make(Row)}
+		t[key] = rs
+	}
+	return rs
+}
+
+func (r *replica) handleApply(from simnet.NodeID, req any) (any, error) {
+	m := req.(applyReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(m.Table, m.Key, true)
+	mergeInto(rs.cells, m.Cells)
+	return nil, nil
+}
+
+func (r *replica) handleRead(from simnet.NodeID, req any) (any, error) {
+	m := req.(readReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(m.Table, m.Key, false)
+	if rs == nil {
+		return readResp{}, nil
+	}
+	if m.Cols == nil {
+		return readResp{Cells: rs.cells.clone()}, nil
+	}
+	out := make(Row, len(m.Cols))
+	for _, col := range m.Cols {
+		if c, ok := rs.cells[col]; ok {
+			out[col] = c
+		}
+	}
+	return readResp{Cells: out}, nil
+}
+
+func (r *replica) handleScan(from simnet.NodeID, req any) (any, error) {
+	m := req.(scanReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []string
+	for key, rs := range r.tables[m.Table] {
+		for _, c := range rs.cells {
+			if !c.Deleted {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	return scanResp{Keys: keys}, nil
+}
+
+func (r *replica) handlePrepare(from simnet.NodeID, req any) (any, error) {
+	m := req.(prepareReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(m.Table, m.Key, true)
+	return prepareResp{rs.ax.HandlePrepare(m.B)}, nil
+}
+
+func (r *replica) handlePropose(from simnet.NodeID, req any) (any, error) {
+	m := req.(proposeReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(m.Table, m.Key, true)
+	return proposeResp{OK: rs.ax.HandlePropose(m.B, m.Update)}, nil
+}
+
+func (r *replica) handleCommit(from simnet.NodeID, req any) (any, error) {
+	m := req.(commitReq)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(m.Table, m.Key, true)
+	if rs.ax.HandleCommit(m.B) {
+		// Stamp unstamped cells so that later CAS commits always beat
+		// earlier ones regardless of coordinator clocks.
+		cells := make(Row, len(m.Update))
+		for col, c := range m.Update {
+			if c.TS == 0 {
+				c.TS = int64(m.B.Counter)
+				if cur, ok := rs.cells[col]; ok && c.TS <= cur.TS {
+					c.TS = cur.TS + 1
+				}
+			}
+			cells[col] = c
+		}
+		mergeInto(rs.cells, cells)
+	}
+	return nil, nil
+}
+
+// dump returns a copy of a row's cells for tests.
+func (r *replica) dump(table, key string) Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.row(table, key, false)
+	if rs == nil {
+		return nil
+	}
+	return rs.cells.clone()
+}

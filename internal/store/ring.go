@@ -1,0 +1,75 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// ring places keys on replicas. Nodes are arranged in a site-interleaved
+// walk (site1[0], site2[0], site3[0], site1[1], ...) so that taking RF
+// consecutive entries spreads a key's replicas across sites — the paper's
+// deployment keeps one copy of every key-value pair per site
+// (NetworkTopologyStrategy in Cassandra terms).
+type ring struct {
+	walk []simnet.NodeID
+	rf   int
+}
+
+func buildRing(net *simnet.Network, nodes []simnet.NodeID, rf int) ring {
+	bySite := make(map[string][]simnet.NodeID)
+	var sites []string
+	for _, id := range nodes {
+		site := net.SiteOf(id)
+		if len(bySite[site]) == 0 {
+			sites = append(sites, site)
+		}
+		bySite[site] = append(bySite[site], id)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		ids := bySite[site]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+
+	var walk []simnet.NodeID
+	for i := 0; ; i++ {
+		added := false
+		for _, site := range sites {
+			if i < len(bySite[site]) {
+				walk = append(walk, bySite[site][i])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if rf > len(walk) {
+		rf = len(walk)
+	}
+	return ring{walk: walk, rf: rf}
+}
+
+// replicasFor returns the RF nodes responsible for key.
+func (r ring) replicasFor(key string) []simnet.NodeID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	pos := int(h.Sum64() % uint64(len(r.walk)))
+	out := make([]simnet.NodeID, 0, r.rf)
+	for i := 0; i < r.rf; i++ {
+		out = append(out, r.walk[(pos+i)%len(r.walk)])
+	}
+	return out
+}
+
+// contains reports whether id is one of the given replicas.
+func contains(ids []simnet.NodeID, id simnet.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,302 @@
+// Package store implements the eventually consistent, replicated key-value
+// store MUSIC is layered on — a from-scratch stand-in for Cassandra with
+// the semantics the paper relies on (§III-B):
+//
+//   - tables of rows; each row is a set of named cells carrying a scalar
+//     timestamp; replicas merge concurrent writes per cell, last write wins;
+//   - a hash-ring partitioner with a configurable replication factor that
+//     spreads each key's replicas across sites;
+//   - coordinator-driven reads and writes at ONE / QUORUM / ALL consistency
+//     (one round trip to the required number of replicas), with read repair
+//     and hinted handoff providing eventual convergence;
+//   - per-key compare-and-set ("light-weight transactions") built on Paxos,
+//     costing four quorum round trips exactly like Cassandra's LWTs.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// Consistency selects how many replica acknowledgements an operation needs.
+type Consistency int
+
+// Consistency levels, mirroring Cassandra's ONE / QUORUM / ALL.
+const (
+	One Consistency = iota + 1
+	Quorum
+	All
+)
+
+// need translates a consistency level into an ack count for rf replicas.
+func (c Consistency) need(rf int) int {
+	switch c {
+	case One:
+		return 1
+	case All:
+		return rf
+	default:
+		return rf/2 + 1
+	}
+}
+
+// Cell is one column value with its write timestamp. Deleted marks a
+// tombstone. Higher timestamps win; on a timestamp tie a tombstone beats a
+// live cell and otherwise the lexically larger value wins (Cassandra's
+// tiebreak), so merging is commutative and idempotent.
+type Cell struct {
+	Value   []byte
+	TS      int64
+	Deleted bool
+}
+
+// Row maps column names to cells.
+type Row map[string]Cell
+
+// clone deep-copies a row (cell values are treated as immutable).
+func (r Row) clone() Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// live returns only the non-tombstone cells of r.
+func (r Row) live() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		if !v.Deleted {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// wins reports whether cell a beats cell b under LWW rules.
+func (a Cell) wins(b Cell) bool {
+	if a.TS != b.TS {
+		return a.TS > b.TS
+	}
+	if a.Deleted != b.Deleted {
+		return a.Deleted
+	}
+	return bytes.Compare(a.Value, b.Value) > 0
+}
+
+// mergeInto folds src into dst cell-wise, returning true if dst changed.
+func mergeInto(dst Row, src Row) bool {
+	changed := false
+	for col, c := range src {
+		cur, ok := dst[col]
+		if !ok || c.wins(cur) {
+			dst[col] = c
+			changed = true
+		}
+	}
+	return changed
+}
+
+// rowSize approximates the wire size of a row in bytes.
+func rowSize(r Row) int {
+	n := 0
+	for col, c := range r {
+		n += len(col) + len(c.Value) + 16
+	}
+	return n
+}
+
+// Cond is one conjunct of a compare-and-set condition: the named column
+// must currently equal Want; a nil Want requires the column to be absent
+// (or deleted). An empty condition list always applies.
+type Cond struct {
+	Col  string
+	Want []byte
+}
+
+// condsMatch evaluates conditions against the live cells of row.
+func condsMatch(conds []Cond, row Row) bool {
+	for _, c := range conds {
+		cell, ok := row[c.Col]
+		present := ok && !cell.Deleted
+		if c.Want == nil {
+			if present {
+				return false
+			}
+			continue
+		}
+		if !present || !bytes.Equal(cell.Value, c.Want) {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors reported by store clients.
+var (
+	// ErrUnavailable means too few replicas acknowledged in time. A failed
+	// write is NOT rolled back: it may have reached some replicas (§III).
+	ErrUnavailable = errors.New("store: not enough replicas responded")
+	// ErrContention means a compare-and-set lost too many Paxos races.
+	ErrContention = errors.New("store: cas contention, retries exhausted")
+)
+
+// CostModel sets the per-operation CPU costs that bound node throughput.
+// The defaults are calibrated so a 3-node cluster sustains roughly the
+// 41K eventual writes/s the paper measured for CassaEV (Fig 4a).
+type CostModel struct {
+	CoordWrite   time.Duration // coordinator work per write
+	CoordRead    time.Duration // coordinator work per read
+	ReplicaApply time.Duration // replica work applying a mutation
+	ReplicaRead  time.Duration // replica work serving a read
+	PaxosMsg     time.Duration // replica work per Paxos message
+	PerKB        time.Duration // added work per KiB of payload
+}
+
+func defaultCosts() CostModel {
+	return CostModel{
+		CoordWrite:   300 * time.Microsecond,
+		CoordRead:    250 * time.Microsecond,
+		ReplicaApply: 90 * time.Microsecond,
+		ReplicaRead:  90 * time.Microsecond,
+		PaxosMsg:     80 * time.Microsecond,
+		PerKB:        1500 * time.Nanosecond,
+	}
+}
+
+// Config describes a store cluster.
+type Config struct {
+	// RF is the replication factor. Defaults to min(3, len(nodes)).
+	RF int
+	// Nodes lists the network nodes running store replicas. Defaults to
+	// every node in the network.
+	Nodes []simnet.NodeID
+	// NoReadRepair disables background repair of stale replicas on reads.
+	NoReadRepair bool
+	// NoHintedHandoff disables background write retries to failed replicas.
+	NoHintedHandoff bool
+	// Timeout bounds each replica round trip. Defaults to the network's
+	// RPC timeout.
+	Timeout time.Duration
+	// MaxCASAttempts bounds Paxos retries under contention. Defaults to 16.
+	MaxCASAttempts int
+	// Costs overrides the CPU cost model; zero fields keep defaults.
+	Costs CostModel
+}
+
+// Cluster is a store deployment over a simnet.Network. Build one with New,
+// then obtain per-node Clients to issue operations.
+type Cluster struct {
+	net  *simnet.Network
+	cfg  Config
+	ring ring
+
+	replicas map[simnet.NodeID]*replica
+
+	mu         sync.Mutex
+	lastBallot uint64
+}
+
+// New builds a store cluster and registers its services on the given nodes.
+func New(net *simnet.Network, cfg Config) *Cluster {
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = net.Nodes()
+	}
+	if cfg.RF == 0 {
+		cfg.RF = 3
+	}
+	if cfg.RF > len(cfg.Nodes) {
+		cfg.RF = len(cfg.Nodes)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = net.Config().RPCTimeout
+	}
+	if cfg.MaxCASAttempts == 0 {
+		cfg.MaxCASAttempts = 16
+	}
+	d := defaultCosts()
+	if cfg.Costs.CoordWrite == 0 {
+		cfg.Costs.CoordWrite = d.CoordWrite
+	}
+	if cfg.Costs.CoordRead == 0 {
+		cfg.Costs.CoordRead = d.CoordRead
+	}
+	if cfg.Costs.ReplicaApply == 0 {
+		cfg.Costs.ReplicaApply = d.ReplicaApply
+	}
+	if cfg.Costs.ReplicaRead == 0 {
+		cfg.Costs.ReplicaRead = d.ReplicaRead
+	}
+	if cfg.Costs.PaxosMsg == 0 {
+		cfg.Costs.PaxosMsg = d.PaxosMsg
+	}
+	if cfg.Costs.PerKB == 0 {
+		cfg.Costs.PerKB = d.PerKB
+	}
+
+	c := &Cluster{
+		net:      net,
+		cfg:      cfg,
+		ring:     buildRing(net, cfg.Nodes, cfg.RF),
+		replicas: make(map[simnet.NodeID]*replica, len(cfg.Nodes)),
+	}
+	for _, id := range cfg.Nodes {
+		r := newReplica(net.Node(id))
+		c.replicas[id] = r
+		r.register(cfg.Costs)
+	}
+	return c
+}
+
+// Net returns the underlying network.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Nodes returns the store nodes.
+func (c *Cluster) Nodes() []simnet.NodeID { return append([]simnet.NodeID(nil), c.cfg.Nodes...) }
+
+// RF returns the effective replication factor.
+func (c *Cluster) RF() int { return c.ring.rf }
+
+// ReplicasFor returns the nodes holding key (exposed for tests and for the
+// lock store's local peek).
+func (c *Cluster) ReplicasFor(key string) []simnet.NodeID { return c.ring.replicasFor(key) }
+
+// NowMicros returns the cluster clock in microseconds, used to timestamp
+// plain writes.
+func (c *Cluster) NowMicros() int64 { return int64(c.net.Runtime().Now() / time.Microsecond) }
+
+// nextWriteTS returns a cluster-monotonic microsecond timestamp for plain
+// writes, so two back-to-back writes never tie on timestamp.
+func (c *Cluster) nextWriteTS() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := uint64(c.NowMicros())
+	if n <= c.lastBallot {
+		n = c.lastBallot + 1
+	}
+	c.lastBallot = n
+	return int64(n)
+}
+
+// nextBallot mints a monotonically increasing ballot for a coordinator.
+func (c *Cluster) nextBallot(node simnet.NodeID, atLeast uint64) paxos.Ballot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := uint64(c.NowMicros())
+	if n <= c.lastBallot {
+		n = c.lastBallot + 1
+	}
+	if n <= atLeast {
+		n = atLeast + 1
+	}
+	c.lastBallot = n
+	return paxos.Ballot{Counter: n, Node: int32(node)}
+}

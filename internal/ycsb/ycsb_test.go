@@ -1,0 +1,150 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	tests := []struct {
+		workload    string
+		wantUpdates func(u, n int) bool
+	}{
+		{WorkloadR, func(u, n int) bool { return u == 0 }},
+		{WorkloadU, func(u, n int) bool { return u == n }},
+		{WorkloadUR, func(u, n int) bool { return u > n/3 && u < 2*n/3 }},
+	}
+	for _, tt := range tests {
+		g, err := NewGenerator(Config{Workload: tt.workload}, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.workload, err)
+		}
+		const n = 2000
+		updates := 0
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			if op.Kind == Update {
+				updates++
+				if len(op.Value) != 10 {
+					t.Fatalf("%s: value size %d, want 10", tt.workload, len(op.Value))
+				}
+			}
+		}
+		if !tt.wantUpdates(updates, n) {
+			t.Errorf("%s: %d/%d updates", tt.workload, updates, n)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := NewGenerator(Config{Workload: "X"}, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestKeysWithinKeyspace(t *testing.T) {
+	g, err := NewGenerator(Config{Workload: WorkloadU, Records: 50}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		keys[g.Next().Key] = true
+	}
+	if len(keys) > 50 {
+		t.Fatalf("%d distinct keys exceed keyspace 50", len(keys))
+	}
+	all := g.Keys()
+	if len(all) != 50 {
+		t.Fatalf("Keys = %d", len(all))
+	}
+	for k := range keys {
+		found := false
+		for _, a := range all {
+			if a == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("generated key %q outside keyspace", k)
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipfian(1000, 0.99, rng)
+	counts := make([]int, 1000)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("draw %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// The hottest item must dominate: YCSB's zipfian(0.99) gives item 0
+	// roughly 13% of the mass for n=1000.
+	if frac := float64(counts[0]) / draws; frac < 0.05 {
+		t.Fatalf("hottest item drew %.3f of mass, want > 0.05", frac)
+	}
+	// Head heavier than tail.
+	head, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := 990; i < 1000; i++ {
+		tail += counts[i]
+	}
+	if head <= tail*10 {
+		t.Fatalf("head %d not ≫ tail %d", head, tail)
+	}
+}
+
+func TestZipfianDeterministicPerSeed(t *testing.T) {
+	draw := func() []int {
+		z := NewZipfian(100, 0.99, rand.New(rand.NewSource(5)))
+		out := make([]int, 20)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCollisionRateWithZipfianKeys(t *testing.T) {
+	// Sanity for the Fig 9 setup: with a few concurrent threads drawing
+	// Zipfian keys from a 1000-record space, same-key collisions happen but
+	// are rare (the paper saw ~5.5%).
+	gens := make([]*Generator, 4)
+	for i := range gens {
+		g, err := NewGenerator(Config{Workload: WorkloadU}, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[i] = g
+	}
+	collisions, total := 0, 0
+	for round := 0; round < 2000; round++ {
+		seen := make(map[string]bool, 4)
+		for _, g := range gens {
+			k := g.Next().Key
+			if seen[k] {
+				collisions++
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	rate := float64(collisions) / float64(total)
+	if rate == 0 || rate > 0.3 {
+		t.Fatalf("collision rate = %.4f, want small but nonzero", rate)
+	}
+}

@@ -1,0 +1,282 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func fixture(t *testing.T, fn func(rt *sim.Virtual, net *simnet.Network, c *Cluster)) {
+	t.Helper()
+	rt := sim.New(5)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileIUs})
+	c, err := New(net, net.Nodes())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Run(func() { fn(rt, net, c) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		p, err := cl.Create("/app", []byte("v0"), false)
+		if err != nil || p != "/app" {
+			t.Fatalf("Create = (%q, %v)", p, err)
+		}
+		data, stat, err := cl.GetData("/app")
+		if err != nil || string(data) != "v0" || stat.Version != 0 {
+			t.Fatalf("GetData = (%q, %+v, %v)", data, stat, err)
+		}
+		if _, err := cl.SetData("/app", []byte("v1"), 0); err != nil {
+			t.Fatalf("SetData: %v", err)
+		}
+		data, stat, err = cl.GetData("/app")
+		if err != nil || string(data) != "v1" || stat.Version != 1 {
+			t.Fatalf("after set: (%q, %+v, %v)", data, stat, err)
+		}
+		if err := cl.Delete("/app", -1); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, _, err := cl.GetData("/app"); !errors.Is(err, ErrNoNode) {
+			t.Fatalf("get deleted err = %v, want ErrNoNode", err)
+		}
+	})
+}
+
+func TestVersionConflicts(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if _, err := cl.Create("/n", []byte("a"), false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if _, err := cl.SetData("/n", []byte("b"), 5); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("stale set err = %v, want ErrBadVersion", err)
+		}
+		if err := cl.Delete("/n", 9); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("stale delete err = %v, want ErrBadVersion", err)
+		}
+		if _, err := cl.Create("/n", nil, false); !errors.Is(err, ErrNodeExists) {
+			t.Fatalf("duplicate create err = %v, want ErrNodeExists", err)
+		}
+	})
+}
+
+func TestParentRequiredAndNotEmpty(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if _, err := cl.Create("/a/b", nil, false); !errors.Is(err, ErrNoNode) {
+			t.Fatalf("orphan create err = %v, want ErrNoNode", err)
+		}
+		if _, err := cl.Create("/a", nil, false); err != nil {
+			t.Fatalf("Create /a: %v", err)
+		}
+		if _, err := cl.Create("/a/b", nil, false); err != nil {
+			t.Fatalf("Create /a/b: %v", err)
+		}
+		if err := cl.Delete("/a", -1); !errors.Is(err, ErrNotEmpty) {
+			t.Fatalf("delete non-empty err = %v, want ErrNotEmpty", err)
+		}
+		kids, err := cl.Children("/a")
+		if err != nil || len(kids) != 1 || kids[0] != "/a/b" {
+			t.Fatalf("Children = (%v, %v)", kids, err)
+		}
+	})
+}
+
+func TestSequentialNodes(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if _, err := cl.Create("/locks", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		var names []string
+		for i := 0; i < 3; i++ {
+			p, err := cl.Create("/locks/lock-", nil, true)
+			if err != nil {
+				t.Fatalf("sequential create: %v", err)
+			}
+			names = append(names, p)
+		}
+		for i, p := range names {
+			if !strings.HasPrefix(p, "/locks/lock-") {
+				t.Fatalf("name %q", p)
+			}
+			if i > 0 && p <= names[i-1] {
+				t.Fatalf("sequential names not increasing: %v", names)
+			}
+		}
+	})
+}
+
+func TestWritesVisibleOnAllServersEventually(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		if _, err := c.Client(1).Create("/x", []byte("v"), false); err != nil {
+			t.Fatalf("Create via follower: %v", err)
+		}
+		rt.Sleep(time.Second)
+		for srv := 0; srv < 3; srv++ {
+			data, _, err := c.Client(simnet.NodeID(srv)).GetData("/x")
+			if err != nil || string(data) != "v" {
+				t.Fatalf("server %d: (%q, %v)", srv, data, err)
+			}
+		}
+	})
+}
+
+func TestWritesAreTotallyOrdered(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		if _, err := c.Client(0).Create("/seq", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		done := sim.NewMailbox[error](rt)
+		for i := 0; i < 3; i++ {
+			srv := simnet.NodeID(i)
+			rt.Go(func() {
+				cl := c.Client(srv)
+				for j := 0; j < 5; j++ {
+					if _, err := cl.SetData("/seq", []byte{byte(j)}, -1); err != nil {
+						done.Send(err)
+						return
+					}
+				}
+				done.Send(nil)
+			})
+		}
+		for i := 0; i < 3; i++ {
+			if err, recvErr := done.RecvTimeout(time.Minute); recvErr != nil || err != nil {
+				t.Fatalf("writer: %v / %v", err, recvErr)
+			}
+		}
+		rt.Sleep(2 * time.Second)
+		// All servers converge to the same version: 15 total sets.
+		for srv := 0; srv < 3; srv++ {
+			_, stat, err := c.Client(simnet.NodeID(srv)).GetData("/seq")
+			if err != nil || stat.Version != 15 {
+				t.Fatalf("server %d version = %d (%v), want 15", srv, stat.Version, err)
+			}
+		}
+	})
+}
+
+func TestWatchFiresOnSet(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(2)
+		if _, err := c.Client(0).Create("/w", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		rt.Sleep(time.Second)
+		w := cl.Watch("/w")
+		if _, err := c.Client(0).SetData("/w", []byte("new"), -1); err != nil {
+			t.Fatalf("SetData: %v", err)
+		}
+		ev, err := w.AwaitTimeout(5 * time.Second)
+		if err != nil || ev.Path != "/w" || ev.Deleted {
+			t.Fatalf("watch = (%+v, %v)", ev, err)
+		}
+	})
+}
+
+func TestWatchFiresOnDelete(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if _, err := cl.Create("/w", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		w := cl.Watch("/w")
+		if err := cl.Delete("/w", -1); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		ev, err := w.AwaitTimeout(5 * time.Second)
+		if err != nil || !ev.Deleted {
+			t.Fatalf("watch = (%+v, %v), want deletion", ev, err)
+		}
+	})
+}
+
+func TestLocalReadIsFastWriteCostsQuorumRTT(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0) // node 0 is the leader
+		if _, err := cl.Create("/perf", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		start := rt.Now()
+		if _, err := cl.SetData("/perf", []byte("x"), -1); err != nil {
+			t.Fatalf("SetData: %v", err)
+		}
+		writeLat := rt.Now() - start
+		// Leader write: one quorum round trip (fastest follower, ncal 54ms).
+		if writeLat < 40*time.Millisecond || writeLat > 90*time.Millisecond {
+			t.Errorf("leader write = %v, want ≈54ms", writeLat)
+		}
+
+		start = rt.Now()
+		if _, _, err := cl.GetData("/perf"); err != nil {
+			t.Fatalf("GetData: %v", err)
+		}
+		if readLat := rt.Now() - start; readLat > 2*time.Millisecond {
+			t.Errorf("local read = %v, want sub-ms", readLat)
+		}
+
+		// A follower write adds the forwarding hop to the leader.
+		start = rt.Now()
+		if _, err := c.Client(2).SetData("/perf", []byte("y"), -1); err != nil {
+			t.Fatalf("follower SetData: %v", err)
+		}
+		fwdLat := rt.Now() - start
+		if fwdLat <= writeLat {
+			t.Errorf("follower write %v not slower than leader write %v", fwdLat, writeLat)
+		}
+	})
+}
+
+func TestPipelinedThroughputExceedsSerial(t *testing.T) {
+	// 60 concurrent writes must take far less than 60 × one-RTT, proving
+	// the leader pipelines proposals rather than serializing round trips.
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if _, err := cl.Create("/p", nil, false); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		done := sim.NewMailbox[error](rt)
+		start := rt.Now()
+		const writes = 60
+		for i := 0; i < writes; i++ {
+			rt.Go(func() {
+				_, err := cl.SetData("/p", []byte("x"), -1)
+				done.Send(err)
+			})
+		}
+		for i := 0; i < writes; i++ {
+			if err, recvErr := done.RecvTimeout(time.Minute); recvErr != nil || err != nil {
+				t.Fatalf("write %d: %v / %v", i, err, recvErr)
+			}
+		}
+		elapsed := rt.Now() - start
+		if elapsed > time.Second {
+			t.Fatalf("60 pipelined writes took %v, want ≪ 60×54ms = 3.2s", elapsed)
+		}
+	})
+}
+
+func TestManyDistinctNodes(t *testing.T) {
+	fixture(t, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(1)
+		for i := 0; i < 20; i++ {
+			if _, err := cl.Create(fmt.Sprintf("/n%02d", i), []byte{byte(i)}, false); err != nil {
+				t.Fatalf("Create %d: %v", i, err)
+			}
+		}
+		kids, err := cl.Children("/")
+		if err != nil || len(kids) != 20 {
+			t.Fatalf("Children = %d (%v), want 20", len(kids), err)
+		}
+	})
+}

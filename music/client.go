@@ -1,0 +1,184 @@
+package music
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client issues MUSIC operations through one site's replica (Table I).
+type Client struct {
+	c    *Cluster
+	rep  *core.Replica
+	site string
+}
+
+// CreateLockRef enqueues a new per-key unique increasing lock reference,
+// good for one critical section.
+func (cl *Client) CreateLockRef(key string) (LockRef, error) {
+	ref, err := cl.rep.CreateLockRef(key)
+	return LockRef(ref), err
+}
+
+// AcquireLock reports whether ref now holds key's lock; false with nil
+// error means "not yet" — poll again, with backoff.
+func (cl *Client) AcquireLock(key string, ref LockRef) (bool, error) {
+	return cl.rep.AcquireLock(key, int64(ref))
+}
+
+// AwaitLock polls AcquireLock with exponential backoff until the lock is
+// granted, the timeout expires, or the lockRef dies. A zero timeout waits
+// indefinitely.
+func (cl *Client) AwaitLock(key string, ref LockRef, timeout time.Duration) error {
+	rt := cl.c.rt
+	deadline := rt.Now() + timeout
+	backoff := time.Millisecond
+	for {
+		ok, err := cl.rep.AcquireLock(key, int64(ref))
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if timeout > 0 && rt.Now() >= deadline {
+			return fmt.Errorf("music: lock %s/%d: %w", key, ref, errAwaitTimeout)
+		}
+		rt.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// ErrAwaitTimeout is returned by AwaitLock when the timeout expires first.
+var errAwaitTimeout = errors.New("await timeout")
+
+// ErrAwaitTimeout reports whether err is an AwaitLock timeout.
+func ErrAwaitTimeout(err error) bool { return errors.Is(err, errAwaitTimeout) }
+
+// CriticalPut writes the latest value of key for the current lockholder.
+func (cl *Client) CriticalPut(key string, ref LockRef, value []byte) error {
+	return cl.rep.CriticalPut(key, int64(ref), value)
+}
+
+// CriticalGet reads the true value of key for the current lockholder.
+func (cl *Client) CriticalGet(key string, ref LockRef) ([]byte, error) {
+	return cl.rep.CriticalGet(key, int64(ref))
+}
+
+// CriticalDelete removes key's value for the current lockholder.
+func (cl *Client) CriticalDelete(key string, ref LockRef) error {
+	return cl.rep.CriticalDelete(key, int64(ref))
+}
+
+// ReleaseLock removes ref from the queue and releases the lock.
+func (cl *Client) ReleaseLock(key string, ref LockRef) error {
+	return cl.rep.ReleaseLock(key, int64(ref))
+}
+
+// ForcedRelease preempts a (presumed failed) lockholder, marking the key
+// for synchronization before the next grant (§IV-B; used by ownership-
+// stealing services like the Portal, §VII-b).
+func (cl *Client) ForcedRelease(key string, ref LockRef) error {
+	return cl.rep.ForcedRelease(key, int64(ref))
+}
+
+// RemoveLockRef evicts a lockRef that failed to win the lock (the homing
+// workers' removeLockReference, §VII-a).
+func (cl *Client) RemoveLockRef(key string, ref LockRef) error {
+	return cl.rep.ReleaseLock(key, int64(ref))
+}
+
+// Put writes key without locks at eventual consistency (no ECF guarantees).
+func (cl *Client) Put(key string, value []byte) error { return cl.rep.Put(key, value) }
+
+// Get reads key without locks; possibly stale.
+func (cl *Client) Get(key string) ([]byte, error) { return cl.rep.Get(key) }
+
+// GetAllKeys lists keys with a live value, eventually consistent.
+func (cl *Client) GetAllKeys() ([]string, error) { return cl.rep.GetAllKeys() }
+
+// Remove permanently retires a key.
+func (cl *Client) Remove(key string) error { return cl.rep.Remove(key) }
+
+// Site returns the site this client operates from.
+func (cl *Client) Site() string { return cl.site }
+
+// CriticalSection is the handle passed to RunCritical callbacks.
+type CriticalSection struct {
+	cl  *Client
+	key string
+	ref LockRef
+}
+
+// Ref returns the section's lock reference.
+func (cs *CriticalSection) Ref() LockRef { return cs.ref }
+
+// Get reads the key's true value.
+func (cs *CriticalSection) Get() ([]byte, error) { return cs.cl.CriticalGet(cs.key, cs.ref) }
+
+// Put writes the key's value.
+func (cs *CriticalSection) Put(v []byte) error { return cs.cl.CriticalPut(cs.key, cs.ref, v) }
+
+// Delete removes the key's value.
+func (cs *CriticalSection) Delete() error { return cs.cl.CriticalDelete(cs.key, cs.ref) }
+
+// RunCritical runs fn inside a critical section over key: it creates a lock
+// reference, awaits the lock, invokes fn, and releases the lock (Listing 1
+// packaged up). The lock is released even when fn fails; fn's error is
+// returned.
+func (cl *Client) RunCritical(key string, fn func(cs *CriticalSection) error) error {
+	ref, err := cl.CreateLockRef(key)
+	if err != nil {
+		return err
+	}
+	if err := cl.AwaitLock(key, ref, 0); err != nil {
+		// Never granted: evict our reference so it cannot become an orphan.
+		_ = cl.RemoveLockRef(key, ref)
+		return err
+	}
+	fnErr := fn(&CriticalSection{cl: cl, key: key, ref: ref})
+	if relErr := cl.ReleaseLock(key, ref); fnErr == nil && relErr != nil {
+		return relErr
+	}
+	return fnErr
+}
+
+// RunCriticalMulti runs fn holding the locks of every key in keys,
+// acquiring them in lexicographic order — the deadlock-avoidance rule the
+// paper prescribes for multi-key critical sections (§III-A). fn receives a
+// section per key, in the caller's original key order.
+func (cl *Client) RunCriticalMulti(keys []string, fn func(cs map[string]*CriticalSection) error) error {
+	ordered := append([]string(nil), keys...)
+	sort.Strings(ordered)
+
+	held := make(map[string]*CriticalSection, len(ordered))
+	release := func() {
+		// Release in reverse acquisition order.
+		for i := len(ordered) - 1; i >= 0; i-- {
+			if cs, ok := held[ordered[i]]; ok {
+				_ = cl.ReleaseLock(ordered[i], cs.ref)
+			}
+		}
+	}
+	for _, key := range ordered {
+		ref, err := cl.CreateLockRef(key)
+		if err != nil {
+			release()
+			return err
+		}
+		if err := cl.AwaitLock(key, ref, 0); err != nil {
+			_ = cl.RemoveLockRef(key, ref)
+			release()
+			return err
+		}
+		held[key] = &CriticalSection{cl: cl, key: key, ref: ref}
+	}
+	fnErr := fn(held)
+	release()
+	return fnErr
+}

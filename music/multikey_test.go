@@ -1,0 +1,84 @@
+package music
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestMultiKeyNoDeadlockOppositeOrders has two clients repeatedly taking
+// the same pair of locks, requested in opposite orders. The lexicographic
+// acquisition rule (§III-A) must prevent deadlock and keep both keys'
+// updates atomic with respect to each other.
+func TestMultiKeyNoDeadlockOppositeOrders(t *testing.T) {
+	c := newTestCluster(t)
+	err := c.Run(func() {
+		done := make(chan error, 2)
+		orders := [][]string{{"a", "b"}, {"b", "a"}}
+		for i := 0; i < 2; i++ {
+			i := i
+			site := c.Sites()[i]
+			c.Go(func() {
+				cl := c.Client(site)
+				var err error
+				for round := 0; round < 3 && err == nil; round++ {
+					err = cl.RunCriticalMulti(orders[i], func(cs map[string]*CriticalSection) error {
+						// Write matching values to both keys; any interleaving
+						// of the two clients would break the pairing.
+						tag := []byte(fmt.Sprintf("c%d-r%d", i, round))
+						if err := cs["a"].Put(tag); err != nil {
+							return err
+						}
+						return cs["b"].Put(tag)
+					})
+				}
+				done <- err
+			})
+		}
+		deadline := c.Now() + 20*time.Minute
+		for len(done) < 2 {
+			if c.Now() > deadline {
+				t.Fatal("multi-key clients deadlocked")
+			}
+			c.Sleep(100 * time.Millisecond)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("client error: %v", err)
+			}
+		}
+		cl := c.Client("ohio")
+		a, errA := cl.Get("a")
+		b, errB := cl.Get("b")
+		if errA != nil || errB != nil || string(a) != string(b) {
+			t.Fatalf("keys diverged after paired sections: a=%q (%v) b=%q (%v)", a, errA, b, errB)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestMultiKeyReleasesEverythingOnFailure checks that a failed multi-key
+// acquisition leaves no lock held.
+func TestMultiKeyReleasesEverythingOnFailure(t *testing.T) {
+	c := newTestCluster(t)
+	err := c.Run(func() {
+		cl := c.Client("ohio")
+		boom := fmt.Errorf("boom")
+		if err := cl.RunCriticalMulti([]string{"x", "y"}, func(cs map[string]*CriticalSection) error {
+			return boom
+		}); err != boom {
+			t.Fatalf("err = %v, want boom", err)
+		}
+		// Both locks are immediately available again.
+		if err := cl.RunCriticalMulti([]string{"x", "y"}, func(cs map[string]*CriticalSection) error {
+			return nil
+		}); err != nil {
+			t.Fatalf("relock after failure: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package music is the public API of this MUSIC reproduction: a replicated
+// multi-site key-value store exposing critical sections over geo-distributed
+// state with entry-consistency-under-failures (ECF) semantics, after
+// "MUSIC: Multi-Site Critical Sections over Geo-Distributed State"
+// (Balasubramanian et al., ICDCS 2020).
+//
+// A Cluster bundles the full deployment of Fig 1 — a multi-site network,
+// a Cassandra-like replicated data/lock store, and one MUSIC replica per
+// site. Clients bind to a site's replica and run critical sections:
+//
+//	c, _ := music.New(music.WithProfile(music.ProfileLocal), music.WithRealTime())
+//	defer c.Close()
+//	cl := c.Client(c.Sites()[0])
+//	err := cl.RunCritical("counter", func(cs *music.CriticalSection) error {
+//	    v, _ := cs.Get()
+//	    return cs.Put(append(v, '+'))
+//	})
+//
+// By default a cluster runs on a deterministic virtual-time simulator (use
+// Cluster.Run to enter it); WithRealTime switches to the wall clock so the
+// same protocol code serves live traffic (see cmd/musicd).
+package music
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// LockRef is a per-key unique, increasing lock reference, good for one
+// critical section (Table I).
+type LockRef int64
+
+// Mode selects how critical puts reach the data store.
+type Mode = core.Mode
+
+// Critical-put modes.
+const (
+	// ModeQuorum is MUSIC proper: critical puts are quorum writes.
+	ModeQuorum = core.ModeQuorum
+	// ModeLWT is the paper's MSCP baseline: critical puts use Paxos LWTs.
+	ModeLWT = core.ModeLWT
+)
+
+// Errors surfaced by critical operations. Retry guidance follows §III-A:
+// ErrNotLockHolder and ErrUnavailable are retryable (the latter possibly at
+// another site); ErrNoLongerLockHolder and ErrExpired mean the lockRef is
+// dead and a new critical section is needed.
+var (
+	ErrNoLongerLockHolder = core.ErrNoLongerLockHolder
+	ErrNotLockHolder      = core.ErrNotLockHolder
+	ErrExpired            = core.ErrExpired
+	ErrUnavailable        = core.ErrUnavailable
+)
+
+// Named latency profiles (Table II plus a fast local one for live demos).
+const (
+	Profile11    = "11"
+	ProfileIUs   = "IUs"
+	ProfileIUsEu = "IUsEu"
+	ProfileLocal = "local"
+)
+
+// options collects cluster construction parameters.
+type options struct {
+	profile      *simnet.Profile
+	nodesPerSite int
+	rf           int
+	t            time.Duration
+	mode         Mode
+	realTime     bool
+	seed         int64
+	observer     func(op core.Op, d time.Duration)
+}
+
+// Option configures New.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithProfile selects a named latency profile (Profile11, ProfileIUs,
+// ProfileIUsEu, ProfileLocal). The default is ProfileIUs.
+func WithProfile(name string) Option {
+	return optionFunc(func(o *options) {
+		switch name {
+		case Profile11:
+			o.profile = simnet.Profile11
+		case ProfileIUs:
+			o.profile = simnet.ProfileIUs
+		case ProfileIUsEu:
+			o.profile = simnet.ProfileIUsEu
+		case ProfileLocal:
+			o.profile = simnet.ProfileLocal
+		default:
+			o.profile = nil
+		}
+	})
+}
+
+// WithNodesPerSite sets how many store nodes each site runs (default 1).
+func WithNodesPerSite(n int) Option {
+	return optionFunc(func(o *options) { o.nodesPerSite = n })
+}
+
+// WithRF sets the replication factor (default 3, one copy per site).
+func WithRF(n int) Option {
+	return optionFunc(func(o *options) { o.rf = n })
+}
+
+// WithT bounds the duration of a critical section (default 1 minute).
+func WithT(t time.Duration) Option {
+	return optionFunc(func(o *options) { o.t = t })
+}
+
+// WithMode selects ModeQuorum (MUSIC, default) or ModeLWT (MSCP).
+func WithMode(m Mode) Option {
+	return optionFunc(func(o *options) { o.mode = m })
+}
+
+// WithRealTime runs the cluster on the wall clock instead of the
+// deterministic virtual-time simulator.
+func WithRealTime() Option {
+	return optionFunc(func(o *options) { o.realTime = true })
+}
+
+// WithSeed seeds the simulator for reproducible schedules (default 1).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(o *options) { o.seed = seed })
+}
+
+// Cluster is a full MUSIC deployment: network, back-end store, and one
+// MUSIC replica per site.
+type Cluster struct {
+	rt       sim.Runtime
+	virtual  *sim.Virtual // nil in real-time mode
+	net      *simnet.Network
+	st       *store.Cluster
+	sites    []string
+	replicas map[string]*core.Replica
+}
+
+// New builds a cluster. With the default virtual-time mode, issue all
+// operations inside Cluster.Run.
+func New(opts ...Option) (*Cluster, error) {
+	o := options{
+		profile:      simnet.ProfileIUs,
+		nodesPerSite: 1,
+		rf:           3,
+		seed:         1,
+		mode:         ModeQuorum,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.profile == nil {
+		return nil, errors.New("music: unknown latency profile")
+	}
+
+	var rt sim.Runtime
+	var virtual *sim.Virtual
+	if o.realTime {
+		rt = sim.NewReal(o.seed)
+	} else {
+		virtual = sim.New(o.seed)
+		rt = virtual
+	}
+	net := simnet.New(rt, simnet.Config{
+		Profile:      o.profile,
+		NodesPerSite: o.nodesPerSite,
+		Seed:         o.seed,
+	})
+	st := store.New(net, store.Config{RF: o.rf})
+
+	c := &Cluster{
+		rt:       rt,
+		virtual:  virtual,
+		net:      net,
+		st:       st,
+		sites:    o.profile.Sites(),
+		replicas: make(map[string]*core.Replica, len(o.profile.Sites())),
+	}
+	for _, site := range c.sites {
+		node := net.NodesInSite(site)[0]
+		c.replicas[site] = core.NewReplica(st.Client(node), core.Config{
+			T:        o.t,
+			Mode:     o.mode,
+			Observer: o.observer,
+		})
+	}
+	return c, nil
+}
+
+// Sites returns the cluster's site names.
+func (c *Cluster) Sites() []string { return append([]string(nil), c.sites...) }
+
+// Client returns a client bound to the MUSIC replica at the named site.
+func (c *Cluster) Client(site string) *Client {
+	rep, ok := c.replicas[site]
+	if !ok {
+		panic(fmt.Sprintf("music: unknown site %q", site))
+	}
+	return &Client{c: c, rep: rep, site: site}
+}
+
+// Run executes fn inside the cluster's virtual-time simulation and drives
+// it to completion; in real-time mode it simply calls fn. All operations on
+// a virtual-time cluster must happen inside Run.
+func (c *Cluster) Run(fn func()) error {
+	if c.virtual == nil {
+		fn()
+		return nil
+	}
+	return c.virtual.Run(fn)
+}
+
+// Now returns the cluster clock (virtual or wall, as configured).
+func (c *Cluster) Now() time.Duration { return c.rt.Now() }
+
+// Sleep pauses the calling task on the cluster clock.
+func (c *Cluster) Sleep(d time.Duration) { c.rt.Sleep(d) }
+
+// Go spawns fn as a concurrent task on the cluster's runtime.
+func (c *Cluster) Go(fn func()) { c.rt.Go(fn) }
+
+// Close releases real-time resources; virtual clusters need no cleanup.
+func (c *Cluster) Close() { c.net.Close() }
+
+// PartitionSites splits the cluster's sites into isolated groups
+// (fault injection for tests and demos).
+func (c *Cluster) PartitionSites(groups ...[]string) { c.net.PartitionSites(groups...) }
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// CrashSite takes every node in a site down.
+func (c *Cluster) CrashSite(site string) {
+	for _, id := range c.net.NodesInSite(site) {
+		c.net.Crash(id)
+	}
+}
+
+// RestartSite brings a crashed site back.
+func (c *Cluster) RestartSite(site string) {
+	for _, id := range c.net.NodesInSite(site) {
+		c.net.Restart(id)
+	}
+}

@@ -1,0 +1,323 @@
+// Package recipes builds higher-level coordination structures on MUSIC
+// critical sections — the "atomic data structures as needed" the paper
+// positions against Atomix's fixed menu (§II): a replicated atomic counter,
+// a compare-and-set register, a FIFO queue, a map, and Chubby-style leader
+// election with lease renewal. Each recipe is a thin, lock-per-structure
+// layer over the public music API, inheriting ECF: operations act on the
+// latest state, exactly one client mutates a structure at a time, and a
+// holder that dies mid-operation is preempted without corrupting the
+// structure.
+package recipes
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/music"
+)
+
+// Counter is a geo-replicated atomic counter.
+type Counter struct {
+	cl  *music.Client
+	key string
+}
+
+// NewCounter binds a counter to a key.
+func NewCounter(cl *music.Client, key string) *Counter {
+	return &Counter{cl: cl, key: "recipes/counter/" + key}
+}
+
+// Add atomically adds delta and returns the new value.
+func (c *Counter) Add(delta int64) (int64, error) {
+	var out int64
+	err := c.cl.RunCritical(c.key, func(cs *music.CriticalSection) error {
+		raw, err := cs.Get()
+		if err != nil {
+			return err
+		}
+		cur := decodeInt(raw)
+		out = cur + delta
+		return cs.Put(encodeInt(out))
+	})
+	return out, err
+}
+
+// Get reads the counter without locks (may be slightly stale).
+func (c *Counter) Get() (int64, error) {
+	raw, err := c.cl.Get(c.key)
+	if err != nil {
+		return 0, err
+	}
+	return decodeInt(raw), nil
+}
+
+// Register is an atomic compare-and-set register.
+type Register struct {
+	cl  *music.Client
+	key string
+}
+
+// NewRegister binds a register to a key.
+func NewRegister(cl *music.Client, key string) *Register {
+	return &Register{cl: cl, key: "recipes/register/" + key}
+}
+
+// Set unconditionally stores value.
+func (r *Register) Set(value []byte) error {
+	return r.cl.RunCritical(r.key, func(cs *music.CriticalSection) error {
+		return cs.Put(value)
+	})
+}
+
+// Get reads the latest value under the lock (never stale).
+func (r *Register) Get() ([]byte, error) {
+	var out []byte
+	err := r.cl.RunCritical(r.key, func(cs *music.CriticalSection) error {
+		v, err := cs.Get()
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// CompareAndSet atomically replaces expect with value; it reports whether
+// the swap happened and returns the value observed.
+func (r *Register) CompareAndSet(expect, value []byte) (bool, []byte, error) {
+	var (
+		swapped  bool
+		observed []byte
+	)
+	err := r.cl.RunCritical(r.key, func(cs *music.CriticalSection) error {
+		cur, err := cs.Get()
+		if err != nil {
+			return err
+		}
+		observed = cur
+		if string(cur) != string(expect) {
+			return nil
+		}
+		swapped = true
+		return cs.Put(value)
+	})
+	return swapped, observed, err
+}
+
+// Queue is a replicated FIFO queue. The whole queue lives under one key, so
+// it suits coordination payloads (task handles, tokens), not bulk data.
+type Queue struct {
+	cl  *music.Client
+	key string
+}
+
+// NewQueue binds a queue to a key.
+func NewQueue(cl *music.Client, key string) *Queue {
+	return &Queue{cl: cl, key: "recipes/queue/" + key}
+}
+
+// ErrEmpty is returned by Pop on an empty queue.
+var ErrEmpty = errors.New("recipes: queue empty")
+
+// Push appends item.
+func (q *Queue) Push(item []byte) error {
+	return q.cl.RunCritical(q.key, func(cs *music.CriticalSection) error {
+		items, err := loadStrings(cs)
+		if err != nil {
+			return err
+		}
+		items = append(items, string(item))
+		return storeStrings(cs, items)
+	})
+}
+
+// Pop removes and returns the head, or ErrEmpty.
+func (q *Queue) Pop() ([]byte, error) {
+	var out []byte
+	err := q.cl.RunCritical(q.key, func(cs *music.CriticalSection) error {
+		items, err := loadStrings(cs)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return ErrEmpty
+		}
+		out = []byte(items[0])
+		return storeStrings(cs, items[1:])
+	})
+	return out, err
+}
+
+// Len returns the queue length (locked, exact).
+func (q *Queue) Len() (int, error) {
+	n := 0
+	err := q.cl.RunCritical(q.key, func(cs *music.CriticalSection) error {
+		items, err := loadStrings(cs)
+		if err != nil {
+			return err
+		}
+		n = len(items)
+		return nil
+	})
+	return n, err
+}
+
+// Map is a small replicated map under a single lock (atomic multi-entry
+// updates via Update).
+type Map struct {
+	cl  *music.Client
+	key string
+}
+
+// NewMap binds a map to a key.
+func NewMap(cl *music.Client, key string) *Map {
+	return &Map{cl: cl, key: "recipes/map/" + key}
+}
+
+// Update runs fn over the current contents and stores the result
+// atomically. fn receives a private copy it may mutate and return.
+func (m *Map) Update(fn func(map[string]string) (map[string]string, error)) error {
+	return m.cl.RunCritical(m.key, func(cs *music.CriticalSection) error {
+		raw, err := cs.Get()
+		if err != nil {
+			return err
+		}
+		cur := make(map[string]string)
+		if raw != nil {
+			if err := json.Unmarshal(raw, &cur); err != nil {
+				return fmt.Errorf("recipes: corrupt map: %w", err)
+			}
+		}
+		next, err := fn(cur)
+		if err != nil {
+			return err
+		}
+		out, err := json.Marshal(next)
+		if err != nil {
+			return err
+		}
+		return cs.Put(out)
+	})
+}
+
+// Snapshot returns the latest contents under the lock.
+func (m *Map) Snapshot() (map[string]string, error) {
+	var snap map[string]string
+	err := m.cl.RunCritical(m.key, func(cs *music.CriticalSection) error {
+		raw, err := cs.Get()
+		if err != nil {
+			return err
+		}
+		snap = make(map[string]string)
+		if raw != nil {
+			return json.Unmarshal(raw, &snap)
+		}
+		return nil
+	})
+	return snap, err
+}
+
+// Election is Chubby-style leader election with leases: candidates campaign
+// for a named role; the winner holds the MUSIC lock and periodically
+// re-validates it. When the leader dies, its critical section expires (T)
+// and a successor is elected via MUSIC's expiry reaping — the paper's
+// coarse-grain locking service use case (§II), built in a few lines.
+type Election struct {
+	cl   *music.Client
+	key  string
+	name string
+
+	ref    music.LockRef
+	leader bool
+}
+
+// NewElection creates a candidate named name for the given role.
+func NewElection(cl *music.Client, role, name string) *Election {
+	return &Election{cl: cl, key: "recipes/election/" + role, name: name}
+}
+
+// Campaign blocks until this candidate becomes leader or the timeout
+// passes (zero = wait forever).
+func (e *Election) Campaign(timeout time.Duration) error {
+	ref, err := e.cl.CreateLockRef(e.key)
+	if err != nil {
+		return err
+	}
+	if err := e.cl.AwaitLock(e.key, ref, timeout); err != nil {
+		_ = e.cl.RemoveLockRef(e.key, ref)
+		return err
+	}
+	e.ref, e.leader = ref, true
+	// Publish the leader's identity for observers (lock-free read).
+	return e.cl.CriticalPut(e.key, ref, []byte(e.name))
+}
+
+// Validate confirms this candidate still leads (its lock is intact). A
+// deposed leader learns it here, like a Chubby lease check.
+func (e *Election) Validate() bool {
+	if !e.leader {
+		return false
+	}
+	ok, err := e.cl.AcquireLock(e.key, e.ref)
+	if err != nil || !ok {
+		e.leader = false
+	}
+	return e.leader
+}
+
+// Resign steps down voluntarily.
+func (e *Election) Resign() error {
+	if !e.leader {
+		return nil
+	}
+	e.leader = false
+	return e.cl.ReleaseLock(e.key, e.ref)
+}
+
+// Leader returns the published leader name (lock-free; may briefly lag).
+func (e *Election) Leader() (string, error) {
+	raw, err := e.cl.Get(e.key)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// Shared encoding helpers.
+
+func encodeInt(v int64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func decodeInt(b []byte) int64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func loadStrings(cs *music.CriticalSection) ([]string, error) {
+	raw, err := cs.Get()
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, nil
+	}
+	var items []string
+	if err := json.Unmarshal(raw, &items); err != nil {
+		return nil, fmt.Errorf("recipes: corrupt queue: %w", err)
+	}
+	return items, nil
+}
+
+func storeStrings(cs *music.CriticalSection, items []string) error {
+	raw, err := json.Marshal(items)
+	if err != nil {
+		return err
+	}
+	return cs.Put(raw)
+}

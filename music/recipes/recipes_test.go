@@ -1,0 +1,276 @@
+package recipes
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/music"
+)
+
+func cluster(t *testing.T, opts ...music.Option) *music.Cluster {
+	t.Helper()
+	c, err := music.New(opts...)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return c
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		done := make(chan error, 6)
+		for i := 0; i < 6; i++ {
+			site := c.Sites()[i%3]
+			c.Go(func() {
+				ctr := NewCounter(c.Client(site), "hits")
+				_, err := ctr.Add(1)
+				done <- err
+			})
+		}
+		deadline := c.Now() + 10*time.Minute
+		for len(done) < 6 {
+			if c.Now() > deadline {
+				t.Fatal("adders stuck")
+			}
+			c.Sleep(50 * time.Millisecond)
+		}
+		for i := 0; i < 6; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		got, err := NewCounter(c.Client("ohio"), "hits").Get()
+		if err != nil || got != 6 {
+			t.Fatalf("counter = (%d, %v), want 6", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCounterNegativeDelta(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		ctr := NewCounter(c.Client("ohio"), "x")
+		if v, err := ctr.Add(10); err != nil || v != 10 {
+			t.Fatalf("Add(10) = (%d, %v)", v, err)
+		}
+		if v, err := ctr.Add(-3); err != nil || v != 7 {
+			t.Fatalf("Add(-3) = (%d, %v)", v, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRegisterCompareAndSet(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		reg := NewRegister(c.Client("ohio"), "cfg")
+		if err := reg.Set([]byte("v1")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		ok, observed, err := reg.CompareAndSet([]byte("v1"), []byte("v2"))
+		if err != nil || !ok || string(observed) != "v1" {
+			t.Fatalf("CAS v1->v2 = (%v, %q, %v)", ok, observed, err)
+		}
+		ok, observed, err = reg.CompareAndSet([]byte("v1"), []byte("v3"))
+		if err != nil || ok || string(observed) != "v2" {
+			t.Fatalf("stale CAS = (%v, %q, %v)", ok, observed, err)
+		}
+		got, err := reg.Get()
+		if err != nil || string(got) != "v2" {
+			t.Fatalf("Get = (%q, %v)", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueFIFOAcrossSites(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		q := NewQueue(c.Client("ohio"), "tasks")
+		for i := 0; i < 4; i++ {
+			if err := q.Push([]byte(fmt.Sprintf("t%d", i))); err != nil {
+				t.Fatalf("Push %d: %v", i, err)
+			}
+		}
+		if n, err := q.Len(); err != nil || n != 4 {
+			t.Fatalf("Len = (%d, %v)", n, err)
+		}
+		// Pops from another site observe the same order.
+		q2 := NewQueue(c.Client("oregon"), "tasks")
+		for i := 0; i < 4; i++ {
+			item, err := q2.Pop()
+			if err != nil || string(item) != fmt.Sprintf("t%d", i) {
+				t.Fatalf("Pop %d = (%q, %v)", i, item, err)
+			}
+		}
+		if _, err := q2.Pop(); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("empty Pop err = %v, want ErrEmpty", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestQueueConcurrentPopsNoDuplicates(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		q := NewQueue(c.Client("ohio"), "work")
+		const items = 6
+		for i := 0; i < items; i++ {
+			if err := q.Push([]byte(fmt.Sprintf("job-%d", i))); err != nil {
+				t.Fatalf("Push: %v", err)
+			}
+		}
+		results := make(chan string, items)
+		for w := 0; w < 3; w++ {
+			site := c.Sites()[w]
+			c.Go(func() {
+				wq := NewQueue(c.Client(site), "work")
+				for {
+					item, err := wq.Pop()
+					if errors.Is(err, ErrEmpty) {
+						return
+					}
+					if err != nil {
+						t.Errorf("Pop: %v", err)
+						return
+					}
+					results <- string(item)
+				}
+			})
+		}
+		deadline := c.Now() + 10*time.Minute
+		for len(results) < items {
+			if c.Now() > deadline {
+				t.Fatalf("only %d/%d items popped", len(results), items)
+			}
+			c.Sleep(50 * time.Millisecond)
+		}
+		seen := make(map[string]bool)
+		for i := 0; i < items; i++ {
+			it := <-results
+			if seen[it] {
+				t.Fatalf("item %q popped twice", it)
+			}
+			seen[it] = true
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMapAtomicMultiEntryUpdate(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		m := NewMap(c.Client("ncalifornia"), "roles")
+		err := m.Update(func(cur map[string]string) (map[string]string, error) {
+			cur["alice"] = "admin"
+			cur["bob"] = "viewer"
+			return cur, nil
+		})
+		if err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		snap, err := NewMap(c.Client("oregon"), "roles").Snapshot()
+		if err != nil || snap["alice"] != "admin" || snap["bob"] != "viewer" {
+			t.Fatalf("Snapshot = (%v, %v)", snap, err)
+		}
+		// A failing update leaves the map untouched.
+		boom := errors.New("boom")
+		if err := m.Update(func(cur map[string]string) (map[string]string, error) {
+			return nil, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+		snap, _ = m.Snapshot()
+		if snap["alice"] != "admin" {
+			t.Fatalf("map changed by failed update: %v", snap)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestElectionSingleLeaderAndFailover(t *testing.T) {
+	c := cluster(t, music.WithT(2*time.Second))
+	err := c.Run(func() {
+		e1 := NewElection(c.Client("ohio"), "scheduler", "cand-1")
+		e2 := NewElection(c.Client("oregon"), "scheduler", "cand-2")
+
+		if err := e1.Campaign(0); err != nil {
+			t.Fatalf("campaign 1: %v", err)
+		}
+		if !e1.Validate() {
+			t.Fatal("fresh leader fails validation")
+		}
+		// The second candidate cannot win while the first's lease (T) is
+		// live — campaigning shorter than T times out.
+		if err := e2.Campaign(1500 * time.Millisecond); !music.ErrAwaitTimeout(err) {
+			t.Fatalf("campaign 2 err = %v, want timeout", err)
+		}
+		if !e1.Validate() {
+			t.Fatal("leader lost lease while renewing within T")
+		}
+		if name, err := e2.Leader(); err != nil || name != "cand-1" {
+			t.Fatalf("Leader = (%q, %v), want cand-1", name, err)
+		}
+
+		// Leader dies silently; its lease (T) expires, the successor wins.
+		if err := e2.Campaign(0); err != nil {
+			t.Fatalf("failover campaign: %v", err)
+		}
+		if e1.Validate() {
+			t.Fatal("deposed leader still validates")
+		}
+		c.Sleep(time.Second)
+		if name, err := e2.Leader(); err != nil || name != "cand-2" {
+			t.Fatalf("Leader after failover = (%q, %v)", name, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestElectionResign(t *testing.T) {
+	c := cluster(t)
+	err := c.Run(func() {
+		e1 := NewElection(c.Client("ohio"), "role", "one")
+		e2 := NewElection(c.Client("ncalifornia"), "role", "two")
+		if err := e1.Campaign(0); err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		if err := e1.Resign(); err != nil {
+			t.Fatalf("resign: %v", err)
+		}
+		if e1.Validate() {
+			t.Fatal("resigned leader validates")
+		}
+		if err := e2.Campaign(0); err != nil {
+			t.Fatalf("campaign after resign: %v", err)
+		}
+		if err := e2.Resign(); err != nil {
+			t.Fatalf("resign 2: %v", err)
+		}
+		// Resigning twice is a no-op.
+		if err := e2.Resign(); err != nil {
+			t.Fatalf("double resign: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
