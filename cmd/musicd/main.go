@@ -5,6 +5,7 @@
 //	musicd -addr :8080                      # one listener, first site
 //	musicd -addrs :8080,:8081,:8082         # one listener per site
 //	musicd -profile local -t 30s
+//	musicd -obs=false                       # disable /metrics and /traces
 package main
 
 import (
@@ -34,12 +35,17 @@ func run(args []string) error {
 		addrs   = fs.String("addrs", "", "comma-separated per-site listen addresses (overrides -addr)")
 		profile = fs.String("profile", music.ProfileLocal, "latency profile: 11, IUs, IUsEu, local")
 		t       = fs.Duration("t", time.Minute, "critical-section bound T")
+		obsOn   = fs.Bool("obs", true, "serve metrics and traces on /metrics and /traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	c, err := music.New(music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t))
+	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
+	if *obsOn {
+		opts = append(opts, music.WithObservability())
+	}
+	c, err := music.New(opts...)
 	if err != nil {
 		return err
 	}

@@ -8,7 +8,9 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/music"
@@ -27,87 +29,103 @@ type job struct {
 }
 
 func main() {
-	// T bounds a critical section: a worker silent for longer is presumed
-	// failed and its lock is force-released.
-	c, err := music.New(music.WithProfile(music.ProfileIUs), music.WithT(3*time.Second))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	err = c.Run(func() {
-		api := c.Client("ohio")
-
-		// The Client API replica receives homing requests and places them
-		// in MUSIC with plain puts — no locks needed at submission (§VII-a).
-		for i := 1; i <= 3; i++ {
-			jobID := fmt.Sprintf("job-%02d", i)
-			submit(api, jobID, fmt.Sprintf("place VNF chain #%d", i))
-			fmt.Printf("client-api: submitted %s\n", jobID)
-		}
-		c.Sleep(time.Second) // let submissions propagate
-
-		// Worker 1 (N. California) starts crunching but crashes after two
-		// stages of its first job.
-		runWorker(c, "worker-1@ncalifornia", c.Client("ncalifornia"), 2)
-		fmt.Println("worker-1: crashed mid-job (processed 2 stages)")
-
-		// The failed worker's lock expires after T; worker 2 takes over
-		// every job from its latest state.
-		c.Sleep(4 * time.Second)
-		runWorker(c, "worker-2@oregon", c.Client("oregon"), -1)
-
-		// The Client API reaps completed jobs with lock-free gets (§VII-a).
-		keys, err := api.GetAllKeys()
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, jobID := range keys {
-			raw, err := api.Get(jobID)
-			if err != nil || raw == nil {
-				continue
-			}
-			var j job
-			if err := json.Unmarshal(raw, &j); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("client-api: %s state=%s history=%v\n", jobID, j.State, j.History)
-			if j.State != "DONE" {
-				log.Fatalf("%s not DONE", jobID)
-			}
-			if err := api.Remove(jobID); err != nil {
-				log.Fatal(err)
-			}
-		}
-		fmt.Println("client-api: all jobs DONE and reaped; no stage was executed twice")
-	})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func submit(cl *music.Client, jobID, desc string) {
+func run(out io.Writer) error {
+	// T bounds a critical section: a worker silent for longer is presumed
+	// failed and its lock is force-released.
+	c, err := music.New(music.WithProfile(music.ProfileIUs), music.WithT(3*time.Second))
+	if err != nil {
+		return err
+	}
+	var runErr error
+	err = c.Run(func() {
+		runErr = demo(c, out)
+	})
+	if err != nil {
+		return err
+	}
+	return runErr
+}
+
+func demo(c *music.Cluster, out io.Writer) error {
+	api := c.Client("ohio")
+
+	// The Client API replica receives homing requests and places them
+	// in MUSIC with plain puts — no locks needed at submission (§VII-a).
+	for i := 1; i <= 3; i++ {
+		jobID := fmt.Sprintf("job-%02d", i)
+		if err := submit(api, jobID, fmt.Sprintf("place VNF chain #%d", i)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "client-api: submitted %s\n", jobID)
+	}
+	c.Sleep(time.Second) // let submissions propagate
+
+	// Worker 1 (N. California) starts crunching but crashes after two
+	// stages of its first job.
+	if err := runWorker(c, out, "worker-1@ncalifornia", c.Client("ncalifornia"), 2); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "worker-1: crashed mid-job (processed 2 stages)")
+
+	// The failed worker's lock expires after T; worker 2 takes over
+	// every job from its latest state.
+	c.Sleep(4 * time.Second)
+	if err := runWorker(c, out, "worker-2@oregon", c.Client("oregon"), -1); err != nil {
+		return err
+	}
+
+	// The Client API reaps completed jobs with lock-free gets (§VII-a).
+	keys, err := api.GetAllKeys()
+	if err != nil {
+		return err
+	}
+	for _, jobID := range keys {
+		raw, err := api.Get(jobID)
+		if err != nil || raw == nil {
+			continue
+		}
+		var j job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "client-api: %s state=%s history=%v\n", jobID, j.State, j.History)
+		if j.State != "DONE" {
+			return fmt.Errorf("%s not DONE", jobID)
+		}
+		if err := api.Remove(jobID); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "client-api: all jobs DONE and reaped; no stage was executed twice")
+	return nil
+}
+
+func submit(cl *music.Client, jobID, desc string) error {
 	raw, err := json.Marshal(job{State: stages[0], Desc: desc})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := cl.Put(jobID, raw); err != nil {
-		log.Fatal(err)
-	}
+	return cl.Put(jobID, raw)
 }
 
 // runWorker is the worker pseudo-code of §VII-a: iterate all jobs, grab an
 // incomplete one with a MUSIC lock, and advance it stage by stage with
 // criticalPuts so a successor can resume from the latest state. maxStages
 // limits work before a simulated crash (-1 = run to completion).
-func runWorker(c *music.Cluster, name string, cl *music.Client, maxStages int) {
+func runWorker(c *music.Cluster, out io.Writer, name string, cl *music.Client, maxStages int) error {
 	budget := maxStages
 	keys, err := cl.GetAllKeys()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, jobID := range keys {
 		if budget == 0 {
-			return
+			return nil
 		}
 		// Unlocked peek: stale reads are fine, correctness comes from the
 		// critical section below.
@@ -122,7 +140,7 @@ func runWorker(c *music.Cluster, name string, cl *music.Client, maxStages int) {
 
 		ref, err := cl.CreateLockRef(jobID)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := cl.AwaitLock(jobID, ref, 30*time.Second); err != nil {
 			// Lost the race for this job: evict our reference and move on.
@@ -134,37 +152,38 @@ func runWorker(c *music.Cluster, name string, cl *music.Client, maxStages int) {
 		for budget != 0 {
 			raw, err := cl.CriticalGet(jobID, ref)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			var j job
 			if err := json.Unmarshal(raw, &j); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if j.State == "DONE" {
 				break
 			}
 			j.State = nextStage(j.State)
 			j.History = append(j.History, fmt.Sprintf("%s:%s", j.State, name))
-			out, err := json.Marshal(j)
+			out2, err := json.Marshal(j)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			if err := cl.CriticalPut(jobID, ref, out); err != nil {
-				log.Fatal(err)
+			if err := cl.CriticalPut(jobID, ref, out2); err != nil {
+				return err
 			}
-			fmt.Printf("%s: %s -> %s\n", name, jobID, j.State)
+			fmt.Fprintf(out, "%s: %s -> %s\n", name, jobID, j.State)
 			if budget > 0 {
 				budget--
 			}
 			c.Sleep(100 * time.Millisecond) // the homing computation itself
 		}
 		if budget == 0 {
-			return // simulated crash: no release, lock left dangling
+			return nil // simulated crash: no release, lock left dangling
 		}
 		if err := cl.ReleaseLock(jobID, ref); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 func nextStage(cur string) string {

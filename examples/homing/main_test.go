@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHoming runs the example in virtual time: worker 1 crashes mid-job,
+// worker 2 must finish every job from the latest state, and no stage may
+// execute twice.
+func TestHoming(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "worker-1: crashed mid-job") {
+		t.Errorf("missing worker-1 crash:\n%s", s)
+	}
+	if !strings.Contains(s, "all jobs DONE and reaped") {
+		t.Errorf("jobs did not all complete:\n%s", s)
+	}
+	// The crashed worker did two stages; its successor must resume from
+	// stage 3, not re-execute stages 1-2.
+	if !strings.Contains(s, "worker-2@oregon: job-01 -> CONSTRAINTS_SOLVED") {
+		t.Errorf("worker-2 did not resume job-01 from the latest state:\n%s", s)
+	}
+	if n := strings.Count(s, "job-01 -> TEMPLATE_RESOLVED"); n != 1 {
+		t.Errorf("job-01 stage TEMPLATE_RESOLVED executed %d times, want 1:\n%s", n, s)
+	}
+}

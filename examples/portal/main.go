@@ -11,7 +11,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/music"
@@ -28,6 +30,7 @@ type ownerRecord struct {
 type backend struct {
 	name  string
 	cl    *music.Client
+	out   io.Writer
 	alive bool
 }
 
@@ -89,7 +92,7 @@ func (b *backend) own(userID string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: became owner of %s (lockRef %d)\n", b.name, userID, ref)
+	fmt.Fprintf(b.out, "%s: became owner of %s (lockRef %d)\n", b.name, userID, ref)
 	return b.cl.Put(userID+"-owner", raw)
 }
 
@@ -105,62 +108,78 @@ func frontend(backends []*backend, userID string, role []byte) error {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	c, err := music.New(music.WithProfile(music.ProfileIUs))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	var runErr error
 	err = c.Run(func() {
-		backends := []*backend{
-			{name: "be-ohio", cl: c.Client("ohio"), alive: true},
-			{name: "be-ncal", cl: c.Client("ncalifornia"), alive: true},
-			{name: "be-oregon", cl: c.Client("oregon"), alive: true},
-		}
-
-		// A stream of role updates for one user: the first back end becomes
-		// the owner and serves every request with a single quorum put each
-		// — no per-request consensus (§VII-b's amortization).
-		start := c.Now()
-		for i := 1; i <= 5; i++ {
-			if err := frontend(backends, "alice", roleBytes("editor", i)); err != nil {
-				log.Fatal(err)
-			}
-		}
-		perUpdate := (c.Now() - start) / 5
-		fmt.Printf("owner path: 5 role updates, avg %v per update (no consensus per write)\n",
-			perUpdate.Round(time.Millisecond))
-
-		// The owner dies; the front end fails over, the next back end
-		// steals ownership via forcedRelease, and updates continue from the
-		// latest state.
-		backends[0].alive = false
-		fmt.Println("be-ohio: crashed")
-		if err := frontend(backends, "alice", roleBytes("admin", 6)); err != nil {
-			log.Fatal(err)
-		}
-
-		// The latest role is visible through the new owner's lock.
-		final, err := backends[1].cl.Get("alice")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("alice's role after failover: %s\n", decodeRole(final))
-
-		// The preempted owner comes back: its old lockRef is dead, so its
-		// writes can no longer corrupt the user's state (Exclusivity).
-		backends[0].alive = true
-		raw, _ := backends[0].cl.Get("alice-owner")
-		var rec ownerRecord
-		if raw != nil {
-			_ = json.Unmarshal(raw, &rec)
-		}
-		err = backends[0].cl.CriticalPut("alice", 1 /* its old ref */, roleBytes("ghost", 0))
-		fmt.Printf("be-ohio: stale write rejected: %v\n", err != nil)
-		final, _ = backends[1].cl.Get("alice")
-		fmt.Printf("alice's role is still: %s\n", decodeRole(final))
+		runErr = demo(c, out)
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	return runErr
+}
+
+func demo(c *music.Cluster, out io.Writer) error {
+	backends := []*backend{
+		{name: "be-ohio", cl: c.Client("ohio"), out: out, alive: true},
+		{name: "be-ncal", cl: c.Client("ncalifornia"), out: out, alive: true},
+		{name: "be-oregon", cl: c.Client("oregon"), out: out, alive: true},
+	}
+
+	// A stream of role updates for one user: the first back end becomes
+	// the owner and serves every request with a single quorum put each
+	// — no per-request consensus (§VII-b's amortization).
+	start := c.Now()
+	for i := 1; i <= 5; i++ {
+		if err := frontend(backends, "alice", roleBytes("editor", i)); err != nil {
+			return err
+		}
+	}
+	perUpdate := (c.Now() - start) / 5
+	fmt.Fprintf(out, "owner path: 5 role updates, avg %v per update (no consensus per write)\n",
+		perUpdate.Round(time.Millisecond))
+
+	// The owner dies; the front end fails over, the next back end
+	// steals ownership via forcedRelease, and updates continue from the
+	// latest state.
+	backends[0].alive = false
+	fmt.Fprintln(out, "be-ohio: crashed")
+	if err := frontend(backends, "alice", roleBytes("admin", 6)); err != nil {
+		return err
+	}
+
+	// The latest role is visible through the new owner's lock.
+	final, err := backends[1].cl.Get("alice")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "alice's role after failover: %s\n", decodeRole(final))
+
+	// The preempted owner comes back: its old lockRef is dead, so its
+	// writes can no longer corrupt the user's state (Exclusivity).
+	backends[0].alive = true
+	raw, _ := backends[0].cl.Get("alice-owner")
+	var rec ownerRecord
+	if raw != nil {
+		_ = json.Unmarshal(raw, &rec)
+	}
+	err = backends[0].cl.CriticalPut("alice", 1 /* its old ref */, roleBytes("ghost", 0))
+	fmt.Fprintf(out, "be-ohio: stale write rejected: %v\n", err != nil)
+	final, err = backends[1].cl.Get("alice")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "alice's role is still: %s\n", decodeRole(final))
+	return nil
 }
 
 func roleBytes(role string, seq int) []byte {

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPortal runs the example in virtual time: ownership amortizes the lock
+// across updates, failover steals ownership via forcedRelease, and the
+// preempted owner's stale write is rejected.
+func TestPortal(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "be-ohio: became owner of alice") {
+		t.Errorf("first owner missing:\n%s", s)
+	}
+	if !strings.Contains(s, "be-ncal: became owner of alice") {
+		t.Errorf("failover owner missing:\n%s", s)
+	}
+	if !strings.Contains(s, "alice's role after failover: admin (update #6)") {
+		t.Errorf("failover update missing:\n%s", s)
+	}
+	if !strings.Contains(s, "stale write rejected: true") {
+		t.Errorf("stale write not rejected:\n%s", s)
+	}
+	if !strings.Contains(s, "alice's role is still: admin (update #6)") {
+		t.Errorf("state corrupted by preempted owner:\n%s", s)
+	}
+}

@@ -5,17 +5,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 
 	"repro/music"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// A three-site cluster on the fast local profile, running in real time.
 	c, err := music.New(music.WithProfile(music.ProfileLocal), music.WithRealTime())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer c.Close()
 
@@ -25,26 +33,26 @@ func main() {
 	// criticalGet → compute → criticalPut → releaseLock.
 	lockRef, err := cl.CreateLockRef("counter")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cl.AwaitLock("counter", lockRef, 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	v1, err := cl.CriticalGet("counter", lockRef) // guaranteed latest value
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	n := 0
 	if v1 != nil {
 		n, _ = strconv.Atoi(string(v1))
 	}
 	if err := cl.CriticalPut("counter", lockRef, []byte(strconv.Itoa(n+1))); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cl.ReleaseLock("counter", lockRef); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("explicit critical section: counter %d -> %d\n", n, n+1)
+	fmt.Fprintf(out, "explicit critical section: counter %d -> %d\n", n, n+1)
 
 	// The same thing via the RunCritical convenience, from every site.
 	for _, site := range c.Sites() {
@@ -54,17 +62,18 @@ func main() {
 				return err
 			}
 			n, _ := strconv.Atoi(string(v))
-			fmt.Printf("site %-8s sees latest value %d, increments\n", site, n)
+			fmt.Fprintf(out, "site %-8s sees latest value %d, increments\n", site, n)
 			return cs.Put([]byte(strconv.Itoa(n + 1)))
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	final, err := cl.Get("counter")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("final counter: %s (1 explicit + %d RunCritical increments)\n", final, len(c.Sites()))
+	fmt.Fprintf(out, "final counter: %s (1 explicit + %d RunCritical increments)\n", final, len(c.Sites()))
+	return nil
 }

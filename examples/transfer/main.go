@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"time"
 
@@ -15,53 +17,72 @@ import (
 )
 
 func main() {
-	c, err := music.New(music.WithProfile(music.ProfileIUs))
-	if err != nil {
-		log.Fatal(err)
-	}
-	err = c.Run(func() {
-		cl := c.Client("ohio")
-		for _, acct := range []string{"acct:alice", "acct:bob"} {
-			if err := cl.Put(acct, []byte("1000")); err != nil {
-				log.Fatal(err)
-			}
-		}
-		fmt.Println("opened acct:alice and acct:bob with 1000 each")
-
-		// Opposite-direction transfers race from two sites; lexicographic
-		// lock order prevents deadlock.
-		done := make(chan error, 2)
-		c.Go(func() { done <- transferN(c.Client("ncalifornia"), "acct:alice", "acct:bob", 10, 5) })
-		c.Go(func() { done <- transferN(c.Client("oregon"), "acct:bob", "acct:alice", 25, 5) })
-		deadline := c.Now() + 10*time.Minute
-		for len(done) < 2 {
-			if c.Now() > deadline {
-				log.Fatal("transfers deadlocked")
-			}
-			c.Sleep(100 * time.Millisecond)
-		}
-		for i := 0; i < 2; i++ {
-			if err := <-done; err != nil {
-				log.Fatal(err)
-			}
-		}
-
-		a := balance(cl, "acct:alice")
-		b := balance(cl, "acct:bob")
-		fmt.Printf("final balances: alice=%d bob=%d (total %d)\n", a, b, a+b)
-		if a+b != 2000 {
-			log.Fatalf("money not conserved: %d", a+b)
-		}
-		fmt.Println("total conserved across 10 racing cross-site transfers")
-	})
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
+func run(out io.Writer) error {
+	c, err := music.New(music.WithProfile(music.ProfileIUs))
+	if err != nil {
+		return err
+	}
+	var runErr error
+	err = c.Run(func() {
+		runErr = demo(c, out)
+	})
+	if err != nil {
+		return err
+	}
+	return runErr
+}
+
+func demo(c *music.Cluster, out io.Writer) error {
+	cl := c.Client("ohio")
+	for _, acct := range []string{"acct:alice", "acct:bob"} {
+		if err := cl.Put(acct, []byte("1000")); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "opened acct:alice and acct:bob with 1000 each")
+
+	// Opposite-direction transfers race from two sites; lexicographic
+	// lock order prevents deadlock.
+	done := make(chan error, 2)
+	c.Go(func() { done <- transferN(c.Client("ncalifornia"), out, "acct:alice", "acct:bob", 10, 5) })
+	c.Go(func() { done <- transferN(c.Client("oregon"), out, "acct:bob", "acct:alice", 25, 5) })
+	deadline := c.Now() + 10*time.Minute
+	for len(done) < 2 {
+		if c.Now() > deadline {
+			return fmt.Errorf("transfers deadlocked")
+		}
+		c.Sleep(100 * time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+
+	a, err := balance(cl, "acct:alice")
+	if err != nil {
+		return err
+	}
+	b, err := balance(cl, "acct:bob")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "final balances: alice=%d bob=%d (total %d)\n", a, b, a+b)
+	if a+b != 2000 {
+		return fmt.Errorf("money not conserved: %d", a+b)
+	}
+	fmt.Fprintln(out, "total conserved across 10 racing cross-site transfers")
+	return nil
+}
+
 // transferN moves amount from -> to, n times, in one critical section pair
 // per transfer.
-func transferN(cl *music.Client, from, to string, amount int, n int) error {
+func transferN(cl *music.Client, out io.Writer, from, to string, amount int, n int) error {
 	for i := 0; i < n; i++ {
 		err := cl.RunCriticalMulti([]string{from, to}, func(cs map[string]*music.CriticalSection) error {
 			src, err := readBalance(cs[from])
@@ -83,7 +104,7 @@ func transferN(cl *music.Client, from, to string, amount int, n int) error {
 		if err != nil {
 			return fmt.Errorf("transfer %s->%s: %w", from, to, err)
 		}
-		fmt.Printf("%s: moved %d from %s to %s\n", cl.Site(), amount, from, to)
+		fmt.Fprintf(out, "%s: moved %d from %s to %s\n", cl.Site(), amount, from, to)
 	}
 	return nil
 }
@@ -99,11 +120,11 @@ func readBalance(cs *music.CriticalSection) (int, error) {
 	return strconv.Atoi(string(v))
 }
 
-func balance(cl *music.Client, acct string) int {
+func balance(cl *music.Client, acct string) (int, error) {
 	v, err := cl.Get(acct)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	n, _ := strconv.Atoi(string(v))
-	return n
+	return n, nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTransfer runs the example in virtual time: 10 racing cross-site
+// multi-key transfers must complete without deadlock and conserve money.
+func TestTransfer(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "final balances: alice=1075 bob=925 (total 2000)") {
+		t.Errorf("unexpected final balances:\n%s", s)
+	}
+	if !strings.Contains(s, "total conserved") {
+		t.Errorf("missing conservation line:\n%s", s)
+	}
+	if n := strings.Count(s, "moved"); n != 10 {
+		t.Errorf("transfers = %d, want 10:\n%s", n, s)
+	}
+}

@@ -115,6 +115,7 @@ func Experiments() []Experiment {
 		{"fig4b", "Peak throughput vs cluster size, IUs profile, fully sharded (Fig 4b)", runFig4b},
 		{"fig5a", "Mean operation latency across latency profiles (Fig 5a)", runFig5a},
 		{"fig5b", "Latency breakdown of MUSIC operations, IUs profile (Fig 5b)", runFig5b},
+		{"trace", "Causal span tree of one critical section per profile (internal/obs)", runTrace},
 		{"fig6a", "MUSIC vs MSCP vs ZooKeeper: throughput vs critical-section batch size (Fig 6a)", runFig6a},
 		{"fig6b", "MUSIC vs MSCP vs ZooKeeper: throughput vs data size, batch 100 (Fig 6b)", runFig6b},
 		{"fig7a", "MUSIC vs CockroachDB critical section: latency vs batch size (Fig 7a)", runFig7a},

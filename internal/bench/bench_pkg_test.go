@@ -63,14 +63,63 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestRegistryAndRunValidation(t *testing.T) {
-	if len(Experiments()) != 12 {
-		t.Fatalf("experiments = %d, want 12 (every paper artifact + ablation)", len(Experiments()))
+	if len(Experiments()) != 13 {
+		t.Fatalf("experiments = %d, want 13 (every paper artifact + ablation + trace)", len(Experiments()))
 	}
 	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 	if _, ok := Find("fig4a"); !ok {
 		t.Fatal("fig4a missing")
+	}
+	if _, ok := Find("trace"); !ok {
+		t.Fatal("trace missing")
+	}
+}
+
+// TestTraceShape checks the rendered span tree of the trace experiment: one
+// table per profile, and the IUs section must show the full causal chain —
+// the lock-store enqueue LWT with its Paxos phases and cross-site RPC legs
+// broken into NIC/transit components, and the quorum critical put.
+func TestTraceShape(t *testing.T) {
+	tables := runTrace(quickOpts)
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want one per profile", len(tables))
+	}
+	tb := findTable(t, tables, "trace-IUs")
+	var tree strings.Builder
+	for _, row := range tb.Rows {
+		tree.WriteString(row[0] + "\n")
+	}
+	s := tree.String()
+	for _, want := range []string{
+		"criticalSection",
+		"music.createLockRef",
+		"lockstore.enqueue",
+		"store.cas",
+		"paxos.prepare",
+		"paxos.read",
+		"paxos.propose",
+		"paxos.commit",
+		"music.acquireLock.peek",
+		"music.acquireLock.grant",
+		"music.criticalPut",
+		"rpc:store.apply",
+		"music.releaseLock",
+		"net.nic",
+		"net.transit",
+		"serve:store.prepare",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace tree missing %q", want)
+		}
+	}
+	// The quorum critical put must reach at least two distinct sites.
+	if !(strings.Contains(s, "ohio") && (strings.Contains(s, "ncalifornia") || strings.Contains(s, "oregon"))) {
+		t.Errorf("trace tree missing cross-site routes:\n%s", s)
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Errorf("healthy critical section has failed spans:\n%s", s)
 	}
 }
 

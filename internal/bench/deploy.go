@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crdb"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -19,22 +20,38 @@ type musicWorld struct {
 	rt   *sim.Virtual
 	net  *simnet.Network
 	st   *store.Cluster
+	obs  *obs.Obs        // nil unless built traced
 	reps []*core.Replica // one per node, node-indexed
 }
 
 // buildMUSIC constructs the deployment. T is sized generously so long
 // critical sections (batch 1000 × quorum put) never hit the expiry guard.
-func buildMUSIC(profile *simnet.Profile, nodesPerSite int, mode core.Mode, seed int64, obs func(core.Op, time.Duration)) *musicWorld {
+func buildMUSIC(profile *simnet.Profile, nodesPerSite int, mode core.Mode, seed int64, observer func(core.Op, time.Duration)) *musicWorld {
+	return buildMUSICWorld(profile, nodesPerSite, mode, seed, observer, false)
+}
+
+// buildMUSICTraced is buildMUSIC with the observability subsystem on; the
+// trace and fig5b experiments read span trees and per-span aggregates off
+// w.obs instead of threading a core Observer through.
+func buildMUSICTraced(profile *simnet.Profile, nodesPerSite int, mode core.Mode, seed int64) *musicWorld {
+	return buildMUSICWorld(profile, nodesPerSite, mode, seed, nil, true)
+}
+
+func buildMUSICWorld(profile *simnet.Profile, nodesPerSite int, mode core.Mode, seed int64, observer func(core.Op, time.Duration), traced bool) *musicWorld {
 	rt := sim.New(seed)
-	net := simnet.New(rt, simnet.Config{Profile: profile, NodesPerSite: nodesPerSite, Seed: seed})
+	var ob *obs.Obs
+	if traced {
+		ob = obs.New(rt, obs.Options{})
+	}
+	net := simnet.New(rt, simnet.Config{Profile: profile, NodesPerSite: nodesPerSite, Seed: seed, Obs: ob})
 	st := store.New(net, store.Config{RF: 3})
-	w := &musicWorld{rt: rt, net: net, st: st}
+	w := &musicWorld{rt: rt, net: net, st: st, obs: ob}
 	for _, id := range net.Nodes() {
 		w.reps = append(w.reps, core.NewReplica(st.Client(id), core.Config{
 			T:             10 * time.Minute,
 			OrphanTimeout: 5 * time.Second,
 			Mode:          mode,
-			Observer:      obs,
+			Observer:      observer,
 		}))
 	}
 	return w

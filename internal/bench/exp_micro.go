@@ -2,10 +2,11 @@ package bench
 
 import (
 	"fmt"
-	"sync"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -184,56 +185,38 @@ func runFig5a(opts Options) []Table {
 	return []Table{t}
 }
 
-// opCollector accumulates per-operation latencies from a core Observer.
-type opCollector struct {
-	mu sync.Mutex
-	m  map[core.Op]*stats.Summary
-}
-
-func newOpCollector() *opCollector {
-	return &opCollector{m: make(map[core.Op]*stats.Summary)}
-}
-
-func (c *opCollector) observe(op core.Op, d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.m[op]
-	if !ok {
-		s = &stats.Summary{}
-		c.m[op] = s
-	}
-	s.Add(float64(d))
-}
-
-func (c *opCollector) mean(op core.Op) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s, ok := c.m[op]; ok {
-		return time.Duration(s.Mean())
+// spanMean pulls one span name's mean duration off the tracer aggregates.
+func spanMean(ns []obs.NameStat, name string) time.Duration {
+	for _, s := range ns {
+		if s.Name == name {
+			return s.Mean
+		}
 	}
 	return 0
 }
 
 // runFig5b reproduces Fig 5(b): the per-operation latency breakdown of a
-// MUSIC critical section on IUs, with the MSCP LWT put alongside.
+// MUSIC critical section on IUs, with the MSCP LWT put alongside. The
+// breakdown is derived from the causal tracer's per-span aggregates — the
+// same spans `-exp trace` renders — rather than a separate Observer hook.
 func runFig5b(opts Options) []Table {
 	iters, discard := latencyIters(opts)
 
-	musicC := newOpCollector()
-	wm := buildMUSIC(simnet.ProfileIUs, 1, core.ModeQuorum, 7, musicC.observe)
+	wm := buildMUSICTraced(simnet.ProfileIUs, 1, core.ModeQuorum, 7)
 	mustRun(wm, func() {
 		measureLatency(wm.rt, iters, discard, func(i int) error {
 			return runCS(wm.rt, wm.reps[0], fmt.Sprintf("k-%d", i), 1, value(10))
 		})
 	})
+	musicStats := wm.obs.Tracer().StatsByName()
 
-	mscpC := newOpCollector()
-	ws := buildMUSIC(simnet.ProfileIUs, 1, core.ModeLWT, 7, mscpC.observe)
+	ws := buildMUSICTraced(simnet.ProfileIUs, 1, core.ModeLWT, 7)
 	mustRun(ws, func() {
 		measureLatency(ws.rt, iters, discard, func(i int) error {
 			return runCS(ws.rt, ws.reps[0], fmt.Sprintf("k-%d", i), 1, value(10))
 		})
 	})
+	mscpStats := ws.obs.Tracer().StatsByName()
 
 	t := Table{
 		ID:      "fig5b",
@@ -241,6 +224,7 @@ func runFig5b(opts Options) []Table {
 		Columns: []string{"Operation", "Kind", "Mean latency"},
 		Notes: []string{
 			"paper: create/release ≈219-230ms (4 RTTs); peek ≈0.67ms; grant ≈55ms; put(Q) ≈93ms; put(P) ≈270ms",
+			"means are aggregated over the causal spans recorded by internal/obs",
 		},
 	}
 	rows := []struct {
@@ -248,17 +232,53 @@ func runFig5b(opts Options) []Table {
 		kind string
 		d    time.Duration
 	}{
-		{"createLockRef", "P", musicC.mean(core.OpCreateLockRef)},
-		{"acquireLock peek", "L", musicC.mean(core.OpAcquirePeek)},
-		{"acquireLock grant", "Q", musicC.mean(core.OpAcquireGrant)},
-		{"criticalPut (MUSIC)", "Q", musicC.mean(core.OpCriticalPut)},
-		{"criticalPut (MSCP)", "P", mscpC.mean(core.OpCriticalPut)},
-		{"releaseLock", "P", musicC.mean(core.OpReleaseLock)},
+		{"createLockRef", "P", spanMean(musicStats, "music.createLockRef")},
+		{"acquireLock peek", "L", spanMean(musicStats, "music.acquireLock.peek")},
+		{"acquireLock grant", "Q", spanMean(musicStats, "music.acquireLock.grant")},
+		{"criticalPut (MUSIC)", "Q", spanMean(musicStats, "music.criticalPut")},
+		{"criticalPut (MSCP)", "P", spanMean(mscpStats, "music.criticalPut")},
+		{"releaseLock", "P", spanMean(musicStats, "music.releaseLock")},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{r.name, r.kind, stats.FormatDuration(r.d)})
 	}
 	return []Table{t}
+}
+
+// runTrace renders the causal span tree of one complete MUSIC critical
+// section per latency profile — the observability subsystem end to end.
+// Each line is one span: indented name, duration, offset from the trace
+// start, and any annotations.
+func runTrace(opts Options) []Table {
+	var out []Table
+	for _, p := range simnet.Profiles() {
+		opts.logf("  trace: profile %s", p.Name())
+		w := buildMUSICTraced(p, 1, core.ModeQuorum, 7)
+		var id obs.TraceID
+		mustRun(w, func() {
+			// Warm the lock row so the traced section shows the
+			// steady-state paths, not first-touch misses.
+			if err := runCS(w.rt, w.reps[0], "traced", 1, value(10)); err != nil {
+				panic(fmt.Sprintf("bench: trace warmup: %v", err))
+			}
+			root := w.obs.Tracer().StartRoot("criticalSection")
+			err := runCS(w.rt, w.reps[0], "traced", 1, value(10))
+			root.EndErr(err)
+			id = root.Trace
+		})
+		var buf strings.Builder
+		w.obs.Tracer().WriteTree(&buf, id)
+		t := Table{
+			ID:      "trace-" + p.Name(),
+			Title:   "Causal span tree of one critical section, profile " + p.Name(),
+			Columns: []string{"span (duration, +offset from trace start, annotations)"},
+		}
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			t.Rows = append(t.Rows, []string{line})
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 // mustRun propagates simulator failures as panics (benchmark plumbing, not

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/lockstore"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/store"
 )
@@ -145,6 +146,7 @@ type Replica struct {
 	ds   *store.Client
 	ls   *lockstore.Service
 	node simnet.NodeID
+	site string
 
 	mu     sync.Mutex
 	grants map[string]grant   // key → local record of our granted head
@@ -169,6 +171,7 @@ func NewReplica(st *store.Client, cfg Config) *Replica {
 		ds:     st,
 		ls:     lockstore.New(st),
 		node:   st.Node(),
+		site:   st.Cluster().Net().SiteOf(st.Node()),
 		grants: make(map[string]grant),
 		seen:   make(map[string]headAge),
 	}
@@ -186,17 +189,28 @@ func (r *Replica) Mode() Mode { return r.cfg.Mode }
 func (r *Replica) nowMicros() int64 { return r.ds.Cluster().NowMicros() }
 
 func (r *Replica) observe(op Op, start time.Duration) {
+	now := r.ds.Cluster().Net().Runtime().Now()
 	if r.cfg.Observer != nil {
-		r.cfg.Observer(op, r.ds.Cluster().Net().Runtime().Now()-start)
+		r.cfg.Observer(op, now-start)
+	}
+	if o := r.ds.Cluster().Net().Obs(); o != nil {
+		o.Metrics().Histogram("music_op_latency", obs.Labels{"op": op.String(), "site": r.site}).
+			Observe(now - start)
 	}
 }
+
+// tracer returns the shared tracer (nil when observability is disabled).
+func (r *Replica) tracer() *obs.Tracer { return r.ds.Cluster().Net().Tracer() }
 
 // CreateLockRef enqueues and returns a new per-key unique increasing lock
 // reference, good for one critical section. Cost: one consensus write (an
 // LWT batching the guard increment with the enqueue, §VI).
 func (r *Replica) CreateLockRef(key string) (int64, error) {
+	sp := r.tracer().Start("music.createLockRef")
+	sp.Annotate("key", key)
 	start := r.now()
 	ref, err := r.ls.GenerateAndEnqueue(key)
+	sp.EndErr(err)
 	if err != nil {
 		return 0, fmt.Errorf("createLockRef %s: %w", key, err)
 	}
@@ -211,15 +225,22 @@ func (r *Replica) CreateLockRef(key string) (int64, error) {
 // admitting the new lockholder (§IV-B). Cost: a local peek while waiting;
 // one synchFlag quorum read on grant; plus the synchronization writes only
 // after a forced release.
-func (r *Replica) AcquireLock(key string, ref int64) (bool, error) {
+func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) {
+	sp := r.tracer().Start("music.acquireLock")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
+
+	peekSp := r.tracer().Child("music.acquireLock.peek")
 	peekStart := r.now()
 	head, ok, err := r.peek(key)
+	peekSp.EndErr(err)
 	r.observe(OpAcquirePeek, peekStart)
 	if err != nil {
 		return false, err
 	}
 	if !ok || ref > head.Ref {
 		// lockRef not first yet, or the local lock store is behind.
+		sp.Annotate("outcome", "not yet head")
 		if ok {
 			r.reapExpiredHead(key, head)
 		}
@@ -237,20 +258,25 @@ func (r *Replica) AcquireLock(key string, ref int64) (bool, error) {
 		return true, nil
 	}
 
+	grantSp := r.tracer().Child("music.acquireLock.grant")
 	grantStart := r.now()
 	needSync := r.cfg.AlwaysSynchronize
 	if !needSync {
 		sfRow, err := r.ds.GetCols(DataTable, key, []string{colSynch}, store.Quorum)
 		if err != nil {
+			grantSp.EndErr(err)
 			return false, fmt.Errorf("acquireLock %s: synchFlag: %w", key, err)
 		}
 		needSync = synchTrue(sfRow)
 	}
+	grantSp.Annotatef("synchronize", "%t", needSync)
 	if needSync {
 		if err := r.synchronize(key, ref); err != nil {
+			grantSp.EndErr(err)
 			return false, fmt.Errorf("acquireLock %s: %w", key, err)
 		}
 	}
+	grantSp.End()
 	r.observe(OpAcquireGrant, grantStart)
 
 	now := r.nowMicros()
@@ -270,7 +296,9 @@ func (r *Replica) AcquireLock(key string, ref int64) (bool, error) {
 // (or a tombstone if nothing was ever written) with the new lockholder's
 // timestamp, then resetting the synchFlag (§IV-B). Whatever a preempted
 // lockholder's straggling write contained, it can no longer win.
-func (r *Replica) synchronize(key string, ref int64) error {
+func (r *Replica) synchronize(key string, ref int64) (err error) {
+	sp := r.tracer().Child("music.synchronize")
+	defer func() { sp.EndErr(err) }()
 	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
 	if err != nil {
 		return fmt.Errorf("synchronize read: %w", err)
@@ -291,7 +319,10 @@ func (r *Replica) synchronize(key string, ref int64) error {
 
 // CriticalPut writes the latest value of key for the current lockholder.
 // Cost: one quorum write of the value (MUSIC) or one LWT (MSCP).
-func (r *Replica) CriticalPut(key string, ref int64, value []byte) error {
+func (r *Replica) CriticalPut(key string, ref int64, value []byte) (err error) {
+	sp := r.tracer().Start("music.criticalPut")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	start := r.now()
 	elapsed, err := r.guardCritical(key, ref)
 	if err != nil {
@@ -317,7 +348,10 @@ func (r *Replica) CriticalPut(key string, ref int64, value []byte) error {
 
 // CriticalDelete removes the key's value for the current lockholder (the
 // delete counterpart the paper mentions in footnote 3).
-func (r *Replica) CriticalDelete(key string, ref int64) error {
+func (r *Replica) CriticalDelete(key string, ref int64) (err error) {
+	sp := r.tracer().Start("music.criticalDelete")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	elapsed, err := r.guardCritical(key, ref)
 	if err != nil {
 		return err
@@ -332,7 +366,10 @@ func (r *Replica) CriticalDelete(key string, ref int64) error {
 // CriticalGet reads the latest (true) value of key for the current
 // lockholder. A nil value with nil error means the key has no value.
 // Cost: one quorum read.
-func (r *Replica) CriticalGet(key string, ref int64) ([]byte, error) {
+func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
+	sp := r.tracer().Start("music.criticalGet")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	start := r.now()
 	if _, err := r.guardCritical(key, ref); err != nil {
 		return nil, err
@@ -425,7 +462,10 @@ func (r *Replica) rememberGrant(key string, ref, startMicros int64) {
 
 // ReleaseLock removes lockRef from the queue, making the lock available.
 // Cost: one consensus write (an LWT delete).
-func (r *Replica) ReleaseLock(key string, ref int64) error {
+func (r *Replica) ReleaseLock(key string, ref int64) (err error) {
+	sp := r.tracer().Start("music.releaseLock")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	start := r.now()
 	r.forgetGrant(key, ref)
 	head, ok, err := r.ls.Peek(key)
@@ -449,7 +489,10 @@ func (r *Replica) ReleaseLock(key string, ref int64) error {
 // only then dequeues the reference, so the next grant is guaranteed to see
 // the flag. Internal to MUSIC in the paper; exposed for ownership-stealing
 // services like the Portal (§VII-b).
-func (r *Replica) ForcedRelease(key string, ref int64) error {
+func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
+	sp := r.tracer().Start("music.forcedRelease")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	start := r.now()
 	head, ok, err := r.ls.Peek(key)
 	if err != nil {
@@ -508,8 +551,11 @@ func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 // ECF expectations (§VI). A value written in any critical section dominates
 // plain puts on the same key.
 func (r *Replica) Put(key string, value []byte) error {
+	sp := r.tracer().Start("music.put")
+	sp.Annotate("key", key)
 	start := r.now()
 	err := r.ds.Put(DataTable, key, store.Row{colValue: store.Cell{Value: value}}, store.One)
+	sp.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("put %s: %w", key, err)
 	}
@@ -520,8 +566,11 @@ func (r *Replica) Put(key string, value []byte) error {
 // Get reads a key without locks from the nearest replica; the result may be
 // stale (§VI).
 func (r *Replica) Get(key string) ([]byte, error) {
+	sp := r.tracer().Start("music.get")
+	sp.Annotate("key", key)
 	start := r.now()
 	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.One)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("get %s: %w", key, err)
 	}

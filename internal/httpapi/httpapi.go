@@ -13,6 +13,14 @@
 //	GET    /v1/keys/{key}                  → value bytes           get (eventual)
 //	GET    /v1/keys                        → {"keys": [...]}       getAllKeys
 //
+// When the cluster was built music.WithObservability, two more endpoints
+// expose the internal/obs subsystem (404 otherwise):
+//
+//	GET    /metrics                        text exposition of every counter,
+//	                                       gauge and histogram
+//	GET    /traces?limit=N                 → {"traces": [...]}     recent span trees
+//	GET    /traces?id=T                    → {"traces": [...]}     one trace by id
+//
 // ECF errors map to HTTP statuses: 409 Conflict for
 // "youAreNoLongerLockHolder" / expired sections (dead lockRef, give up),
 // 412 Precondition Failed for "not (yet) the lock holder" (retry), and
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/music"
 )
 
@@ -50,6 +59,8 @@ func New(cl *music.Client) *Server {
 	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "site": s.cl.Site()})
 	})
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /traces", s.traces)
 	return s
 }
 
@@ -174,6 +185,59 @@ func (s *Server) allKeys(w http.ResponseWriter, r *http.Request) {
 		keys = []string{}
 	}
 	writeJSON(w, http.StatusOK, map[string][]string{"keys": keys})
+}
+
+// metrics serves the cluster's metric registry in text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	o := s.cl.Cluster().Obs()
+	if o == nil {
+		writeJSON(w, http.StatusNotFound, errBody("observability disabled (build the cluster WithObservability)"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	o.Metrics().WriteText(w)
+}
+
+// traceBody is one trace of the /traces response.
+type traceBody struct {
+	Trace uint64         `json:"trace"`
+	Spans []obs.SpanJSON `json:"spans"`
+}
+
+// traces serves recent span trees from the tracer's ring buffer, most
+// recent last; ?id= selects one trace, ?limit= caps the listing (default 16).
+func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
+	o := s.cl.Cluster().Obs()
+	if o == nil {
+		writeJSON(w, http.StatusNotFound, errBody("observability disabled (build the cluster WithObservability)"))
+		return
+	}
+	tr := o.Tracer()
+	var ids []obs.TraceID
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad trace id %q", idStr)))
+			return
+		}
+		ids = []obs.TraceID{obs.TraceID(id)}
+	} else {
+		limit := 16
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n <= 0 {
+				writeJSON(w, http.StatusBadRequest, errBody(fmt.Sprintf("bad limit %q", ls)))
+				return
+			}
+			limit = n
+		}
+		ids = tr.TraceIDs(limit)
+	}
+	out := make([]traceBody, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, traceBody{Trace: uint64(id), Spans: tr.TraceJSON(id)})
+	}
+	writeJSON(w, http.StatusOK, map[string][]traceBody{"traces": out})
 }
 
 func parseRef(w http.ResponseWriter, s string) (music.LockRef, bool) {

@@ -193,3 +193,102 @@ func TestHealth(t *testing.T) {
 		t.Fatalf("health = %d %s", resp.StatusCode, body)
 	}
 }
+
+// obsHarness is harness with the observability subsystem enabled.
+func obsHarness(t *testing.T) (*httptest.Server, *music.Cluster) {
+	t.Helper()
+	c, err := music.New(music.WithProfile(music.ProfileLocal), music.WithRealTime(),
+		music.WithObservability())
+	if err != nil {
+		t.Fatalf("New cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	srv := httptest.NewServer(New(c.Client("site-a")))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func TestObservabilityDisabledIs404(t *testing.T) {
+	srv, _ := harness(t)
+	for _, path := range []string{"/metrics", "/traces"} {
+		resp, body := do(t, "GET", srv.URL+path, "")
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "observability disabled") {
+			t.Fatalf("GET %s = %d %s, want 404 observability disabled", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := obsHarness(t)
+	ref := lockViaAPI(t, srv.URL, "k")
+	if resp, body := do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "v"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("criticalPut: %d %s", resp.StatusCode, body)
+	}
+	resp, body := do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain", ct)
+	}
+	for _, want := range []string{
+		"simnet_rpc_latency_count{",
+		`music_op_latency_count{op="criticalPut",site="site-a"}`,
+		"store_put_latency_count{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	srv, c := obsHarness(t)
+
+	// Root a trace around a full critical section driven through the
+	// cluster client (same goroutine, so spans nest under the root).
+	tr := c.Obs().Tracer()
+	root := tr.StartRoot("test.cs")
+	cl := c.Client("site-a")
+	if err := cl.RunCritical("tk", func(cs *music.CriticalSection) error {
+		return cs.Put([]byte("v"))
+	}); err != nil {
+		t.Fatalf("RunCritical: %v", err)
+	}
+	root.End()
+
+	resp, body := do(t, "GET", srv.URL+"/traces", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces = %d %s", resp.StatusCode, body)
+	}
+	var listing struct {
+		Traces []struct {
+			Trace uint64          `json:"trace"`
+			Spans json.RawMessage `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("decode traces: %v\n%s", err, body)
+	}
+	if len(listing.Traces) == 0 {
+		t.Fatalf("no traces listed: %s", body)
+	}
+
+	// Fetch the rooted trace by id; its tree must contain the MUSIC ops.
+	resp, body = do(t, "GET", fmt.Sprintf("%s/traces?id=%d", srv.URL, uint64(root.Trace)), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces?id = %d %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{"test.cs", "music.createLockRef", "music.criticalPut", "music.releaseLock"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace %d missing span %q:\n%s", root.Trace, want, body)
+		}
+	}
+
+	if resp, _ := do(t, "GET", srv.URL+"/traces?id=zzz", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/traces?limit=-1", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", resp.StatusCode)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -50,11 +51,17 @@ type Service struct {
 // New wraps a store client as a lock store.
 func New(st *store.Client) *Service { return &Service{st: st} }
 
+// tracer returns the shared tracer (nil when observability is disabled).
+func (s *Service) tracer() *obs.Tracer { return s.st.Cluster().Net().Tracer() }
+
 // GenerateAndEnqueue atomically mints the next lock reference for key and
 // appends it to the key's queue. One LWT on the fast path: the expected
 // guard and queue come from a cheap local read, and CAS failures retry from
 // the authoritative row returned by the failed CAS.
-func (s *Service) GenerateAndEnqueue(key string) (int64, error) {
+func (s *Service) GenerateAndEnqueue(key string) (ref int64, err error) {
+	sp := s.tracer().Child("lockstore.enqueue")
+	sp.Annotate("key", key)
+	defer func() { sp.EndErr(err) }()
 	row, err := s.st.Get(Table, key, store.One)
 	if err != nil {
 		// A local read failure still allows CAS-driven discovery.
@@ -92,7 +99,10 @@ func (s *Service) GenerateAndEnqueue(key string) (int64, error) {
 
 // Dequeue removes ref from the key's queue (a no-op if absent, as required
 // by forcedRelease). Its grant cell is tombstoned alongside.
-func (s *Service) Dequeue(key string, ref int64) error {
+func (s *Service) Dequeue(key string, ref int64) (err error) {
+	sp := s.tracer().Child("lockstore.dequeue")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
 	row, err := s.st.Get(Table, key, store.One)
 	if err != nil {
 		row = store.Row{}
@@ -135,7 +145,10 @@ func (s *Service) Dequeue(key string, ref int64) error {
 // replica — an eventual read, so the result may lag the true queue, which
 // acquireLock's retry loop tolerates by design.
 func (s *Service) Peek(key string) (Entry, bool, error) {
+	sp := s.tracer().Child("lockstore.peek")
+	sp.Annotate("key", key)
 	row, err := s.st.Get(Table, key, store.One)
+	sp.EndErr(err)
 	if err != nil {
 		return Entry{}, false, fmt.Errorf("peek %s: %w", key, err)
 	}
@@ -166,8 +179,12 @@ func (s *Service) Queue(key string) ([]Entry, error) {
 // replicated write (not an LWT — the cell is uncontended, written once by
 // the granting MUSIC replica, mirroring the paper's startTime column).
 func (s *Service) SetGrant(key string, ref int64, startMicros int64) error {
+	sp := s.tracer().Child("lockstore.setGrant")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
 	cell := store.Cell{Value: encodeGuard(startMicros)}
-	if err := s.st.Put(Table, key, store.Row{grantCol(ref): cell}, store.Quorum); err != nil {
+	err := s.st.Put(Table, key, store.Row{grantCol(ref): cell}, store.Quorum)
+	sp.EndErr(err)
+	if err != nil {
 		return fmt.Errorf("set grant %s/%d: %w", key, ref, err)
 	}
 	return nil

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Labels attach dimensions (site, node, service, …) to a metric. A metric
+// identity is its name plus the full label set.
+type Labels map[string]string
+
+// labelKey renders labels canonically (sorted) for map keys and exposition.
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric. All methods are safe on a
+// nil receiver (the disabled path) and for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be ≥ 0 for the counter to stay monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add shifts the gauge by n (use negative n to decrement).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram (the log-spaced buckets of
+// internal/stats, 1µs .. ~17min) guarded by a mutex — observation is a few
+// array increments, cheap enough for hot paths when enabled and a nil-check
+// when not.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(d)
+	h.mu.Unlock()
+}
+
+// Snapshot copies the underlying histogram for reporting.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	if h == nil {
+		return stats.NewHistogram()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := stats.NewHistogram()
+	out.Merge(h.h)
+	return out
+}
+
+// Registry holds every registered metric. Metric handles are resolved once
+// at setup time (registration takes a lock; the returned handle is then
+// lock-free for counters/gauges), and a nil *Registry disables everything.
+type Registry struct {
+	rt sim.Runtime
+
+	mu     sync.Mutex
+	series map[string]*series // name+labels → series
+	order  []string           // registration order, for stable exposition
+}
+
+type series struct {
+	name   string
+	labels Labels
+	kind   string // "counter" | "gauge" | "histogram"
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+func newRegistry(rt sim.Runtime) *Registry {
+	return &Registry{rt: rt, series: make(map[string]*series)}
+}
+
+func (r *Registry) lookup(name string, labels Labels, kind string) *series {
+	key := name + "{" + labelKey(labels) + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[key]
+	if !ok {
+		s = &series{name: name, labels: labels, kind: kind}
+		switch kind {
+		case "counter":
+			s.c = &Counter{}
+		case "gauge":
+			s.g = &Gauge{}
+		case "histogram":
+			s.h = &Histogram{h: stats.NewHistogram()}
+		}
+		r.series[key] = s
+		r.order = append(r.order, key)
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", key, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter name{labels}.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, "counter").c
+}
+
+// Gauge returns (registering on first use) the gauge name{labels}.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, "gauge").g
+}
+
+// Histogram returns (registering on first use) the histogram name{labels}.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, "histogram").h
+}
+
+// MetricPoint is one exported sample.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value"`
+}
+
+// Snapshot exports every series; histograms expand into count / mean_us /
+// p50_us / p95_us / p99_us / max_us points.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	all := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		all = append(all, r.series[k])
+	}
+	r.mu.Unlock()
+
+	var out []MetricPoint
+	for _, s := range all {
+		switch s.kind {
+		case "counter":
+			out = append(out, MetricPoint{Name: s.name, Labels: s.labels, Kind: "counter", Value: float64(s.c.Value())})
+		case "gauge":
+			out = append(out, MetricPoint{Name: s.name, Labels: s.labels, Kind: "gauge", Value: float64(s.g.Value())})
+		case "histogram":
+			h := s.h.Snapshot()
+			us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+			out = append(out,
+				MetricPoint{Name: s.name + "_count", Labels: s.labels, Kind: "histogram", Value: float64(h.N())},
+				MetricPoint{Name: s.name + "_mean_us", Labels: s.labels, Kind: "histogram", Value: us(h.Mean())},
+				MetricPoint{Name: s.name + "_p50_us", Labels: s.labels, Kind: "histogram", Value: us(h.Quantile(0.50))},
+				MetricPoint{Name: s.name + "_p95_us", Labels: s.labels, Kind: "histogram", Value: us(h.Quantile(0.95))},
+				MetricPoint{Name: s.name + "_p99_us", Labels: s.labels, Kind: "histogram", Value: us(h.Quantile(0.99))},
+				MetricPoint{Name: s.name + "_max_us", Labels: s.labels, Kind: "histogram", Value: us(h.Max())},
+			)
+		}
+	}
+	return out
+}
+
+// WriteText renders the registry in a Prometheus-style text exposition
+// (the /metrics wire format).
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, p := range r.Snapshot() {
+		if len(p.Labels) == 0 {
+			fmt.Fprintf(w, "%s %g\n", p.Name, p.Value)
+			continue
+		}
+		fmt.Fprintf(w, "%s{%s} %g\n", p.Name, labelKey(p.Labels), p.Value)
+	}
+}

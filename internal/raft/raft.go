@@ -213,7 +213,9 @@ type proposeResp struct {
 
 // Propose submits data for replication via the peer at `from` (forwarding
 // to the leader if needed) and returns the committed log index.
-func (c *Cluster) Propose(from simnet.NodeID, data any, size int) (uint64, error) {
+func (c *Cluster) Propose(from simnet.NodeID, data any, size int) (index uint64, err error) {
+	sp := c.net.Tracer().Child("raft.propose")
+	defer func() { sp.EndErr(err) }()
 	target := from
 	for attempt := 0; attempt < 8; attempt++ {
 		resp, err := c.net.CallTimeout(from, target, svcPropose,
@@ -226,6 +228,7 @@ func (c *Cluster) Propose(from simnet.NodeID, data any, size int) (uint64, error
 		pr := resp.(proposeResp)
 		switch {
 		case pr.Err == "":
+			sp.Annotatef("leader", "n%d (attempt %d)", target, attempt)
 			return pr.Index, nil
 		case pr.Hint >= 0:
 			target = pr.Hint
@@ -263,12 +266,18 @@ func (p *peer) handlePropose(from simnet.NodeID, req any) (any, error) {
 	p.waiters[index] = &waitEntry{term: p.term, done: done}
 	p.mu.Unlock()
 
+	// The append span covers replication fan-out plus the in-order commit
+	// wait — the leader-pipeline residence time of this entry.
+	ap := p.c.net.Tracer().Child("raft.leader.append")
+	ap.Annotatef("index", "%d", index)
 	p.replicateAll()
 
 	committed, err := done.AwaitTimeout(p.c.cfg.ProposeTimeout)
 	if err != nil || !committed {
+		ap.EndErr(ErrTimeout)
 		return proposeResp{Hint: -1, Err: ErrTimeout.Error()}, nil
 	}
+	ap.End()
 	return proposeResp{Index: index}, nil
 }
 

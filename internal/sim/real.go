@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"bytes"
 	"math/rand"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -13,6 +16,9 @@ import (
 type Real struct {
 	start time.Time
 	rng   *rand.Rand
+
+	localMu sync.Mutex
+	locals  map[uint64]any // goroutine id → task-local value
 }
 
 var _ Runtime = (*Real)(nil)
@@ -20,8 +26,9 @@ var _ Runtime = (*Real)(nil)
 // NewReal returns a wall-clock runtime seeded with seed.
 func NewReal(seed int64) *Real {
 	return &Real{
-		start: time.Now(),
-		rng:   rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
+		start:  time.Now(),
+		rng:    rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
+		locals: make(map[uint64]any),
 	}
 }
 
@@ -31,8 +38,64 @@ func (r *Real) Now() time.Duration { return time.Since(r.start) }
 // Sleep implements Runtime.
 func (r *Real) Sleep(d time.Duration) { time.Sleep(d) }
 
-// Go implements Runtime.
-func (r *Real) Go(fn func()) { go fn() }
+// Go implements Runtime. The spawned goroutine inherits the spawner's
+// task-local value (when any tasks carry one at all — the common case of no
+// locals skips the goroutine-id lookup entirely).
+func (r *Real) Go(fn func()) {
+	parent := r.TaskLocal()
+	if parent == nil {
+		go fn()
+		return
+	}
+	go func() {
+		r.SetTaskLocal(parent)
+		defer r.SetTaskLocal(nil)
+		fn()
+	}()
+}
+
+// TaskLocal implements Runtime. Wall-clock tasks are identified by their
+// goroutine id; the map stays empty until some task sets a local, so the
+// disabled-observability path never pays for the id lookup.
+func (r *Real) TaskLocal() any {
+	r.localMu.Lock()
+	empty := len(r.locals) == 0
+	r.localMu.Unlock()
+	if empty {
+		return nil
+	}
+	id := goroutineID()
+	r.localMu.Lock()
+	defer r.localMu.Unlock()
+	return r.locals[id]
+}
+
+// SetTaskLocal implements Runtime.
+func (r *Real) SetTaskLocal(v any) {
+	id := goroutineID()
+	r.localMu.Lock()
+	defer r.localMu.Unlock()
+	if v == nil {
+		delete(r.locals, id)
+		return
+	}
+	r.locals[id] = v
+}
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine N [running]: ..."). Only paid when observability is enabled
+// on a wall-clock runtime.
+func goroutineID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseUint(string(s), 10, 64)
+	return id
+}
 
 // After implements Runtime.
 func (r *Real) After(d time.Duration, fn func()) *Timer {

@@ -38,6 +38,14 @@ type Runtime interface {
 	// Rand returns the runtime's deterministic random source. It must only
 	// be used from within tasks.
 	Rand() *rand.Rand
+	// TaskLocal returns the calling task's local value (nil when unset or
+	// when called from outside a task). Tasks spawned with Go inherit the
+	// spawner's value; timer callbacks (After) start with none. The local is
+	// the propagation channel for cross-cutting per-task state such as the
+	// observability span context (internal/obs).
+	TaskLocal() any
+	// SetTaskLocal replaces the calling task's local value; nil clears it.
+	SetTaskLocal(v any)
 
 	isRuntime()
 }

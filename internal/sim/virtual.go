@@ -32,6 +32,7 @@ type vtask struct {
 	state    taskState
 	gen      uint64 // bumped on every park; stale wakeups are ignored
 	poisoned bool
+	local    any // task-local value (see Runtime.TaskLocal)
 }
 
 // event is a pending timer entry.
@@ -169,6 +170,9 @@ func (v *Virtual) Now() time.Duration { return v.now }
 // Go implements Runtime.
 func (v *Virtual) Go(fn func()) {
 	t := v.spawn(fn)
+	if v.cur != nil {
+		t.local = v.cur.local // children inherit the spawner's task-local
+	}
 	t.state = stateReady
 	v.ready = append(v.ready, t)
 }
@@ -195,6 +199,22 @@ func (v *Virtual) After(d time.Duration, fn func()) *Timer {
 
 // Rand implements Runtime.
 func (v *Virtual) Rand() *rand.Rand { return v.rng }
+
+// TaskLocal implements Runtime. Tasks run one at a time, so reading the
+// current task's slot needs no synchronization.
+func (v *Virtual) TaskLocal() any {
+	if v.cur == nil {
+		return nil
+	}
+	return v.cur.local
+}
+
+// SetTaskLocal implements Runtime.
+func (v *Virtual) SetTaskLocal(val any) {
+	if v.cur != nil {
+		v.cur.local = val
+	}
+}
 
 func (v *Virtual) isRuntime() {}
 

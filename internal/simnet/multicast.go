@@ -19,6 +19,12 @@ type CallResult struct {
 // so far; callers count successes themselves. This is the primitive behind
 // quorum reads/writes, Paxos rounds and log replication.
 func (n *Network) Multicast(from NodeID, targets []NodeID, svc string, req any, need int, timeout time.Duration) []CallResult {
+	// The umbrella span is installed task-current before the fan-out so the
+	// per-target tasks (which inherit the spawner's task-local) parent their
+	// rpc spans under it.
+	mc := n.obs.Tracer().Child("multicast:" + svc)
+	mc.Annotatef("fanout", "%d targets, need %d", len(targets), need)
+
 	results := sim.NewMailbox[CallResult](n.rt)
 	for _, to := range targets {
 		to := to
@@ -48,6 +54,11 @@ func (n *Network) Multicast(from NodeID, targets []NodeID, svc string, req any, 
 			}
 		}
 	}
+	mc.Annotatef("got", "%d/%d ok", successes, len(targets))
+	if need > 0 && successes < need {
+		mc.Fail(nil)
+	}
+	mc.End()
 	return collected
 }
 

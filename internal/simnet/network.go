@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// Seed seeds jitter and loss decisions (only used in virtual mode; the
 	// runtime's own RNG is used regardless).
 	Seed int64
+	// Obs enables observability: RPCs made inside a traced operation emit
+	// spans (rpc, NIC wait, link transit, CPU-queue wait, handler service
+	// time) and the network keeps per-service counters and latency
+	// histograms. Nil (the default) disables all of it at zero cost.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +101,7 @@ func (c Config) withDefaults() Config {
 type Network struct {
 	rt  sim.Runtime
 	cfg Config
+	obs *obs.Obs
 
 	nodes []*Node
 
@@ -113,6 +120,7 @@ func New(rt sim.Runtime, cfg Config) *Network {
 	n := &Network{
 		rt:      rt,
 		cfg:     cfg,
+		obs:     cfg.Obs,
 		blocked: make(map[[2]NodeID]bool),
 	}
 	id := NodeID(0)
@@ -135,6 +143,17 @@ func New(rt sim.Runtime, cfg Config) *Network {
 
 // Runtime returns the runtime the network was built on.
 func (n *Network) Runtime() sim.Runtime { return n.rt }
+
+// SetObs installs (or, with nil, removes) the observability sink after
+// construction. Services built on the network reach the shared tracer and
+// metrics registry through Obs.
+func (n *Network) SetObs(o *obs.Obs) { n.obs = o }
+
+// Obs returns the network's observability sink (nil when disabled).
+func (n *Network) Obs() *obs.Obs { return n.obs }
+
+// Tracer returns the network's tracer (nil when observability is disabled).
+func (n *Network) Tracer() *obs.Tracer { return n.obs.Tracer() }
 
 // Config returns the effective (defaulted) configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -191,56 +210,111 @@ func (n *Network) Call(from, to NodeID, svc string, req any) (any, error) {
 // CallTimeout is Call with an explicit timeout. A transport failure
 // (partition, loss, crash) surfaces as ErrTimeout; an error returned by the
 // remote handler surfaces wrapped in RemoteError.
+//
+// When observability is enabled and the calling task is inside a traced
+// operation, the call emits an rpc:<svc> span (always closed — a call into a
+// crashed or partitioned node ends it failed at the timeout) with child
+// spans for each modeled delay component.
 func (n *Network) CallTimeout(from, to NodeID, svc string, req any, timeout time.Duration) (any, error) {
+	tr := n.obs.Tracer()
+	rpc := tr.Detached(tr.Current().Context(), "rpc:"+svc, n.rt.Now())
+	rpc.Annotatef("route", "%s/n%d → %s/n%d", n.nodes[from].site, from, n.nodes[to].site, to)
+	if n.obs != nil {
+		start := n.rt.Now()
+		defer func() {
+			n.obs.Metrics().Histogram("simnet_rpc_latency", obs.Labels{"svc": svc, "site": n.nodes[from].site}).
+				Observe(n.rt.Now() - start)
+		}()
+	}
 	reply := sim.NewPromise[any](n.rt)
-	n.dispatch(from, to, svc, req, reply)
-	return reply.AwaitTimeout(timeout)
+	n.dispatch(from, to, svc, req, reply, rpc.Context())
+	resp, err := reply.AwaitTimeout(timeout)
+	rpc.EndErr(err)
+	return resp, err
 }
 
 // Send delivers req from -> to without waiting for a reply (best effort).
+// Inside a traced operation the one-way message's components attach directly
+// under the caller's current span.
 func (n *Network) Send(from, to NodeID, svc string, req any) {
-	n.dispatch(from, to, svc, req, nil)
+	tr := n.obs.Tracer()
+	n.dispatch(from, to, svc, req, nil, tr.Current().Context())
 }
 
 // dispatch models the full path: sender NIC, propagation, receiver CPU
-// admission, handler execution, and the reply trip back.
-func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Promise[any]) {
+// admission, handler execution, and the reply trip back. parent is the span
+// the delay-component spans hang off (zero when untraced).
+func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Promise[any], parent obs.SpanContext) {
 	src, dst := n.nodes[from], n.nodes[to]
-	delay, ok := n.transit(src, dst, n.sizeOf(req))
+	tr := n.obs.Tracer()
+	sent := n.rt.Now()
+	nic, wire, ok := n.transit(src, dst, n.sizeOf(req))
 	if !ok {
+		n.countDrop(svc)
 		return // lost; caller times out
 	}
-	n.rt.After(delay, func() {
+	if nic > 0 {
+		tr.SpanAt(parent, "net.nic", sent, sent+nic)
+	}
+	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+wire)
+	n.rt.After(nic+wire, func() {
 		if !dst.isUp() {
+			n.countDrop(svc)
 			return
 		}
 		spec, ok := dst.handler(svc)
 		if !ok {
-			n.sendReply(dst, src, reply, nil, &RemoteError{Err: fmt.Errorf("%w: %q on node %d", ErrNoHandler, svc, to)})
+			n.sendReply(dst, src, reply, nil, &RemoteError{Err: fmt.Errorf("%w: %q on node %d", ErrNoHandler, svc, to)}, parent)
 			return
 		}
-		dst.exec.admit(spec.cost(n.sizeOf(req)))
+		arrived := n.rt.Now()
+		cost := spec.cost(n.sizeOf(req))
+		dst.exec.admit(cost)
+		if wait := n.rt.Now() - arrived - cost; wait > 0 {
+			tr.SpanAt(parent, "net.cpuwait", arrived, arrived+wait)
+		}
 		if !dst.isUp() {
+			n.countDrop(svc)
 			return
 		}
+		// The serve span covers the modeled CPU burn plus the handler body,
+		// and is installed task-current so nested RPCs the handler makes
+		// parent under it.
+		serve := tr.StartAt(parent, "serve:"+svc, n.rt.Now()-cost)
+		serve.Annotatef("node", "%s/n%d", dst.site, dst.id)
 		resp, err := spec.fn(from, req)
+		serve.EndErr(err)
 		if err != nil {
 			err = &RemoteError{Err: err}
 		}
-		n.sendReply(dst, src, reply, resp, err)
+		n.sendReply(dst, src, reply, resp, err, parent)
 	})
 }
 
+// countDrop bumps the dropped-message counter (no-op when obs is disabled).
+func (n *Network) countDrop(svc string) {
+	if n.obs == nil {
+		return
+	}
+	n.obs.Metrics().Counter("simnet_msgs_dropped_total", obs.Labels{"svc": svc}).Inc()
+}
+
 // sendReply models the reply trip; nil promise means a one-way Send.
-func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, err error) {
+func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, err error, parent obs.SpanContext) {
 	if reply == nil {
 		return
 	}
-	delay, ok := n.transit(src, dst, n.sizeOf(resp))
+	sent := n.rt.Now()
+	nic, wire, ok := n.transit(src, dst, n.sizeOf(resp))
 	if !ok {
 		return
 	}
-	n.rt.After(delay, func() {
+	tr := n.obs.Tracer()
+	if nic > 0 {
+		tr.SpanAt(parent, "net.nic", sent, sent+nic, obs.Annotation{Key: "dir", Value: "reply"})
+	}
+	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+wire, obs.Annotation{Key: "dir", Value: "reply"})
+	n.rt.After(nic+wire, func() {
 		if !dst.isUp() {
 			return
 		}
@@ -262,14 +336,16 @@ func (n *Network) sizeOf(msg any) int {
 }
 
 // transit computes the one-way delivery delay from src to dst for a message
-// of the given size, charging the sender's NIC. ok is false if the message
-// is dropped (either endpoint down, partitioned, or lost).
-func (n *Network) transit(src, dst *Node, size int) (time.Duration, bool) {
+// of the given size, split into its two components: nic (sender NIC queueing
+// plus serialization) and wire (propagation plus jitter), so tracing can
+// report them as separate spans. ok is false if the message is dropped
+// (either endpoint down, partitioned, or lost).
+func (n *Network) transit(src, dst *Node, size int) (nic, wire time.Duration, ok bool) {
 	if !src.isUp() || !dst.isUp() {
-		return 0, false
+		return 0, 0, false
 	}
 	if src.id == dst.id {
-		return 20 * time.Microsecond, true // loopback: no NIC, no loss
+		return 0, 20 * time.Microsecond, true // loopback: no NIC, no loss
 	}
 
 	n.mu.Lock()
@@ -277,10 +353,10 @@ func (n *Network) transit(src, dst *Node, size int) (time.Duration, bool) {
 	loss := n.loss
 	n.mu.Unlock()
 	if blocked {
-		return 0, false
+		return 0, 0, false
 	}
 	if loss > 0 && n.rt.Rand().Float64() < loss {
-		return 0, false
+		return 0, 0, false
 	}
 
 	prop := n.cfg.Profile.OneWay(src.site, dst.site)
@@ -288,7 +364,7 @@ func (n *Network) transit(src, dst *Node, size int) (time.Duration, bool) {
 	if n.cfg.JitterFrac > 0 {
 		jitter = time.Duration(n.rt.Rand().Float64() * n.cfg.JitterFrac * float64(prop))
 	}
-	return src.chargeNIC(n.rt.Now(), size, n.cfg.Bandwidth) + prop + jitter, true
+	return src.chargeNIC(n.rt.Now(), size, n.cfg.Bandwidth), prop + jitter, true
 }
 
 func pairKey(a, b NodeID) [2]NodeID {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -24,6 +25,25 @@ func (c *Cluster) Client(node simnet.NodeID) *Client {
 // Node returns the coordinator node ID.
 func (cl *Client) Node() simnet.NodeID { return cl.node }
 
+// tracer returns the network's tracer (nil when observability is disabled).
+func (cl *Client) tracer() *obs.Tracer { return cl.c.net.Tracer() }
+
+// counter bumps a store counter, avoiding even the label allocation when
+// observability is disabled.
+func (cl *Client) counter(name string) {
+	if o := cl.c.net.Obs(); o != nil {
+		o.Metrics().Counter(name, obs.Labels{"site": cl.c.net.SiteOf(cl.node)}).Inc()
+	}
+}
+
+// observeLatency records d into a store histogram keyed by operation and
+// consistency level.
+func (cl *Client) observeLatency(op string, cons Consistency, d time.Duration) {
+	if o := cl.c.net.Obs(); o != nil {
+		o.Metrics().Histogram("store_"+op+"_latency", obs.Labels{"cons": cons.String()}).Observe(d)
+	}
+}
+
 // Cluster returns the owning cluster.
 func (cl *Client) Cluster() *Cluster { return cl.c }
 
@@ -32,6 +52,10 @@ func (cl *Client) Cluster() *Cluster { return cl.c }
 // ErrUnavailable is not rolled back — it may survive on some replicas.
 func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
 	cfg := cl.c.cfg
+	sp := cl.tracer().Child("store.put")
+	sp.Annotate("row", table+"/"+key)
+	sp.Annotate("cons", cons.String())
+	start := cl.c.net.Runtime().Now()
 	stamped := make(Row, len(cells))
 	for col, c := range cells {
 		if c.TS == 0 {
@@ -41,7 +65,10 @@ func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
 	}
 	req := applyReq{Table: table, Key: key, Cells: stamped}
 	cl.c.net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, req.WireSize()))
-	return cl.replicate(req, cons)
+	err := cl.replicate(req, cons)
+	cl.observeLatency("put", cons, cl.c.net.Runtime().Now()-start)
+	sp.EndErr(err)
+	return err
 }
 
 // Delete tombstones the given columns (all current columns if cols is nil
@@ -71,6 +98,7 @@ func (cl *Client) replicate(req applyReq, cons Consistency) error {
 			_, err := cl.c.net.CallTimeout(cl.node, to, svcApply, req, cfg.Timeout)
 			firstTry.Send(err)
 			if err != nil && !cfg.NoHintedHandoff {
+				cl.counter("store_handoffs_total")
 				cl.handoff(to, req)
 			}
 		})
@@ -103,6 +131,7 @@ func (cl *Client) handoff(to simnet.NodeID, req applyReq) {
 			backoff *= 2
 		}
 		if _, err := cl.c.net.CallTimeout(cl.node, to, svcApply, req, cl.c.cfg.Timeout); err == nil {
+			cl.counter("store_handoffs_delivered_total")
 			return
 		}
 	}
@@ -121,8 +150,16 @@ func (cl *Client) GetCols(table, key string, cols []string, cons Consistency) (R
 	return cl.get(table, key, cols, cons, true)
 }
 
-func (cl *Client) get(table, key string, cols []string, cons Consistency, chargeCoord bool) (Row, error) {
+func (cl *Client) get(table, key string, cols []string, cons Consistency, chargeCoord bool) (row Row, err error) {
 	cfg := cl.c.cfg
+	sp := cl.tracer().Child("store.get")
+	sp.Annotate("row", table+"/"+key)
+	sp.Annotate("cons", cons.String())
+	start := cl.c.net.Runtime().Now()
+	defer func() {
+		cl.observeLatency("get", cons, cl.c.net.Runtime().Now()-start)
+		sp.EndErr(err)
+	}()
 	if chargeCoord {
 		cl.c.net.Node(cl.node).Work(cfg.Costs.CoordRead)
 	}
@@ -169,6 +206,7 @@ func (cl *Client) readRepair(table, key string, merged Row, responders []simnet.
 			}
 		}
 		if stale {
+			cl.counter("store_read_repairs_total")
 			cl.c.net.Send(cl.node, r.From, svcApply, applyReq{Table: table, Key: key, Cells: merged.clone()})
 		}
 	}

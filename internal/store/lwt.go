@@ -23,12 +23,23 @@ type CASResult struct {
 // are linearized by Paxos; in-progress proposals found during prepare are
 // completed first. Update cells with TS == 0 are stamped by the committing
 // replicas so later LWTs always supersede earlier ones.
-func (cl *Client) CAS(table, key string, conds []Cond, update Row) (CASResult, error) {
+func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResult, err error) {
 	cfg := cl.c.cfg
 	net := cl.c.net
 	rt := net.Runtime()
 	targets := cl.c.ring.replicasFor(key)
 	quorum := len(targets)/2 + 1
+
+	sp := cl.tracer().Child("store.cas")
+	sp.Annotate("row", table+"/"+key)
+	start := rt.Now()
+	defer func() {
+		cl.observeLatency("cas", Quorum, rt.Now()-start)
+		if err == nil {
+			sp.Annotatef("applied", "%t", res.Applied)
+		}
+		sp.EndErr(err)
+	}()
 
 	net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, rowSize(update)))
 
@@ -41,8 +52,11 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (CASResult, e
 		b := cl.c.nextBallot(cl.node, observed)
 
 		// Round 1: prepare.
+		prep := cl.tracer().Child("paxos.prepare")
+		prep.Annotatef("ballot", "%d.%d (attempt %d)", b.Counter, b.Node, attempt)
 		prepResults := net.Multicast(cl.node, targets, svcPrepare,
 			prepareReq{Table: table, Key: key, B: b}, quorum, cfg.Timeout)
+		prep.End()
 		promises := 0
 		var inProgress paxos.Ballot
 		var inProgressVal Row
@@ -86,7 +100,9 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (CASResult, e
 		}
 
 		// Round 2: serial read of the current row.
+		read := cl.tracer().Child("paxos.read")
 		current, err := cl.get(table, key, nil, Quorum, false)
+		read.EndErr(err)
 		if err != nil {
 			return CASResult{}, err
 		}
@@ -117,8 +133,10 @@ func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quor
 	cfg := cl.c.cfg
 	net := cl.c.net
 
+	prop := cl.tracer().Child("paxos.propose")
 	propResults := net.Multicast(cl.node, targets, svcPropose,
 		proposeReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
+	prop.End()
 	acks := 0
 	for _, r := range simnet.Successes(propResults) {
 		if r.Resp.(proposeResp).OK {
@@ -132,8 +150,10 @@ func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quor
 		return fmt.Errorf("%w: cas propose %s/%s", ErrUnavailable, table, key)
 	}
 
+	com := cl.tracer().Child("paxos.commit")
 	commitResults := net.Multicast(cl.node, targets, svcCommit,
 		commitReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
+	com.End()
 	if len(simnet.Successes(commitResults)) < quorum {
 		return fmt.Errorf("%w: cas commit %s/%s", ErrUnavailable, table, key)
 	}

@@ -16,6 +16,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -32,6 +33,19 @@ const (
 	Quorum
 	All
 )
+
+// String names the level for logs and trace annotations.
+func (c Consistency) String() string {
+	switch c {
+	case One:
+		return "ONE"
+	case Quorum:
+		return "QUORUM"
+	case All:
+		return "ALL"
+	}
+	return fmt.Sprintf("Consistency(%d)", int(c))
+}
 
 // need translates a consistency level into an ack count for rf replicas.
 func (c Consistency) need(rf int) int {

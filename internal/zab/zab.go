@@ -114,6 +114,8 @@ func (s *server) fsync(size int) {
 		return
 	}
 	rt := s.c.net.Runtime()
+	sp := s.c.net.Tracer().Child("zab.fsync")
+	defer sp.End()
 	dur := costs.FsyncBase + time.Duration(float64(costs.FsyncPerKB)*float64(size)/1024)
 	s.mu.Lock()
 	start := rt.Now()
@@ -203,7 +205,10 @@ type commitMsg struct {
 // Submit totally orders data through the group from the given member and
 // returns once the transaction has committed. size is the payload size in
 // bytes (for bandwidth modeling).
-func (c *Cluster) Submit(from simnet.NodeID, data any, size int) (uint64, error) {
+func (c *Cluster) Submit(from simnet.NodeID, data any, size int) (zxid uint64, err error) {
+	sp := c.net.Tracer().Child("zab.submit")
+	sp.Annotatef("leader", "n%d", c.leader)
+	defer func() { sp.EndErr(err) }()
 	if from == c.leader {
 		return c.servers[c.leader].broadcast(data, size)
 	}
@@ -224,6 +229,7 @@ func (s *server) handleForward(from simnet.NodeID, req any) (any, error) {
 // the in-order commit of the new transaction.
 func (s *server) broadcast(data any, size int) (uint64, error) {
 	rt := s.c.net.Runtime()
+	bc := s.c.net.Tracer().Child("zab.broadcast")
 
 	// The leader logs and fsyncs the proposal before acking it itself.
 	s.fsync(size)
@@ -255,9 +261,12 @@ func (s *server) broadcast(data any, size int) (uint64, error) {
 		})
 	}
 
+	bc.Annotatef("zxid", "%d", zxid)
 	if _, err := done.AwaitTimeout(s.c.cfg.Timeout); err != nil {
+		bc.EndErr(err)
 		return 0, fmt.Errorf("zab zxid %d: %w", zxid, ErrUnavailable)
 	}
+	bc.End()
 	return zxid, nil
 }
 

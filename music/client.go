@@ -108,6 +108,10 @@ func (cl *Client) Remove(key string) error { return cl.rep.Remove(key) }
 // Site returns the site this client operates from.
 func (cl *Client) Site() string { return cl.site }
 
+// Cluster returns the cluster this client is bound to (for observability
+// and fault-injection plumbing).
+func (cl *Client) Cluster() *Cluster { return cl.c }
+
 // CriticalSection is the handle passed to RunCritical callbacks.
 type CriticalSection struct {
 	cl  *Client

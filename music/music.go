@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -76,6 +77,8 @@ type options struct {
 	realTime     bool
 	seed         int64
 	observer     func(op core.Op, d time.Duration)
+	obs          bool
+	obsOptions   obs.Options
 }
 
 // Option configures New.
@@ -137,6 +140,19 @@ func WithSeed(seed int64) Option {
 	return optionFunc(func(o *options) { o.seed = seed })
 }
 
+// WithObservability turns on the cluster's metrics registry and causal
+// tracer (internal/obs): every layer from the network up through the MUSIC
+// core records counters, latency histograms and — inside traced operations —
+// spans. Off by default; the disabled path is free.
+func WithObservability() Option {
+	return optionFunc(func(o *options) { o.obs = true })
+}
+
+// WithObservabilityOptions is WithObservability with explicit tuning.
+func WithObservabilityOptions(opts obs.Options) Option {
+	return optionFunc(func(o *options) { o.obs = true; o.obsOptions = opts })
+}
+
 // Cluster is a full MUSIC deployment: network, back-end store, and one
 // MUSIC replica per site.
 type Cluster struct {
@@ -146,6 +162,7 @@ type Cluster struct {
 	st       *store.Cluster
 	sites    []string
 	replicas map[string]*core.Replica
+	obs      *obs.Obs // nil unless WithObservability
 }
 
 // New builds a cluster. With the default virtual-time mode, issue all
@@ -173,10 +190,15 @@ func New(opts ...Option) (*Cluster, error) {
 		virtual = sim.New(o.seed)
 		rt = virtual
 	}
+	var ob *obs.Obs
+	if o.obs {
+		ob = obs.New(rt, o.obsOptions)
+	}
 	net := simnet.New(rt, simnet.Config{
 		Profile:      o.profile,
 		NodesPerSite: o.nodesPerSite,
 		Seed:         o.seed,
+		Obs:          ob,
 	})
 	st := store.New(net, store.Config{RF: o.rf})
 
@@ -187,6 +209,7 @@ func New(opts ...Option) (*Cluster, error) {
 		st:       st,
 		sites:    o.profile.Sites(),
 		replicas: make(map[string]*core.Replica, len(o.profile.Sites())),
+		obs:      ob,
 	}
 	for _, site := range c.sites {
 		node := net.NodesInSite(site)[0]
@@ -201,6 +224,11 @@ func New(opts ...Option) (*Cluster, error) {
 
 // Sites returns the cluster's site names.
 func (c *Cluster) Sites() []string { return append([]string(nil), c.sites...) }
+
+// Obs returns the cluster's observability bundle — nil unless the cluster
+// was built WithObservability. Use Obs().Tracer() to root traces around
+// critical sections and Obs().Metrics() to read counters and histograms.
+func (c *Cluster) Obs() *obs.Obs { return c.obs }
 
 // Client returns a client bound to the MUSIC replica at the named site.
 func (c *Cluster) Client(site string) *Client {

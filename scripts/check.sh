@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: run before every commit/PR. Fails on formatting drift, vet
+# findings, build or test failures, and data races in the packages that run
+# on real goroutines (wall-clock mode) rather than the single-threaded
+# virtual-time simulator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./music/ ./internal/httpapi/ ./cmd/...
+
+echo "check.sh: all green"
