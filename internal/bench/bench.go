@@ -123,6 +123,7 @@ func Experiments() []Experiment {
 		{"fig8", "Latency CDFs for MUSIC and MSCP, profiles 11 and IUs (Fig 8)", runFig8},
 		{"fig9", "YCSB workloads R / UR / U: MUSIC vs MSCP (Fig 9)", runFig9},
 		{"ablation", "Design-choice ablations: synchFlag dirty bit and local peek (DESIGN.md)", runAblation},
+		{"faults", "Fault-injection campaign: retries, cross-site failover, healthy-path overhead (§III-A)", runFaults},
 	}
 }
 

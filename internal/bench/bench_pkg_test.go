@@ -63,8 +63,8 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestRegistryAndRunValidation(t *testing.T) {
-	if len(Experiments()) != 13 {
-		t.Fatalf("experiments = %d, want 13 (every paper artifact + ablation + trace)", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Fatalf("experiments = %d, want 14 (every paper artifact + ablation + trace + faults)", len(Experiments()))
 	}
 	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -229,6 +229,34 @@ func TestFig8Shape(t *testing.T) {
 	}
 	if !(musicP50 < mscpP50) {
 		t.Errorf("IUs p50: MUSIC %v not below MSCP %v", musicP50, mscpP50)
+	}
+}
+
+func TestFaultsShape(t *testing.T) {
+	tables := runFaults(quickOpts)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want campaign + overhead", len(tables))
+	}
+	campaign, overhead := tables[0], tables[1]
+	for _, row := range campaign.Rows {
+		if row[2] != row[1] {
+			t.Errorf("seed %s: completed %s of %s sections despite failover", row[0], row[2], row[1])
+		}
+		if row[4] == "0" {
+			t.Errorf("seed %s: partition produced no failover", row[0])
+		}
+		if row[5] != "ncalifornia" {
+			t.Errorf("seed %s: client ended on %q, want ncalifornia", row[0], row[5])
+		}
+	}
+	// The retry layer must be free on the healthy path: every variant
+	// within 1% of the NoRetry baseline.
+	base := parseLat(t, overhead.Rows[0][1])
+	for _, row := range overhead.Rows[1:] {
+		got := parseLat(t, row[1])
+		if diff := got - base; diff > base/100 || diff < -base/100 {
+			t.Errorf("%s CS latency %.1fms, want within 1%% of NoRetry %.1fms", row[0], got, base)
+		}
 	}
 }
 

@@ -210,6 +210,71 @@ func checkChaosHistory(t *testing.T, records []*record) {
 	}
 }
 
+// TestChaosPartitionMidSectionFailover partitions the lockholder's site in
+// the middle of a critical section — after one acknowledged put, with a
+// second put failing unacknowledged into the minority — and resumes the
+// same lockRef at a majority-side replica. ECF requires the failover
+// replica to read the last acknowledged put (latest state), accept new
+// writes, and the section's final value to survive the heal with the
+// minority straggler never resurrecting.
+func TestChaosPartitionMidSectionFailover(t *testing.T) {
+	for _, seed := range faultSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newFaultWorld(seed, Config{T: 10 * time.Minute})
+			const key = "midsection"
+			err := w.rt.Run(func() {
+				rep := w.reps[0]
+				ref, err := rep.CreateLockRef(key)
+				if err != nil {
+					t.Fatalf("createLockRef: %v", err)
+				}
+				if err := awaitAt(w.rt, rep, key, ref, time.Minute); err != nil {
+					t.Fatalf("await: %v", err)
+				}
+				if err := rep.CriticalPut(key, ref, []byte("acked-1")); err != nil {
+					t.Fatalf("acked put: %v", err)
+				}
+				// Give the async grant-cell write a moment to replicate, then
+				// cut the holder's site off mid-section.
+				w.rt.Sleep(time.Second)
+				w.net.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+				if err := rep.CriticalPut(key, ref, []byte("straggler")); !errors.Is(err, ErrUnavailable) {
+					t.Fatalf("minority put err = %v, want ErrUnavailable", err)
+				}
+
+				// Resume the same lockRef at a majority-side replica: it must
+				// adopt the replicated grant (no fresh T window) and read the
+				// last acknowledged put.
+				rep2 := w.reps[1]
+				if err := awaitAt(w.rt, rep2, key, ref, time.Minute); err != nil {
+					t.Fatalf("failover await: %v", err)
+				}
+				v, err := rep2.CriticalGet(key, ref)
+				if err != nil {
+					t.Fatalf("failover criticalGet: %v", err)
+				}
+				if string(v) != "acked-1" {
+					t.Fatalf("failover read %q, want acked-1 (last acknowledged put)", v)
+				}
+				if err := rep2.CriticalPut(key, ref, []byte("acked-2")); err != nil {
+					t.Fatalf("failover criticalPut: %v", err)
+				}
+				if err := retryTransient(w.rt, func() error { return rep2.ReleaseLock(key, ref) }); err != nil {
+					t.Fatalf("failover release: %v", err)
+				}
+
+				w.net.Heal()
+				w.rt.Sleep(2 * time.Second)
+				verifySection(t, w, w.reps[0], key, "acked-2")
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
 // TestCriticalSectionsSurviveMessageLoss exercises the §III-A failure
 // semantics: with lossy links, individual quorum operations may fail with
 // ErrUnavailable, and retrying (per the paper's client obligations) must

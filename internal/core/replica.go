@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/lockstore"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/store"
 )
@@ -257,6 +258,17 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 	if granted && g.ref == ref {
 		return true, nil
 	}
+	if head.StartTime > 0 {
+		// Another replica already granted this ref — the §III-A failover
+		// case, where the client re-drives its acquire at this site. Adopt
+		// the replicated grant time instead of re-granting: the original T
+		// window keeps counting, and the section's elapsed-time timestamps
+		// stay monotonic across sites, so a straggler write accepted before
+		// the failover can never outrank writes issued after it.
+		sp.Annotate("outcome", "adopted grant")
+		r.rememberGrant(key, ref, head.StartTime)
+		return true, nil
+	}
 
 	grantSp := r.tracer().Child("music.acquireLock.grant")
 	grantStart := r.now()
@@ -284,11 +296,42 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 	r.grants[key] = grant{ref: ref, startMicros: now}
 	r.mu.Unlock()
 	// Record the grant time in the lock store so other MUSIC replicas can
-	// detect expiry and serve failover clients. Best-effort, off the
-	// critical path.
+	// detect expiry and serve failover clients. Off the critical path, but
+	// not fire-and-forget: without the grant cell, failover replicas
+	// misclassify a granted-but-crashed holder as an orphan and stall for
+	// OrphanTimeout instead of T, so transient failures are retried.
 	rt := r.ds.Cluster().Net().Runtime()
-	rt.Go(func() { _ = r.ls.SetGrant(key, ref, now) })
+	rt.Go(func() { r.setGrantRetried(key, ref, now) })
 	return true, nil
+}
+
+// setGrantRetried drives the replicated grant-cell write with bounded
+// exponential backoff. It stops early when the grant has already been
+// released or preempted (the cell no longer matters) and counts permanent
+// failures as music_setgrant_abandoned_total.
+func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
+	rt := r.ds.Cluster().Net().Runtime()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			rt.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			r.mu.Lock()
+			g, ok := r.grants[key]
+			r.mu.Unlock()
+			if !ok || g.ref != ref {
+				return
+			}
+		}
+		if err := r.ls.SetGrant(key, ref, startMicros); err == nil {
+			return
+		}
+	}
+	if o := r.ds.Cluster().Net().Obs(); o != nil {
+		o.Metrics().Counter("music_setgrant_abandoned_total", obs.Labels{"site": r.site}).Inc()
+	}
 }
 
 // synchronize restores the "data store defined as the true value" invariant
@@ -523,7 +566,8 @@ func (r *Replica) forgetGrant(key string, ref int64) {
 
 // reapExpiredHead force-releases a head lockRef whose holder appears failed:
 // granted more than T ago, or never granted (orphaned by a client that died
-// after createLockRef) for more than T (§IV-B a).
+// after createLockRef) for more than OrphanTimeout, which defaults to T
+// (§IV-B a).
 func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 	now := r.nowMicros()
 	tMicros := int64(r.cfg.T / time.Microsecond)
@@ -599,12 +643,15 @@ func (r *Replica) Remove(key string) error {
 }
 
 // StartJanitor runs a background sweeper that force-releases expired or
-// orphaned head lockRefs across all lock keys every interval. Returns a
-// stop function.
+// orphaned head lockRefs across all lock keys every interval. The returned
+// stop function cancels the pending timer, so no further sweep (with its
+// quorum reads) runs after it returns — in real-time mode a stray sweep
+// would outlive Cluster.Close.
 func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
 	rt := r.ds.Cluster().Net().Runtime()
 	var mu sync.Mutex
 	stopped := false
+	var timer *sim.Timer
 	var loop func()
 	loop = func() {
 		mu.Lock()
@@ -613,6 +660,9 @@ func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
 			return
 		}
 		mu.Unlock()
+		if o := r.ds.Cluster().Net().Obs(); o != nil {
+			o.Metrics().Counter("music_janitor_sweeps_total", obs.Labels{"site": r.site}).Inc()
+		}
 		keys, err := r.ds.AllKeys(lockstore.Table)
 		if err == nil {
 			for _, key := range keys {
@@ -621,13 +671,21 @@ func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
 				}
 			}
 		}
-		rt.After(interval, loop)
+		mu.Lock()
+		if !stopped {
+			timer = rt.After(interval, loop)
+		}
+		mu.Unlock()
 	}
-	rt.After(interval, loop)
+	mu.Lock()
+	timer = rt.After(interval, loop)
+	mu.Unlock()
 	return func() {
 		mu.Lock()
-		defer mu.Unlock()
 		stopped = true
+		t := timer
+		mu.Unlock()
+		t.Stop()
 	}
 }
 

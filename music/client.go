@@ -4,41 +4,269 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Client issues MUSIC operations through one site's replica (Table I).
+//
+// Operations that fail with transient errors (IsRetryable) are re-driven
+// under the client's RetryPolicy; when failover sites are configured
+// (WithFailoverSites, or Cluster.FailoverClient) and a site's attempt
+// budget runs out, the client re-binds to the next candidate site's replica
+// and — for lock-guarded operations — re-drives the acquisition of the same
+// lockRef there before retrying, the §III-A "retry, possibly at another
+// MUSIC replica" path. Every retry and failover decision is counted
+// (music_retry_total, music_failover_total) and traced when the cluster
+// runs WithObservability.
 type Client struct {
-	c    *Cluster
+	c        *Cluster
+	home     string
+	retry    RetryPolicy
+	failover []string // candidate sites tried in order; nil = no failover
+
+	mu   sync.Mutex
+	site string // currently bound site (== home until a failover re-binds)
 	rep  *core.Replica
-	site string
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption interface {
+	applyClient(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) applyClient(cl *Client) { f(cl) }
+
+// WithRetry sets the client's retry policy (DefaultRetryPolicy otherwise;
+// NoRetry restores fail-on-first-error).
+func WithRetry(p RetryPolicy) ClientOption {
+	return clientOptionFunc(func(cl *Client) { cl.retry = p })
+}
+
+// WithFailoverSites names the sites, in preference order, that the client
+// may re-bind to when its current site's attempt budget is exhausted on a
+// retryable error. Unknown site names panic, like Cluster.Client.
+func WithFailoverSites(sites ...string) ClientOption {
+	return clientOptionFunc(func(cl *Client) {
+		cl.failover = append([]string(nil), sites...)
+	})
+}
+
+// bound returns the currently bound replica and site.
+func (cl *Client) bound() (*core.Replica, string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.rep, cl.site
+}
+
+// rebind switches the client to another site's replica and returns it.
+func (cl *Client) rebind(site string) *core.Replica {
+	rep := cl.c.replicas[site]
+	cl.mu.Lock()
+	cl.site, cl.rep = site, rep
+	cl.mu.Unlock()
+	return rep
+}
+
+// nextSite picks the first failover candidate not yet tried this operation.
+func (cl *Client) nextSite(tried map[string]bool) (string, bool) {
+	for _, s := range cl.failover {
+		if !tried[s] {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// counter bumps a client-layer metric (no-op without observability).
+func (cl *Client) counter(name string, labels obs.Labels) {
+	if o := cl.c.obs; o != nil {
+		o.Metrics().Counter(name, labels).Inc()
+	}
+}
+
+// noteRetry records one backoff-and-retry decision.
+func (cl *Client) noteRetry(op, site string, err error) {
+	cl.counter("music_retry_total", obs.Labels{"op": op, "site": site})
+	sp := cl.c.tracer().Child("music.retry")
+	sp.Annotate("op", op)
+	sp.Annotate("site", site)
+	sp.Annotate("cause", err.Error())
+	sp.End()
+}
+
+// noteFailover records one cross-site failover decision.
+func (cl *Client) noteFailover(op, from, to string, err error) {
+	cl.counter("music_failover_total", obs.Labels{"from": from, "to": to})
+	sp := cl.c.tracer().Child("music.failover")
+	sp.Annotate("op", op)
+	sp.Annotate("from", from)
+	sp.Annotate("to", to)
+	sp.Annotate("cause", err.Error())
+	sp.End()
+}
+
+// sleepBackoff sleeps the current backoff with ±50% jitter and doubles it
+// up to the policy cap. Jitter comes from the runtime RNG, so virtual-time
+// schedules remain deterministic per seed.
+func (cl *Client) sleepBackoff(backoff *time.Duration, pol RetryPolicy) {
+	d := *backoff
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(cl.c.rt.Rand().Int63n(int64(d)-int64(half)+1))
+	}
+	cl.c.rt.Sleep(d)
+	if *backoff < pol.MaxBackoff {
+		*backoff *= 2
+		if *backoff > pol.MaxBackoff {
+			*backoff = pol.MaxBackoff
+		}
+	}
+}
+
+// withRetry drives op to completion under the client's retry policy:
+// bounded, jittered retries against the bound replica on retryable errors,
+// then — when failover sites remain — a re-bind to the next site, a
+// re-driven acquisition of ref there (for lock-guarded ops), and a fresh
+// attempt budget. Terminal errors and exhausted budgets return the last
+// error observed.
+func (cl *Client) withRetry(opName, key string, ref LockRef, reacquire bool, op func(rep *core.Replica) error) error {
+	pol := cl.retry.withDefaults()
+	var tried map[string]bool
+	var lastErr error
+	for {
+		rep, site := cl.bound()
+		backoff := pol.BaseBackoff
+		for attempt := 1; ; attempt++ {
+			err := op(rep)
+			if err == nil {
+				return nil
+			}
+			if !IsRetryable(err) {
+				return err
+			}
+			lastErr = err
+			if attempt >= pol.Attempts {
+				break
+			}
+			cl.noteRetry(opName, site, err)
+			cl.sleepBackoff(&backoff, pol)
+		}
+		if tried == nil {
+			tried = make(map[string]bool, len(cl.failover)+1)
+		}
+		tried[site] = true
+		next, ok := cl.nextSite(tried)
+		if !ok {
+			return lastErr
+		}
+		cl.noteFailover(opName, site, next, lastErr)
+		rep = cl.rebind(next)
+		if reacquire {
+			// Re-drive the interrupted acquisition at the new site with the
+			// same lockRef: the new replica re-grants (synchronizing if a
+			// preemption left the flag set) or times out, after which the
+			// critical op itself is retried there.
+			if err := cl.awaitAt(rep, key, ref, pol.FailoverAwait); err != nil {
+				if !IsRetryable(err) && !ErrAwaitTimeout(err) {
+					return err
+				}
+				lastErr = err
+			}
+		}
+	}
 }
 
 // CreateLockRef enqueues a new per-key unique increasing lock reference,
-// good for one critical section.
+// good for one critical section. A failover mid-enqueue can leave an orphan
+// reference behind at the first site; orphans are reaped by the replicas'
+// OrphanTimeout sweep (§IV-B a), so this only delays contenders, never
+// blocks them.
 func (cl *Client) CreateLockRef(key string) (LockRef, error) {
-	ref, err := cl.rep.CreateLockRef(key)
-	return LockRef(ref), err
+	var ref LockRef
+	err := cl.withRetry("createLockRef", key, 0, false, func(rep *core.Replica) error {
+		r, err := rep.CreateLockRef(key)
+		if err == nil {
+			ref = LockRef(r)
+		}
+		return err
+	})
+	return ref, err
 }
 
 // AcquireLock reports whether ref now holds key's lock; false with nil
-// error means "not yet" — poll again, with backoff.
+// error means "not yet" — poll again, with backoff. Single attempt, no
+// retries: polling is the caller's loop (use AwaitLock for the packaged
+// version).
 func (cl *Client) AcquireLock(key string, ref LockRef) (bool, error) {
-	return cl.rep.AcquireLock(key, int64(ref))
+	rep, _ := cl.bound()
+	return rep.AcquireLock(key, int64(ref))
 }
 
 // AwaitLock polls AcquireLock with exponential backoff until the lock is
 // granted, the timeout expires, or the lockRef dies. A zero timeout waits
-// indefinitely.
+// indefinitely. Retryable errors (a transient ErrUnavailable during the
+// synchFlag quorum read, say) count as "not yet": the poll continues until
+// the deadline, failing over to another site's replica — same lockRef —
+// after the per-site attempt budget is spent on consecutive errors.
 func (cl *Client) AwaitLock(key string, ref LockRef, timeout time.Duration) error {
+	rt := cl.c.rt
+	pol := cl.retry.withDefaults()
+	deadline := rt.Now() + timeout
+	backoff := time.Millisecond
+	consecutive := 0
+	var tried map[string]bool
+	for {
+		rep, site := cl.bound()
+		ok, err := rep.AcquireLock(key, int64(ref))
+		switch {
+		case err != nil && !IsRetryable(err):
+			return err
+		case err != nil:
+			// Transient failure: treat as "not yet" (§III-A), and fail over
+			// once this site has burned its attempt budget back-to-back.
+			consecutive++
+			cl.noteRetry("acquireLock", site, err)
+			if consecutive >= pol.Attempts {
+				if tried == nil {
+					tried = make(map[string]bool, len(cl.failover)+1)
+				}
+				tried[site] = true
+				if next, found := cl.nextSite(tried); found {
+					cl.noteFailover("acquireLock", site, next, err)
+					cl.rebind(next)
+					consecutive = 0
+				}
+			}
+		case ok:
+			return nil
+		default:
+			consecutive = 0
+		}
+		if timeout > 0 && rt.Now() >= deadline {
+			return fmt.Errorf("music: lock %s/%d: %w", key, ref, errAwaitTimeout)
+		}
+		rt.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// awaitAt is AwaitLock pinned to one replica (the failover re-drive): it
+// never re-binds, and transient errors just keep the poll going.
+func (cl *Client) awaitAt(rep *core.Replica, key string, ref LockRef, timeout time.Duration) error {
 	rt := cl.c.rt
 	deadline := rt.Now() + timeout
 	backoff := time.Millisecond
 	for {
-		ok, err := cl.rep.AcquireLock(key, int64(ref))
-		if err != nil {
+		ok, err := rep.AcquireLock(key, int64(ref))
+		if err != nil && !IsRetryable(err) {
 			return err
 		}
 		if ok {
@@ -62,51 +290,102 @@ func ErrAwaitTimeout(err error) bool { return errors.Is(err, errAwaitTimeout) }
 
 // CriticalPut writes the latest value of key for the current lockholder.
 func (cl *Client) CriticalPut(key string, ref LockRef, value []byte) error {
-	return cl.rep.CriticalPut(key, int64(ref), value)
+	return cl.withRetry("criticalPut", key, ref, true, func(rep *core.Replica) error {
+		return rep.CriticalPut(key, int64(ref), value)
+	})
 }
 
 // CriticalGet reads the true value of key for the current lockholder.
 func (cl *Client) CriticalGet(key string, ref LockRef) ([]byte, error) {
-	return cl.rep.CriticalGet(key, int64(ref))
+	var value []byte
+	err := cl.withRetry("criticalGet", key, ref, true, func(rep *core.Replica) error {
+		v, err := rep.CriticalGet(key, int64(ref))
+		if err == nil {
+			value = v
+		}
+		return err
+	})
+	return value, err
 }
 
 // CriticalDelete removes key's value for the current lockholder.
 func (cl *Client) CriticalDelete(key string, ref LockRef) error {
-	return cl.rep.CriticalDelete(key, int64(ref))
+	return cl.withRetry("criticalDelete", key, ref, true, func(rep *core.Replica) error {
+		return rep.CriticalDelete(key, int64(ref))
+	})
 }
 
 // ReleaseLock removes ref from the queue and releases the lock.
 func (cl *Client) ReleaseLock(key string, ref LockRef) error {
-	return cl.rep.ReleaseLock(key, int64(ref))
+	return cl.withRetry("releaseLock", key, ref, false, func(rep *core.Replica) error {
+		return rep.ReleaseLock(key, int64(ref))
+	})
 }
 
 // ForcedRelease preempts a (presumed failed) lockholder, marking the key
 // for synchronization before the next grant (§IV-B; used by ownership-
 // stealing services like the Portal, §VII-b).
 func (cl *Client) ForcedRelease(key string, ref LockRef) error {
-	return cl.rep.ForcedRelease(key, int64(ref))
+	return cl.withRetry("forcedRelease", key, ref, false, func(rep *core.Replica) error {
+		return rep.ForcedRelease(key, int64(ref))
+	})
 }
 
 // RemoveLockRef evicts a lockRef that failed to win the lock (the homing
 // workers' removeLockReference, §VII-a).
 func (cl *Client) RemoveLockRef(key string, ref LockRef) error {
-	return cl.rep.ReleaseLock(key, int64(ref))
+	return cl.ReleaseLock(key, ref)
 }
 
 // Put writes key without locks at eventual consistency (no ECF guarantees).
-func (cl *Client) Put(key string, value []byte) error { return cl.rep.Put(key, value) }
+func (cl *Client) Put(key string, value []byte) error {
+	return cl.withRetry("put", key, 0, false, func(rep *core.Replica) error {
+		return rep.Put(key, value)
+	})
+}
 
 // Get reads key without locks; possibly stale.
-func (cl *Client) Get(key string) ([]byte, error) { return cl.rep.Get(key) }
+func (cl *Client) Get(key string) ([]byte, error) {
+	var value []byte
+	err := cl.withRetry("get", key, 0, false, func(rep *core.Replica) error {
+		v, err := rep.Get(key)
+		if err == nil {
+			value = v
+		}
+		return err
+	})
+	return value, err
+}
 
 // GetAllKeys lists keys with a live value, eventually consistent.
-func (cl *Client) GetAllKeys() ([]string, error) { return cl.rep.GetAllKeys() }
+func (cl *Client) GetAllKeys() ([]string, error) {
+	var keys []string
+	err := cl.withRetry("getAllKeys", "", 0, false, func(rep *core.Replica) error {
+		k, err := rep.GetAllKeys()
+		if err == nil {
+			keys = k
+		}
+		return err
+	})
+	return keys, err
+}
 
 // Remove permanently retires a key.
-func (cl *Client) Remove(key string) error { return cl.rep.Remove(key) }
+func (cl *Client) Remove(key string) error {
+	return cl.withRetry("remove", key, 0, false, func(rep *core.Replica) error {
+		return rep.Remove(key)
+	})
+}
 
-// Site returns the site this client operates from.
-func (cl *Client) Site() string { return cl.site }
+// Site returns the site this client currently operates from (the home site
+// until a failover re-binds it).
+func (cl *Client) Site() string {
+	_, site := cl.bound()
+	return site
+}
+
+// HomeSite returns the site this client was constructed at.
+func (cl *Client) HomeSite() string { return cl.home }
 
 // Cluster returns the cluster this client is bound to (for observability
 // and fault-injection plumbing).
@@ -133,8 +412,9 @@ func (cs *CriticalSection) Delete() error { return cs.cl.CriticalDelete(cs.key, 
 
 // RunCritical runs fn inside a critical section over key: it creates a lock
 // reference, awaits the lock, invokes fn, and releases the lock (Listing 1
-// packaged up). The lock is released even when fn fails; fn's error is
-// returned.
+// packaged up). The lock is released even when fn fails; when both fn and
+// the release fail, the errors are joined so a stuck lock is never
+// invisible to the caller.
 func (cl *Client) RunCritical(key string, fn func(cs *CriticalSection) error) error {
 	ref, err := cl.CreateLockRef(key)
 	if err != nil {
@@ -146,8 +426,8 @@ func (cl *Client) RunCritical(key string, fn func(cs *CriticalSection) error) er
 		return err
 	}
 	fnErr := fn(&CriticalSection{cl: cl, key: key, ref: ref})
-	if relErr := cl.ReleaseLock(key, ref); fnErr == nil && relErr != nil {
-		return relErr
+	if relErr := cl.ReleaseLock(key, ref); relErr != nil {
+		return errors.Join(fnErr, relErr)
 	}
 	return fnErr
 }
@@ -161,28 +441,32 @@ func (cl *Client) RunCriticalMulti(keys []string, fn func(cs map[string]*Critica
 	sort.Strings(ordered)
 
 	held := make(map[string]*CriticalSection, len(ordered))
-	release := func() {
+	release := func() error {
 		// Release in reverse acquisition order.
+		var errs []error
 		for i := len(ordered) - 1; i >= 0; i-- {
 			if cs, ok := held[ordered[i]]; ok {
-				_ = cl.ReleaseLock(ordered[i], cs.ref)
+				if err := cl.ReleaseLock(ordered[i], cs.ref); err != nil {
+					errs = append(errs, err)
+				}
 			}
 		}
+		return errors.Join(errs...)
 	}
 	for _, key := range ordered {
 		ref, err := cl.CreateLockRef(key)
 		if err != nil {
-			release()
-			return err
+			return errors.Join(err, release())
 		}
 		if err := cl.AwaitLock(key, ref, 0); err != nil {
 			_ = cl.RemoveLockRef(key, ref)
-			release()
-			return err
+			return errors.Join(err, release())
 		}
 		held[key] = &CriticalSection{cl: cl, key: key, ref: ref}
 	}
 	fnErr := fn(held)
-	release()
+	if relErr := release(); relErr != nil {
+		return errors.Join(fnErr, relErr)
+	}
 	return fnErr
 }

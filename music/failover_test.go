@@ -1,0 +1,257 @@
+package music
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestPartitionBetweenAwaitAndCriticalPutAbortsWithoutFailover documents
+// the degraded behavior the acceptance criterion pins on a client with no
+// failover sites: its site is partitioned between AwaitLock and
+// CriticalPut, so the put aborts with ErrUnavailable once the (bounded)
+// local retry budget is spent.
+func TestPartitionBetweenAwaitAndCriticalPutAbortsWithoutFailover(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7))
+	err := c.Run(func() {
+		cl := c.Client("ohio")
+		ref, err := cl.CreateLockRef("k")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		if err := cl.AwaitLock("k", ref, 0); err != nil {
+			t.Fatalf("AwaitLock: %v", err)
+		}
+		c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+		if err := cl.CriticalPut("k", ref, []byte("v")); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("partitioned put err = %v, want ErrUnavailable", err)
+		}
+		c.Heal()
+		_ = cl.ReleaseLock("k", ref)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFailoverPartitionBetweenAwaitAndCriticalPut is the PR's acceptance
+// scenario: the client's site is partitioned between AwaitLock and
+// CriticalPut; with failover enabled the put re-drives the same lockRef at
+// another site's replica and the critical section completes with the
+// correct final value, with the retries and the failover visible as
+// music_retry_total / music_failover_total and as trace annotations.
+func TestFailoverPartitionBetweenAwaitAndCriticalPut(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7), WithObservability())
+	err := c.Run(func() {
+		root := c.Obs().Tracer().StartRoot("test.failover")
+		cl := c.FailoverClient("ohio")
+		ref, err := cl.CreateLockRef("k")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		if err := cl.AwaitLock("k", ref, 0); err != nil {
+			t.Fatalf("AwaitLock: %v", err)
+		}
+		c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+		if err := cl.CriticalPut("k", ref, []byte("survived")); err != nil {
+			t.Fatalf("CriticalPut with failover: %v", err)
+		}
+		if got := cl.Site(); got != "ncalifornia" {
+			t.Errorf("client re-bound to %q, want ncalifornia (first failover site)", got)
+		}
+		if err := cl.ReleaseLock("k", ref); err != nil {
+			t.Fatalf("ReleaseLock after failover: %v", err)
+		}
+		root.End()
+
+		m := c.Obs().Metrics()
+		if n := m.Counter("music_retry_total", obs.Labels{"op": "criticalPut", "site": "ohio"}).Value(); n == 0 {
+			t.Error("music_retry_total{op=criticalPut,site=ohio} = 0, want > 0")
+		}
+		if n := m.Counter("music_failover_total", obs.Labels{"from": "ohio", "to": "ncalifornia"}).Value(); n == 0 {
+			t.Error("music_failover_total{from=ohio,to=ncalifornia} = 0, want > 0")
+		}
+		failoverSpans := false
+		for _, st := range c.Obs().Tracer().StatsByName() {
+			if st.Name == "music.failover" && st.Count > 0 {
+				failoverSpans = true
+			}
+		}
+		if !failoverSpans {
+			t.Error("no music.failover spans recorded")
+		}
+
+		c.Heal()
+		// The value written through the failover site is the true value.
+		c.Sleep(2 * time.Second)
+		got, err := c.Client("oregon").RunCriticalRead("k")
+		if err != nil {
+			t.Fatalf("verify read: %v", err)
+		}
+		if string(got) != "survived" {
+			t.Errorf("final value = %q, want survived", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFailoverResumesLastAcknowledgedPut partitions the client's site in
+// the middle of a critical section: the failover replica must serve the
+// last acknowledged put as the current value, and the section's post-
+// failover write must be the final value after heal (run under -race via
+// scripts/check.sh).
+func TestFailoverResumesLastAcknowledgedPut(t *testing.T) {
+	c := newTestCluster(t, WithSeed(11))
+	err := c.Run(func() {
+		cl := c.FailoverClient("ohio")
+		ref, err := cl.CreateLockRef("k")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		if err := cl.AwaitLock("k", ref, 0); err != nil {
+			t.Fatalf("AwaitLock: %v", err)
+		}
+		if err := cl.CriticalPut("k", ref, []byte("acked")); err != nil {
+			t.Fatalf("first CriticalPut: %v", err)
+		}
+		c.Sleep(time.Second) // let the grant cell replicate
+		c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+
+		v, err := cl.CriticalGet("k", ref)
+		if err != nil {
+			t.Fatalf("CriticalGet with failover: %v", err)
+		}
+		if string(v) != "acked" {
+			t.Fatalf("failover read %q, want acked (last acknowledged put)", v)
+		}
+		if err := cl.CriticalPut("k", ref, []byte("post-failover")); err != nil {
+			t.Fatalf("post-failover CriticalPut: %v", err)
+		}
+		if err := cl.ReleaseLock("k", ref); err != nil {
+			t.Fatalf("ReleaseLock: %v", err)
+		}
+
+		c.Heal()
+		c.Sleep(2 * time.Second)
+		got, err := c.Client("oregon").RunCriticalRead("k")
+		if err != nil {
+			t.Fatalf("verify read: %v", err)
+		}
+		if string(got) != "post-failover" {
+			t.Errorf("final value = %q, want post-failover", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestAwaitLockSurvivesTransientUnavailable pins the AwaitLock bugfix: a
+// transient ErrUnavailable during the grant's synchFlag quorum read counts
+// as "not yet", so the wait keeps polling and succeeds once the partition
+// heals, instead of aborting on the first error.
+func TestAwaitLockSurvivesTransientUnavailable(t *testing.T) {
+	c := newTestCluster(t, WithSeed(3))
+	err := c.Run(func() {
+		cl := c.Client("ohio")
+		ref, err := cl.CreateLockRef("k")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		c.Sleep(time.Second) // enqueue replicates everywhere
+		c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+		c.Go(func() {
+			c.Sleep(5 * time.Second)
+			c.Heal()
+		})
+		// The grant-path quorum read fails while partitioned; AwaitLock
+		// must ride it out and grant after the heal.
+		if err := cl.AwaitLock("k", ref, 2*time.Minute); err != nil {
+			t.Fatalf("AwaitLock across transient partition: %v", err)
+		}
+		if err := cl.CriticalPut("k", ref, []byte("granted")); err != nil {
+			t.Fatalf("CriticalPut: %v", err)
+		}
+		if err := cl.ReleaseLock("k", ref); err != nil {
+			t.Fatalf("ReleaseLock: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestAwaitLockFailsOverDuringPartition checks the AwaitLock failover path
+// itself: with the home site partitioned indefinitely, a failover client's
+// wait re-binds to a majority-side replica and grants there.
+func TestAwaitLockFailsOverDuringPartition(t *testing.T) {
+	c := newTestCluster(t, WithSeed(5))
+	err := c.Run(func() {
+		cl := c.FailoverClient("ohio")
+		ref, err := cl.CreateLockRef("k")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		c.Sleep(time.Second)
+		c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+		if err := cl.AwaitLock("k", ref, 5*time.Minute); err != nil {
+			t.Fatalf("AwaitLock with failover: %v", err)
+		}
+		if got := cl.Site(); got == "ohio" {
+			t.Errorf("client still bound to partitioned home site after grant")
+		}
+		if err := cl.CriticalPut("k", ref, []byte("v")); err != nil {
+			t.Fatalf("CriticalPut: %v", err)
+		}
+		if err := cl.ReleaseLock("k", ref); err != nil {
+			t.Fatalf("ReleaseLock: %v", err)
+		}
+		c.Heal()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRunCriticalJoinsReleaseError pins the RunCritical bugfix: when both
+// the callback and the release fail, the caller sees both errors instead of
+// the release failure being swallowed.
+func TestRunCriticalJoinsReleaseError(t *testing.T) {
+	c := newTestCluster(t, WithSeed(9))
+	err := c.Run(func() {
+		cl := c.Client("ohio", WithRetry(NoRetry))
+		boom := errors.New("boom")
+		err := cl.RunCritical("k", func(cs *CriticalSection) error {
+			// Cut our own site off so the trailing ReleaseLock (an LWT)
+			// cannot reach a quorum either.
+			c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v, want wrapped callback error", err)
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			t.Errorf("err = %v, want joined ErrUnavailable release failure", err)
+		}
+		c.Heal()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// RunCriticalRead is a test helper: one full critical section that just
+// reads the key's true value.
+func (cl *Client) RunCriticalRead(key string) ([]byte, error) {
+	var v []byte
+	err := cl.RunCritical(key, func(cs *CriticalSection) error {
+		got, err := cs.Get()
+		v = got
+		return err
+	})
+	return v, err
+}

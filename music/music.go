@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lockstore"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -48,15 +49,20 @@ const (
 	ModeLWT = core.ModeLWT
 )
 
-// Errors surfaced by critical operations. Retry guidance follows §III-A:
-// ErrNotLockHolder and ErrUnavailable are retryable (the latter possibly at
-// another site); ErrNoLongerLockHolder and ErrExpired mean the lockRef is
-// dead and a new critical section is needed.
+// Errors surfaced by critical operations. Retry guidance follows §III-A and
+// is encoded by IsRetryable: ErrNotLockHolder, ErrUnavailable and
+// ErrContention are retryable (the latter two possibly at another site);
+// ErrNoLongerLockHolder and ErrExpired mean the lockRef is dead and a new
+// critical section is needed.
 var (
 	ErrNoLongerLockHolder = core.ErrNoLongerLockHolder
 	ErrNotLockHolder      = core.ErrNotLockHolder
 	ErrExpired            = core.ErrExpired
 	ErrUnavailable        = core.ErrUnavailable
+	// ErrContention means a lock-store CAS loop lost against competing
+	// clients for its whole retry budget (Zipfian hot keys); backing off
+	// and retrying — or enqueueing via another site — usually succeeds.
+	ErrContention = lockstore.ErrContention
 )
 
 // Named latency profiles (Table II plus a fast local one for live demos).
@@ -231,13 +237,42 @@ func (c *Cluster) Sites() []string { return append([]string(nil), c.sites...) }
 func (c *Cluster) Obs() *obs.Obs { return c.obs }
 
 // Client returns a client bound to the MUSIC replica at the named site.
-func (c *Cluster) Client(site string) *Client {
+// Options tune its transient-failure handling; by default it retries
+// retryable errors under DefaultRetryPolicy at that one site and never
+// fails over.
+func (c *Cluster) Client(site string, opts ...ClientOption) *Client {
 	rep, ok := c.replicas[site]
 	if !ok {
 		panic(fmt.Sprintf("music: unknown site %q", site))
 	}
-	return &Client{c: c, rep: rep, site: site}
+	cl := &Client{c: c, home: site, site: site, rep: rep}
+	for _, opt := range opts {
+		opt.applyClient(cl)
+	}
+	for _, s := range cl.failover {
+		if _, ok := c.replicas[s]; !ok {
+			panic(fmt.Sprintf("music: unknown failover site %q", s))
+		}
+	}
+	return cl
 }
+
+// FailoverClient returns a client homed at the named site that fails over
+// to every other site of the cluster, in profile order, when the current
+// site keeps failing transiently — the full §III-A "retry at another MUSIC
+// replica" behavior.
+func (c *Cluster) FailoverClient(site string, opts ...ClientOption) *Client {
+	var others []string
+	for _, s := range c.sites {
+		if s != site {
+			others = append(others, s)
+		}
+	}
+	return c.Client(site, append([]ClientOption{WithFailoverSites(others...)}, opts...)...)
+}
+
+// tracer returns the cluster tracer (nil when observability is off).
+func (c *Cluster) tracer() *obs.Tracer { return c.obs.Tracer() }
 
 // Run executes fn inside the cluster's virtual-time simulation and drives
 // it to completion; in real-time mode it simply calls fn. All operations on

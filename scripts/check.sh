@@ -18,4 +18,9 @@ go build ./...
 go test ./...
 go test -race ./music/ ./internal/httpapi/ ./cmd/...
 
+# Fault-injection campaign under pinned seeds: the deterministic crash /
+# partition / ack-loss scenarios plus the chaos interleavings, re-run with
+# a fixed seed list so a schedule regression cannot hide behind seed drift.
+MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./internal/core/ -run 'TestFault|TestChaos' -count=1
+
 echo "check.sh: all green"
