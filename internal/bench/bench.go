@@ -82,6 +82,10 @@ type Options struct {
 	Workers int
 	// Log receives progress lines (nil discards them).
 	Log io.Writer
+	// FastpathJSON, when non-empty, makes the fastpath experiment also
+	// write its per-config results to this path as JSON (the
+	// BENCH_fastpath.json perf-trajectory artifact).
+	FastpathJSON string
 }
 
 func (o Options) workers() int {
@@ -124,6 +128,7 @@ func Experiments() []Experiment {
 		{"fig9", "YCSB workloads R / UR / U: MUSIC vs MSCP (Fig 9)", runFig9},
 		{"ablation", "Design-choice ablations: synchFlag dirty bit and local peek (DESIGN.md)", runAblation},
 		{"faults", "Fault-injection campaign: retries, cross-site failover, healthy-path overhead (§III-A)", runFaults},
+		{"fastpath", "Critical-section fast path: grant piggyback, holder cache, write-behind, digest reads", runFastpath},
 	}
 }
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// awaitSeeded polls AcquireLockSeeded until granted, returning the seed of
+// the granting call.
+func awaitSeeded(t *testing.T, w *world, r *Replica, key string, ref int64) ValueSeed {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		ok, seed, err := r.AcquireLockSeeded(key, ref)
+		if err != nil {
+			t.Fatalf("AcquireLockSeeded(%s, %d): %v", key, ref, err)
+		}
+		if ok {
+			return seed
+		}
+		w.rt.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("lock %s/%d never acquired", key, ref)
+	return ValueSeed{}
+}
+
+func TestAcquireLockSeedsValue(t *testing.T) {
+	fixture(t, Config{}, func(w *world) {
+		const key = "seeded"
+
+		// First-ever grant: the piggybacked read sees no value.
+		ref1, err := w.rep[0].CreateLockRef(key)
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		seed := awaitSeeded(t, w, w.rep[0], key, ref1)
+		if !seed.Valid || seed.Present {
+			t.Fatalf("fresh-key seed = %+v, want Valid && !Present", seed)
+		}
+		if err := w.rep[0].CriticalPut(key, ref1, []byte("v1")); err != nil {
+			t.Fatalf("CriticalPut: %v", err)
+		}
+		// Idempotent re-acquire performs no quorum read: no seed.
+		ok, reseed, err := w.rep[0].AcquireLockSeeded(key, ref1)
+		if err != nil || !ok {
+			t.Fatalf("re-acquire = %v, %v", ok, err)
+		}
+		if reseed.Valid {
+			t.Fatalf("re-acquire seed = %+v, want invalid (no quorum read ran)", reseed)
+		}
+		if err := w.rep[0].ReleaseLock(key, ref1); err != nil {
+			t.Fatalf("ReleaseLock: %v", err)
+		}
+
+		// The next holder — at a different site — is seeded with the value
+		// the previous section wrote, fetched by the grant quorum read.
+		ref2, err := w.rep[1].CreateLockRef(key)
+		if err != nil {
+			t.Fatalf("CreateLockRef 2: %v", err)
+		}
+		seed = awaitSeeded(t, w, w.rep[1], key, ref2)
+		if !seed.Valid || !seed.Present || !bytes.Equal(seed.Value, []byte("v1")) {
+			t.Fatalf("seed after write = %+v, want Valid && Present && v1", seed)
+		}
+	})
+}
+
+func TestSeedAfterForcedReleaseSynchronization(t *testing.T) {
+	fixture(t, Config{}, func(w *world) {
+		const key = "sync-seed"
+		ref1, _ := w.rep[0].CreateLockRef(key)
+		awaitLock(t, w, w.rep[0], key, ref1)
+		if err := w.rep[0].CriticalPut(key, ref1, []byte("preempted")); err != nil {
+			t.Fatalf("CriticalPut: %v", err)
+		}
+		if err := w.rep[1].ForcedRelease(key, ref1); err != nil {
+			t.Fatalf("ForcedRelease: %v", err)
+		}
+
+		// The grant after a forced release runs synchronize; its seed is the
+		// value the synchronization re-stamped.
+		ref2, _ := w.rep[2].CreateLockRef(key)
+		seed := awaitSeeded(t, w, w.rep[2], key, ref2)
+		if !seed.Valid || !seed.Present || !bytes.Equal(seed.Value, []byte("preempted")) {
+			t.Fatalf("post-synchronize seed = %+v, want Valid && Present && preempted", seed)
+		}
+		got, err := w.rep[2].CriticalGet(key, ref2)
+		if err != nil || !bytes.Equal(got, seed.Value) {
+			t.Fatalf("CriticalGet = %q, %v; want seed value %q", got, err, seed.Value)
+		}
+	})
+}
+
+func TestCriticalCheckGuards(t *testing.T) {
+	fixture(t, Config{T: 5 * time.Second}, func(w *world) {
+		const key = "check"
+		ref, _ := w.rep[0].CreateLockRef(key)
+		awaitLock(t, w, w.rep[0], key, ref)
+		if err := w.rep[0].CriticalCheck(key, ref); err != nil {
+			t.Fatalf("holder CriticalCheck: %v", err)
+		}
+		// A contender queued behind the holder is not the lock holder.
+		ref2, _ := w.rep[1].CreateLockRef(key)
+		w.rt.Sleep(time.Second)
+		if err := w.rep[1].CriticalCheck(key, ref2); !errors.Is(err, ErrNotLockHolder) {
+			t.Fatalf("contender CriticalCheck = %v, want ErrNotLockHolder", err)
+		}
+		// Past T the check self-preempts, like every critical-op guard.
+		w.rt.Sleep(5 * time.Second)
+		if err := w.rep[0].CriticalCheck(key, ref); !errors.Is(err, ErrExpired) {
+			t.Fatalf("expired CriticalCheck = %v, want ErrExpired", err)
+		}
+	})
+}
+
+func TestCriticalPutAsyncPipelines(t *testing.T) {
+	fixture(t, Config{}, func(w *world) {
+		const key = "pipelined"
+		ref, _ := w.rep[0].CreateLockRef(key)
+		awaitLock(t, w, w.rep[0], key, ref)
+
+		issued := w.rt.Now()
+		h1, err := w.rep[0].CriticalPutAsync(key, ref, []byte("w1"))
+		if err != nil {
+			t.Fatalf("CriticalPutAsync 1: %v", err)
+		}
+		h2, err := w.rep[0].CriticalPutAsync(key, ref, []byte("w2"))
+		if err != nil {
+			t.Fatalf("CriticalPutAsync 2: %v", err)
+		}
+		// Issue time is guard-only (local peeks): both writes' WAN round
+		// trips overlap rather than serialize.
+		if d := w.rt.Now() - issued; d > 20*time.Millisecond {
+			t.Fatalf("two async puts took %v to issue — acks must not be awaited inline", d)
+		}
+		if err := h1.Wait(); err != nil {
+			t.Fatalf("Wait 1: %v", err)
+		}
+		if err := h2.Wait(); err != nil {
+			t.Fatalf("Wait 2: %v", err)
+		}
+		got, err := w.rep[0].CriticalGet(key, ref)
+		if err != nil || string(got) != "w2" {
+			t.Fatalf("CriticalGet = %q, %v; want w2", got, err)
+		}
+
+		// Non-holders are rejected at issue, not at flush.
+		if _, err := w.rep[0].CriticalPutAsync(key, ref+999, []byte("x")); !errors.Is(err, ErrNotLockHolder) {
+			t.Fatalf("non-holder CriticalPutAsync = %v, want ErrNotLockHolder", err)
+		}
+	})
+}
+
+func TestCriticalPutAsyncLWTFallsBackSync(t *testing.T) {
+	fixture(t, Config{Mode: ModeLWT}, func(w *world) {
+		const key = "lwt-async"
+		ref, _ := w.rep[0].CreateLockRef(key)
+		awaitLock(t, w, w.rep[0], key, ref)
+		h, err := w.rep[0].CriticalPutAsync(key, ref, []byte("v"))
+		if err != nil {
+			t.Fatalf("CriticalPutAsync: %v", err)
+		}
+		if !h.Settled() {
+			t.Fatal("LWT-mode async put returned an unsettled handle — the CAS must complete synchronously")
+		}
+		if err := h.Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		got, err := w.rep[0].CriticalGet(key, ref)
+		if err != nil || string(got) != "v" {
+			t.Fatalf("CriticalGet = %q, %v; want v", got, err)
+		}
+	})
+}

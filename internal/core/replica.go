@@ -219,6 +219,19 @@ func (r *Replica) CreateLockRef(key string) (int64, error) {
 	return ref, nil
 }
 
+// ValueSeed is the key's data-row value piggybacked on the granting
+// synchFlag quorum read: the grant round trip already consults the data row
+// at quorum, so fetching colValue alongside colSynch seeds the new holder's
+// first read for free. Valid means this acquire call performed that quorum
+// read (it is false on idempotent re-acquires and on failover grant
+// adoption, where no read happens); Present distinguishes "key has no
+// value" from "no seed".
+type ValueSeed struct {
+	Valid   bool
+	Present bool
+	Value   []byte
+}
+
 // AcquireLock reports whether lockRef now holds the key's lock. False with
 // a nil error means "not yet" — poll again (Listing 1). On the granting
 // call the replica checks the synchFlag with a quorum read and, if a
@@ -226,7 +239,14 @@ func (r *Replica) CreateLockRef(key string) (int64, error) {
 // admitting the new lockholder (§IV-B). Cost: a local peek while waiting;
 // one synchFlag quorum read on grant; plus the synchronization writes only
 // after a forced release.
-func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) {
+func (r *Replica) AcquireLock(key string, ref int64) (bool, error) {
+	acquired, _, err := r.AcquireLockSeeded(key, ref)
+	return acquired, err
+}
+
+// AcquireLockSeeded is AcquireLock returning the value piggybacked on the
+// grant-time quorum read (the critical-section fast path's cache seed).
+func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed ValueSeed, err error) {
 	sp := r.tracer().Start("music.acquireLock")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
@@ -237,7 +257,7 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 	peekSp.EndErr(err)
 	r.observe(OpAcquirePeek, peekStart)
 	if err != nil {
-		return false, err
+		return false, ValueSeed{}, err
 	}
 	if !ok || ref > head.Ref {
 		// lockRef not first yet, or the local lock store is behind.
@@ -245,10 +265,10 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 		if ok {
 			r.reapExpiredHead(key, head)
 		}
-		return false, nil
+		return false, ValueSeed{}, nil
 	}
 	if ref < head.Ref {
-		return false, ErrNoLongerLockHolder // lock forcibly released
+		return false, ValueSeed{}, ErrNoLongerLockHolder // lock forcibly released
 	}
 
 	// ref is first in the queue. Idempotent re-acquire after a grant.
@@ -256,7 +276,7 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 	g, granted := r.grants[key]
 	r.mu.Unlock()
 	if granted && g.ref == ref {
-		return true, nil
+		return true, ValueSeed{}, nil
 	}
 	if head.StartTime > 0 {
 		// Another replica already granted this ref — the §III-A failover
@@ -267,26 +287,36 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 		// the failover can never outrank writes issued after it.
 		sp.Annotate("outcome", "adopted grant")
 		r.rememberGrant(key, ref, head.StartTime)
-		return true, nil
+		return true, ValueSeed{}, nil
 	}
 
 	grantSp := r.tracer().Child("music.acquireLock.grant")
 	grantStart := r.now()
 	needSync := r.cfg.AlwaysSynchronize
 	if !needSync {
-		sfRow, err := r.ds.GetCols(DataTable, key, []string{colSynch}, store.Quorum)
+		sfRow, err := r.ds.GetCols(DataTable, key, []string{colSynch, colValue}, store.Quorum)
 		if err != nil {
 			grantSp.EndErr(err)
-			return false, fmt.Errorf("acquireLock %s: synchFlag: %w", key, err)
+			return false, ValueSeed{}, fmt.Errorf("acquireLock %s: synchFlag: %w", key, err)
 		}
 		needSync = synchTrue(sfRow)
+		if !needSync {
+			seed = ValueSeed{Valid: true}
+			if c, ok := sfRow[colValue]; ok {
+				seed.Present, seed.Value = true, c.Value
+			}
+		}
 	}
 	grantSp.Annotatef("synchronize", "%t", needSync)
 	if needSync {
-		if err := r.synchronize(key, ref); err != nil {
-			grantSp.EndErr(err)
-			return false, fmt.Errorf("acquireLock %s: %w", key, err)
+		val, present, syncErr := r.synchronize(key, ref)
+		if syncErr != nil {
+			grantSp.EndErr(syncErr)
+			return false, ValueSeed{}, fmt.Errorf("acquireLock %s: %w", key, syncErr)
 		}
+		// The rewritten value is, by construction, what a quorum read would
+		// now return — seed from it.
+		seed = ValueSeed{Valid: true, Present: present, Value: val}
 	}
 	grantSp.End()
 	r.observe(OpAcquireGrant, grantStart)
@@ -302,7 +332,7 @@ func (r *Replica) AcquireLock(key string, ref int64) (acquired bool, err error) 
 	// OrphanTimeout instead of T, so transient failures are retried.
 	rt := r.ds.Cluster().Net().Runtime()
 	rt.Go(func() { r.setGrantRetried(key, ref, now) })
-	return true, nil
+	return true, seed, nil
 }
 
 // setGrantRetried drives the replicated grant-cell write with bounded
@@ -338,26 +368,29 @@ func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
 // after a forced release: a quorum read followed by re-writing the result
 // (or a tombstone if nothing was ever written) with the new lockholder's
 // timestamp, then resetting the synchFlag (§IV-B). Whatever a preempted
-// lockholder's straggling write contained, it can no longer win.
-func (r *Replica) synchronize(key string, ref int64) (err error) {
+// lockholder's straggling write contained, it can no longer win. The
+// re-written value (and whether one exists) is returned so the grant can
+// seed the new holder's cache from it.
+func (r *Replica) synchronize(key string, ref int64) (value []byte, present bool, err error) {
 	sp := r.tracer().Child("music.synchronize")
 	defer func() { sp.EndErr(err) }()
 	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
 	if err != nil {
-		return fmt.Errorf("synchronize read: %w", err)
+		return nil, false, fmt.Errorf("synchronize read: %w", err)
 	}
 	valueCell := store.Cell{TS: v2s(ref, 0, r.cfg.T), Deleted: true}
 	if c, ok := row[colValue]; ok {
 		valueCell = store.Cell{Value: c.Value, TS: v2s(ref, 0, r.cfg.T)}
+		value, present = c.Value, true
 	}
 	if err := r.ds.Put(DataTable, key, store.Row{colValue: valueCell}, store.Quorum); err != nil {
-		return fmt.Errorf("synchronize rewrite: %w", err)
+		return nil, false, fmt.Errorf("synchronize rewrite: %w", err)
 	}
 	reset := store.Row{colSynch: store.Cell{Value: synchFalse, TS: v2s(ref, time.Microsecond, r.cfg.T)}}
 	if err := r.ds.Put(DataTable, key, reset, store.Quorum); err != nil {
-		return fmt.Errorf("synchronize reset: %w", err)
+		return nil, false, fmt.Errorf("synchronize reset: %w", err)
 	}
-	return nil
+	return value, present, nil
 }
 
 // CriticalPut writes the latest value of key for the current lockholder.
@@ -426,6 +459,50 @@ func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
 		return c.Value, nil
 	}
 	return nil, nil
+}
+
+// CriticalCheck verifies that ref still holds key's lock within its T
+// bound — the §IV-A Exclusivity guard alone, with no data-store round trip.
+// The music session layer runs it before serving a Get from its holder
+// cache, so a cached read is gated by exactly the same local peek as a
+// quorum-backed critical op. Like any guard, an overrun section is
+// self-preempted (ErrExpired).
+func (r *Replica) CriticalCheck(key string, ref int64) error {
+	_, err := r.guardCritical(key, ref)
+	return err
+}
+
+// CriticalPutAsync is CriticalPut with the quorum write issued
+// asynchronously: the guard runs and the write is stamped (fixing its v2s
+// order) before returning, but replica acks are awaited through the handle.
+// Backs the music layer's Pipelined write policy. In LWT mode the CAS round
+// cannot be pipelined, so the write completes synchronously and the handle
+// is returned already settled.
+func (r *Replica) CriticalPutAsync(key string, ref int64, value []byte) (*store.PendingPut, error) {
+	return r.criticalWriteAsync(key, ref, value, false)
+}
+
+// CriticalDeleteAsync is the tombstone counterpart of CriticalPutAsync.
+func (r *Replica) CriticalDeleteAsync(key string, ref int64) (*store.PendingPut, error) {
+	return r.criticalWriteAsync(key, ref, nil, true)
+}
+
+func (r *Replica) criticalWriteAsync(key string, ref int64, value []byte, deleted bool) (p *store.PendingPut, err error) {
+	sp := r.tracer().Start("music.criticalPut.async")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
+	elapsed, err := r.guardCritical(key, ref)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Mode == ModeLWT {
+		if deleted {
+			return store.ResolvedPut(r.CriticalDelete(key, ref)), nil
+		}
+		return store.ResolvedPut(r.CriticalPut(key, ref, value)), nil
+	}
+	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T), Deleted: deleted}
+	return r.ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum), nil
 }
 
 // guardCritical enforces the Exclusivity guards of §IV-A: the lockRef must

@@ -167,15 +167,18 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 	targets := cl.c.ring.replicasFor(key)
 
 	if cons == One {
-		to := cl.nearest(targets)
-		resp, err := cl.c.net.CallTimeout(cl.node, to, svcRead, req, cfg.Timeout)
-		if err != nil {
-			return nil, fmt.Errorf("%w: read %s/%s: %v", ErrUnavailable, table, key, err)
-		}
-		return resp.(readResp).Cells.live(), nil
+		return cl.getOne(req, targets)
 	}
 
 	need := cons.need(len(targets))
+	if cfg.DigestReads && need > 1 {
+		if row, ok := cl.digestGet(req, targets, need); ok {
+			return row, nil
+		}
+		// Digest mismatch or too few digest replies: fall through to the
+		// full-payload quorum read, whose merge + read repair reconciles
+		// the replicas.
+	}
 	results := cl.c.net.Multicast(cl.node, targets, svcRead, req, need, cfg.Timeout)
 	oks := simnet.Successes(results)
 	if len(oks) < need {
@@ -183,9 +186,13 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 	}
 
 	merged := make(Row)
+	payload := 0
 	for _, r := range oks {
-		mergeInto(merged, r.Resp.(readResp).Cells)
+		cells := r.Resp.(readResp).Cells
+		payload += rowSize(cells)
+		mergeInto(merged, cells)
 	}
+	cl.addReadBytes(payload)
 	if !cfg.NoReadRepair {
 		cl.readRepair(table, key, merged, oks)
 	}
@@ -210,24 +217,6 @@ func (cl *Client) readRepair(table, key string, merged Row, responders []simnet.
 			cl.c.net.Send(cl.node, r.From, svcApply, applyReq{Table: table, Key: key, Cells: merged.clone()})
 		}
 	}
-}
-
-// nearest orders targets by site RTT from the coordinator (self first) and
-// returns the closest — the replica an eventual (ONE) read consults.
-func (cl *Client) nearest(targets []simnet.NodeID) simnet.NodeID {
-	mySite := cl.c.net.SiteOf(cl.node)
-	best := targets[0]
-	bestRTT := time.Duration(1<<62 - 1)
-	for _, t := range targets {
-		if t == cl.node {
-			return t
-		}
-		rtt := cl.c.net.Config().Profile.RTT(mySite, cl.c.net.SiteOf(t))
-		if rtt < bestRTT || (rtt == bestRTT && t < best) {
-			best, bestRTT = t, rtt
-		}
-	}
-	return best
 }
 
 // AllKeys lists keys with at least one live cell, scanning every store node

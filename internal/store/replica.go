@@ -111,6 +111,7 @@ func newReplica(node *simnet.Node) *replica {
 func (r *replica) register(costs CostModel) {
 	r.node.HandleWithCost(svcApply, r.handleApply, costs.ReplicaApply, costs.PerKB)
 	r.node.HandleWithCost(svcRead, r.handleRead, costs.ReplicaRead, costs.PerKB)
+	r.node.HandleWithCost(svcDigest, r.handleDigest, costs.ReplicaRead, 0)
 	r.node.HandleWithCost(svcScan, r.handleScan, costs.ReplicaRead, 0)
 	r.node.HandleWithCost(svcPrepare, r.handlePrepare, costs.PaxosMsg, 0)
 	r.node.HandleWithCost(svcPropose, r.handlePropose, costs.PaxosMsg, costs.PerKB)

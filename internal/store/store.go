@@ -195,6 +195,10 @@ type Config struct {
 	Nodes []simnet.NodeID
 	// NoReadRepair disables background repair of stale replicas on reads.
 	NoReadRepair bool
+	// DigestReads makes quorum/all reads fetch full data from the nearest
+	// replica and digests from the rest (Cassandra's read path), falling
+	// back to full reads plus repair on digest mismatch.
+	DigestReads bool
 	// NoHintedHandoff disables background write retries to failed replicas.
 	NoHintedHandoff bool
 	// Timeout bounds each replica round trip. Defaults to the network's

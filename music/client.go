@@ -3,7 +3,6 @@ package music
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -27,6 +26,11 @@ type Client struct {
 	home     string
 	retry    RetryPolicy
 	failover []string // candidate sites tried in order; nil = no failover
+
+	// Critical-section fast path (see session.go): write-behind policy and
+	// holder-cached reads, both off by default (paper-faithful behavior).
+	writePolicy WritePolicy
+	holderCache bool
 
 	mu   sync.Mutex
 	site string // currently bound site (== home until a failover re-binds)
@@ -215,6 +219,14 @@ func (cl *Client) AcquireLock(key string, ref LockRef) (bool, error) {
 // the deadline, failing over to another site's replica — same lockRef —
 // after the per-site attempt budget is spent on consecutive errors.
 func (cl *Client) AwaitLock(key string, ref LockRef, timeout time.Duration) error {
+	_, err := cl.awaitLockSeeded(key, ref, timeout)
+	return err
+}
+
+// awaitLockSeeded is AwaitLock capturing the ValueSeed piggybacked on the
+// granting acquire's quorum read (empty on idempotent re-acquires and on
+// failover grant adoption).
+func (cl *Client) awaitLockSeeded(key string, ref LockRef, timeout time.Duration) (core.ValueSeed, error) {
 	rt := cl.c.rt
 	pol := cl.retry.withDefaults()
 	deadline := rt.Now() + timeout
@@ -223,10 +235,10 @@ func (cl *Client) AwaitLock(key string, ref LockRef, timeout time.Duration) erro
 	var tried map[string]bool
 	for {
 		rep, site := cl.bound()
-		ok, err := rep.AcquireLock(key, int64(ref))
+		ok, seed, err := rep.AcquireLockSeeded(key, int64(ref))
 		switch {
 		case err != nil && !IsRetryable(err):
-			return err
+			return core.ValueSeed{}, err
 		case err != nil:
 			// Transient failure: treat as "not yet" (§III-A), and fail over
 			// once this site has burned its attempt budget back-to-back.
@@ -244,12 +256,12 @@ func (cl *Client) AwaitLock(key string, ref LockRef, timeout time.Duration) erro
 				}
 			}
 		case ok:
-			return nil
+			return seed, nil
 		default:
 			consecutive = 0
 		}
 		if timeout > 0 && rt.Now() >= deadline {
-			return fmt.Errorf("music: lock %s/%d: %w", key, ref, errAwaitTimeout)
+			return core.ValueSeed{}, fmt.Errorf("music: lock %s/%d: %w", key, ref, errAwaitTimeout)
 		}
 		rt.Sleep(backoff)
 		if backoff < 64*time.Millisecond {
@@ -390,83 +402,3 @@ func (cl *Client) HomeSite() string { return cl.home }
 // Cluster returns the cluster this client is bound to (for observability
 // and fault-injection plumbing).
 func (cl *Client) Cluster() *Cluster { return cl.c }
-
-// CriticalSection is the handle passed to RunCritical callbacks.
-type CriticalSection struct {
-	cl  *Client
-	key string
-	ref LockRef
-}
-
-// Ref returns the section's lock reference.
-func (cs *CriticalSection) Ref() LockRef { return cs.ref }
-
-// Get reads the key's true value.
-func (cs *CriticalSection) Get() ([]byte, error) { return cs.cl.CriticalGet(cs.key, cs.ref) }
-
-// Put writes the key's value.
-func (cs *CriticalSection) Put(v []byte) error { return cs.cl.CriticalPut(cs.key, cs.ref, v) }
-
-// Delete removes the key's value.
-func (cs *CriticalSection) Delete() error { return cs.cl.CriticalDelete(cs.key, cs.ref) }
-
-// RunCritical runs fn inside a critical section over key: it creates a lock
-// reference, awaits the lock, invokes fn, and releases the lock (Listing 1
-// packaged up). The lock is released even when fn fails; when both fn and
-// the release fail, the errors are joined so a stuck lock is never
-// invisible to the caller.
-func (cl *Client) RunCritical(key string, fn func(cs *CriticalSection) error) error {
-	ref, err := cl.CreateLockRef(key)
-	if err != nil {
-		return err
-	}
-	if err := cl.AwaitLock(key, ref, 0); err != nil {
-		// Never granted: evict our reference so it cannot become an orphan.
-		_ = cl.RemoveLockRef(key, ref)
-		return err
-	}
-	fnErr := fn(&CriticalSection{cl: cl, key: key, ref: ref})
-	if relErr := cl.ReleaseLock(key, ref); relErr != nil {
-		return errors.Join(fnErr, relErr)
-	}
-	return fnErr
-}
-
-// RunCriticalMulti runs fn holding the locks of every key in keys,
-// acquiring them in lexicographic order — the deadlock-avoidance rule the
-// paper prescribes for multi-key critical sections (§III-A). fn receives a
-// section per key, in the caller's original key order.
-func (cl *Client) RunCriticalMulti(keys []string, fn func(cs map[string]*CriticalSection) error) error {
-	ordered := append([]string(nil), keys...)
-	sort.Strings(ordered)
-
-	held := make(map[string]*CriticalSection, len(ordered))
-	release := func() error {
-		// Release in reverse acquisition order.
-		var errs []error
-		for i := len(ordered) - 1; i >= 0; i-- {
-			if cs, ok := held[ordered[i]]; ok {
-				if err := cl.ReleaseLock(ordered[i], cs.ref); err != nil {
-					errs = append(errs, err)
-				}
-			}
-		}
-		return errors.Join(errs...)
-	}
-	for _, key := range ordered {
-		ref, err := cl.CreateLockRef(key)
-		if err != nil {
-			return errors.Join(err, release())
-		}
-		if err := cl.AwaitLock(key, ref, 0); err != nil {
-			_ = cl.RemoveLockRef(key, ref)
-			return errors.Join(err, release())
-		}
-		held[key] = &CriticalSection{cl: cl, key: key, ref: ref}
-	}
-	fnErr := fn(held)
-	if relErr := release(); relErr != nil {
-		return errors.Join(fnErr, relErr)
-	}
-	return fnErr
-}

@@ -1,0 +1,365 @@
+package music
+
+import (
+	"errors"
+	"slices"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file is the session layer of the critical-section fast path: the
+// per-held-lock state that lets a holder exploit its own exclusivity.
+// While a lockRef is first in the queue, nobody else may write the key, so
+// (a) the value piggybacked on the grant's synchFlag quorum read — or read
+// by the section's first quorum Get — can serve later Gets from memory, and
+// (b) writes need not be acked before the *next* write issues, only before
+// the lock is released. Every fast-path operation still runs the same local
+// guard (core.Replica.CriticalCheck) as a quorum-backed critical op, and
+// any guard failure invalidates the cache; DESIGN.md states the ECF
+// soundness argument.
+
+// WritePolicy selects how a critical section's writes reach the data store.
+type WritePolicy int
+
+const (
+	// WriteSync issues every Put/Delete as a synchronous quorum write
+	// before returning — the paper-faithful default.
+	WriteSync WritePolicy = iota
+	// WritePipelined issues each write's quorum round immediately but
+	// asynchronously, overlapping the WAN round trips of consecutive
+	// writes; all acks are awaited at flush, before the lock is released.
+	WritePipelined
+	// WriteBuffered coalesces writes client-side — last write wins — and
+	// issues a single quorum write at flush. The buffer lives in the
+	// client, so it survives a cross-site failover and flushes at the new
+	// site.
+	WriteBuffered
+)
+
+// String names the policy for spans and benchmark tables.
+func (p WritePolicy) String() string {
+	switch p {
+	case WritePipelined:
+		return "pipelined"
+	case WriteBuffered:
+		return "buffered"
+	default:
+		return "sync"
+	}
+}
+
+// WithWritePolicy selects the client's critical-section write policy
+// (WriteSync unless set).
+func WithWritePolicy(p WritePolicy) ClientOption {
+	return clientOptionFunc(func(cl *Client) { cl.writePolicy = p })
+}
+
+// WithHolderCache enables holder-cached reads: sections serve Get from a
+// per-section cache seeded by the grant-time quorum read and refreshed by
+// every quorum-backed operation, at the cost of a local guard instead of a
+// WAN round trip. Off by default.
+func WithHolderCache() ClientOption {
+	return clientOptionFunc(func(cl *Client) { cl.holderCache = true })
+}
+
+// CriticalSection is the handle passed to RunCritical callbacks: the
+// session state of one held lock. Besides delegating critical operations
+// to its client it carries the fast-path state — the holder cache
+// (WithHolderCache) and the write-behind buffer of the Pipelined and
+// Buffered policies (WithWritePolicy).
+type CriticalSection struct {
+	cl  *Client
+	key string
+	ref LockRef
+
+	policy WritePolicy
+
+	// Holder cache: when valid, value/present mirror the key's true value
+	// as of this section's last quorum-backed observation.
+	cacheOn      bool
+	cacheValid   bool
+	cachePresent bool
+	cacheValue   []byte
+
+	// Write-behind state: the section's latest write — the one the next
+	// lockholder must observe, so it must be acked before release — plus,
+	// under Pipelined, the handles of in-flight quorum writes.
+	wbHave    bool // some write happened this section
+	wbDirty   bool // Buffered: latest write not yet issued to the store
+	wbDeleted bool
+	wbValue   []byte
+	pending   []*store.PendingPut
+	lastPut   *store.PendingPut
+}
+
+// newSection builds the session state for a freshly acquired lock, seeding
+// the holder cache from the grant's piggybacked quorum read.
+func (cl *Client) newSection(key string, ref LockRef, seed core.ValueSeed) *CriticalSection {
+	cs := &CriticalSection{
+		cl:      cl,
+		key:     key,
+		ref:     ref,
+		policy:  cl.writePolicy,
+		cacheOn: cl.holderCache,
+	}
+	if cs.cacheOn && seed.Valid {
+		cs.setCache(seed.Value, seed.Present)
+	}
+	return cs
+}
+
+// Ref returns the section's lock reference.
+func (cs *CriticalSection) Ref() LockRef { return cs.ref }
+
+// guard runs the local holder check once against the bound replica.
+func (cs *CriticalSection) guard() error {
+	rep, _ := cs.cl.bound()
+	return rep.CriticalCheck(cs.key, int64(cs.ref))
+}
+
+// guardRetry is guard under the client's full retry + failover budget.
+func (cs *CriticalSection) guardRetry() error {
+	return cs.cl.withRetry("criticalCheck", cs.key, cs.ref, true, func(rep *core.Replica) error {
+		return rep.CriticalCheck(cs.key, int64(cs.ref))
+	})
+}
+
+func (cs *CriticalSection) setCache(v []byte, present bool) {
+	if !cs.cacheOn {
+		return
+	}
+	cs.cacheValid, cs.cachePresent, cs.cacheValue = true, present, v
+}
+
+// invalidate drops the holder cache; any failed guard or critical op calls
+// it, so a section never serves cached state past an error.
+func (cs *CriticalSection) invalidate() {
+	cs.cacheValid, cs.cachePresent, cs.cacheValue = false, false, nil
+}
+
+// Get reads the key's true value. With write-behind pending it returns the
+// section's own latest write; with a valid holder cache it returns the
+// cached value; either way the read is gated by the same local holder
+// guard as a quorum-backed critical op. Otherwise — or when the guard
+// fails transiently — it falls back to a quorum CriticalGet.
+func (cs *CriticalSection) Get() ([]byte, error) {
+	if cs.wbHave {
+		// Read-your-writes under write-behind: the buffered/in-flight value
+		// is the key's true value, whatever the store's replicas say.
+		if err := cs.guardRetry(); err != nil {
+			cs.invalidate()
+			return nil, err
+		}
+		if cs.wbDeleted {
+			return nil, nil
+		}
+		return append([]byte(nil), cs.wbValue...), nil
+	}
+	if cs.cacheOn && cs.cacheValid {
+		err := cs.guard()
+		if err == nil {
+			cs.cl.counter("music_cs_cache_hits_total", obs.Labels{"site": cs.cl.Site()})
+			if !cs.cachePresent {
+				return nil, nil
+			}
+			return append([]byte(nil), cs.cacheValue...), nil
+		}
+		cs.invalidate()
+		if !IsRetryable(err) {
+			return nil, err
+		}
+		// Transient guard failure: fall through to the quorum read, which
+		// carries the retry + failover budget.
+	}
+	v, err := cs.cl.CriticalGet(cs.key, cs.ref)
+	if err != nil {
+		cs.invalidate()
+		return nil, err
+	}
+	cs.setCache(v, v != nil)
+	return v, nil
+}
+
+// Put writes the key's value under the section's write policy.
+func (cs *CriticalSection) Put(v []byte) error { return cs.write(v, false) }
+
+// Delete removes the key's value under the section's write policy.
+func (cs *CriticalSection) Delete() error { return cs.write(nil, true) }
+
+func (cs *CriticalSection) write(v []byte, deleted bool) error {
+	switch cs.policy {
+	case WriteBuffered:
+		if err := cs.guardRetry(); err != nil {
+			cs.invalidate()
+			return err
+		}
+		cs.wbHave, cs.wbDirty, cs.wbValue, cs.wbDeleted = true, true, v, deleted
+		cs.setCache(v, !deleted)
+		return nil
+
+	case WritePipelined:
+		var h *store.PendingPut
+		err := cs.cl.withRetry("criticalPut", cs.key, cs.ref, true, func(rep *core.Replica) error {
+			var issueErr error
+			if deleted {
+				h, issueErr = rep.CriticalDeleteAsync(cs.key, int64(cs.ref))
+			} else {
+				h, issueErr = rep.CriticalPutAsync(cs.key, int64(cs.ref), v)
+			}
+			return issueErr
+		})
+		if err != nil {
+			cs.invalidate()
+			return err
+		}
+		cs.pending = append(cs.pending, h)
+		cs.lastPut = h
+		cs.wbHave, cs.wbValue, cs.wbDeleted = true, v, deleted
+		cs.setCache(v, !deleted)
+		return nil
+
+	default: // WriteSync
+		var err error
+		if deleted {
+			err = cs.cl.CriticalDelete(cs.key, cs.ref)
+		} else {
+			err = cs.cl.CriticalPut(cs.key, cs.ref, v)
+		}
+		if err != nil {
+			cs.invalidate()
+			return err
+		}
+		cs.setCache(v, !deleted)
+		return nil
+	}
+}
+
+// Flush drives the section's write-behind writes to their quorum acks.
+// RunCritical/RunCriticalMulti call it before releasing the lock — ECF
+// demands the final value be acked before the dequeue lets the next holder
+// in — and holders may call it mid-section as a durability point. Only the
+// section's *latest* write is re-driven on failure: any earlier write is
+// dominated by the final value's higher v2s timestamp, so its loss is
+// unobservable once the final write lands.
+func (cs *CriticalSection) Flush() (err error) {
+	if cs.policy == WriteSync || !cs.wbHave {
+		return nil
+	}
+	if !cs.wbDirty && len(cs.pending) == 0 {
+		return nil
+	}
+	sp := cs.cl.c.tracer().Child("music.cs.flush")
+	sp.Annotate("policy", cs.policy.String())
+	sp.Annotatef("lockref", "%s/%d", cs.key, cs.ref)
+	defer func() { sp.EndErr(err) }()
+
+	redrive := cs.wbDirty // Buffered: the coalesced write still to issue
+	if cs.policy == WritePipelined {
+		sp.Annotatef("pending", "%d", len(cs.pending))
+		for _, h := range cs.pending {
+			if werr := h.Wait(); werr != nil && h == cs.lastPut {
+				redrive = true
+			}
+		}
+		cs.pending, cs.lastPut = nil, nil
+		if redrive {
+			cs.cl.counter("music_cs_flush_redrives_total", obs.Labels{"site": cs.cl.Site()})
+		}
+	}
+	if !redrive {
+		return nil
+	}
+	// Re-drive the final write synchronously with the client's full retry +
+	// failover budget; its fresh guard re-stamps the value with a later
+	// elapsed time, so it dominates every earlier (even partially landed)
+	// write of this section.
+	if cs.wbDeleted {
+		err = cs.cl.CriticalDelete(cs.key, cs.ref)
+	} else {
+		err = cs.cl.CriticalPut(cs.key, cs.ref, cs.wbValue)
+	}
+	if err != nil {
+		cs.invalidate()
+		return err
+	}
+	cs.wbDirty = false
+	return nil
+}
+
+// RunCritical runs fn inside a critical section over key: it creates a lock
+// reference, awaits the lock, invokes fn, flushes any write-behind state,
+// and releases the lock (Listing 1 packaged up). The lock is released even
+// when fn fails; when the flush or release fail too, the errors are joined
+// so a stuck lock or an unacked final write is never invisible.
+func (cl *Client) RunCritical(key string, fn func(cs *CriticalSection) error) error {
+	ref, err := cl.CreateLockRef(key)
+	if err != nil {
+		return err
+	}
+	seed, err := cl.awaitLockSeeded(key, ref, 0)
+	if err != nil {
+		// Never granted: evict our reference so it cannot become an orphan.
+		_ = cl.RemoveLockRef(key, ref)
+		return err
+	}
+	cs := cl.newSection(key, ref, seed)
+	fnErr := fn(cs)
+	// The flush precedes the dequeue: the next holder's grant-time quorum
+	// read must observe this section's final value (ECF).
+	flushErr := cs.Flush()
+	relErr := cl.ReleaseLock(key, ref)
+	if flushErr != nil || relErr != nil {
+		return errors.Join(fnErr, flushErr, relErr)
+	}
+	return fnErr
+}
+
+// RunCriticalMulti runs fn holding the locks of every key in keys,
+// acquiring them in lexicographic order — the deadlock-avoidance rule the
+// paper prescribes for multi-key critical sections (§III-A). Duplicate keys
+// collapse to one lock: fn receives one section per distinct key.
+func (cl *Client) RunCriticalMulti(keys []string, fn func(cs map[string]*CriticalSection) error) error {
+	ordered := append([]string(nil), keys...)
+	sort.Strings(ordered)
+	// Dedupe after sorting: a repeated key would enqueue a second lockRef
+	// behind our own first one and deadlock waiting for it.
+	ordered = slices.Compact(ordered)
+
+	held := make(map[string]*CriticalSection, len(ordered))
+	release := func() error {
+		// Flush and release in reverse acquisition order; each section's
+		// write-behind state lands before its own lock is handed on.
+		var errs []error
+		for i := len(ordered) - 1; i >= 0; i-- {
+			if cs, ok := held[ordered[i]]; ok {
+				if err := cs.Flush(); err != nil {
+					errs = append(errs, err)
+				}
+				if err := cl.ReleaseLock(ordered[i], cs.ref); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}
+	for _, key := range ordered {
+		ref, err := cl.CreateLockRef(key)
+		if err != nil {
+			return errors.Join(err, release())
+		}
+		seed, err := cl.awaitLockSeeded(key, ref, 0)
+		if err != nil {
+			_ = cl.RemoveLockRef(key, ref)
+			return errors.Join(err, release())
+		}
+		held[key] = cl.newSection(key, ref, seed)
+	}
+	fnErr := fn(held)
+	if relErr := release(); relErr != nil {
+		return errors.Join(fnErr, relErr)
+	}
+	return fnErr
+}

@@ -1,0 +1,370 @@
+package music
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sessionFaultSeeds returns the fault-campaign seed set for the session
+// layer: MUSIC_FAULT_SEEDS (comma-separated, how scripts/check.sh pins the
+// campaign) or a fixed default, trimmed under -short.
+func sessionFaultSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("MUSIC_FAULT_SEEDS"); env != "" {
+		var seeds []int64
+		for _, part := range strings.Split(env, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				t.Fatalf("MUSIC_FAULT_SEEDS: bad seed %q: %v", part, err)
+			}
+			seeds = append(seeds, s)
+		}
+		return seeds
+	}
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	return seeds
+}
+
+// timeSection runs one RunCritical over key and returns its duration.
+func timeSection(t *testing.T, c *Cluster, cl *Client, key string, fn func(cs *CriticalSection) error) time.Duration {
+	t.Helper()
+	start := c.Now()
+	if err := cl.RunCritical(key, fn); err != nil {
+		t.Fatalf("RunCritical(%s): %v", key, err)
+	}
+	return c.Now() - start
+}
+
+// TestHolderCacheServesGets is the grant-piggyback + holder-cache fast path:
+// a section's Gets are served from the value fetched by the grant-time
+// synchFlag quorum read, saving one full WAN quorum round trip per Get while
+// returning the same value the quorum path would.
+func TestHolderCacheServesGets(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7), WithObservability())
+	err := c.Run(func() {
+		seeder := c.Client("ohio")
+		for _, key := range []string{"base", "fast"} {
+			if err := seeder.RunCritical(key, func(cs *CriticalSection) error {
+				return cs.Put([]byte("v1"))
+			}); err != nil {
+				t.Fatalf("seed %s: %v", key, err)
+			}
+		}
+		twoGets := func(cs *CriticalSection) error {
+			for i := 0; i < 2; i++ {
+				v, err := cs.Get()
+				if err != nil {
+					return err
+				}
+				if string(v) != "v1" {
+					return fmt.Errorf("Get = %q, want v1", v)
+				}
+			}
+			return nil
+		}
+		base := timeSection(t, c, seeder, "base", twoGets)
+		cached := timeSection(t, c, c.Client("ohio", WithHolderCache()), "fast", twoGets)
+
+		// Both Gets hit the cache (the first is seeded by the grant's
+		// piggybacked read), so the cached section must be about two IUs WAN
+		// quorum round trips (~54ms each) faster than the quorum-read section.
+		if saved := base - cached; saved < 80*time.Millisecond {
+			t.Errorf("cached section saved %v over %v baseline, want >= 80ms (two quorum RTTs)", saved, base)
+		}
+		hits := c.Obs().Metrics().Counter("music_cs_cache_hits_total", obs.Labels{"site": "ohio"}).Value()
+		if hits < 2 {
+			t.Errorf("music_cs_cache_hits_total{site=ohio} = %v, want >= 2", hits)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestPipelinedOverlapsWriteRoundTrips: under WritePipelined the quorum
+// round trips of a section's consecutive writes overlap, with all acks
+// awaited at the pre-release flush.
+func TestPipelinedOverlapsWriteRoundTrips(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7))
+	err := c.Run(func() {
+		fourPuts := func(cs *CriticalSection) error {
+			for i := 0; i < 4; i++ {
+				if err := cs.Put([]byte(strconv.Itoa(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		base := timeSection(t, c, c.Client("ohio"), "sync", fourPuts)
+		piped := timeSection(t, c, c.Client("ohio", WithWritePolicy(WritePipelined)), "piped", fourPuts)
+
+		// Four serialized quorum writes collapse to roughly one write round
+		// trip visible at flush: at least two RTTs (~108ms) must disappear.
+		if saved := base - piped; saved < 100*time.Millisecond {
+			t.Errorf("pipelined section saved %v over %v baseline, want >= 100ms", saved, base)
+		}
+		for _, key := range []string{"sync", "piped"} {
+			got, err := c.Client("oregon").RunCriticalRead(key)
+			if err != nil || string(got) != "3" {
+				t.Errorf("final %s = (%q, %v), want 3 (last write wins)", key, got, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestBufferedCoalescesWrites: under WriteBuffered a section's writes
+// coalesce client-side into the single quorum write the flush issues.
+func TestBufferedCoalescesWrites(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7))
+	err := c.Run(func() {
+		threePuts := func(cs *CriticalSection) error {
+			for _, v := range []string{"a", "b", "final"} {
+				if err := cs.Put([]byte(v)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		base := timeSection(t, c, c.Client("ohio"), "sync", threePuts)
+		buffered := timeSection(t, c, c.Client("ohio", WithWritePolicy(WriteBuffered)), "buf", threePuts)
+
+		// Three quorum writes become one: two RTTs (~108ms) must disappear.
+		if saved := base - buffered; saved < 100*time.Millisecond {
+			t.Errorf("buffered section saved %v over %v baseline, want >= 100ms", saved, base)
+		}
+		got, err := c.Client("oregon").RunCriticalRead("buf")
+		if err != nil || string(got) != "final" {
+			t.Errorf("final value = (%q, %v), want final", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRunCriticalMultiDuplicateKeys pins the duplicate-key fix: repeated
+// keys collapse to one lock instead of the second lockRef queuing behind the
+// first and deadlocking the multi-key acquisition.
+func TestRunCriticalMultiDuplicateKeys(t *testing.T) {
+	c := newTestCluster(t, WithSeed(7))
+	err := c.Run(func() {
+		cl := c.Client("ohio")
+		err := cl.RunCriticalMulti([]string{"a", "a", "b", "a"}, func(cs map[string]*CriticalSection) error {
+			if len(cs) != 2 {
+				return fmt.Errorf("sections = %d, want 2 (one per distinct key)", len(cs))
+			}
+			if err := cs["a"].Put([]byte("va")); err != nil {
+				return err
+			}
+			return cs["b"].Put([]byte("vb"))
+		})
+		if err != nil {
+			t.Fatalf("RunCriticalMulti with duplicate keys: %v", err)
+		}
+		a, _ := cl.Get("a")
+		b, _ := cl.Get("b")
+		if string(a) != "va" || string(b) != "vb" {
+			t.Fatalf("values = %q, %q, want va, vb", a, b)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSessionFaultForcedReleaseInvalidatesCache: a forced release preempts
+// the holder; its cached reads must fail the local guard and surface the
+// preemption instead of serving the stale cached value.
+func TestSessionFaultForcedReleaseInvalidatesCache(t *testing.T) {
+	for _, seed := range sessionFaultSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newTestCluster(t, WithSeed(seed))
+			err := c.Run(func() {
+				cl := c.Client("ohio", WithHolderCache())
+				ref, err := cl.CreateLockRef("k")
+				if err != nil {
+					t.Fatalf("CreateLockRef: %v", err)
+				}
+				seedv, err := cl.awaitLockSeeded("k", ref, 0)
+				if err != nil {
+					t.Fatalf("awaitLockSeeded: %v", err)
+				}
+				cs := cl.newSection("k", ref, seedv)
+				if err := cs.Put([]byte("mine")); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+				if v, err := cs.Get(); err != nil || string(v) != "mine" {
+					t.Fatalf("warm Get = (%q, %v)", v, err)
+				}
+
+				// A client elsewhere steals the lock and becomes the holder.
+				thief := c.Client("oregon")
+				if err := thief.ForcedRelease("k", ref); err != nil {
+					t.Fatalf("ForcedRelease: %v", err)
+				}
+				ref2, _ := thief.CreateLockRef("k")
+				if err := thief.AwaitLock("k", ref2, 0); err != nil {
+					t.Fatalf("thief AwaitLock: %v", err)
+				}
+				c.Sleep(2 * time.Second) // dequeue replicates to ohio's peek
+
+				v, err := cs.Get()
+				if err == nil {
+					t.Fatalf("preempted Get returned %q, want error", v)
+				}
+				if !errors.Is(err, ErrNoLongerLockHolder) {
+					t.Fatalf("preempted Get err = %v, want ErrNoLongerLockHolder", err)
+				}
+				_ = thief.ReleaseLock("k", ref2)
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestSessionFaultExpiryInvalidatesCache: past the T bound the guard on a
+// cached read self-preempts with ErrExpired, never serving cached state from
+// an expired section.
+func TestSessionFaultExpiryInvalidatesCache(t *testing.T) {
+	for _, seed := range sessionFaultSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newTestCluster(t, WithSeed(seed), WithT(500*time.Millisecond))
+			err := c.Run(func() {
+				cl := c.Client("ohio", WithHolderCache())
+				ref, err := cl.CreateLockRef("k")
+				if err != nil {
+					t.Fatalf("CreateLockRef: %v", err)
+				}
+				seedv, err := cl.awaitLockSeeded("k", ref, 0)
+				if err != nil {
+					t.Fatalf("awaitLockSeeded: %v", err)
+				}
+				cs := cl.newSection("k", ref, seedv)
+				if _, err := cs.Get(); err != nil {
+					t.Fatalf("warm Get: %v", err)
+				}
+				c.Sleep(time.Second) // overrun T
+				if v, err := cs.Get(); !errors.Is(err, ErrExpired) {
+					t.Fatalf("expired Get = (%q, %v), want ErrExpired", v, err)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestSessionFaultFailoverCarriesBufferedWrite: the write-behind buffer
+// lives in the client, so when the holder's site is cut off between the
+// buffered Put and the flush, the flush re-drives the same lockRef at a
+// failover site and lands the buffered value there.
+func TestSessionFaultFailoverCarriesBufferedWrite(t *testing.T) {
+	for _, seed := range sessionFaultSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newTestCluster(t, WithSeed(seed))
+			err := c.Run(func() {
+				cl := c.FailoverClient("ohio", WithWritePolicy(WriteBuffered))
+				ref, err := cl.CreateLockRef("k")
+				if err != nil {
+					t.Fatalf("CreateLockRef: %v", err)
+				}
+				seedv, err := cl.awaitLockSeeded("k", ref, 0)
+				if err != nil {
+					t.Fatalf("awaitLockSeeded: %v", err)
+				}
+				cs := cl.newSection("k", ref, seedv)
+				if err := cs.Put([]byte("buffered-survivor")); err != nil {
+					t.Fatalf("buffered Put: %v", err)
+				}
+				c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+				if err := cs.Flush(); err != nil {
+					t.Fatalf("Flush across partition: %v", err)
+				}
+				if got := cl.Site(); got == "ohio" {
+					t.Error("flush succeeded without leaving the partitioned site")
+				}
+				if err := cl.ReleaseLock("k", ref); err != nil {
+					t.Fatalf("ReleaseLock: %v", err)
+				}
+				c.Heal()
+				c.Sleep(2 * time.Second)
+				got, err := c.Client("oregon").RunCriticalRead("k")
+				if err != nil || string(got) != "buffered-survivor" {
+					t.Errorf("final value = (%q, %v), want buffered-survivor", got, err)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestSessionFaultPipelinedFlushRedrives: a pipelined write whose async
+// quorum round is cut off by a partition fails at flush; the flush re-drives
+// the section's final value synchronously — at a failover site — before the
+// lock is released, so the next holder still observes it (ECF).
+func TestSessionFaultPipelinedFlushRedrives(t *testing.T) {
+	for _, seed := range sessionFaultSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newTestCluster(t, WithSeed(seed), WithObservability())
+			err := c.Run(func() {
+				cl := c.FailoverClient("ohio", WithWritePolicy(WritePipelined))
+				ref, err := cl.CreateLockRef("k")
+				if err != nil {
+					t.Fatalf("CreateLockRef: %v", err)
+				}
+				seedv, err := cl.awaitLockSeeded("k", ref, 0)
+				if err != nil {
+					t.Fatalf("awaitLockSeeded: %v", err)
+				}
+				cs := cl.newSection("k", ref, seedv)
+				c.PartitionSites([]string{"ohio"}, []string{"ncalifornia", "oregon"})
+				// The issue is a local guard, so it succeeds; the write's
+				// quorum round trip is what the partition kills.
+				if err := cs.Put([]byte("redriven")); err != nil {
+					t.Fatalf("pipelined Put: %v", err)
+				}
+				if err := cs.Flush(); err != nil {
+					t.Fatalf("Flush across partition: %v", err)
+				}
+				redrives := c.Obs().Metrics().Counter("music_cs_flush_redrives_total", obs.Labels{"site": "ohio"}).Value()
+				if redrives == 0 {
+					t.Error("music_cs_flush_redrives_total{site=ohio} = 0, want > 0")
+				}
+				if err := cl.ReleaseLock("k", ref); err != nil {
+					t.Fatalf("ReleaseLock: %v", err)
+				}
+				c.Heal()
+				c.Sleep(2 * time.Second)
+				got, err := c.Client("oregon").RunCriticalRead("k")
+				if err != nil || string(got) != "redriven" {
+					t.Errorf("final value = (%q, %v), want redriven", got, err)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}

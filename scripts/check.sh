@@ -22,5 +22,16 @@ go test -race ./music/ ./internal/httpapi/ ./cmd/...
 # partition / ack-loss scenarios plus the chaos interleavings, re-run with
 # a fixed seed list so a schedule regression cannot hide behind seed drift.
 MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./internal/core/ -run 'TestFault|TestChaos' -count=1
+# Session-layer fault edges of the critical-section fast path: forced
+# release / T-expiry invalidating the holder cache, write-behind buffers
+# surviving cross-site failover, pipelined flush re-drives.
+MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
+
+# Fast-path benchmark smoke: the fastpath experiment must run end to end in
+# quick mode and emit a well-formed BENCH_fastpath.json.
+fastpath_json=$(mktemp)
+trap 'rm -f "$fastpath_json"' EXIT
+go run ./cmd/musicbench -exp fastpath -quick -quiet -json "$fastpath_json" > /dev/null
+grep -q '"experiment": "fastpath"' "$fastpath_json"
 
 echo "check.sh: all green"
