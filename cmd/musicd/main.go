@@ -1,23 +1,46 @@
-// Command musicd serves MUSIC's REST API (Fig 1's multi-site web service)
-// over an in-process live cluster: one HTTP listener per site, each backed
-// by that site's MUSIC replica.
+// Command musicd serves MUSIC's REST API (Fig 1's multi-site web service).
+//
+// Single-process mode runs the whole cluster in one process over the
+// simulated message plane on the wall clock: one HTTP listener per site,
+// each backed by that site's MUSIC replica.
 //
 //	musicd -addr :8080                      # one listener, first site
 //	musicd -addrs :8080,:8081,:8082         # one listener per site
 //	musicd -profile local -t 30s
 //	musicd -obs=false                       # disable /metrics and /traces
+//
+// Multi-process mode runs ONE site per process over real TCP (-peers
+// switches it on): each process hosts its node's store replica and its
+// site's MUSIC replica, and the processes form the replication ring among
+// themselves.
+//
+//	musicd -peers peers.json -site ohio -listen :7001 -addr :8080
+//
+// where peers.json lists every node in the deployment:
+//
+//	[
+//	  {"id": 0, "site": "ohio",         "addr": "127.0.0.1:7001"},
+//	  {"id": 1, "site": "ncalifornia",  "addr": "127.0.0.1:7002"},
+//	  {"id": 2, "site": "oregon",       "addr": "127.0.0.1:7003"}
+//	]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/nettrans"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/music"
 )
 
@@ -31,14 +54,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("musicd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address for the first site")
+		addr    = fs.String("addr", ":8080", "HTTP listen address (first site in single-process mode)")
 		addrs   = fs.String("addrs", "", "comma-separated per-site listen addresses (overrides -addr)")
 		profile = fs.String("profile", music.ProfileLocal, "latency profile: 11, IUs, IUsEu, local")
 		t       = fs.Duration("t", time.Minute, "critical-section bound T")
 		obsOn   = fs.Bool("obs", true, "serve metrics and traces on /metrics and /traces")
+
+		peersPath = fs.String("peers", "", "peers.json path; enables multi-process mode")
+		site      = fs.String("site", "", "this process's site (multi-process mode)")
+		listen    = fs.String("listen", "", "transport TCP listen address (default: this node's addr from peers.json)")
+		node      = fs.Int("node", -1, "this process's node id (default: the single -site node in peers.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *peersPath != "" {
+		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn)
 	}
 
 	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
@@ -52,16 +83,16 @@ func run(args []string) error {
 	defer c.Close()
 
 	sites := c.Sites()
-	listen := []string{*addr}
+	listenAddrs := []string{*addr}
 	if *addrs != "" {
-		listen = strings.Split(*addrs, ",")
+		listenAddrs = strings.Split(*addrs, ",")
 	}
-	if len(listen) > len(sites) {
-		return fmt.Errorf("%d addresses for %d sites", len(listen), len(sites))
+	if len(listenAddrs) > len(sites) {
+		return fmt.Errorf("%d addresses for %d sites", len(listenAddrs), len(sites))
 	}
 
-	errc := make(chan error, len(listen))
-	for i, a := range listen {
+	errc := make(chan error, len(listenAddrs))
+	for i, a := range listenAddrs {
 		site := sites[i]
 		srv := httpapi.New(c.Client(site))
 		log.Printf("serving site %s on %s", site, a)
@@ -70,4 +101,96 @@ func run(args []string) error {
 		}(a)
 	}
 	return <-errc
+}
+
+// runMulti is one process of a multi-process deployment: a TCP transport
+// node in the peer ring, the store replica for that node, the MUSIC replica
+// for its site, and the site's REST listener.
+func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn bool) error {
+	peers, err := loadPeers(peersPath)
+	if err != nil {
+		return err
+	}
+	self, err := pickSelf(peers, site, node)
+	if err != nil {
+		return err
+	}
+
+	rt := sim.NewReal(1)
+	var ob *obs.Obs
+	if obsOn {
+		ob = obs.New(rt, obs.Options{})
+	}
+	cfg := nettrans.Config{Self: self.ID, Peers: peers, Obs: ob}
+	if listen != "" {
+		lis, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("listen %s: %w", listen, err)
+		}
+		cfg.Listener = lis
+	}
+	tr, err := nettrans.New(rt, cfg)
+	if err != nil {
+		return err
+	}
+	c, err := music.NewOverTransport(tr, music.TransportConfig{
+		T:          t,
+		LocalNodes: []transport.NodeID{self.ID},
+		Obs:        ob,
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+	defer c.Close()
+
+	srv := httpapi.New(c.Client(self.Site))
+	log.Printf("node %d (site %s): transport on %s, REST on %s, %d peers",
+		self.ID, self.Site, tr.Addr(), httpAddr, len(peers)-1)
+	return http.ListenAndServe(httpAddr, srv)
+}
+
+func loadPeers(path string) ([]nettrans.Peer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var peers []nettrans.Peer
+	if err := json.Unmarshal(data, &peers); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("%s: empty peer set", path)
+	}
+	return peers, nil
+}
+
+// pickSelf resolves which peer this process is: an explicit -node id, or
+// the unique node of -site.
+func pickSelf(peers []nettrans.Peer, site string, node int) (nettrans.Peer, error) {
+	if node >= 0 {
+		for _, p := range peers {
+			if int(p.ID) == node {
+				return p, nil
+			}
+		}
+		return nettrans.Peer{}, fmt.Errorf("node %d not in peers.json", node)
+	}
+	if site == "" {
+		return nettrans.Peer{}, fmt.Errorf("multi-process mode needs -site or -node")
+	}
+	var match []nettrans.Peer
+	for _, p := range peers {
+		if p.Site == site {
+			match = append(match, p)
+		}
+	}
+	switch len(match) {
+	case 1:
+		return match[0], nil
+	case 0:
+		return nettrans.Peer{}, fmt.Errorf("site %q not in peers.json", site)
+	default:
+		return nettrans.Peer{}, fmt.Errorf("site %q has %d nodes; pick one with -node", site, len(match))
+	}
 }

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/nettrans"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/music"
+)
+
+// restClient drives the Table I REST operations against one site's server.
+type restClient struct {
+	t    *testing.T
+	base string
+}
+
+func (r *restClient) do(method, path string, body []byte, wantStatus int) []byte {
+	r.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.base+path, rd)
+	if err != nil {
+		r.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		r.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		r.t.Fatalf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func (r *restClient) createLockRef(key string) int64 {
+	var body struct {
+		LockRef int64 `json:"lockRef"`
+	}
+	if err := json.Unmarshal(r.do("POST", "/v1/locks/"+key, nil, http.StatusCreated), &body); err != nil {
+		r.t.Fatalf("createLockRef: %v", err)
+	}
+	return body.LockRef
+}
+
+func (r *restClient) acquireLock(key string, ref int64) bool {
+	var body struct {
+		Holder bool `json:"holder"`
+	}
+	path := fmt.Sprintf("/v1/locks/%s/%d", key, ref)
+	if err := json.Unmarshal(r.do("GET", path, nil, http.StatusOK), &body); err != nil {
+		r.t.Fatalf("acquireLock: %v", err)
+	}
+	return body.Holder
+}
+
+func (r *restClient) acquireUntilHolder(key string, ref int64) {
+	r.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !r.acquireLock(key, ref) {
+		if time.Now().After(deadline) {
+			r.t.Fatalf("lockRef %d never became holder of %q", ref, key)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (r *restClient) criticalPut(key string, ref int64, value []byte) {
+	r.do("PUT", fmt.Sprintf("/v1/keys/%s?lockRef=%d", key, ref), value, http.StatusNoContent)
+}
+
+func (r *restClient) criticalGet(key string, ref int64) []byte {
+	return r.do("GET", fmt.Sprintf("/v1/keys/%s?lockRef=%d", key, ref), nil, http.StatusOK)
+}
+
+func (r *restClient) releaseLock(key string, ref int64) {
+	r.do("DELETE", fmt.Sprintf("/v1/locks/%s/%d", key, ref), nil, http.StatusNoContent)
+}
+
+// criticalSection runs one full Table I section through this site.
+func (r *restClient) criticalSection(key string, fn func(ref int64)) {
+	r.t.Helper()
+	ref := r.createLockRef(key)
+	r.acquireUntilHolder(key, ref)
+	fn(ref)
+	r.releaseLock(key, ref)
+}
+
+var testSites = []string{"ohio", "ncalifornia", "oregon"}
+
+// ecfCheck exercises the full ECF critical-section flow across three sites:
+// write under a lock at sites[0], read it back under a new lock at sites[2]
+// (a quorum read through a different coordinator), and verify a stale
+// lockRef is refused once released.
+func ecfCheck(t *testing.T, siteURL map[string]string) {
+	t.Helper()
+	ohio := &restClient{t: t, base: siteURL[testSites[0]]}
+	oregon := &restClient{t: t, base: siteURL[testSites[2]]}
+
+	var staleRef int64
+	ohio.criticalSection("inventory", func(ref int64) {
+		staleRef = ref
+		ohio.criticalPut("inventory", ref, []byte("42 units"))
+		if got := ohio.criticalGet("inventory", ref); string(got) != "42 units" {
+			t.Fatalf("criticalGet at writer site = %q", got)
+		}
+	})
+
+	// A released lockRef no longer holds the lock: ECF refuses the
+	// critical op (412, the "not the lock holder" refusal).
+	ohio.do("PUT", fmt.Sprintf("/v1/keys/inventory?lockRef=%d", staleRef), []byte("stale"), http.StatusPreconditionFailed)
+
+	// A fresh section at another site must see the committed value.
+	oregon.criticalSection("inventory", func(ref int64) {
+		if got := oregon.criticalGet("inventory", ref); string(got) != "42 units" {
+			t.Fatalf("criticalGet at remote site = %q, want the value written at %s", got, testSites[0])
+		}
+		oregon.criticalPut("inventory", ref, []byte("41 units"))
+	})
+	ohio.criticalSection("inventory", func(ref int64) {
+		if got := ohio.criticalGet("inventory", ref); string(got) != "41 units" {
+			t.Fatalf("read-back at %s = %q", testSites[0], got)
+		}
+	})
+}
+
+// TestThreeNodeClusterInProcess builds the multi-process deployment shape —
+// three nettrans endpoints, three single-site MUSIC clusters, three REST
+// servers — inside one test process and runs the ECF flow over HTTP.
+func TestThreeNodeClusterInProcess(t *testing.T) {
+	rt := sim.NewReal(1)
+	listeners := make([]net.Listener, 3)
+	peers := make([]nettrans.Peer, 3)
+	for i := range peers {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = lis
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: testSites[i], Addr: lis.Addr().String()}
+	}
+	siteURL := make(map[string]string, 3)
+	for i, p := range peers {
+		ob := obs.New(rt, obs.Options{})
+		tr, err := nettrans.New(rt, nettrans.Config{Self: p.ID, Peers: peers, Listener: listeners[i], Obs: ob})
+		if err != nil {
+			t.Fatalf("nettrans.New: %v", err)
+		}
+		c, err := music.NewOverTransport(tr, music.TransportConfig{
+			T:          time.Minute,
+			LocalNodes: []transport.NodeID{p.ID},
+			Obs:        ob,
+		})
+		if err != nil {
+			t.Fatalf("NewOverTransport: %v", err)
+		}
+		defer c.Close()
+		srv := httptest.NewServer(httpapi.New(c.Client(p.Site)))
+		defer srv.Close()
+		siteURL[p.Site] = srv.URL
+	}
+	ecfCheck(t, siteURL)
+}
+
+// TestThreeProcessCluster builds the musicd binary and runs a genuine
+// three-process cluster on localhost: one OS process per site, TCP between
+// them, REST on top.
+func TestThreeProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "musicd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ports := freePorts(t, 6)
+	peers := make([]nettrans.Peer, 3)
+	for i := range peers {
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: testSites[i], Addr: fmt.Sprintf("127.0.0.1:%d", ports[i])}
+	}
+	peersJSON, err := json.Marshal(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peersPath := filepath.Join(dir, "peers.json")
+	if err := os.WriteFile(peersPath, peersJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	siteURL := make(map[string]string, 3)
+	for i, p := range peers {
+		httpAddr := fmt.Sprintf("127.0.0.1:%d", ports[3+i])
+		cmd := exec.Command(bin, "-peers", peersPath, "-site", p.Site, "-addr", httpAddr)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", p.Site, err)
+		}
+		proc := cmd.Process
+		t.Cleanup(func() { _ = proc.Kill(); _, _ = cmd.Process.Wait() })
+		siteURL[p.Site] = "http://" + httpAddr
+	}
+
+	// Wait until every process answers its health check.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, site := range testSites {
+		for {
+			resp, err := http.Get(siteURL[site] + "/v1/health")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("site %s never became healthy: %v", site, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	ecfCheck(t, siteURL)
+}
+
+// freePorts reserves n distinct ports by binding and releasing them.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	for i := range ports {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = lis.Addr().(*net.TCPAddr).Port
+		lis.Close()
+	}
+	return ports
+}

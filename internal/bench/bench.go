@@ -86,6 +86,10 @@ type Options struct {
 	// write its per-config results to this path as JSON (the
 	// BENCH_fastpath.json perf-trajectory artifact).
 	FastpathJSON string
+	// TransportJSON, when non-empty, makes the transport experiment also
+	// write its per-op results to this path as JSON (the
+	// BENCH_transport.json artifact).
+	TransportJSON string
 }
 
 func (o Options) workers() int {
@@ -129,6 +133,7 @@ func Experiments() []Experiment {
 		{"ablation", "Design-choice ablations: synchFlag dirty bit and local peek (DESIGN.md)", runAblation},
 		{"faults", "Fault-injection campaign: retries, cross-site failover, healthy-path overhead (§III-A)", runFaults},
 		{"fastpath", "Critical-section fast path: grant piggyback, holder cache, write-behind, digest reads", runFastpath},
+		{"transport", "Message-plane overhead: simulated network vs TCP loopback, per Table I op", runTransport},
 	}
 }
 

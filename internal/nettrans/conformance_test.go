@@ -1,0 +1,68 @@
+package nettrans_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// netCluster adapts a set of in-process TCP transports — one per node, all
+// on loopback — to the shared conformance suite.
+type netCluster struct {
+	ts map[transport.NodeID]*nettrans.Transport
+}
+
+func (c *netCluster) Transport(node transport.NodeID) transport.Transport { return c.ts[node] }
+
+func (c *netCluster) Run(t *testing.T, fn func()) { fn() }
+
+func (c *netCluster) Close() {
+	for _, tr := range c.ts {
+		tr.Close()
+	}
+}
+
+// newCluster builds n loopback transports that know each other as peers,
+// using port-0 listeners so tests never collide on addresses.
+func newCluster(t *testing.T, n int) *netCluster {
+	t.Helper()
+	rt := sim.NewReal(1)
+	sites := []string{"east", "east", "west", "west"}
+	listeners := make([]net.Listener, n)
+	peers := make([]nettrans.Peer, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = lis
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: sites[i%len(sites)], Addr: lis.Addr().String()}
+	}
+	c := &netCluster{ts: make(map[transport.NodeID]*nettrans.Transport, n)}
+	for i := 0; i < n; i++ {
+		tr, err := nettrans.New(rt, nettrans.Config{
+			Self:       transport.NodeID(i),
+			Peers:      peers,
+			Listener:   listeners[i],
+			RPCTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("nettrans.New: %v", err)
+		}
+		c.ts[transport.NodeID(i)] = tr
+	}
+	return c
+}
+
+// TestTransportConformance runs the backend-independent contract against
+// TCP transports on loopback.
+func TestTransportConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) conformance.Cluster {
+		return newCluster(t, 3)
+	})
+}

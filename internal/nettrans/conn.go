@@ -1,0 +1,227 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Connection management. Each pair of processes uses (up to) two TCP
+// connections, one per direction: the side issuing a call writes on the
+// connection it dialed and reads replies off it, and the accepting side
+// reads calls and writes replies back on the same socket. That keeps the
+// multiplexing state simple — a connection's reader is either a pure
+// client-side reply pump or a pure server-side request loop.
+
+// Backoff bounds for redialing a dead peer.
+const (
+	backoffFloor = 50 * time.Millisecond
+	backoffCeil  = 2 * time.Second
+)
+
+// peerConn is the lazily dialed outbound connection to one peer.
+type peerConn struct {
+	addr string
+
+	mu       sync.Mutex
+	conn     net.Conn
+	backoff  time.Duration
+	nextDial time.Time
+}
+
+func (pc *peerConn) close() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn != nil {
+		_ = pc.conn.Close()
+		pc.conn = nil
+	}
+}
+
+// send writes one frame to the peer, dialing if needed. A write or dial
+// failure drops the connection; the next send redials, gated by backoff.
+func (t *Transport) send(to transport.NodeID, body []byte) error {
+	pc := t.peerConnFor(to)
+	if pc == nil {
+		return fmt.Errorf("unknown peer n%d", to)
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		if until := time.Until(pc.nextDial); until > 0 {
+			return fmt.Errorf("peer %s in dial backoff for %v", pc.addr, until.Round(time.Millisecond))
+		}
+		conn, err := net.DialTimeout("tcp", pc.addr, t.cfg.DialTimeout)
+		if err != nil {
+			pc.backoff = min(max(2*pc.backoff, backoffFloor), backoffCeil)
+			pc.nextDial = time.Now().Add(pc.backoff)
+			return err
+		}
+		pc.backoff = 0
+		pc.conn = conn
+		go t.readReplies(pc, conn)
+	}
+	if err := wire.WriteFrame(pc.conn, body); err != nil {
+		_ = pc.conn.Close()
+		pc.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (t *Transport) peerConnFor(to transport.NodeID) *peerConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if pc, ok := t.conns[to]; ok {
+		return pc
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		return nil
+	}
+	pc := &peerConn{addr: p.Addr}
+	t.conns[to] = pc
+	return pc
+}
+
+// readReplies is the client-side pump: it matches reply frames to pending
+// calls until the connection dies, then lets outstanding calls time out.
+func (t *Transport) readReplies(pc *peerConn, conn net.Conn) {
+	for {
+		body, err := wire.ReadFrame(conn)
+		if err != nil {
+			pc.mu.Lock()
+			if pc.conn == conn {
+				_ = conn.Close()
+				pc.conn = nil
+			}
+			pc.mu.Unlock()
+			return
+		}
+		t.handleReply(body)
+	}
+}
+
+func (t *Transport) handleReply(body []byte) {
+	d := wire.NewDecoder(body)
+	if d.Uint8() != kindReply {
+		return // protocol violation; drop
+	}
+	id := d.Uint64()
+	status := d.Uint8()
+	var r reply
+	switch status {
+	case statusOK:
+		payload := d.RawBytes()
+		if d.Err() != nil {
+			return
+		}
+		resp, err := wire.Unmarshal(payload)
+		if err != nil {
+			r = reply{err: fmt.Errorf("nettrans: reply decode: %w", err)}
+		} else {
+			r = reply{resp: resp}
+		}
+	case statusErr:
+		r = reply{err: &transport.RemoteError{Err: wire.DecodeError(d)}}
+	default:
+		return
+	}
+	if ch, ok := t.pending.LoadAndDelete(id); ok {
+		ch.(chan reply) <- r
+	}
+}
+
+// acceptLoop is the server side: every inbound connection gets its own
+// request-serving goroutine.
+func (t *Transport) acceptLoop() {
+	for {
+		conn, err := t.lis.Accept()
+		if err != nil {
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn reads call and one-way frames off one inbound connection,
+// running each handler in its own goroutine so a slow request does not
+// head-of-line block the stream. Replies are written back on the same
+// connection under a per-connection write lock.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var wmu sync.Mutex
+	for {
+		body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		d := wire.NewDecoder(body)
+		kind := d.Uint8()
+		id := d.Uint64()
+		from := transport.NodeID(int32(d.Uint32()))
+		svc := d.String()
+		payload := d.RawBytes()
+		if d.Err() != nil || (kind != kindCall && kind != kindOneway) {
+			return // corrupt stream; drop the connection
+		}
+		go t.serveRequest(conn, &wmu, kind, id, from, svc, payload)
+	}
+}
+
+func (t *Transport) serveRequest(conn net.Conn, wmu *sync.Mutex, kind byte, id uint64, from transport.NodeID, svc string, payload []byte) {
+	resp, herr := t.dispatchLocal(from, svc, payload)
+	if kind != kindCall {
+		return
+	}
+	frame, err := replyFrame(id, resp, herr)
+	if err != nil {
+		// The handler returned an unregistered type; report that instead
+		// of leaving the caller to time out.
+		frame, _ = replyFrame(id, nil, fmt.Errorf("nettrans: %s reply: %v", svc, err))
+	}
+	wmu.Lock()
+	werr := wire.WriteFrame(conn, frame)
+	wmu.Unlock()
+	if werr != nil {
+		_ = conn.Close()
+	}
+}
+
+// dispatchLocal decodes the payload and runs the registered handler,
+// mirroring simnet's handler semantics (missing handler → ErrNoHandler).
+func (t *Transport) dispatchLocal(from transport.NodeID, svc string, payload []byte) (any, error) {
+	h, ok := t.handler(svc)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on node %d", transport.ErrNoHandler, svc, t.self)
+	}
+	req, err := wire.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("nettrans: %s request decode: %v", svc, err)
+	}
+	tr := t.obs.Tracer()
+	sp := tr.Detached(tr.Current().Context(), "serve:"+svc, t.rt.Now())
+	sp.Annotatef("route", "n%d → n%d", from, t.self)
+	resp, herr := h(from, req)
+	sp.EndErr(herr)
+	return resp, herr
+}

@@ -1,0 +1,422 @@
+// Package nettrans carries the transport.Transport message plane over real
+// TCP connections, so the protocol stack that runs against internal/simnet
+// in tests runs unchanged between musicd processes.
+//
+// Every message travels as a length-prefixed frame (internal/wire) holding a
+// small routing header plus the payload encoded by its registered wire
+// codec. Each process owns one Transport: it listens on its own address,
+// keeps one lazily dialed outbound connection per peer (with reconnect and
+// exponential backoff), and multiplexes concurrent calls over it by request
+// id. Transport failures — a dead peer, a refused dial, a broken pipe —
+// surface as transport.ErrTimeout, and handler errors come back wrapped in
+// transport.RemoteError with registered sentinels (wire.RegisterError)
+// surviving the process boundary, so callers cannot tell this plane from
+// the simulated one.
+package nettrans
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Frame kinds, the first header byte inside each wire frame.
+const (
+	kindCall   = 1 // expects a reply with the same request id
+	kindReply  = 2
+	kindOneway = 3 // no reply
+)
+
+// Reply status byte.
+const (
+	statusOK  = 0
+	statusErr = 1 // payload is a wire-encoded error
+)
+
+// Peer describes one node of the cluster, including this process's own.
+type Peer struct {
+	ID   transport.NodeID `json:"id"`
+	Site string           `json:"site"`
+	Addr string           `json:"addr"`
+}
+
+// Config describes this process's slot in the cluster.
+type Config struct {
+	// Self is this process's node id; Peers must contain it.
+	Self transport.NodeID
+	// Peers lists every node in the cluster.
+	Peers []Peer
+	// RPCTimeout is the default Call timeout. Defaults to 4s.
+	RPCTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Defaults to 1s.
+	DialTimeout time.Duration
+	// Listener, when set, is used instead of listening on Self's Addr —
+	// tests pass a port-0 listener whose address the peer set then records.
+	Listener net.Listener
+	// Obs enables RPC spans and latency metrics. Nil disables both.
+	Obs *obs.Obs
+	// RTT optionally supplies inter-site round-trip estimates for
+	// placement heuristics (store.byDistance). Missing pairs return 0,
+	// which keeps placement stable but unordered.
+	RTT map[[2]string]time.Duration
+}
+
+// Transport is the TCP message plane. It must be built on a real-time
+// runtime (sim.NewReal) — sockets do not advance virtual clocks.
+type Transport struct {
+	rt    sim.Runtime
+	cfg   Config
+	obs   *obs.Obs
+	self  transport.NodeID
+	peers map[transport.NodeID]Peer
+
+	lis net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]handlerEntry
+	conns    map[transport.NodeID]*peerConn
+	inbound  []net.Conn
+	closed   bool
+
+	nextReq atomic.Uint64
+	pending sync.Map // reqID uint64 → chan reply
+}
+
+type handlerEntry struct {
+	fn transport.Handler
+}
+
+type reply struct {
+	resp any
+	err  error
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New builds the transport and starts its accept loop. The returned
+// Transport serves inbound calls immediately; outbound connections are
+// dialed on first use.
+func New(rt sim.Runtime, cfg Config) (*Transport, error) {
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 4 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = time.Second
+	}
+	t := &Transport{
+		rt:       rt,
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		self:     cfg.Self,
+		peers:    make(map[transport.NodeID]Peer, len(cfg.Peers)),
+		handlers: make(map[string]handlerEntry),
+		conns:    make(map[transport.NodeID]*peerConn),
+	}
+	for _, p := range cfg.Peers {
+		t.peers[p.ID] = p
+	}
+	self, ok := t.peers[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("nettrans: self node %d not in peer set", cfg.Self)
+	}
+	t.lis = cfg.Listener
+	if t.lis == nil {
+		lis, err := net.Listen("tcp", self.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: listen %s: %w", self.Addr, err)
+		}
+		t.lis = lis
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address the transport is listening on.
+func (t *Transport) Addr() string { return t.lis.Addr().String() }
+
+// Self returns this process's node id.
+func (t *Transport) Self() transport.NodeID { return t.self }
+
+// Runtime returns the wall-clock runtime the transport was built on.
+func (t *Transport) Runtime() sim.Runtime { return t.rt }
+
+// Obs returns the observability sink (nil when disabled).
+func (t *Transport) Obs() *obs.Obs { return t.obs }
+
+// Tracer returns the shared tracer (nil-safe when observability is off).
+func (t *Transport) Tracer() *obs.Tracer { return t.obs.Tracer() }
+
+// Nodes returns every node id in the peer set, ascending.
+func (t *Transport) Nodes() []transport.NodeID {
+	ids := make([]transport.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SiteOf returns the site hosting id.
+func (t *Transport) SiteOf(id transport.NodeID) string { return t.peers[id].Site }
+
+// NodesInSite returns the ids in the named site, ascending.
+func (t *Transport) NodesInSite(site string) []transport.NodeID {
+	var ids []transport.NodeID
+	for _, id := range t.Nodes() {
+		if t.peers[id].Site == site {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// RTT returns the configured round-trip estimate for a site pair (0 when
+// unknown — a real network measures, it does not model).
+func (t *Transport) RTT(a, b string) time.Duration {
+	if t.cfg.RTT == nil {
+		return 0
+	}
+	if d, ok := t.cfg.RTT[[2]string{a, b}]; ok {
+		return d
+	}
+	return t.cfg.RTT[[2]string{b, a}]
+}
+
+// RPCTimeout returns the default Call timeout.
+func (t *Transport) RPCTimeout() time.Duration { return t.cfg.RPCTimeout }
+
+// Handle registers h for svc on this process's node. Registering for a
+// remote node is a programming error and panics.
+func (t *Transport) Handle(node transport.NodeID, svc string, h transport.Handler) {
+	if node != t.self {
+		panic(fmt.Sprintf("nettrans: Handle(%q) for node %d on the transport of node %d", svc, node, t.self))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[svc] = handlerEntry{fn: h}
+}
+
+// HandleWithCost is Handle; modeled CPU cost does not apply to real CPUs.
+func (t *Transport) HandleWithCost(node transport.NodeID, svc string, h transport.Handler, base, perKB time.Duration) {
+	t.Handle(node, svc, h)
+}
+
+// OnRestart is a no-op: a real process that crashes is a new process.
+func (t *Transport) OnRestart(node transport.NodeID, fn func()) {}
+
+// Work is a no-op: real handlers burn real CPU.
+func (t *Transport) Work(node transport.NodeID, cost time.Duration) {}
+
+// Call sends req to `to` for svc and waits for the reply using the default
+// RPC timeout.
+func (t *Transport) Call(from, to transport.NodeID, svc string, req any) (any, error) {
+	return t.CallTimeout(from, to, svc, req, t.cfg.RPCTimeout)
+}
+
+// CallTimeout is Call with an explicit timeout. The from node must be this
+// process's own (a process cannot originate traffic for another machine).
+func (t *Transport) CallTimeout(from, to transport.NodeID, svc string, req any, timeout time.Duration) (resp any, err error) {
+	tr := t.obs.Tracer()
+	rpc := tr.Detached(tr.Current().Context(), "rpc:"+svc, t.rt.Now())
+	rpc.Annotatef("route", "n%d → n%d", from, to)
+	if t.obs != nil {
+		start := t.rt.Now()
+		defer func() {
+			t.obs.Metrics().Histogram("nettrans_rpc_latency", obs.Labels{"svc": svc}).
+				Observe(t.rt.Now() - start)
+		}()
+	}
+	defer func() { rpc.EndErr(err) }()
+
+	if to == t.self {
+		return t.callLocal(from, svc, req, timeout)
+	}
+
+	payload, merr := wire.Marshal(req)
+	if merr != nil {
+		return nil, fmt.Errorf("nettrans: %s request: %w", svc, merr)
+	}
+	id := t.nextReq.Add(1)
+	ch := make(chan reply, 1)
+	t.pending.Store(id, ch)
+	defer t.pending.Delete(id)
+
+	if err := t.send(to, callFrame(kindCall, id, t.self, svc, payload)); err != nil {
+		// A peer we cannot reach looks exactly like a lost message.
+		return nil, fmt.Errorf("nettrans: %s to n%d: %v: %w", svc, to, err, transport.ErrTimeout)
+	}
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("nettrans: %s to n%d: %w", svc, to, transport.ErrTimeout)
+	}
+}
+
+// callLocal dispatches a self-call without touching the socket, but still
+// round-trips the payload through its codec so the handler gets the same
+// isolated copy a remote caller's handler would.
+func (t *Transport) callLocal(from transport.NodeID, svc string, req any, timeout time.Duration) (any, error) {
+	h, ok := t.handler(svc)
+	if !ok {
+		return nil, &transport.RemoteError{Err: fmt.Errorf("%w: %q on node %d", transport.ErrNoHandler, svc, t.self)}
+	}
+	reqCopy, err := codecCopy(req)
+	if err != nil {
+		return nil, fmt.Errorf("nettrans: %s request: %w", svc, err)
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		resp, err := h(from, reqCopy)
+		if err != nil {
+			ch <- reply{err: &transport.RemoteError{Err: err}}
+			return
+		}
+		resp, err = codecCopy(resp)
+		if err != nil {
+			ch <- reply{err: &transport.RemoteError{Err: err}}
+			return
+		}
+		ch <- reply{resp: resp}
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("nettrans: %s loopback: %w", svc, transport.ErrTimeout)
+	}
+}
+
+// codecCopy moves v through its wire codec, yielding an independent copy.
+func codecCopy(v any) (any, error) {
+	data, err := wire.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Unmarshal(data)
+}
+
+// Send delivers req without waiting for a reply, best effort: marshal or
+// connection failures drop the message silently, like a lossy network.
+func (t *Transport) Send(from, to transport.NodeID, svc string, req any) {
+	if to == t.self {
+		if h, ok := t.handler(svc); ok {
+			if reqCopy, err := codecCopy(req); err == nil {
+				go func() { _, _ = h(from, reqCopy) }()
+			}
+		}
+		return
+	}
+	payload, err := wire.Marshal(req)
+	if err != nil {
+		return
+	}
+	_ = t.send(to, callFrame(kindOneway, 0, t.self, svc, payload))
+}
+
+// Multicast fans req out to every target and collects replies until need of
+// them succeeded, everyone answered, or the timeout elapsed.
+func (t *Transport) Multicast(from transport.NodeID, targets []transport.NodeID, svc string, req any, need int, timeout time.Duration) []transport.CallResult {
+	results := make(chan transport.CallResult, len(targets))
+	for _, to := range targets {
+		to := to
+		go func() {
+			resp, err := t.CallTimeout(from, to, svc, req, timeout)
+			results <- transport.CallResult{From: to, Resp: resp, Err: err}
+		}()
+	}
+	deadline := time.After(timeout)
+	collected := make([]transport.CallResult, 0, len(targets))
+	successes := 0
+	for len(collected) < len(targets) {
+		select {
+		case r := <-results:
+			collected = append(collected, r)
+			if r.Err == nil {
+				successes++
+				if need > 0 && successes >= need {
+					return collected
+				}
+			}
+		case <-deadline:
+			return collected
+		}
+	}
+	return collected
+}
+
+// Close shuts the listener and every connection down. In-flight calls fail
+// with ErrTimeout.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[transport.NodeID]*peerConn{}
+	inbound := t.inbound
+	t.inbound = nil
+	t.mu.Unlock()
+
+	_ = t.lis.Close()
+	for _, pc := range conns {
+		pc.close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *Transport) handler(svc string) (transport.Handler, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.handlers[svc]
+	return h.fn, ok
+}
+
+// callFrame assembles the frame body:
+// [u8 kind][u64 reqID][u32 from][u32 len(svc)][svc][u32 len(payload)][payload].
+func callFrame(kind byte, id uint64, from transport.NodeID, svc string, payload []byte) []byte {
+	var e wire.Encoder
+	e.Uint8(kind)
+	e.Uint64(id)
+	e.Uint32(uint32(from))
+	e.String(svc)
+	e.RawBytes(payload)
+	return e.Bytes()
+}
+
+// replyFrame assembles [u8 kind=reply][u64 reqID][u8 status][payload|error].
+func replyFrame(id uint64, resp any, herr error) ([]byte, error) {
+	var e wire.Encoder
+	e.Uint8(kindReply)
+	e.Uint64(id)
+	if herr != nil {
+		e.Uint8(statusErr)
+		wire.EncodeError(&e, herr)
+		return e.Bytes(), nil
+	}
+	payload, err := wire.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	e.Uint8(statusOK)
+	e.RawBytes(payload)
+	return e.Bytes(), nil
+}

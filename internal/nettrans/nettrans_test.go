@@ -1,0 +1,192 @@
+package nettrans_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// TestConcurrentCallsMultiplex drives many concurrent calls over the single
+// per-peer connection; request-id multiplexing must route every reply to its
+// own caller.
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	c.Transport(1).Handle(1, "echo", func(from transport.NodeID, req any) (any, error) {
+		return req, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			want := fmt.Sprintf("payload-%d", i)
+			resp, err := c.Transport(0).Call(0, 1, "echo", conformance.Msg{Tag: want})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.(conformance.Msg).Tag; got != want {
+				errs <- fmt.Errorf("reply %q for request %q", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLargePayload moves a multi-megabyte body through the frame layer both
+// ways.
+func TestLargePayload(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	c.Transport(1).Handle(1, "big", func(from transport.NodeID, req any) (any, error) {
+		return req, nil
+	})
+	body := make([]byte, 4<<20)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	resp, err := c.Transport(0).Call(0, 1, "big", conformance.Msg{Tag: "big", Body: body})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := resp.(conformance.Msg).Body; !bytes.Equal(got, body) {
+		t.Fatalf("large payload corrupted: %d bytes back, want %d", len(got), len(body))
+	}
+}
+
+// TestReconnectAfterPeerRestart kills a peer process (its transport) and
+// brings a new one up on the same address; the survivor's next calls must
+// redial through backoff and succeed without rebuilding the Transport.
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	c.Transport(1).Handle(1, "gen", func(from transport.NodeID, req any) (any, error) {
+		return conformance.Msg{Tag: "gen1"}, nil
+	})
+	resp, err := c.Transport(0).Call(0, 1, "gen", conformance.Msg{})
+	if err != nil || resp.(conformance.Msg).Tag != "gen1" {
+		t.Fatalf("pre-restart call: %v %v", resp, err)
+	}
+
+	addr := c.ts[1].Addr()
+	peers := []nettrans.Peer{
+		{ID: 0, Site: "east", Addr: c.ts[0].Addr()},
+		{ID: 1, Site: "east", Addr: addr},
+	}
+	c.ts[1].Close()
+	if _, err := c.Transport(0).CallTimeout(0, 1, "gen", conformance.Msg{}, 200*time.Millisecond); err == nil {
+		t.Fatal("call to a dead peer succeeded")
+	}
+
+	// Restart: a fresh transport on the same address, like a respawned
+	// process. Binding can race the dying listener, so retry briefly.
+	var reborn *nettrans.Transport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lis, err := net.Listen("tcp", addr)
+		if err == nil {
+			reborn, err = nettrans.New(sim.NewReal(2), nettrans.Config{Self: 1, Peers: peers, Listener: lis})
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.ts[1] = reborn
+	reborn.Handle(1, "gen", func(from transport.NodeID, req any) (any, error) {
+		return conformance.Msg{Tag: "gen2"}, nil
+	})
+
+	// The survivor redials through backoff; allow a few rounds.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := c.Transport(0).CallTimeout(0, 1, "gen", conformance.Msg{}, 500*time.Millisecond)
+		if err == nil {
+			if got := resp.(conformance.Msg).Tag; got != "gen2" {
+				t.Fatalf("post-restart reply %q, want gen2", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reconnected: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDeadPeerFailsFast checks that a call to an unreachable peer maps the
+// dial failure to ErrTimeout (the uniform unreachability error) rather than
+// leaking net.OpError to protocol code.
+func TestDeadPeerFailsFast(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	c.ts[1].Close()
+	start := time.Now()
+	_, err := c.Transport(0).CallTimeout(0, 1, "any", conformance.Msg{}, 2*time.Second)
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// A refused dial must fail fast, not burn the whole RPC timeout.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("dead-peer call took %v", elapsed)
+	}
+}
+
+// TestSelfCallLoopback verifies a node calling itself round-trips through
+// the codecs (copy semantics) without touching the socket.
+func TestSelfCallLoopback(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	sent := []byte{5, 6}
+	c.Transport(0).Handle(0, "self", func(from transport.NodeID, req any) (any, error) {
+		m := req.(conformance.Msg)
+		m.Body[0] = 9
+		return m, nil
+	})
+	resp, err := c.Transport(0).Call(0, 0, "self", conformance.Msg{Body: sent})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if sent[0] != 5 {
+		t.Fatalf("loopback handler mutated the caller's slice: %v", sent)
+	}
+	if got := resp.(conformance.Msg).Body; !bytes.Equal(got, []byte{9, 6}) {
+		t.Fatalf("reply body = %v", got)
+	}
+}
+
+// TestTopology checks the peer-set-derived topology accessors.
+func TestTopology(t *testing.T) {
+	c := newCluster(t, 4)
+	defer c.Close()
+	tr := c.Transport(0)
+	if got := tr.Nodes(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if tr.SiteOf(2) != "west" {
+		t.Fatalf("SiteOf(2) = %q", tr.SiteOf(2))
+	}
+	if got := tr.NodesInSite("east"); len(got) != 2 {
+		t.Fatalf("NodesInSite(east) = %v", got)
+	}
+}

@@ -1,0 +1,37 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// simCluster adapts the simulated network to the shared transport
+// conformance suite: one fabric serves every node, and test bodies run
+// inside the virtual scheduler.
+type simCluster struct {
+	rt *sim.Virtual
+	n  *Network
+}
+
+func (c *simCluster) Transport(node transport.NodeID) transport.Transport { return c.n }
+
+func (c *simCluster) Run(t *testing.T, fn func()) {
+	t.Helper()
+	if err := c.rt.Run(fn); err != nil {
+		t.Fatalf("virtual run: %v", err)
+	}
+}
+
+func (c *simCluster) Close() {}
+
+// TestTransportConformance runs the backend-independent contract against the
+// simulated network.
+func TestTransportConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) conformance.Cluster {
+		rt, n := buildNet(t, Config{})
+		return &simCluster{rt: rt, n: n}
+	})
+}

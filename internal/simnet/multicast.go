@@ -4,14 +4,11 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // CallResult is one target's outcome in a Multicast.
-type CallResult struct {
-	From NodeID // the target that produced this result
-	Resp any
-	Err  error
-}
+type CallResult = transport.CallResult
 
 // Multicast sends req to every target in parallel and collects replies until
 // `need` of them have succeeded, all targets have answered or failed, or the
@@ -26,6 +23,10 @@ func (n *Network) Multicast(from NodeID, targets []NodeID, svc string, req any, 
 	mc.Annotatef("fanout", "%d targets, need %d", len(targets), need)
 
 	results := sim.NewMailbox[CallResult](n.rt)
+	// Closing the mailbox on return turns straggler sends (targets that
+	// answer after the quorum is satisfied) into dropped no-ops, so the
+	// fan-out tasks finish without blocking on a reader that has moved on.
+	defer results.Close()
 	for _, to := range targets {
 		to := to
 		n.rt.Go(func() {
@@ -64,11 +65,5 @@ func (n *Network) Multicast(from NodeID, targets []NodeID, svc string, req any, 
 
 // Successes filters a Multicast result set down to successful replies.
 func Successes(results []CallResult) []CallResult {
-	var ok []CallResult
-	for _, r := range results {
-		if r.Err == nil {
-			ok = append(ok, r)
-		}
-	}
-	return ok
+	return transport.Successes(results)
 }

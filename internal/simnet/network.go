@@ -1,46 +1,47 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // NodeID identifies a node within a Network. IDs are dense, site-major.
-type NodeID int
+type NodeID = transport.NodeID
 
 // Handler processes one inbound request on a node and returns the reply.
-type Handler func(from NodeID, req any) (any, error)
+type Handler = transport.Handler
 
-// Sizer lets a message declare its payload size in bytes so the network can
-// model NIC serialization and bandwidth. Messages without it are assumed to
-// be header-only.
+// Sizer lets a message without a wire codec declare its payload size in
+// bytes so the network can still model NIC serialization and bandwidth.
+// Messages with a registered codec (internal/wire) are charged their exact
+// encoded size instead; Sizer is the fallback for protocol baselines (zab,
+// raft, crdb) whose payloads never leave the process.
 type Sizer interface {
 	WireSize() int
 }
 
 // RemoteError wraps an application-level error returned by a remote
 // handler, distinguishing it from transport failures such as timeouts.
-type RemoteError struct {
-	Err error
-}
-
-func (e *RemoteError) Error() string { return "remote: " + e.Err.Error() }
-
-// Unwrap exposes the handler's error to errors.Is / errors.As.
-func (e *RemoteError) Unwrap() error { return e.Err }
+type RemoteError = transport.RemoteError
 
 // ErrTimeout is returned by Call when no reply arrives within the timeout
 // (due to partitions, crashes, loss, or a down destination).
-var ErrTimeout = sim.ErrTimeout
+var ErrTimeout = transport.ErrTimeout
 
 // ErrNoHandler is returned (as a RemoteError) when the destination has no
 // handler registered for the service.
-var ErrNoHandler = errors.New("simnet: no handler for service")
+var ErrNoHandler = transport.ErrNoHandler
+
+// Network implements the message plane contract; protocol code reaches it
+// through the interface, tests and fault injection through the concrete
+// type.
+var _ transport.Transport = (*Network)(nil)
 
 // Config describes the cluster to build.
 type Config struct {
@@ -175,6 +176,34 @@ func (n *Network) Node(id NodeID) *Node {
 // SiteOf returns the site name hosting id.
 func (n *Network) SiteOf(id NodeID) string { return n.nodes[id].site }
 
+// RTT returns the modeled round-trip time between two sites.
+func (n *Network) RTT(a, b string) time.Duration { return n.cfg.Profile.RTT(a, b) }
+
+// RPCTimeout returns the default Call timeout.
+func (n *Network) RPCTimeout() time.Duration { return n.cfg.RPCTimeout }
+
+// Handle registers h for service svc on node with zero modeled CPU cost.
+func (n *Network) Handle(node NodeID, svc string, h Handler) {
+	n.nodes[node].Handle(svc, h)
+}
+
+// HandleWithCost registers h for svc on node with a modeled CPU cost of
+// base + perKB·(size/1KiB) per request.
+func (n *Network) HandleWithCost(node NodeID, svc string, h Handler, base, perKB time.Duration) {
+	n.nodes[node].HandleWithCost(svc, h, base, perKB)
+}
+
+// OnRestart registers a hook run when node restarts after a crash.
+func (n *Network) OnRestart(node NodeID, fn func()) {
+	n.nodes[node].OnRestart(fn)
+}
+
+// Work charges cost of modeled CPU time against node, blocking the caller
+// until a worker has burned it.
+func (n *Network) Work(node NodeID, cost time.Duration) {
+	n.nodes[node].Work(cost)
+}
+
 // NodesInSite returns the IDs of all nodes in the named site.
 func (n *Network) NodesInSite(site string) []NodeID {
 	var ids []NodeID
@@ -244,11 +273,17 @@ func (n *Network) Send(from, to NodeID, svc string, req any) {
 // dispatch models the full path: sender NIC, propagation, receiver CPU
 // admission, handler execution, and the reply trip back. parent is the span
 // the delay-component spans hang off (zero when untraced).
+//
+// Payloads with a registered wire codec are marshaled at the sender and
+// unmarshaled at the receiver, so the handler sees a decoded copy — every
+// simulated RPC exercises the same encode/decode path the TCP transport
+// uses, and the byte count charged to the NIC is the true encoded size.
 func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Promise[any], parent obs.SpanContext) {
 	src, dst := n.nodes[from], n.nodes[to]
 	tr := n.obs.Tracer()
 	sent := n.rt.Now()
-	nic, wire, ok := n.transit(src, dst, n.sizeOf(req))
+	encoded, size := n.encode(svc, req)
+	nic, flight, ok := n.transit(src, dst, size)
 	if !ok {
 		n.countDrop(svc)
 		return // lost; caller times out
@@ -256,8 +291,8 @@ func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Prom
 	if nic > 0 {
 		tr.SpanAt(parent, "net.nic", sent, sent+nic)
 	}
-	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+wire)
-	n.rt.After(nic+wire, func() {
+	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+flight)
+	n.rt.After(nic+flight, func() {
 		if !dst.isUp() {
 			n.countDrop(svc)
 			return
@@ -267,8 +302,9 @@ func (n *Network) dispatch(from, to NodeID, svc string, req any, reply *sim.Prom
 			n.sendReply(dst, src, reply, nil, &RemoteError{Err: fmt.Errorf("%w: %q on node %d", ErrNoHandler, svc, to)}, parent)
 			return
 		}
+		req := n.decode(svc, req, encoded)
 		arrived := n.rt.Now()
-		cost := spec.cost(n.sizeOf(req))
+		cost := spec.cost(size)
 		dst.exec.admit(cost)
 		if wait := n.rt.Now() - arrived - cost; wait > 0 {
 			tr.SpanAt(parent, "net.cpuwait", arrived, arrived+wait)
@@ -300,12 +336,19 @@ func (n *Network) countDrop(svc string) {
 }
 
 // sendReply models the reply trip; nil promise means a one-way Send.
+// Successful replies go through the same encode/decode path as requests;
+// errors stay in-process values (the TCP transport encodes them separately).
 func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, err error, parent obs.SpanContext) {
 	if reply == nil {
 		return
 	}
 	sent := n.rt.Now()
-	nic, wire, ok := n.transit(src, dst, n.sizeOf(resp))
+	var encoded []byte
+	size := n.cfg.MsgOverhead
+	if err == nil {
+		encoded, size = n.encode("reply", resp)
+	}
+	nic, flight, ok := n.transit(src, dst, size)
 	if !ok {
 		return
 	}
@@ -313,8 +356,8 @@ func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, e
 	if nic > 0 {
 		tr.SpanAt(parent, "net.nic", sent, sent+nic, obs.Annotation{Key: "dir", Value: "reply"})
 	}
-	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+wire, obs.Annotation{Key: "dir", Value: "reply"})
-	n.rt.After(nic+wire, func() {
+	tr.SpanAt(parent, "net.transit", sent+nic, sent+nic+flight, obs.Annotation{Key: "dir", Value: "reply"})
+	n.rt.After(nic+flight, func() {
 		if !dst.isUp() {
 			return
 		}
@@ -322,25 +365,50 @@ func (n *Network) sendReply(src, dst *Node, reply *sim.Promise[any], resp any, e
 			reply.Reject(err)
 			return
 		}
-		reply.Resolve(resp)
+		reply.Resolve(n.decode("reply", resp, encoded))
 	})
 }
 
-// sizeOf returns the modeled wire size of a message.
-func (n *Network) sizeOf(msg any) int {
-	size := n.cfg.MsgOverhead
+// encode marshals msg through its registered wire codec, returning the
+// encoded bytes and the modeled wire size (MsgOverhead plus the exact
+// encoded length). Types without a codec — the in-process protocol
+// baselines — fall back to their Sizer estimate and nil bytes.
+func (n *Network) encode(svc string, msg any) (data []byte, size int) {
+	if wire.Registered(msg) {
+		data, err := wire.Marshal(msg)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: marshal %q payload %T: %v", svc, msg, err))
+		}
+		return data, n.cfg.MsgOverhead + len(data)
+	}
+	size = n.cfg.MsgOverhead
 	if s, ok := msg.(Sizer); ok {
 		size += s.WireSize()
 	}
-	return size
+	return nil, size
+}
+
+// decode reconstructs the receiver's copy of a payload produced by encode.
+// Payloads without a codec pass through by reference. A decode failure is a
+// codec bug (the bytes came straight from Marshal), so it panics loudly
+// rather than dropping the message.
+func (n *Network) decode(svc string, orig any, encoded []byte) any {
+	if encoded == nil {
+		return orig
+	}
+	msg, err := wire.Unmarshal(encoded)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: unmarshal %q payload %T: %v", svc, orig, err))
+	}
+	return msg
 }
 
 // transit computes the one-way delivery delay from src to dst for a message
 // of the given size, split into its two components: nic (sender NIC queueing
-// plus serialization) and wire (propagation plus jitter), so tracing can
+// plus serialization) and flight (propagation plus jitter), so tracing can
 // report them as separate spans. ok is false if the message is dropped
 // (either endpoint down, partitioned, or lost).
-func (n *Network) transit(src, dst *Node, size int) (nic, wire time.Duration, ok bool) {
+func (n *Network) transit(src, dst *Node, size int) (nic, flight time.Duration, ok bool) {
 	if !src.isUp() || !dst.isUp() {
 		return 0, 0, false
 	}

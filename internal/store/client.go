@@ -7,23 +7,23 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Client issues store operations through a fixed coordinator node, the way
 // a MUSIC replica queries its nearby Cassandra node (Fig 1).
 type Client struct {
 	c    *Cluster
-	node simnet.NodeID
+	node transport.NodeID
 }
 
 // Client returns a client coordinated by the given node.
-func (c *Cluster) Client(node simnet.NodeID) *Client {
+func (c *Cluster) Client(node transport.NodeID) *Client {
 	return &Client{c: c, node: node}
 }
 
 // Node returns the coordinator node ID.
-func (cl *Client) Node() simnet.NodeID { return cl.node }
+func (cl *Client) Node() transport.NodeID { return cl.node }
 
 // tracer returns the network's tracer (nil when observability is disabled).
 func (cl *Client) tracer() *obs.Tracer { return cl.c.net.Tracer() }
@@ -64,7 +64,7 @@ func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
 		stamped[col] = c
 	}
 	req := applyReq{Table: table, Key: key, Cells: stamped}
-	cl.c.net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, req.WireSize()))
+	cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 	err := cl.replicate(req, cons)
 	cl.observeLatency("put", cons, cl.c.net.Runtime().Now()-start)
 	sp.EndErr(err)
@@ -122,7 +122,7 @@ func (cl *Client) replicate(req applyReq, cons Consistency) error {
 
 // handoff retries a failed replica write with backoff until it lands or the
 // attempts run out.
-func (cl *Client) handoff(to simnet.NodeID, req applyReq) {
+func (cl *Client) handoff(to transport.NodeID, req applyReq) {
 	rt := cl.c.net.Runtime()
 	backoff := 200 * time.Millisecond
 	for attempt := 0; attempt < 8; attempt++ {
@@ -161,7 +161,7 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 		sp.EndErr(err)
 	}()
 	if chargeCoord {
-		cl.c.net.Node(cl.node).Work(cfg.Costs.CoordRead)
+		cl.c.net.Work(cl.node, cfg.Costs.CoordRead)
 	}
 	req := readReq{Table: table, Key: key, Cols: cols}
 	targets := cl.c.ring.replicasFor(key)
@@ -180,7 +180,7 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 		// the replicas.
 	}
 	results := cl.c.net.Multicast(cl.node, targets, svcRead, req, need, cfg.Timeout)
-	oks := simnet.Successes(results)
+	oks := transport.Successes(results)
 	if len(oks) < need {
 		return nil, fmt.Errorf("%w: %d/%d replies for %s/%s", ErrUnavailable, len(oks), need, table, key)
 	}
@@ -201,7 +201,7 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 
 // readRepair pushes the merged row back to any responder that returned
 // stale cells, asynchronously.
-func (cl *Client) readRepair(table, key string, merged Row, responders []simnet.CallResult) {
+func (cl *Client) readRepair(table, key string, merged Row, responders []transport.CallResult) {
 	for _, r := range responders {
 		theirs := r.Resp.(readResp).Cells
 		stale := false
@@ -224,9 +224,9 @@ func (cl *Client) readRepair(table, key string, merged Row, responders []simnet.
 // tolerates staleness).
 func (cl *Client) AllKeys(table string) ([]string, error) {
 	cfg := cl.c.cfg
-	cl.c.net.Node(cl.node).Work(cfg.Costs.CoordRead)
+	cl.c.net.Work(cl.node, cfg.Costs.CoordRead)
 	results := cl.c.net.Multicast(cl.node, cl.c.cfg.Nodes, svcScan, scanReq{Table: table}, len(cl.c.cfg.Nodes), cfg.Timeout)
-	oks := simnet.Successes(results)
+	oks := transport.Successes(results)
 	if len(oks) == 0 {
 		return nil, fmt.Errorf("%w: scan %s", ErrUnavailable, table)
 	}

@@ -9,7 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // This file is the store half of the critical-section fast path: digest
@@ -28,8 +28,6 @@ type digestReq struct {
 type digestResp struct {
 	Digest uint64
 }
-
-func (digestResp) WireSize() int { return 8 }
 
 // digestRow hashes a replica's raw cells — tombstones included — for the
 // requested columns. Two replicas produce the same digest iff a full read
@@ -60,7 +58,7 @@ func digestRow(r Row) uint64 {
 	return h.Sum64()
 }
 
-func (r *replica) handleDigest(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handleDigest(from transport.NodeID, req any) (any, error) {
 	m := req.(digestReq)
 	full, _ := r.handleRead(from, readReq{Table: m.Table, Key: m.Key, Cols: m.Cols})
 	return digestResp{Digest: digestRow(full.(readResp).Cells)}, nil
@@ -69,15 +67,15 @@ func (r *replica) handleDigest(from simnet.NodeID, req any) (any, error) {
 // byDistance orders targets by site RTT from the coordinator, self first —
 // the preference order for ONE reads and for picking the digest path's one
 // full-data replica.
-func (cl *Client) byDistance(targets []simnet.NodeID) []simnet.NodeID {
+func (cl *Client) byDistance(targets []transport.NodeID) []transport.NodeID {
 	mySite := cl.c.net.SiteOf(cl.node)
-	rtt := func(t simnet.NodeID) time.Duration {
+	rtt := func(t transport.NodeID) time.Duration {
 		if t == cl.node {
 			return -1
 		}
-		return cl.c.net.Config().Profile.RTT(mySite, cl.c.net.SiteOf(t))
+		return cl.c.net.RTT(mySite, cl.c.net.SiteOf(t))
 	}
-	out := append([]simnet.NodeID(nil), targets...)
+	out := append([]transport.NodeID(nil), targets...)
 	sort.SliceStable(out, func(i, j int) bool {
 		ri, rj := rtt(out[i]), rtt(out[j])
 		if ri != rj {
@@ -91,7 +89,7 @@ func (cl *Client) byDistance(targets []simnet.NodeID) []simnet.NodeID {
 // getOne serves a ONE-consistency read from the nearest live replica,
 // falling outward through the remaining replicas rather than failing while
 // RF-1 of them still hold the key.
-func (cl *Client) getOne(req readReq, targets []simnet.NodeID) (Row, error) {
+func (cl *Client) getOne(req readReq, targets []transport.NodeID) (Row, error) {
 	cfg := cl.c.cfg
 	var lastErr error
 	for i, to := range cl.byDistance(targets) {
@@ -114,7 +112,7 @@ func (cl *Client) getOne(req readReq, targets []simnet.NodeID) (Row, error) {
 // digest reads to the rest. ok=false means the digests did not corroborate
 // the full read — or too few replicas answered — and the caller must fall
 // back to the full-payload quorum path (which also performs read repair).
-func (cl *Client) digestGet(req readReq, targets []simnet.NodeID, need int) (Row, bool) {
+func (cl *Client) digestGet(req readReq, targets []transport.NodeID, need int) (Row, bool) {
 	cfg := cl.c.cfg
 	rt := cl.c.net.Runtime()
 	order := cl.byDistance(targets)
@@ -252,7 +250,7 @@ func (cl *Client) PutAsync(table, key string, cells Row, cons Consistency) *Pend
 		sp := cl.tracer().Child("store.put.async")
 		sp.Annotate("row", table+"/"+key)
 		sp.Annotate("cons", cons.String())
-		cl.c.net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, req.WireSize()))
+		cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 		err := cl.replicate(req, cons)
 		cl.observeLatency("put", cons, rt.Now()-start)
 		sp.EndErr(err)

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/paxos"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // CASResult reports the outcome of a light-weight transaction.
@@ -41,7 +41,7 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 		sp.EndErr(err)
 	}()
 
-	net.Node(cl.node).Work(cfg.Costs.CoordWrite + perKBCost(cfg.Costs.PerKB, rowSize(update)))
+	net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(update)))
 
 	var observed uint64 // highest refusing ballot seen, to leapfrog it
 	for attempt := 0; attempt < cfg.MaxCASAttempts; attempt++ {
@@ -62,7 +62,7 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 		var inProgressVal Row
 		var committed paxos.Ballot
 		refused := false
-		for _, r := range simnet.Successes(prepResults) {
+		for _, r := range transport.Successes(prepResults) {
 			resp := r.Resp.(prepareResp)
 			if resp.Committed.Compare(committed) > 0 {
 				committed = resp.Committed
@@ -129,7 +129,7 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 var errProposeRejected = fmt.Errorf("store: propose rejected")
 
 // proposeCommit runs the accept and commit rounds for (b, update).
-func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quorum int, b paxos.Ballot, update Row) error {
+func (cl *Client) proposeCommit(table, key string, targets []transport.NodeID, quorum int, b paxos.Ballot, update Row) error {
 	cfg := cl.c.cfg
 	net := cl.c.net
 
@@ -138,13 +138,13 @@ func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quor
 		proposeReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
 	prop.End()
 	acks := 0
-	for _, r := range simnet.Successes(propResults) {
+	for _, r := range transport.Successes(propResults) {
 		if r.Resp.(proposeResp).OK {
 			acks++
 		}
 	}
 	if acks < quorum {
-		if len(simnet.Successes(propResults)) >= quorum {
+		if len(transport.Successes(propResults)) >= quorum {
 			return errProposeRejected
 		}
 		return fmt.Errorf("%w: cas propose %s/%s", ErrUnavailable, table, key)
@@ -154,7 +154,7 @@ func (cl *Client) proposeCommit(table, key string, targets []simnet.NodeID, quor
 	commitResults := net.Multicast(cl.node, targets, svcCommit,
 		commitReq{Table: table, Key: key, B: b, Update: update}, quorum, cfg.Timeout)
 	com.End()
-	if len(simnet.Successes(commitResults)) < quorum {
+	if len(transport.Successes(commitResults)) < quorum {
 		return fmt.Errorf("%w: cas commit %s/%s", ErrUnavailable, table, key)
 	}
 	return nil

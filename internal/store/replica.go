@@ -2,9 +2,10 @@ package store
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/paxos"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Service names registered by each replica.
@@ -17,14 +18,14 @@ const (
 	svcCommit  = "store.commit"
 )
 
-// Wire messages. WireSize feeds the network's bandwidth model.
+// Wire messages. Every one of them has a binary codec in wire.go, so the
+// transport charges exact encoded sizes and can carry them across processes;
+// none needs a Sizer estimate.
 
 type applyReq struct {
 	Table, Key string
 	Cells      Row
 }
-
-func (r applyReq) WireSize() int { return len(r.Table) + len(r.Key) + rowSize(r.Cells) }
 
 type readReq struct {
 	Table, Key string
@@ -35,22 +36,12 @@ type readResp struct {
 	Cells Row // nil when the row does not exist
 }
 
-func (r readResp) WireSize() int { return rowSize(r.Cells) }
-
 type scanReq struct {
 	Table string
 }
 
 type scanResp struct {
 	Keys []string
-}
-
-func (r scanResp) WireSize() int {
-	n := 0
-	for _, k := range r.Keys {
-		n += len(k) + 8
-	}
-	return n
 }
 
 type prepareReq struct {
@@ -62,20 +53,11 @@ type prepareResp struct {
 	paxos.PrepareResponse
 }
 
-func (r prepareResp) WireSize() int {
-	if v, ok := r.InProgressValue.(Row); ok {
-		return rowSize(v)
-	}
-	return 0
-}
-
 type proposeReq struct {
 	Table, Key string
 	B          paxos.Ballot
 	Update     Row
 }
-
-func (r proposeReq) WireSize() int { return rowSize(r.Update) }
 
 type proposeResp struct {
 	OK bool
@@ -87,13 +69,9 @@ type commitReq struct {
 	Update     Row
 }
 
-func (r commitReq) WireSize() int { return rowSize(r.Update) }
-
 // replica is the per-node storage engine: tables of rows plus per-row Paxos
 // acceptor state. State survives Crash/Restart (it models durable storage).
 type replica struct {
-	node *simnet.Node
-
 	mu     sync.Mutex
 	tables map[string]map[string]*rowState
 }
@@ -103,19 +81,22 @@ type rowState struct {
 	ax    paxos.Acceptor
 }
 
-func newReplica(node *simnet.Node) *replica {
-	return &replica{node: node, tables: make(map[string]map[string]*rowState)}
+func newReplica() *replica {
+	return &replica{tables: make(map[string]map[string]*rowState)}
 }
 
-// register installs the replica's services with their CPU costs.
-func (r *replica) register(costs CostModel) {
-	r.node.HandleWithCost(svcApply, r.handleApply, costs.ReplicaApply, costs.PerKB)
-	r.node.HandleWithCost(svcRead, r.handleRead, costs.ReplicaRead, costs.PerKB)
-	r.node.HandleWithCost(svcDigest, r.handleDigest, costs.ReplicaRead, 0)
-	r.node.HandleWithCost(svcScan, r.handleScan, costs.ReplicaRead, 0)
-	r.node.HandleWithCost(svcPrepare, r.handlePrepare, costs.PaxosMsg, 0)
-	r.node.HandleWithCost(svcPropose, r.handlePropose, costs.PaxosMsg, costs.PerKB)
-	r.node.HandleWithCost(svcCommit, r.handleCommit, costs.PaxosMsg, costs.PerKB)
+// register installs the replica's services on node with their CPU costs.
+func (r *replica) register(tr transport.Transport, node transport.NodeID, costs CostModel) {
+	cost := func(svc string, h transport.Handler, base, perKB time.Duration) {
+		tr.HandleWithCost(node, svc, h, base, perKB)
+	}
+	cost(svcApply, r.handleApply, costs.ReplicaApply, costs.PerKB)
+	cost(svcRead, r.handleRead, costs.ReplicaRead, costs.PerKB)
+	cost(svcDigest, r.handleDigest, costs.ReplicaRead, 0)
+	cost(svcScan, r.handleScan, costs.ReplicaRead, 0)
+	cost(svcPrepare, r.handlePrepare, costs.PaxosMsg, 0)
+	cost(svcPropose, r.handlePropose, costs.PaxosMsg, costs.PerKB)
+	cost(svcCommit, r.handleCommit, costs.PaxosMsg, costs.PerKB)
 }
 
 // row returns the row state, creating it when create is set.
@@ -139,7 +120,7 @@ func (r *replica) row(table, key string, create bool) *rowState {
 	return rs
 }
 
-func (r *replica) handleApply(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handleApply(from transport.NodeID, req any) (any, error) {
 	m := req.(applyReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -148,7 +129,7 @@ func (r *replica) handleApply(from simnet.NodeID, req any) (any, error) {
 	return nil, nil
 }
 
-func (r *replica) handleRead(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handleRead(from transport.NodeID, req any) (any, error) {
 	m := req.(readReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -168,7 +149,7 @@ func (r *replica) handleRead(from simnet.NodeID, req any) (any, error) {
 	return readResp{Cells: out}, nil
 }
 
-func (r *replica) handleScan(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handleScan(from transport.NodeID, req any) (any, error) {
 	m := req.(scanReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -184,7 +165,7 @@ func (r *replica) handleScan(from simnet.NodeID, req any) (any, error) {
 	return scanResp{Keys: keys}, nil
 }
 
-func (r *replica) handlePrepare(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handlePrepare(from transport.NodeID, req any) (any, error) {
 	m := req.(prepareReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -192,7 +173,7 @@ func (r *replica) handlePrepare(from simnet.NodeID, req any) (any, error) {
 	return prepareResp{rs.ax.HandlePrepare(m.B)}, nil
 }
 
-func (r *replica) handlePropose(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handlePropose(from transport.NodeID, req any) (any, error) {
 	m := req.(proposeReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -200,7 +181,7 @@ func (r *replica) handlePropose(from simnet.NodeID, req any) (any, error) {
 	return proposeResp{OK: rs.ax.HandlePropose(m.B, m.Update)}, nil
 }
 
-func (r *replica) handleCommit(from simnet.NodeID, req any) (any, error) {
+func (r *replica) handleCommit(from transport.NodeID, req any) (any, error) {
 	m := req.(commitReq)
 	r.mu.Lock()
 	defer r.mu.Unlock()

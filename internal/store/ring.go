@@ -4,7 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // ring places keys on replicas. Nodes are arranged in a site-interleaved
@@ -13,15 +13,15 @@ import (
 // deployment keeps one copy of every key-value pair per site
 // (NetworkTopologyStrategy in Cassandra terms).
 type ring struct {
-	walk []simnet.NodeID
+	walk []transport.NodeID
 	rf   int
 }
 
-func buildRing(net *simnet.Network, nodes []simnet.NodeID, rf int) ring {
-	bySite := make(map[string][]simnet.NodeID)
+func buildRing(tr transport.Transport, nodes []transport.NodeID, rf int) ring {
+	bySite := make(map[string][]transport.NodeID)
 	var sites []string
 	for _, id := range nodes {
-		site := net.SiteOf(id)
+		site := tr.SiteOf(id)
 		if len(bySite[site]) == 0 {
 			sites = append(sites, site)
 		}
@@ -33,7 +33,7 @@ func buildRing(net *simnet.Network, nodes []simnet.NodeID, rf int) ring {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 
-	var walk []simnet.NodeID
+	var walk []transport.NodeID
 	for i := 0; ; i++ {
 		added := false
 		for _, site := range sites {
@@ -53,11 +53,11 @@ func buildRing(net *simnet.Network, nodes []simnet.NodeID, rf int) ring {
 }
 
 // replicasFor returns the RF nodes responsible for key.
-func (r ring) replicasFor(key string) []simnet.NodeID {
+func (r ring) replicasFor(key string) []transport.NodeID {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(key))
 	pos := int(h.Sum64() % uint64(len(r.walk)))
-	out := make([]simnet.NodeID, 0, r.rf)
+	out := make([]transport.NodeID, 0, r.rf)
 	for i := 0; i < r.rf; i++ {
 		out = append(out, r.walk[(pos+i)%len(r.walk)])
 	}
@@ -65,7 +65,7 @@ func (r ring) replicasFor(key string) []simnet.NodeID {
 }
 
 // contains reports whether id is one of the given replicas.
-func contains(ids []simnet.NodeID, id simnet.NodeID) bool {
+func contains(ids []transport.NodeID, id transport.NodeID) bool {
 	for _, x := range ids {
 		if x == id {
 			return true

@@ -21,7 +21,7 @@ import (
 	"time"
 
 	"repro/internal/paxos"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Consistency selects how many replica acknowledgements an operation needs.
@@ -192,7 +192,13 @@ type Config struct {
 	RF int
 	// Nodes lists the network nodes running store replicas. Defaults to
 	// every node in the network.
-	Nodes []simnet.NodeID
+	Nodes []transport.NodeID
+	// LocalNodes lists the subset of Nodes hosted by this process: replica
+	// services are registered only for them. Empty means all of Nodes are
+	// local — the single-process (simulated or in-memory) deployment. The
+	// ring always spans all of Nodes, so a multi-process cluster agrees on
+	// placement while each musicd process serves only its own node.
+	LocalNodes []transport.NodeID
 	// NoReadRepair disables background repair of stale replicas on reads.
 	NoReadRepair bool
 	// DigestReads makes quorum/all reads fetch full data from the nearest
@@ -210,23 +216,27 @@ type Config struct {
 	Costs CostModel
 }
 
-// Cluster is a store deployment over a simnet.Network. Build one with New,
-// then obtain per-node Clients to issue operations.
+// Cluster is a store deployment over a Transport. Build one with New, then
+// obtain per-node Clients to issue operations.
 type Cluster struct {
-	net  *simnet.Network
+	net  transport.Transport
 	cfg  Config
 	ring ring
 
-	replicas map[simnet.NodeID]*replica
+	replicas map[transport.NodeID]*replica
 
 	mu         sync.Mutex
 	lastBallot uint64
 }
 
-// New builds a store cluster and registers its services on the given nodes.
-func New(net *simnet.Network, cfg Config) *Cluster {
+// New builds a store cluster over tr and registers its replica services on
+// every local node.
+func New(tr transport.Transport, cfg Config) *Cluster {
 	if len(cfg.Nodes) == 0 {
-		cfg.Nodes = net.Nodes()
+		cfg.Nodes = tr.Nodes()
+	}
+	if len(cfg.LocalNodes) == 0 {
+		cfg.LocalNodes = cfg.Nodes
 	}
 	if cfg.RF == 0 {
 		cfg.RF = 3
@@ -235,7 +245,7 @@ func New(net *simnet.Network, cfg Config) *Cluster {
 		cfg.RF = len(cfg.Nodes)
 	}
 	if cfg.Timeout == 0 {
-		cfg.Timeout = net.Config().RPCTimeout
+		cfg.Timeout = tr.RPCTimeout()
 	}
 	if cfg.MaxCASAttempts == 0 {
 		cfg.MaxCASAttempts = 16
@@ -261,31 +271,31 @@ func New(net *simnet.Network, cfg Config) *Cluster {
 	}
 
 	c := &Cluster{
-		net:      net,
+		net:      tr,
 		cfg:      cfg,
-		ring:     buildRing(net, cfg.Nodes, cfg.RF),
-		replicas: make(map[simnet.NodeID]*replica, len(cfg.Nodes)),
+		ring:     buildRing(tr, cfg.Nodes, cfg.RF),
+		replicas: make(map[transport.NodeID]*replica, len(cfg.LocalNodes)),
 	}
-	for _, id := range cfg.Nodes {
-		r := newReplica(net.Node(id))
+	for _, id := range cfg.LocalNodes {
+		r := newReplica()
 		c.replicas[id] = r
-		r.register(cfg.Costs)
+		r.register(tr, id, cfg.Costs)
 	}
 	return c
 }
 
-// Net returns the underlying network.
-func (c *Cluster) Net() *simnet.Network { return c.net }
+// Net returns the underlying transport.
+func (c *Cluster) Net() transport.Transport { return c.net }
 
 // Nodes returns the store nodes.
-func (c *Cluster) Nodes() []simnet.NodeID { return append([]simnet.NodeID(nil), c.cfg.Nodes...) }
+func (c *Cluster) Nodes() []transport.NodeID { return append([]transport.NodeID(nil), c.cfg.Nodes...) }
 
 // RF returns the effective replication factor.
 func (c *Cluster) RF() int { return c.ring.rf }
 
 // ReplicasFor returns the nodes holding key (exposed for tests and for the
 // lock store's local peek).
-func (c *Cluster) ReplicasFor(key string) []simnet.NodeID { return c.ring.replicasFor(key) }
+func (c *Cluster) ReplicasFor(key string) []transport.NodeID { return c.ring.replicasFor(key) }
 
 // NowMicros returns the cluster clock in microseconds, used to timestamp
 // plain writes.
@@ -305,7 +315,7 @@ func (c *Cluster) nextWriteTS() int64 {
 }
 
 // nextBallot mints a monotonically increasing ballot for a coordinator.
-func (c *Cluster) nextBallot(node simnet.NodeID, atLeast uint64) paxos.Ballot {
+func (c *Cluster) nextBallot(node transport.NodeID, atLeast uint64) paxos.Ballot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := uint64(c.NowMicros())

@@ -1,0 +1,210 @@
+// Package conformance pins the behavioral contract every transport.Transport
+// implementation must honor, as one reusable test suite. The simnet and
+// nettrans test packages each adapt their backend to the Cluster interface
+// and invoke Run; protocol code above the interface then cannot observe
+// which backend it is on.
+//
+// The contract exercised here:
+//
+//   - Call round-trips a registered payload, and both request and reply are
+//     codec copies — a handler mutating its request cannot reach the
+//     caller's memory, exactly as across a process boundary.
+//   - An error returned by a handler surfaces as *transport.RemoteError,
+//     and registered sentinels survive errors.Is through it.
+//   - Calling a service nobody registered yields a RemoteError wrapping
+//     transport.ErrNoHandler.
+//   - A handler that outlives the call's timeout yields transport.ErrTimeout.
+//   - Multicast returns once `need` targets succeeded and reports per-target
+//     results.
+//   - Send delivers one-way, best effort, without disturbing the caller.
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Msg is the suite's payload; its codec id lives in the 900–999 test range.
+type Msg struct {
+	Tag  string
+	Body []byte
+}
+
+// ErrBusy is the suite's application-level sentinel; handlers return it and
+// callers must recover it via errors.Is even across a process boundary.
+var ErrBusy = errors.New("conformance: busy")
+
+func init() {
+	wire.Register(910, "conformance.Msg",
+		func(e *wire.Encoder, v Msg) {
+			e.String(v.Tag)
+			e.RawBytes(v.Body)
+		},
+		func(d *wire.Decoder) Msg {
+			return Msg{Tag: d.String(), Body: d.RawBytes()}
+		})
+	wire.RegisterError(911, ErrBusy)
+}
+
+// Cluster adapts one transport backend to the suite. Implementations must
+// provide at least three nodes with IDs 0, 1 and 2; the suite calls from
+// node 0.
+type Cluster interface {
+	// Transport returns the transport through which the given node both
+	// registers handlers and issues calls. A shared-fabric backend (simnet)
+	// returns the same value for every node; a per-process backend
+	// (nettrans) returns that node's own endpoint.
+	Transport(node transport.NodeID) transport.Transport
+	// Run executes the test body in the backend's execution context — a
+	// virtual-runtime backend runs fn inside its scheduler, a real-time
+	// backend just calls it. Handlers are registered before Run.
+	Run(t *testing.T, fn func())
+	// Close releases the cluster.
+	Close()
+}
+
+// Run executes the full conformance suite, building a fresh cluster per
+// subtest.
+func Run(t *testing.T, mk func(t *testing.T) Cluster) {
+	t.Run("CallEchoIsolated", func(t *testing.T) { testCallEchoIsolated(t, mk(t)) })
+	t.Run("RemoteErrorSentinel", func(t *testing.T) { testRemoteErrorSentinel(t, mk(t)) })
+	t.Run("NoHandler", func(t *testing.T) { testNoHandler(t, mk(t)) })
+	t.Run("Timeout", func(t *testing.T) { testTimeout(t, mk(t)) })
+	t.Run("MulticastQuorum", func(t *testing.T) { testMulticastQuorum(t, mk(t)) })
+	t.Run("SendOneWay", func(t *testing.T) { testSendOneWay(t, mk(t)) })
+}
+
+func testCallEchoIsolated(t *testing.T, c Cluster) {
+	defer c.Close()
+	sent := []byte{1, 2, 3}
+	var handlerBody atomic.Pointer[[]byte]
+	c.Transport(1).Handle(1, "conf.echo", func(from transport.NodeID, req any) (any, error) {
+		m := req.(Msg)
+		m.Body[0] = 99 // must not corrupt the sender's slice
+		handlerBody.Store(&m.Body)
+		return Msg{Tag: "re:" + m.Tag, Body: m.Body}, nil
+	})
+	c.Run(t, func() {
+		resp, err := c.Transport(0).Call(0, 1, "conf.echo", Msg{Tag: "hi", Body: sent})
+		if err != nil {
+			t.Errorf("Call: %v", err)
+			return
+		}
+		got := resp.(Msg)
+		if got.Tag != "re:hi" || !bytes.Equal(got.Body, []byte{99, 2, 3}) {
+			t.Errorf("reply = %+v", got)
+		}
+		if sent[0] != 1 {
+			t.Errorf("handler mutation reached the caller's slice: %v", sent)
+		}
+		got.Body[1] = 77 // nor may the caller reach the handler's copy
+		if hb := handlerBody.Load(); hb != nil && (*hb)[1] != 2 {
+			t.Errorf("caller mutation reached the handler's slice: %v", *hb)
+		}
+	})
+}
+
+func testRemoteErrorSentinel(t *testing.T, c Cluster) {
+	defer c.Close()
+	c.Transport(1).Handle(1, "conf.busy", func(from transport.NodeID, req any) (any, error) {
+		return nil, ErrBusy
+	})
+	c.Run(t, func() {
+		_, err := c.Transport(0).Call(0, 1, "conf.busy", Msg{Tag: "q"})
+		var re *transport.RemoteError
+		if !errors.As(err, &re) {
+			t.Errorf("err = %v, want *transport.RemoteError", err)
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Errorf("err = %v, want errors.Is(err, ErrBusy)", err)
+		}
+		if errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("application error %v must not look like a timeout", err)
+		}
+	})
+}
+
+func testNoHandler(t *testing.T, c Cluster) {
+	defer c.Close()
+	c.Run(t, func() {
+		_, err := c.Transport(0).Call(0, 1, "conf.nobody-home", Msg{Tag: "q"})
+		var re *transport.RemoteError
+		if !errors.As(err, &re) || !errors.Is(err, transport.ErrNoHandler) {
+			t.Errorf("err = %v, want RemoteError wrapping ErrNoHandler", err)
+		}
+	})
+}
+
+func testTimeout(t *testing.T, c Cluster) {
+	defer c.Close()
+	slow := c.Transport(2)
+	slow.Handle(2, "conf.slow", func(from transport.NodeID, req any) (any, error) {
+		slow.Runtime().Sleep(500 * time.Millisecond)
+		return Msg{Tag: "late"}, nil
+	})
+	c.Run(t, func() {
+		_, err := c.Transport(0).CallTimeout(0, 2, "conf.slow", Msg{Tag: "q"}, 50*time.Millisecond)
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+}
+
+func testMulticastQuorum(t *testing.T, c Cluster) {
+	defer c.Close()
+	var served atomic.Int32
+	for _, id := range []transport.NodeID{0, 1, 2} {
+		id := id
+		c.Transport(id).Handle(id, "conf.vote", func(from transport.NodeID, req any) (any, error) {
+			served.Add(1)
+			return Msg{Tag: "ack"}, nil
+		})
+	}
+	c.Run(t, func() {
+		results := c.Transport(0).Multicast(0, []transport.NodeID{0, 1, 2}, "conf.vote", Msg{Tag: "q"}, 2, 2*time.Second)
+		ok := transport.Successes(results)
+		if len(ok) < 2 {
+			t.Errorf("successes = %d of %d results, want ≥2", len(ok), len(results))
+		}
+		for _, r := range ok {
+			if r.Resp.(Msg).Tag != "ack" {
+				t.Errorf("reply from n%d = %+v", r.From, r.Resp)
+			}
+		}
+		seen := map[transport.NodeID]bool{}
+		for _, r := range results {
+			if seen[r.From] {
+				t.Errorf("duplicate result from n%d", r.From)
+			}
+			seen[r.From] = true
+		}
+	})
+}
+
+func testSendOneWay(t *testing.T, c Cluster) {
+	defer c.Close()
+	var got atomic.Int32
+	c.Transport(1).Handle(1, "conf.cast", func(from transport.NodeID, req any) (any, error) {
+		if req.(Msg).Tag == "fire" {
+			got.Add(1)
+		}
+		return nil, nil
+	})
+	c.Run(t, func() {
+		tr := c.Transport(0)
+		tr.Send(0, 1, "conf.cast", Msg{Tag: "fire"})
+		rt := tr.Runtime()
+		for i := 0; i < 200 && got.Load() == 0; i++ {
+			rt.Sleep(10 * time.Millisecond)
+		}
+		if got.Load() != 1 {
+			t.Errorf("one-way delivered %d times, want 1", got.Load())
+		}
+	})
+}

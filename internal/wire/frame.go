@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrameOverhead is the per-frame byte cost on a stream: the u32 length
+// prefix. Transports add their own headers (routing, request ids) inside
+// the frame.
+const FrameOverhead = 4
+
+// MaxFrame bounds a frame body read off a stream; a peer announcing more is
+// treated as corrupt rather than allocated for. 64 MiB comfortably covers
+// the 16 MiB REST body cap plus headers.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one length-prefixed frame: [u32 len][body].
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [FrameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// AppendFrame appends a length-prefixed frame to dst and returns it —
+// WriteFrame for callers batching a header and body into one socket write.
+func AppendFrame(dst, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// ReadFrame reads one frame written by WriteFrame. io.EOF surfaces
+// unchanged at a clean frame boundary so stream loops can terminate.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [FrameOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds cap %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// testMsg exercises every Encoder/Decoder primitive.
+type testMsg struct {
+	A   uint8
+	B   bool
+	C   uint16
+	D   uint32
+	E   uint64
+	F   int32
+	G   int64
+	S   string
+	Raw []byte
+}
+
+func init() {
+	Register(990, "wire.testMsg",
+		func(e *Encoder, v testMsg) {
+			e.Uint8(v.A)
+			e.Bool(v.B)
+			e.Uint16(v.C)
+			e.Uint32(v.D)
+			e.Uint64(v.E)
+			e.Int32(v.F)
+			e.Int64(v.G)
+			e.String(v.S)
+			e.RawBytes(v.Raw)
+		},
+		func(d *Decoder) testMsg {
+			return testMsg{
+				A:   d.Uint8(),
+				B:   d.Bool(),
+				C:   d.Uint16(),
+				D:   d.Uint32(),
+				E:   d.Uint64(),
+				F:   d.Int32(),
+				G:   d.Int64(),
+				S:   d.String(),
+				Raw: d.RawBytes(),
+			}
+		})
+	RegisterError(990, errTestSentinel)
+}
+
+var errTestSentinel = errors.New("wire_test: sentinel")
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	data, err := Marshal(msg)
+	if err != nil {
+		t.Fatalf("Marshal(%#v): %v", msg, err)
+	}
+	if size, ok := Size(msg); !ok || size != len(data) {
+		t.Fatalf("Size(%#v) = %d,%t; marshaled %d bytes", msg, size, ok, len(data))
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%#v bytes=%x): %v", msg, data, err)
+	}
+	return out
+}
+
+// TestRoundTripProperty fuzzes random messages through Marshal/Unmarshal
+// and requires exact reconstruction, including nil-vs-empty byte slices.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randBytes := func() []byte {
+		switch rng.Intn(4) {
+		case 0:
+			return nil
+		case 1:
+			return []byte{}
+		default:
+			b := make([]byte, rng.Intn(300))
+			rng.Read(b)
+			return b
+		}
+	}
+	for i := 0; i < 500; i++ {
+		in := testMsg{
+			A:   uint8(rng.Uint32()),
+			B:   rng.Intn(2) == 0,
+			C:   uint16(rng.Uint32()),
+			D:   rng.Uint32(),
+			E:   rng.Uint64(),
+			F:   int32(rng.Uint32()),
+			G:   int64(rng.Uint64()),
+			S:   string(randBytes()),
+			Raw: randBytes(),
+		}
+		out := roundTrip(t, in).(testMsg)
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+		}
+		if (in.Raw == nil) != (out.Raw == nil) {
+			t.Fatalf("nil-ness lost: in nil=%t out nil=%t", in.Raw == nil, out.Raw == nil)
+		}
+	}
+}
+
+func TestBasicTypesAndNil(t *testing.T) {
+	if got := roundTrip(t, "hello"); got != "hello" {
+		t.Fatalf("string round trip: %v", got)
+	}
+	if got := roundTrip(t, []byte{1, 2, 3}); !bytes.Equal(got.([]byte), []byte{1, 2, 3}) {
+		t.Fatalf("bytes round trip: %v", got)
+	}
+	if got := roundTrip(t, int64(-42)); got != int64(-42) {
+		t.Fatalf("int64 round trip: %v", got)
+	}
+	if got := roundTrip(t, nil); got != nil {
+		t.Fatalf("nil round trip: %v", got)
+	}
+}
+
+func TestMarshalUnregistered(t *testing.T) {
+	type unregistered struct{ X int }
+	if _, err := Marshal(unregistered{1}); !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("want ErrUnregistered, got %v", err)
+	}
+	if Registered(unregistered{}) {
+		t.Fatal("Registered(unregistered) = true")
+	}
+	if !Registered(nil) || !Registered("s") {
+		t.Fatal("nil and string should be registered")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	data, err := Marshal(testMsg{S: "abc", Raw: []byte{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every boundary must error, never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("Unmarshal of %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := Unmarshal(append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Fatal("Unmarshal with trailing byte succeeded")
+	}
+	// Unknown type id is rejected.
+	if _, err := Unmarshal([]byte{0xEE, 0xEE, 1, 2}); err == nil {
+		t.Fatal("Unmarshal with unknown id succeeded")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %x want %x", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("ReadFrame of %d/%d bytes succeeded", cut, len(full))
+		}
+	}
+}
+
+func TestAppendFrame(t *testing.T) {
+	b := AppendFrame(nil, []byte("xy"))
+	got, err := ReadFrame(bytes.NewReader(b))
+	if err != nil || string(got) != "xy" {
+		t.Fatalf("AppendFrame round trip: %q %v", got, err)
+	}
+}
+
+func TestErrorCodes(t *testing.T) {
+	cases := []error{
+		errTestSentinel,
+		errors.New("free-form failure"),
+		&sentinelError{msg: "wrapped: " + errTestSentinel.Error(), sentinel: errTestSentinel},
+	}
+	for _, in := range cases {
+		var e Encoder
+		EncodeError(&e, in)
+		d := Decoder{buf: e.Bytes()}
+		out := DecodeError(&d)
+		if out.Error() != in.Error() {
+			t.Fatalf("message lost: in %q out %q", in, out)
+		}
+		if errors.Is(in, errTestSentinel) != errors.Is(out, errTestSentinel) {
+			t.Fatalf("sentinel identity lost for %q", in)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/store"
+	"repro/internal/transport"
 )
 
 // LockRef is a per-key unique, increasing lock reference, good for one
@@ -172,8 +173,9 @@ func WithObservabilityOptions(opts obs.Options) Option {
 // MUSIC replica per site.
 type Cluster struct {
 	rt       sim.Runtime
-	virtual  *sim.Virtual // nil in real-time mode
-	net      *simnet.Network
+	virtual  *sim.Virtual        // nil in real-time mode
+	tr       transport.Transport // the message plane everything runs over
+	net      *simnet.Network     // non-nil only when tr is a simnet (fault injection)
 	st       *store.Cluster
 	sites    []string
 	replicas map[string]*core.Replica
@@ -220,6 +222,7 @@ func New(opts ...Option) (*Cluster, error) {
 	c := &Cluster{
 		rt:       rt,
 		virtual:  virtual,
+		tr:       net,
 		net:      net,
 		st:       st,
 		sites:    o.profile.Sites(),
@@ -235,6 +238,108 @@ func New(opts ...Option) (*Cluster, error) {
 		})
 	}
 	return c, nil
+}
+
+// TransportConfig parameterizes NewOverTransport.
+type TransportConfig struct {
+	// RF is the store replication factor (default 3).
+	RF int
+	// T bounds the duration of a critical section (default 1 minute).
+	T time.Duration
+	// Mode selects ModeQuorum (default) or ModeLWT critical puts.
+	Mode Mode
+	// DigestReads enables the store's digest quorum-read path.
+	DigestReads bool
+	// LocalNodes lists the transport nodes this process hosts store
+	// replicas for. Empty means all nodes (single-process deployment).
+	LocalNodes []transport.NodeID
+	// ReplicaSites names the sites to run a MUSIC replica for, each
+	// coordinated through that site's first local node. Empty defaults to
+	// the sites of LocalNodes.
+	ReplicaSites []string
+	// Obs supplies the observability sink shared with the transport (nil
+	// disables metrics and tracing).
+	Obs *obs.Obs
+}
+
+// NewOverTransport builds a MUSIC deployment over an externally constructed
+// transport — the multi-process path: each musicd process brings its own
+// TCP transport (internal/nettrans), hosts the store replica for its node,
+// and runs the MUSIC replica for its site, while the ring spans every node
+// in the peer set. The same call works over a simnet for tests. The caller
+// owns fault injection; Close closes the transport.
+func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, error) {
+	if cfg.RF == 0 {
+		cfg.RF = 3
+	}
+	st := store.New(tr, store.Config{
+		RF:          cfg.RF,
+		DigestReads: cfg.DigestReads,
+		LocalNodes:  cfg.LocalNodes,
+	})
+	local := cfg.LocalNodes
+	if len(local) == 0 {
+		local = tr.Nodes()
+	}
+	sites := cfg.ReplicaSites
+	if len(sites) == 0 {
+		seen := make(map[string]bool)
+		for _, id := range local {
+			if s := tr.SiteOf(id); !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+		}
+	}
+	c := &Cluster{
+		rt:       tr.Runtime(),
+		tr:       tr,
+		st:       st,
+		replicas: make(map[string]*core.Replica, len(sites)),
+		obs:      cfg.Obs,
+	}
+	if v, ok := c.rt.(*sim.Virtual); ok {
+		c.virtual = v
+	}
+	if net, ok := tr.(*simnet.Network); ok {
+		c.net = net
+	}
+	// Sites, in cluster order: every site the transport knows about.
+	seen := make(map[string]bool)
+	for _, id := range tr.Nodes() {
+		if s := tr.SiteOf(id); !seen[s] {
+			seen[s] = true
+			c.sites = append(c.sites, s)
+		}
+	}
+	for _, site := range sites {
+		var node transport.NodeID = -1
+		for _, id := range local {
+			if tr.SiteOf(id) == site {
+				node = id
+				break
+			}
+		}
+		if node < 0 {
+			return nil, fmt.Errorf("music: no local node in site %q", site)
+		}
+		c.replicas[site] = core.NewReplica(st.Client(node), core.Config{
+			T:    cfg.T,
+			Mode: cfg.Mode,
+		})
+	}
+	return c, nil
+}
+
+// Replica returns the MUSIC core replica for a site this cluster hosts —
+// the handle cmd/musicd serves its REST API from. It panics on a site this
+// deployment has no replica for.
+func (c *Cluster) Replica(site string) *core.Replica {
+	rep, ok := c.replicas[site]
+	if !ok {
+		panic(fmt.Sprintf("music: no replica for site %q", site))
+	}
+	return rep
 }
 
 // Sites returns the cluster's site names.
@@ -303,11 +408,13 @@ func (c *Cluster) Sleep(d time.Duration) { c.rt.Sleep(d) }
 // Go spawns fn as a concurrent task on the cluster's runtime.
 func (c *Cluster) Go(fn func()) { c.rt.Go(fn) }
 
-// Close releases real-time resources; virtual clusters need no cleanup.
-func (c *Cluster) Close() { c.net.Close() }
+// Close releases transport resources (listeners, connections, executors);
+// virtual clusters need no cleanup.
+func (c *Cluster) Close() { c.tr.Close() }
 
-// PartitionSites splits the cluster's sites into isolated groups
-// (fault injection for tests and demos).
+// PartitionSites splits the cluster's sites into isolated groups (fault
+// injection for tests and demos). Panics on a transport without fault
+// modeling (the real TCP plane — partition it by killing processes).
 func (c *Cluster) PartitionSites(groups ...[]string) { c.net.PartitionSites(groups...) }
 
 // Heal removes all partitions.

@@ -16,7 +16,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./music/ ./internal/httpapi/ ./cmd/...
+go test -race ./music/ ./internal/httpapi/ ./internal/nettrans/ ./cmd/...
 
 # Fault-injection campaign under pinned seeds: the deterministic crash /
 # partition / ack-loss scenarios plus the chaos interleavings, re-run with
@@ -30,8 +30,14 @@ MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
 fastpath_json=$(mktemp)
-trap 'rm -f "$fastpath_json"' EXIT
+transport_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$transport_json"' EXIT
 go run ./cmd/musicbench -exp fastpath -quick -quiet -json "$fastpath_json" > /dev/null
 grep -q '"experiment": "fastpath"' "$fastpath_json"
+
+# Message-plane smoke: the transport experiment deploys real TCP loopback
+# clusters alongside the simulated plane and must emit BENCH_transport.json.
+go run ./cmd/musicbench -exp transport -quick -quiet -json "$transport_json" > /dev/null
+grep -q '"experiment": "transport"' "$transport_json"
 
 echo "check.sh: all green"
