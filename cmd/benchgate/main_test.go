@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{
+  "experiment": "fastpath",
+  "results": [
+    {"workload": "1get1put", "config": "sync", "mean_us": 600000, "p99_us": 610000, "coord_read_bytes": 24080},
+    {"workload": "1get1put", "config": "cache", "mean_us": 550000, "p99_us": 560000, "coord_read_bytes": 24080}
+  ]
+}`
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := writeDoc(t, "base.json", baselineDoc)
+	cand := writeDoc(t, "cand.json", strings.ReplaceAll(baselineDoc, "600000", "630000"))
+	if err := run([]string{"-baseline", base, "-candidate", cand}, os.Stdout); err != nil {
+		t.Fatalf("5%% drift failed the gate: %v", err)
+	}
+}
+
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base := writeDoc(t, "base.json", baselineDoc)
+	cand := writeDoc(t, "cand.json", baselineDoc)
+	// The CI dry run: identical measurements inflated 20% must fail.
+	err := run([]string{"-baseline", base, "-candidate", cand, "-inflate", "1.2"}, os.Stdout)
+	if err == nil {
+		t.Fatal("20% synthetic regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestGateHonorsAbsoluteFloor(t *testing.T) {
+	// A 50% relative regression on a 1ms metric is below the 2ms absolute
+	// floor — real-time measurement noise, not a regression.
+	base := writeDoc(t, "base.json", `{
+  "experiment": "transport",
+  "results": [{"op": "acquireLock", "backend": "tcp", "mean_us": 1000, "p99_us": 1200}]
+}`)
+	cand := writeDoc(t, "cand.json", `{
+  "experiment": "transport",
+  "results": [{"op": "acquireLock", "backend": "tcp", "mean_us": 1500, "p99_us": 1900}]
+}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}, os.Stdout); err != nil {
+		t.Fatalf("sub-floor drift failed the gate: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-candidate", cand, "-min-delta-us", "100"}, os.Stdout); err == nil {
+		t.Fatal("50% regression passed with the floor lowered")
+	}
+}
+
+func TestGateRejectsMismatchedExperiments(t *testing.T) {
+	base := writeDoc(t, "base.json", baselineDoc)
+	cand := writeDoc(t, "cand.json", strings.ReplaceAll(baselineDoc, "fastpath", "transport"))
+	if err := run([]string{"-baseline", base, "-candidate", cand}, os.Stdout); err == nil {
+		t.Fatal("mismatched experiments accepted")
+	}
+}

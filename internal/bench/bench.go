@@ -134,6 +134,7 @@ func Experiments() []Experiment {
 		{"faults", "Fault-injection campaign: retries, cross-site failover, healthy-path overhead (§III-A)", runFaults},
 		{"fastpath", "Critical-section fast path: grant piggyback, holder cache, write-behind, digest reads", runFastpath},
 		{"transport", "Message-plane overhead: simulated network vs TCP loopback, per Table I op", runTransport},
+		{"explore", "Seeded chaos explorer: randomized fault schedules checked against ECF (internal/history)", runExplore},
 	}
 }
 

@@ -63,8 +63,8 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestRegistryAndRunValidation(t *testing.T) {
-	if len(Experiments()) != 16 {
-		t.Fatalf("experiments = %d, want 16 (every paper artifact + ablation + trace + faults + fastpath + transport)", len(Experiments()))
+	if len(Experiments()) != 17 {
+		t.Fatalf("experiments = %d, want 17 (every paper artifact + ablation + trace + faults + fastpath + transport + explore)", len(Experiments()))
 	}
 	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")

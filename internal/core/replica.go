@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/lockstore"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -124,6 +125,49 @@ type Config struct {
 	// eventual reads, turning every acquireLock poll and critical-op guard
 	// into a WAN round trip (§III-A motivates the local peek).
 	QuorumPeek bool
+
+	// History, when set, records every MUSIC operation (grants, releases,
+	// critical reads/writes, synchronizations, preemptions) with
+	// invocation/response times and v2s stamps for the ECF checker
+	// (internal/history). Nil disables recording at zero cost.
+	History *history.Recorder
+	// Mutation injects a protocol bug for checker validation (test flag
+	// only). MutationNone for the correct protocol.
+	Mutation Mutation
+}
+
+// Mutation selects a deliberately broken protocol variant, used to prove
+// that the internal/history ECF checker detects real violations. Never set
+// outside tests.
+type Mutation int
+
+const (
+	// MutationNone runs the correct protocol.
+	MutationNone Mutation = iota
+	// MutationSkipSynchronize makes grants ignore a set synchFlag: after a
+	// forced release the new holder proceeds without re-stamping the
+	// surviving value, so a preempted holder's straggler write can win the
+	// quorum merge inside the next critical section — the signature ECF
+	// violation.
+	MutationSkipSynchronize
+	// MutationFrozenElapsed stamps every critical write at elapsed 0, as if
+	// the section clock never advanced: a section's writes collide on one
+	// v2s stamp and last-writer-wins order becomes value-dependent.
+	MutationFrozenElapsed
+)
+
+// String names the mutation for explorer repro headers.
+func (m Mutation) String() string {
+	switch m {
+	case MutationNone:
+		return "none"
+	case MutationSkipSynchronize:
+		return "skipSynchronize"
+	case MutationFrozenElapsed:
+		return "frozenElapsed"
+	default:
+		return fmt.Sprintf("mutation(%d)", int(m))
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +196,7 @@ type Replica struct {
 	mu     sync.Mutex
 	grants map[string]grant   // key → local record of our granted head
 	seen   map[string]headAge // key → when we first saw the current head
+	behind map[string]int64   // key/ref → when the local queue first hid it
 }
 
 type grant struct {
@@ -175,6 +220,7 @@ func NewReplica(st *store.Client, cfg Config) *Replica {
 		site:   st.Cluster().Net().SiteOf(st.Node()),
 		grants: make(map[string]grant),
 		seen:   make(map[string]headAge),
+		behind: make(map[string]int64),
 	}
 }
 
@@ -250,6 +296,16 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	sp := r.tracer().Start("music.acquireLock")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
+	// "Not yet" polls are dropped (no End); grants and errors are history.
+	hc := r.cfg.History.Begin(r.site, history.KindAcquire, key, ref)
+	defer func() {
+		if err != nil || acquired {
+			if seed.Valid {
+				hc.Value(seed.Value, seed.Present)
+			}
+			hc.End(err)
+		}
+	}()
 
 	peekSp := r.tracer().Child("music.acquireLock.peek")
 	peekStart := r.now()
@@ -260,13 +316,24 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 		return false, ValueSeed{}, err
 	}
 	if !ok || ref > head.Ref {
-		// lockRef not first yet, or the local lock store is behind.
+		// lockRef not visible at the local replica: usually it just lags the
+		// consensus enqueue, but a forcibly released ref with no contender
+		// queued behind it looks exactly the same forever. Give the local
+		// store OrphanTimeout to converge, then settle against the quorum
+		// queue so a preempted waiter cannot poll a dead ref indefinitely.
 		sp.Annotate("outcome", "not yet head")
 		if ok {
 			r.reapExpiredHead(key, head)
 		}
+		if dead, derr := r.settleBehindRef(key, ref); derr != nil {
+			return false, ValueSeed{}, derr
+		} else if dead {
+			sp.Annotate("outcome", "dead ref")
+			return false, ValueSeed{}, ErrNoLongerLockHolder
+		}
 		return false, ValueSeed{}, nil
 	}
+	r.clearBehind(key, ref)
 	if ref < head.Ref {
 		return false, ValueSeed{}, ErrNoLongerLockHolder // lock forcibly released
 	}
@@ -276,6 +343,7 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	g, granted := r.grants[key]
 	r.mu.Unlock()
 	if granted && g.ref == ref {
+		hc.Note("reacquire")
 		return true, ValueSeed{}, nil
 	}
 	if head.StartTime > 0 {
@@ -286,6 +354,7 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 		// stay monotonic across sites, so a straggler write accepted before
 		// the failover can never outrank writes issued after it.
 		sp.Annotate("outcome", "adopted grant")
+		hc.Note("adopted")
 		r.rememberGrant(key, ref, head.StartTime)
 		return true, ValueSeed{}, nil
 	}
@@ -307,7 +376,13 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 			}
 		}
 	}
+	if needSync && r.cfg.Mutation == MutationSkipSynchronize {
+		// Injected bug under test: treat a set synchFlag as clean and skip
+		// the data-store synchronization entirely.
+		needSync = false
+	}
 	grantSp.Annotatef("synchronize", "%t", needSync)
+	hc.Note("granted").Synchronized(needSync)
 	if needSync {
 		val, present, syncErr := r.synchronize(key, ref)
 		if syncErr != nil {
@@ -374,6 +449,8 @@ func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
 func (r *Replica) synchronize(key string, ref int64) (value []byte, present bool, err error) {
 	sp := r.tracer().Child("music.synchronize")
 	defer func() { sp.EndErr(err) }()
+	hc := r.cfg.History.Begin(r.site, history.KindSync, key, ref).TS(v2s(ref, 0, r.cfg.T))
+	defer func() { hc.Value(value, present).End(err) }()
 	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
 	if err != nil {
 		return nil, false, fmt.Errorf("synchronize read: %w", err)
@@ -399,12 +476,15 @@ func (r *Replica) CriticalPut(key string, ref int64, value []byte) (err error) {
 	sp := r.tracer().Start("music.criticalPut")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
+	hc := r.cfg.History.Begin(r.site, history.KindPut, key, ref).Value(value, true)
+	defer func() { hc.End(err) }()
 	start := r.now()
 	elapsed, err := r.guardCritical(key, ref)
 	if err != nil {
 		return err
 	}
 	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T)}
+	hc.TS(cell.TS)
 	if r.cfg.Mode == ModeLWT {
 		res, casErr := r.ds.CAS(DataTable, key, nil, store.Row{colValue: cell})
 		if casErr != nil {
@@ -428,11 +508,14 @@ func (r *Replica) CriticalDelete(key string, ref int64) (err error) {
 	sp := r.tracer().Start("music.criticalDelete")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
+	hc := r.cfg.History.Begin(r.site, history.KindDelete, key, ref)
+	defer func() { hc.End(err) }()
 	elapsed, err := r.guardCritical(key, ref)
 	if err != nil {
 		return err
 	}
 	cell := store.Cell{TS: v2s(ref, elapsed, r.cfg.T), Deleted: true}
+	hc.TS(cell.TS)
 	if err := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
 		return fmt.Errorf("criticalDelete %s: %w", key, err)
 	}
@@ -446,6 +529,8 @@ func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
 	sp := r.tracer().Start("music.criticalGet")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
+	hc := r.cfg.History.Begin(r.site, history.KindGet, key, ref)
+	defer func() { hc.End(err) }()
 	start := r.now()
 	if _, err := r.guardCritical(key, ref); err != nil {
 		return nil, err
@@ -456,6 +541,7 @@ func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
 	}
 	r.observe(OpCriticalGet, start)
 	if c, ok := row[colValue]; ok {
+		hc.Value(c.Value, true)
 		return c.Value, nil
 	}
 	return nil, nil
@@ -493,16 +579,33 @@ func (r *Replica) criticalWriteAsync(key string, ref int64, value []byte, delete
 	defer func() { sp.EndErr(err) }()
 	elapsed, err := r.guardCritical(key, ref)
 	if err != nil {
+		kind := history.KindPut
+		if deleted {
+			kind = history.KindDelete
+		}
+		r.cfg.History.Begin(r.site, kind, key, ref).Value(value, !deleted).End(err)
 		return nil, err
 	}
 	if r.cfg.Mode == ModeLWT {
+		// The synchronous delegate records its own history op.
 		if deleted {
 			return store.ResolvedPut(r.CriticalDelete(key, ref)), nil
 		}
 		return store.ResolvedPut(r.CriticalPut(key, ref, value)), nil
 	}
 	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T), Deleted: deleted}
-	return r.ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum), nil
+	kind := history.KindPut
+	if deleted {
+		kind = history.KindDelete
+	}
+	hc := r.cfg.History.Begin(r.site, kind, key, ref).Value(value, !deleted).TS(cell.TS)
+	pending := r.ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum)
+	if hc != nil {
+		// Close the record at quorum-ack time: the op's response interval is
+		// issue → settle, which is what the checker's overlap rules need.
+		r.ds.Cluster().Net().Runtime().Go(func() { hc.End(pending.Wait()) })
+	}
+	return pending, nil
 }
 
 // guardCritical enforces the Exclusivity guards of §IV-A: the lockRef must
@@ -530,6 +633,11 @@ func (r *Replica) guardCritical(key string, ref int64) (time.Duration, error) {
 		// next client can synchronize and proceed (§VI).
 		_ = r.ForcedRelease(key, ref)
 		return 0, fmt.Errorf("%w: %s/%d elapsed %v", ErrExpired, key, ref, elapsed)
+	}
+	if r.cfg.Mutation == MutationFrozenElapsed {
+		// Injected bug under test: the section clock never advances, so
+		// every write of the section stamps at v2s(ref, 0).
+		elapsed = 0
 	}
 	return elapsed, nil
 }
@@ -586,6 +694,8 @@ func (r *Replica) ReleaseLock(key string, ref int64) (err error) {
 	sp := r.tracer().Start("music.releaseLock")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
+	hc := r.cfg.History.Begin(r.site, history.KindRelease, key, ref)
+	defer func() { hc.End(err) }()
 	start := r.now()
 	r.forgetGrant(key, ref)
 	head, ok, err := r.ls.Peek(key)
@@ -619,8 +729,11 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 		return err
 	}
 	if ok && ref < head.Ref {
-		return nil // previously released
+		return nil // previously released (not an effective preemption: no history op)
 	}
+	// Effective preemption: record it with the δ stamp the mark carries.
+	hc := r.cfg.History.Begin(r.site, history.KindForcedRelease, key, ref).TS(v2sForced(ref, r.cfg.T))
+	defer func() { hc.End(err) }()
 	mark := store.Row{colSynch: store.Cell{Value: synchTrueVal, TS: v2sForced(ref, r.cfg.T)}}
 	if err := r.ds.Put(DataTable, key, mark, store.Quorum); err != nil {
 		return fmt.Errorf("forcedRelease %s/%d: synchFlag: %w", key, ref, err)
@@ -668,15 +781,62 @@ func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 	}
 }
 
+// settleBehindRef bounds how long an acquire may keep polling a lockRef the
+// local queue does not show. The local store usually converges well within
+// OrphanTimeout; past that, the quorum queue is consulted: a ref absent
+// there was dequeued — released, or forcibly released with no contender
+// queued behind it, a state the local "not yet" answer can never
+// distinguish from replication lag — so its waiter must give up rather than
+// poll forever. The quorum read fires at most once per OrphanTimeout per
+// waiter, keeping the healthy polling path local.
+func (r *Replica) settleBehindRef(key string, ref int64) (dead bool, err error) {
+	id := behindID(key, ref)
+	now := r.nowMicros()
+	r.mu.Lock()
+	since, tracked := r.behind[id]
+	if !tracked {
+		r.behind[id] = now
+	}
+	r.mu.Unlock()
+	if !tracked || time.Duration(now-since)*time.Microsecond < r.cfg.OrphanTimeout {
+		return false, nil
+	}
+	queue, err := r.ls.Queue(key)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range queue {
+		if e.Ref == ref {
+			// Genuinely pending; restart the convergence clock.
+			r.mu.Lock()
+			r.behind[id] = now
+			r.mu.Unlock()
+			return false, nil
+		}
+	}
+	r.clearBehind(key, ref)
+	return true, nil
+}
+
+func (r *Replica) clearBehind(key string, ref int64) {
+	r.mu.Lock()
+	delete(r.behind, behindID(key, ref))
+	r.mu.Unlock()
+}
+
+func behindID(key string, ref int64) string { return fmt.Sprintf("%s/%d", key, ref) }
+
 // Put writes a key without locks at eventual consistency — for keys with no
 // ECF expectations (§VI). A value written in any critical section dominates
 // plain puts on the same key.
 func (r *Replica) Put(key string, value []byte) error {
 	sp := r.tracer().Start("music.put")
 	sp.Annotate("key", key)
+	hc := r.cfg.History.Begin(r.site, history.KindEventualPut, key, 0).Value(value, true)
 	start := r.now()
 	err := r.ds.Put(DataTable, key, store.Row{colValue: store.Cell{Value: value}}, store.One)
 	sp.EndErr(err)
+	hc.End(err)
 	if err != nil {
 		return fmt.Errorf("put %s: %w", key, err)
 	}
@@ -689,16 +849,20 @@ func (r *Replica) Put(key string, value []byte) error {
 func (r *Replica) Get(key string) ([]byte, error) {
 	sp := r.tracer().Start("music.get")
 	sp.Annotate("key", key)
+	hc := r.cfg.History.Begin(r.site, history.KindEventualGet, key, 0)
 	start := r.now()
 	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.One)
 	sp.EndErr(err)
 	if err != nil {
+		hc.End(err)
 		return nil, fmt.Errorf("get %s: %w", key, err)
 	}
 	r.observe(OpEventualGet, start)
 	if c, ok := row[colValue]; ok {
+		hc.Value(c.Value, true).End(nil)
 		return c.Value, nil
 	}
+	hc.End(nil)
 	return nil, nil
 }
 

@@ -1,0 +1,342 @@
+// Package explore drives the deterministic MUSIC simulator through
+// randomized fault schedules and checks every resulting operation history
+// against the paper's ECF contract (internal/history). A Script — generated
+// from a seed before the run, so every decision is replayable — composes
+// faults from four classes (site crash/restart, site partition/heal,
+// message loss, clock-skewed expiry) against concurrent multi-site clients
+// running critical sections. Run executes the script with history recording
+// on, then hands the history to history.Check; a violating script is shrunk
+// by Minimize (drop fault events, clients, sections while the violation
+// persists) and rendered by Outcome.Repro as a self-contained reproduction:
+// the seed, the fault script, the checker verdicts, the full history, and
+// the internal/obs span trees of the failing sections.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/music"
+)
+
+// FaultKind names one of the explorer's fault classes.
+type FaultKind string
+
+// The four fault classes every campaign draws from.
+const (
+	// FaultCrash takes every node of a site down, then restarts it.
+	FaultCrash FaultKind = "crash"
+	// FaultPartition isolates site group A from group B, then heals.
+	FaultPartition FaultKind = "partition"
+	// FaultLoss drops each message independently with probability Rate.
+	FaultLoss FaultKind = "loss"
+	// FaultSkew models a holder whose clock runs slow: sections started
+	// during the window dwell past the T bound, driving the expiry +
+	// forced-release + synchronize-on-next-grant path.
+	FaultSkew FaultKind = "skew"
+)
+
+// FaultEvent is one timed fault window: the fault is injected at At and
+// healed at At+For. Generate emits non-overlapping windows so events
+// minimize independently.
+type FaultEvent struct {
+	At   time.Duration
+	For  time.Duration
+	Kind FaultKind
+	Site string   // FaultCrash: the site taken down
+	A, B []string // FaultPartition: the two site groups
+	Rate float64  // FaultLoss: per-message drop probability
+}
+
+// String renders the event as one fault-script line.
+func (f FaultEvent) String() string {
+	detail := ""
+	switch f.Kind {
+	case FaultCrash:
+		detail = " site=" + f.Site
+	case FaultPartition:
+		detail = fmt.Sprintf(" groups=%v|%v", f.A, f.B)
+	case FaultLoss:
+		detail = fmt.Sprintf(" rate=%.3f", f.Rate)
+	}
+	return fmt.Sprintf("%-9s at=%-8v for=%-8v%s", f.Kind, f.At, f.For, detail)
+}
+
+// SectionPlan is one critical section a client will run: get, optional
+// write(s), get. All choices are made at generation time so a schedule is
+// fully determined by its Script.
+type SectionPlan struct {
+	Key      string
+	PreDelay time.Duration // think time before opening the section
+	Value    string        // value to put ("" with !Delete: read-only section)
+	Value2   string        // optional second put (distinct v2s stamps)
+	Delete   bool          // tombstone instead of put
+}
+
+// ClientPlan is one client's home site and section sequence.
+type ClientPlan struct {
+	Home     string
+	Sections []SectionPlan
+}
+
+// Script is a fully deterministic exploration schedule: the simulator seed,
+// the cluster shape, the client workload, and the fault script.
+type Script struct {
+	Seed        int64
+	Profile     string
+	T           time.Duration // critical-section bound
+	Deadline    time.Duration // virtual-time budget; exceeding it is a liveness failure
+	Policy      music.WritePolicy
+	HolderCache bool
+	Mutation    music.Mutation // injected protocol bug (checker validation only)
+	Keys        []string
+	Clients     []ClientPlan
+	Faults      []FaultEvent
+}
+
+// Classes returns the set of fault classes the script exercises.
+func (s Script) Classes() map[FaultKind]bool {
+	m := make(map[FaultKind]bool, 4)
+	for _, f := range s.Faults {
+		m[f.Kind] = true
+	}
+	return m
+}
+
+// Generate derives a Script from a seed: 2-3 clients spread across the
+// profile's sites running 2-3 sections each over 1-2 keys, under 1-3
+// non-overlapping fault windows drawn from the four classes. A script with
+// a skew window runs with a short T so in-section dwell actually expires
+// the holder; all other scripts keep T comfortably above section length.
+func Generate(seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	sites := simnet.ProfileIUs.Sites()
+	s := Script{
+		Seed:     seed,
+		Profile:  music.ProfileIUs,
+		T:        30 * time.Second,
+		Deadline: 2 * time.Minute,
+		Policy:   []music.WritePolicy{music.WriteSync, music.WritePipelined, music.WriteBuffered}[rng.Intn(3)],
+	}
+	s.HolderCache = rng.Intn(2) == 1
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		s.Keys = append(s.Keys, fmt.Sprintf("key-%c", 'a'+i))
+	}
+
+	nFaults := 1 + rng.Intn(3)
+	at := time.Duration(100+rng.Intn(300)) * time.Millisecond
+	skew := false
+	for i := 0; i < nFaults; i++ {
+		f := FaultEvent{At: at, For: time.Duration(150+rng.Intn(500)) * time.Millisecond}
+		switch rng.Intn(4) {
+		case 0:
+			f.Kind, f.Site = FaultCrash, sites[rng.Intn(len(sites))]
+		case 1:
+			f.Kind = FaultPartition
+			iso := rng.Intn(len(sites))
+			for j, site := range sites {
+				if j == iso {
+					f.A = append(f.A, site)
+				} else {
+					f.B = append(f.B, site)
+				}
+			}
+		case 2:
+			f.Kind, f.Rate = FaultLoss, 0.02+0.08*rng.Float64()
+		default:
+			f.Kind, skew = FaultSkew, true
+		}
+		s.Faults = append(s.Faults, f)
+		at += f.For + time.Duration(100+rng.Intn(300))*time.Millisecond
+	}
+	if skew {
+		s.T = 400 * time.Millisecond
+	}
+
+	nClients := 2 + rng.Intn(2)
+	for ci := 0; ci < nClients; ci++ {
+		plan := ClientPlan{Home: sites[ci%len(sites)]}
+		for si := 0; si < 2+rng.Intn(2); si++ {
+			sec := SectionPlan{
+				Key:      s.Keys[rng.Intn(len(s.Keys))],
+				PreDelay: time.Duration(rng.Intn(400)) * time.Millisecond,
+				Value:    fmt.Sprintf("c%d-s%d", ci, si),
+			}
+			switch rng.Intn(6) {
+			case 0:
+				sec.Value = "" // read-only section
+			case 1:
+				sec.Value2 = sec.Value + "-b" // two writes, two v2s stamps
+			case 2:
+				sec.Delete = true
+			}
+			plan.Sections = append(plan.Sections, sec)
+		}
+		s.Clients = append(s.Clients, plan)
+	}
+	return s
+}
+
+// Outcome is one executed schedule: the script, the recorded history, the
+// checker verdict, and any simulator-level failure (a deadline overrun is a
+// liveness violation — some operation never completed).
+type Outcome struct {
+	Script Script
+	Ops    []history.Op
+	Result history.Result
+	RunErr error
+	Traces string // span trees of the run, captured only for violating outcomes
+}
+
+// Violating reports whether the schedule failed: an ECF/linearizability
+// violation or a run that never finished inside its virtual-time budget.
+func (o Outcome) Violating() bool {
+	return o.RunErr != nil || len(o.Result.Violations) > 0
+}
+
+// Run executes the script on a fresh simulated cluster with history
+// recording (and observability, for repro span trees) enabled, then checks
+// the recorded history.
+func Run(s Script) Outcome {
+	c, err := music.New(
+		music.WithProfile(s.Profile),
+		music.WithSeed(s.Seed),
+		music.WithT(s.T),
+		music.WithHistory(),
+		music.WithObservability(),
+		music.WithProtocolMutation(s.Mutation),
+	)
+	if err != nil {
+		return Outcome{Script: s, RunErr: err}
+	}
+	defer c.Close()
+	v := c.Virtual()
+	deadline := s.Deadline
+	if deadline == 0 {
+		deadline = 2 * time.Minute
+	}
+	v.SetDeadline(deadline)
+	v.SetScheduleShuffle(true)
+
+	runErr := c.Run(func() {
+		// The fault driver: one task per window, inject at At, heal at
+		// At+For. Windows don't overlap, so heals never clobber each other.
+		skewActive := false
+		for _, f := range s.Faults {
+			f := f
+			c.Go(func() {
+				c.Sleep(f.At)
+				switch f.Kind {
+				case FaultCrash:
+					c.CrashSite(f.Site)
+				case FaultPartition:
+					c.PartitionSites(f.A, f.B)
+				case FaultLoss:
+					c.SetLossRate(f.Rate)
+				case FaultSkew:
+					skewActive = true
+				}
+				c.Sleep(f.For)
+				switch f.Kind {
+				case FaultCrash:
+					c.RestartSite(f.Site)
+				case FaultPartition:
+					c.Heal()
+				case FaultLoss:
+					c.SetLossRate(0)
+				case FaultSkew:
+					skewActive = false
+				}
+			})
+		}
+
+		done := sim.NewMailbox[struct{}](v)
+		for ci, plan := range s.Clients {
+			ci, plan := ci, plan
+			copts := []music.ClientOption{music.WithWritePolicy(s.Policy)}
+			if s.HolderCache {
+				copts = append(copts, music.WithHolderCache())
+			}
+			cl := c.FailoverClient(plan.Home, copts...)
+			c.Go(func() {
+				defer done.Send(struct{}{})
+				for si, sec := range plan.Sections {
+					c.Sleep(sec.PreDelay)
+					sp := c.Obs().Tracer().StartRoot(fmt.Sprintf("explore.section c%d s%d", ci, si))
+					err := cl.RunCritical(sec.Key, func(cs *music.CriticalSection) error {
+						if _, err := cs.Get(); err != nil {
+							return err
+						}
+						if skewActive {
+							// The slow-clock holder: dwell past the T bound
+							// so contenders preempt it mid-section.
+							c.Sleep(s.T + s.T/2)
+						}
+						switch {
+						case sec.Delete:
+							if err := cs.Delete(); err != nil {
+								return err
+							}
+						case sec.Value != "":
+							if err := cs.Put([]byte(sec.Value)); err != nil {
+								return err
+							}
+						}
+						if sec.Value2 != "" {
+							if err := cs.Put([]byte(sec.Value2)); err != nil {
+								return err
+							}
+						}
+						_, err := cs.Get()
+						return err
+					})
+					// Section errors (expiry, exhausted retries) are normal
+					// under faults; the history records what really happened.
+					sp.EndErr(err)
+				}
+			})
+		}
+		for range s.Clients {
+			if _, err := done.RecvTimeout(deadline); err != nil {
+				return
+			}
+		}
+	})
+
+	out := Outcome{
+		Script: s,
+		Ops:    c.History().Ops(),
+		RunErr: runErr,
+	}
+	out.Result = history.Check(out.Ops, history.CheckOptions{})
+	if out.Violating() {
+		out.Traces = captureTraces(c)
+	}
+	return out
+}
+
+// Explore generates and runs one schedule per seed — the campaign loop
+// behind the pinned CI batch, the nightly randomized batch, and
+// `musicbench -exp explore`.
+func Explore(seeds []int64) []Outcome {
+	outs := make([]Outcome, 0, len(seeds))
+	for _, seed := range seeds {
+		outs = append(outs, Run(Generate(seed)))
+	}
+	return outs
+}
+
+// captureTraces renders the most recent span trees for a violating run.
+func captureTraces(c *music.Cluster) string {
+	tr := c.Obs().Tracer()
+	var b strings.Builder
+	for _, id := range tr.TraceIDs(8) {
+		tr.WriteTree(&b, id)
+	}
+	return b.String()
+}

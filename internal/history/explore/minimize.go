@@ -1,0 +1,116 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Minimize shrinks a violating script by greedy delta-debugging: repeatedly
+// try dropping one fault event, one whole client, or one section, keeping
+// any reduction that still violates. Schedules are deterministic, so every
+// candidate is a faithful replay; the returned outcome is the minimized
+// script's. A non-violating script is returned unchanged.
+func Minimize(s Script) (Script, Outcome) {
+	out := Run(s)
+	if !out.Violating() {
+		return s, out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(s.Faults); i++ {
+			cand := s
+			cand.Faults = dropIndex(s.Faults, i)
+			if o := Run(cand); o.Violating() {
+				s, out, changed = cand, o, true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		for i := 0; i < len(s.Clients); i++ {
+			cand := s
+			cand.Clients = dropIndex(s.Clients, i)
+			if o := Run(cand); o.Violating() {
+				s, out, changed = cand, o, true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+	clients:
+		for ci := range s.Clients {
+			for si := 0; si < len(s.Clients[ci].Sections); si++ {
+				cand := s
+				cand.Clients = append([]ClientPlan(nil), s.Clients...)
+				cand.Clients[ci].Sections = dropIndex(s.Clients[ci].Sections, si)
+				if o := Run(cand); o.Violating() {
+					s, out, changed = cand, o, true
+					break clients
+				}
+			}
+		}
+	}
+	return s, out
+}
+
+func dropIndex[T any](xs []T, i int) []T {
+	out := make([]T, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+// Repro renders a violating outcome as a self-contained reproduction: the
+// seed and cluster shape, the fault script, the client plans, the checker
+// verdicts, the full history, and the span trees of the failing run. Replay
+// it by rebuilding the script from the seed (Generate) or from the printed
+// plan, and calling Run.
+func (o Outcome) Repro() string {
+	s := o.Script
+	var b strings.Builder
+	fmt.Fprintf(&b, "explore repro: seed=%d profile=%s T=%v policy=%s cache=%t mutation=%v\n",
+		s.Seed, s.Profile, s.T, s.Policy, s.HolderCache, s.Mutation)
+	b.WriteString("fault script:\n")
+	if len(s.Faults) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, f := range s.Faults {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	b.WriteString("clients:\n")
+	for ci, plan := range s.Clients {
+		fmt.Fprintf(&b, "  c%d @%s:", ci, plan.Home)
+		for _, sec := range plan.Sections {
+			switch {
+			case sec.Delete:
+				fmt.Fprintf(&b, " [%s +%v delete]", sec.Key, sec.PreDelay)
+			case sec.Value == "":
+				fmt.Fprintf(&b, " [%s +%v get]", sec.Key, sec.PreDelay)
+			case sec.Value2 != "":
+				fmt.Fprintf(&b, " [%s +%v put %q,%q]", sec.Key, sec.PreDelay, sec.Value, sec.Value2)
+			default:
+				fmt.Fprintf(&b, " [%s +%v put %q]", sec.Key, sec.PreDelay, sec.Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if o.RunErr != nil {
+		fmt.Fprintf(&b, "run error: %v\n", o.RunErr)
+	}
+	for _, v := range o.Result.Violations {
+		fmt.Fprintf(&b, "violation: %s\n", v)
+	}
+	if len(o.Result.Unbounded) > 0 {
+		fmt.Fprintf(&b, "undecided keys (WGL budget): %v\n", o.Result.Unbounded)
+	}
+	b.WriteString("history:\n")
+	b.WriteString(history.Render(o.Ops))
+	if o.Traces != "" {
+		b.WriteString("spans:\n")
+		b.WriteString(o.Traces)
+	}
+	return b.String()
+}

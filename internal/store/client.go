@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -64,11 +65,25 @@ func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
 		stamped[col] = c
 	}
 	req := applyReq{Table: table, Key: key, Cells: stamped}
+	hc := cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note(cons.String())
 	cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 	err := cl.replicate(req, cons)
+	hc.End(err)
 	cl.observeLatency("put", cons, cl.c.net.Runtime().Now()-start)
 	sp.EndErr(err)
 	return err
+}
+
+// maxTS is the newest cell stamp in a row — the TS a store.put history op
+// reports for a multi-cell write.
+func maxTS(cells Row) int64 {
+	var ts int64
+	for _, c := range cells {
+		if c.TS > ts {
+			ts = c.TS
+		}
+	}
+	return ts
 }
 
 // Delete tombstones the given columns (all current columns if cols is nil
@@ -156,7 +171,14 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 	sp.Annotate("row", table+"/"+key)
 	sp.Annotate("cons", cons.String())
 	start := cl.c.net.Runtime().Now()
+	var hc *history.Call
+	if cons != One {
+		// ONE reads (lock-wait polling, eventual peeks) are noise; record
+		// only quorum-level traffic.
+		hc = cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStoreGet, table+"/"+key, 0).Note(cons.String())
+	}
 	defer func() {
+		hc.End(err)
 		cl.observeLatency("get", cons, cl.c.net.Runtime().Now()-start)
 		sp.EndErr(err)
 	}()

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -246,12 +247,14 @@ func (cl *Client) PutAsync(table, key string, cells Row, cons Consistency) *Pend
 	req := applyReq{Table: table, Key: key, Cells: stamped}
 	p := &PendingPut{done: sim.NewPromise[struct{}](rt)}
 	start := rt.Now()
+	hc := cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note("async " + cons.String())
 	rt.Go(func() {
 		sp := cl.tracer().Child("store.put.async")
 		sp.Annotate("row", table+"/"+key)
 		sp.Annotate("cons", cons.String())
 		cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 		err := cl.replicate(req, cons)
+		hc.End(err)
 		cl.observeLatency("put", cons, rt.Now()-start)
 		sp.EndErr(err)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/paxos"
 	"repro/internal/transport"
 )
@@ -214,6 +215,12 @@ type Config struct {
 	MaxCASAttempts int
 	// Costs overrides the CPU cost model; zero fields keep defaults.
 	Costs CostModel
+	// History, when non-nil, records every coordinator-level put and every
+	// quorum-level get as store.put/store.get ops (diagnostics beneath the
+	// MUSIC-level history; the ECF checkers ignore store kinds). ONE reads
+	// — lock-wait polling and eventual peeks — are deliberately not
+	// recorded to keep explorer histories readable.
+	History *history.Recorder
 }
 
 // Cluster is a store deployment over a Transport. Build one with New, then

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/obs"
 )
 
@@ -105,8 +106,9 @@ func (cl *Client) noteRetry(op, site string, err error) {
 }
 
 // noteFailover records one cross-site failover decision.
-func (cl *Client) noteFailover(op, from, to string, err error) {
+func (cl *Client) noteFailover(op, key string, ref LockRef, from, to string, err error) {
 	cl.counter("music_failover_total", obs.Labels{"from": from, "to": to})
+	cl.c.history.Event(from, history.KindFailover, key, int64(ref), op+" "+from+"->"+to)
 	sp := cl.c.tracer().Child("music.failover")
 	sp.Annotate("op", op)
 	sp.Annotate("from", from)
@@ -169,7 +171,7 @@ func (cl *Client) withRetry(opName, key string, ref LockRef, reacquire bool, op 
 		if !ok {
 			return lastErr
 		}
-		cl.noteFailover(opName, site, next, lastErr)
+		cl.noteFailover(opName, key, ref, site, next, lastErr)
 		rep = cl.rebind(next)
 		if reacquire {
 			// Re-drive the interrupted acquisition at the new site with the
@@ -250,7 +252,7 @@ func (cl *Client) awaitLockSeeded(key string, ref LockRef, timeout time.Duration
 				}
 				tried[site] = true
 				if next, found := cl.nextSite(tried); found {
-					cl.noteFailover("acquireLock", site, next, err)
+					cl.noteFailover("acquireLock", key, ref, site, next, err)
 					cl.rebind(next)
 					consecutive = 0
 				}

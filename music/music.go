@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/lockstore"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -87,6 +88,8 @@ type options struct {
 	obs          bool
 	obsOptions   obs.Options
 	digestReads  bool
+	history      bool
+	mutation     core.Mutation
 }
 
 // Option configures New.
@@ -169,6 +172,40 @@ func WithObservabilityOptions(opts obs.Options) Option {
 	return optionFunc(func(o *options) { o.obs = true; o.obsOptions = opts })
 }
 
+// WithHistory turns on operation-history recording: every acquire, release,
+// forced release, critical put/get/delete, synchronize, failover and
+// quorum-level store operation is logged with virtual-time intervals and
+// lockRef identity. Read the history with Cluster.History and validate it
+// with internal/history's ECF and linearizability checkers. Off by default;
+// the disabled path performs zero allocations.
+func WithHistory() Option {
+	return optionFunc(func(o *options) { o.history = true })
+}
+
+// Mutation is a deliberate protocol bug injected under test (see the
+// Mutation* constants); it exists so the history checkers can prove they
+// detect real ECF violations. Never enable one outside a test.
+type Mutation = core.Mutation
+
+// Protocol mutations for checker validation.
+const (
+	// MutationNone runs the correct protocol (default).
+	MutationNone = core.MutationNone
+	// MutationSkipSynchronize skips the §IV-B grant-time data-store
+	// synchronization after a forced release, letting a preempted holder's
+	// surviving writes leak into the next critical section.
+	MutationSkipSynchronize = core.MutationSkipSynchronize
+	// MutationFrozenElapsed stamps every critical write of a section with
+	// v2s(ref, 0), breaking write ordering inside the lockRef's window.
+	MutationFrozenElapsed = core.MutationFrozenElapsed
+)
+
+// WithProtocolMutation injects a deliberate protocol bug for checker
+// validation (tests only).
+func WithProtocolMutation(m Mutation) Option {
+	return optionFunc(func(o *options) { o.mutation = m })
+}
+
 // Cluster is a full MUSIC deployment: network, back-end store, and one
 // MUSIC replica per site.
 type Cluster struct {
@@ -179,7 +216,8 @@ type Cluster struct {
 	st       *store.Cluster
 	sites    []string
 	replicas map[string]*core.Replica
-	obs      *obs.Obs // nil unless WithObservability
+	obs      *obs.Obs          // nil unless WithObservability
+	history  *history.Recorder // nil unless WithHistory
 }
 
 // New builds a cluster. With the default virtual-time mode, issue all
@@ -211,13 +249,17 @@ func New(opts ...Option) (*Cluster, error) {
 	if o.obs {
 		ob = obs.New(rt, o.obsOptions)
 	}
+	var rec *history.Recorder
+	if o.history {
+		rec = history.New(rt)
+	}
 	net := simnet.New(rt, simnet.Config{
 		Profile:      o.profile,
 		NodesPerSite: o.nodesPerSite,
 		Seed:         o.seed,
 		Obs:          ob,
 	})
-	st := store.New(net, store.Config{RF: o.rf, DigestReads: o.digestReads})
+	st := store.New(net, store.Config{RF: o.rf, DigestReads: o.digestReads, History: rec})
 
 	c := &Cluster{
 		rt:       rt,
@@ -228,6 +270,7 @@ func New(opts ...Option) (*Cluster, error) {
 		sites:    o.profile.Sites(),
 		replicas: make(map[string]*core.Replica, len(o.profile.Sites())),
 		obs:      ob,
+		history:  rec,
 	}
 	for _, site := range c.sites {
 		node := net.NodesInSite(site)[0]
@@ -235,6 +278,8 @@ func New(opts ...Option) (*Cluster, error) {
 			T:        o.t,
 			Mode:     o.mode,
 			Observer: o.observer,
+			History:  rec,
+			Mutation: o.mutation,
 		})
 	}
 	return c, nil
@@ -350,6 +395,11 @@ func (c *Cluster) Sites() []string { return append([]string(nil), c.sites...) }
 // critical sections and Obs().Metrics() to read counters and histograms.
 func (c *Cluster) Obs() *obs.Obs { return c.obs }
 
+// History returns the cluster's operation-history recorder — nil unless the
+// cluster was built WithHistory. Feed History().Ops() to history.Check to
+// validate the run against the ECF contract.
+func (c *Cluster) History() *history.Recorder { return c.history }
+
 // Client returns a client bound to the MUSIC replica at the named site.
 // Options tune its transient-failure handling; by default it retries
 // retryable errors under DefaultRetryPolicy at that one site and never
@@ -433,3 +483,13 @@ func (c *Cluster) RestartSite(site string) {
 		c.net.Restart(id)
 	}
 }
+
+// SetLossRate drops each inter-node message independently with probability
+// p (0 restores reliable delivery). Panics on a transport without fault
+// modeling, like PartitionSites.
+func (c *Cluster) SetLossRate(p float64) { c.net.SetLossRate(p) }
+
+// Virtual returns the cluster's virtual-time simulator — nil in real-time
+// mode. The chaos explorer uses it to bound schedules (SetDeadline) and
+// randomize task interleavings (SetScheduleShuffle).
+func (c *Cluster) Virtual() *sim.Virtual { return c.virtual }

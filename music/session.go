@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -140,6 +141,15 @@ func (cs *CriticalSection) invalidate() {
 	cs.cacheValid, cs.cachePresent, cs.cacheValue = false, false, nil
 }
 
+// beginEcho opens a history record for a session-served read (holder cache
+// or write-behind buffer). The note names the source so the ECF checker's
+// echo rule — cached values must trace to the grant seed or the section's
+// own writes — applies instead of the quorum-freshness rule.
+func (cs *CriticalSection) beginEcho(source string) *history.Call {
+	_, site := cs.cl.bound()
+	return cs.cl.c.history.Begin(site, history.KindGet, cs.key, int64(cs.ref)).Note(source)
+}
+
 // Get reads the key's true value. With write-behind pending it returns the
 // section's own latest write; with a valid holder cache it returns the
 // cached value; either way the read is gated by the same local holder
@@ -149,24 +159,32 @@ func (cs *CriticalSection) Get() ([]byte, error) {
 	if cs.wbHave {
 		// Read-your-writes under write-behind: the buffered/in-flight value
 		// is the key's true value, whatever the store's replicas say.
+		hc := cs.beginEcho("buffer")
 		if err := cs.guardRetry(); err != nil {
 			cs.invalidate()
+			hc.End(err)
 			return nil, err
 		}
 		if cs.wbDeleted {
+			hc.Value(nil, false).End(nil)
 			return nil, nil
 		}
+		hc.Value(cs.wbValue, true).End(nil)
 		return append([]byte(nil), cs.wbValue...), nil
 	}
 	if cs.cacheOn && cs.cacheValid {
+		hc := cs.beginEcho("cache")
 		err := cs.guard()
 		if err == nil {
 			cs.cl.counter("music_cs_cache_hits_total", obs.Labels{"site": cs.cl.Site()})
+			hc.Value(cs.cacheValue, cs.cachePresent).End(nil)
 			if !cs.cachePresent {
 				return nil, nil
 			}
 			return append([]byte(nil), cs.cacheValue...), nil
 		}
+		// The cached value was never served: abandon the echo record and let
+		// the quorum read below log the operation instead.
 		cs.invalidate()
 		if !IsRetryable(err) {
 			return nil, err

@@ -26,6 +26,12 @@ MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./internal/core/ -run 'TestFault|TestChaos
 # release / T-expiry invalidating the holder cache, write-behind buffers
 # surviving cross-site failover, pipelined flush re-drives.
 MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
+# Pinned-seed exploration batch: deterministic randomized fault schedules
+# (crash / partition / loss / clock skew) with every history checked against
+# the ECF + linearizability rules (internal/history). Same seed-pinning
+# rationale as the fault campaign above.
+MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
+    go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1
 
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
