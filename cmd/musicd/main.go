@@ -16,6 +16,11 @@
 //
 //	musicd -peers peers.json -site ohio -listen :7001 -addr :8080
 //
+// Adding -history makes the process record its operation history on a
+// Unix-epoch clock and serve it on GET /v1/history; fetching every site's
+// ops and merging them by timestamp yields one timeline the internal/history
+// ECF checkers can validate (cmd/musicd's tests do exactly this).
+//
 // where peers.json lists every node in the deployment:
 //
 //	[
@@ -36,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/httpapi"
 	"repro/internal/nettrans"
 	"repro/internal/obs"
@@ -64,12 +70,13 @@ func run(args []string) error {
 		site      = fs.String("site", "", "this process's site (multi-process mode)")
 		listen    = fs.String("listen", "", "transport TCP listen address (default: this node's addr from peers.json)")
 		node      = fs.Int("node", -1, "this process's node id (default: the single -site node in peers.json)")
+		histOn    = fs.Bool("history", false, "record the operation history and serve it on /v1/history (multi-process mode; timestamps share the Unix epoch so per-process histories merge)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *peersPath != "" {
-		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn)
+		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn, *histOn)
 	}
 
 	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
@@ -106,7 +113,7 @@ func run(args []string) error {
 // runMulti is one process of a multi-process deployment: a TCP transport
 // node in the peer ring, the store replica for that node, the MUSIC replica
 // for its site, and the site's REST listener.
-func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn bool) error {
+func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn, histOn bool) error {
 	peers, err := loadPeers(peersPath)
 	if err != nil {
 		return err
@@ -116,7 +123,15 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 		return err
 	}
 
+	// With -history every process clocks from the Unix epoch, so the
+	// timestamps in the per-process histories are directly comparable and a
+	// checker harness can merge them into one timeline.
 	rt := sim.NewReal(1)
+	var rec *history.Recorder
+	if histOn {
+		rt = sim.NewRealAt(time.Unix(0, 0), 1)
+		rec = history.New(rt)
+	}
 	var ob *obs.Obs
 	if obsOn {
 		ob = obs.New(rt, obs.Options{})
@@ -137,6 +152,7 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 		T:          t,
 		LocalNodes: []transport.NodeID{self.ID},
 		Obs:        ob,
+		History:    rec,
 	})
 	if err != nil {
 		tr.Close()

@@ -11,9 +11,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/httpapi"
 	"repro/internal/nettrans"
 	"repro/internal/obs"
@@ -143,9 +145,13 @@ func ecfCheck(t *testing.T, siteURL map[string]string) {
 
 // TestThreeNodeClusterInProcess builds the multi-process deployment shape —
 // three nettrans endpoints, three single-site MUSIC clusters, three REST
-// servers — inside one test process and runs the ECF flow over HTTP.
+// servers — inside one test process and runs the ECF flow over HTTP. All
+// three clusters share one history recorder, and the merged timeline must
+// pass the ECF checkers: the real TCP path without faults records a clean
+// history.
 func TestThreeNodeClusterInProcess(t *testing.T) {
 	rt := sim.NewReal(1)
+	rec := history.New(rt)
 	listeners := make([]net.Listener, 3)
 	peers := make([]nettrans.Peer, 3)
 	for i := range peers {
@@ -167,6 +173,7 @@ func TestThreeNodeClusterInProcess(t *testing.T) {
 			T:          time.Minute,
 			LocalNodes: []transport.NodeID{p.ID},
 			Obs:        ob,
+			History:    rec,
 		})
 		if err != nil {
 			t.Fatalf("NewOverTransport: %v", err)
@@ -177,6 +184,69 @@ func TestThreeNodeClusterInProcess(t *testing.T) {
 		siteURL[p.Site] = srv.URL
 	}
 	ecfCheck(t, siteURL)
+
+	ops := rec.Ops()
+	if len(ops) == 0 {
+		t.Fatal("shared recorder saw no operations")
+	}
+	assertCleanHistory(t, ops)
+}
+
+// assertCleanHistory runs the ECF + linearizability checkers over a
+// recorded multi-site history and fails on any violation.
+func assertCleanHistory(t *testing.T, ops []history.Op) {
+	t.Helper()
+	res := history.Check(ops, history.CheckOptions{})
+	for _, v := range res.Violations {
+		t.Errorf("history violation: %s", v)
+	}
+	if len(res.Unbounded) > 0 {
+		t.Errorf("linearizability search exceeded budget on keys %v", res.Unbounded)
+	}
+	t.Logf("history check: %d ops, %d keys, clean=%t", res.Ops, res.Keys, res.Ok())
+}
+
+// fetchHistory pulls one site's recorded ops from its /v1/history endpoint.
+func fetchHistory(t *testing.T, baseURL string) []history.Op {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/history")
+	if err != nil {
+		t.Fatalf("GET /v1/history: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /v1/history: status %d: %s", resp.StatusCode, body)
+	}
+	var body struct {
+		Site string       `json:"site"`
+		Ops  []history.Op `json:"ops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode history: %v", err)
+	}
+	return body.Ops
+}
+
+// mergeHistories combines per-process histories into one timeline. The
+// processes clock from a shared epoch (musicd -history), so sorting by
+// response time (invocation as tie-break) reconstructs completion order;
+// IDs are renumbered to match.
+func mergeHistories(parts ...[]history.Op) []history.Op {
+	var all []history.Op
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Resp != all[j].Resp {
+			return all[i].Resp < all[j].Resp
+		}
+		return all[i].Inv < all[j].Inv
+	})
+	for i := range all {
+		all[i].ID = uint64(i + 1)
+	}
+	return all
 }
 
 // TestThreeProcessCluster builds the musicd binary and runs a genuine
@@ -209,7 +279,7 @@ func TestThreeProcessCluster(t *testing.T) {
 	siteURL := make(map[string]string, 3)
 	for i, p := range peers {
 		httpAddr := fmt.Sprintf("127.0.0.1:%d", ports[3+i])
-		cmd := exec.Command(bin, "-peers", peersPath, "-site", p.Site, "-addr", httpAddr)
+		cmd := exec.Command(bin, "-peers", peersPath, "-site", p.Site, "-addr", httpAddr, "-history")
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -238,6 +308,21 @@ func TestThreeProcessCluster(t *testing.T) {
 		}
 	}
 	ecfCheck(t, siteURL)
+
+	// Each process recorded its own history on the shared Unix-epoch clock;
+	// fetch all three, merge them into one timeline, and check it — the
+	// genuine multi-process ECF validation over real TCP.
+	var parts [][]history.Op
+	total := 0
+	for _, site := range testSites {
+		ops := fetchHistory(t, siteURL[site])
+		total += len(ops)
+		parts = append(parts, ops)
+	}
+	if total == 0 {
+		t.Fatal("no process recorded any operations")
+	}
+	assertCleanHistory(t, mergeHistories(parts...))
 }
 
 // freePorts reserves n distinct ports by binding and releasing them.

@@ -90,6 +90,10 @@ type Options struct {
 	// write its per-op results to this path as JSON (the
 	// BENCH_transport.json artifact).
 	TransportJSON string
+	// SoakJSON, when non-empty, makes the soak experiment also write its
+	// per-scenario SLO reports to this path as JSON (the BENCH_soak.json
+	// artifact).
+	SoakJSON string
 }
 
 func (o Options) workers() int {
@@ -135,6 +139,7 @@ func Experiments() []Experiment {
 		{"fastpath", "Critical-section fast path: grant piggyback, holder cache, write-behind, digest reads", runFastpath},
 		{"transport", "Message-plane overhead: simulated network vs TCP loopback, per Table I op", runTransport},
 		{"explore", "Seeded chaos explorer: randomized fault schedules checked against ECF (internal/history)", runExplore},
+		{"soak", "Soak scenarios over TCP with chaosnet faults: SLO report per scenario (internal/chaosnet)", runSoak},
 	}
 }
 

@@ -63,8 +63,8 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestRegistryAndRunValidation(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("experiments = %d, want 17 (every paper artifact + ablation + trace + faults + fastpath + transport + explore)", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("experiments = %d, want 18 (every paper artifact + ablation + trace + faults + fastpath + transport + explore + soak)", len(Experiments()))
 	}
 	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -74,6 +74,9 @@ func TestRegistryAndRunValidation(t *testing.T) {
 	}
 	if _, ok := Find("trace"); !ok {
 		t.Fatal("trace missing")
+	}
+	if _, ok := Find("soak"); !ok {
+		t.Fatal("soak missing")
 	}
 }
 

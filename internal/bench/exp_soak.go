@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaosnet"
+	"repro/internal/nettrans"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/music"
+)
+
+// runSoak drives production-shaped scenarios against the real TCP message
+// plane with chaosnet fault injection in the dial path, and reports service
+// levels (availability, latency percentiles, retry/failover counts) per
+// scenario from the internal/obs registry. Each scenario gets a fresh
+// three-site loopback deployment and a fresh metrics registry, so reports
+// never bleed into each other.
+//
+// The scenarios:
+//
+//   - storm: a hot-key contention storm — every worker fights over three
+//     keys while a mild all-pairs latency fault stretches the wire.
+//   - flashcrowd: the worker population ramps ×8 and back down, with a
+//     brief loss window striking at peak load.
+//   - skewshift: Zipfian traffic over 48 keys whose hot set rotates twice
+//     mid-run, under a single-pair latency fault.
+//   - restarts: rolling site outages — each site in turn is partitioned
+//     from both peers (the reachable emulation of a process restart inside
+//     one benchmark process), exercising retry and cross-site failover.
+//
+// With -json the per-scenario SLO reports are written as BENCH_soak.json.
+func runSoak(opts Options) []Table {
+	dur := 6 * time.Second
+	if opts.Quick {
+		dur = 1500 * time.Millisecond
+	}
+
+	tbl := Table{
+		ID:    "soak",
+		Title: "Soak scenarios over TCP + chaosnet: SLO report per scenario",
+		Columns: []string{"scenario", "sections", "avail", "p50", "p99", "p999",
+			"retries", "failovers", "drops", "resets"},
+		Notes: []string{
+			fmt.Sprintf("each scenario runs %v against a fresh 3-site TCP loopback deployment with chaosnet faults in the dial path", dur),
+			"restarts emulates rolling site restarts as full partitions of one site at a time; avail = successful sections / attempts",
+		},
+	}
+	var reports []soakReport
+	for _, sc := range soakScenarios(opts, dur) {
+		opts.logf("  soak: %s", sc.id)
+		rep := runSoakScenario(sc, dur)
+		reports = append(reports, rep)
+		d := func(us int64) string { return stats.FormatDuration(time.Duration(us) * time.Microsecond) }
+		tbl.Rows = append(tbl.Rows, []string{
+			sc.id,
+			fmt.Sprintf("%d", rep.SLO.Attempts),
+			fmt.Sprintf("%.3f", rep.SLO.Availability),
+			d(rep.SLO.P50Micros), d(rep.SLO.P99Micros), d(rep.SLO.P999Micros),
+			fmt.Sprintf("%d", rep.SLO.Retries),
+			fmt.Sprintf("%d", rep.SLO.Failovers),
+			fmt.Sprintf("%d", rep.Faults.Drops),
+			fmt.Sprintf("%d", rep.Faults.Resets),
+		})
+	}
+	if opts.SoakJSON != "" {
+		writeSoakJSON(opts, reports)
+	}
+	return []Table{tbl}
+}
+
+var soakSites = []string{"site-a", "site-b", "site-c"}
+
+// soakScenario is one production-shaped workload plus its fault schedule.
+type soakScenario struct {
+	id    string
+	sched chaosnet.Schedule
+	drive func(env *soakEnv)
+}
+
+func soakScenarios(opts Options, dur time.Duration) []soakScenario {
+	scale := func(full int) int {
+		if opts.Quick {
+			return (full + 1) / 2
+		}
+		return full
+	}
+	return []soakScenario{
+		{
+			id: "storm",
+			sched: chaosnet.Schedule{Sites: soakSites, Events: []chaosnet.Event{
+				{Class: chaosnet.ClassLatency, At: 0, For: dur, Delay: 2 * time.Millisecond, Jitter: time.Millisecond},
+			}},
+			drive: func(env *soakEnv) {
+				env.runWorkers(scale(18), dur, func(w, iter int, rng *rand.Rand) {
+					env.section(w, fmt.Sprintf("hot-%d", iter%3))
+				})
+			},
+		},
+		{
+			id: "flashcrowd",
+			sched: chaosnet.Schedule{Sites: soakSites, Events: []chaosnet.Event{
+				{Class: chaosnet.ClassLoss, At: dur / 3, For: dur / 6, Rate: 0.05},
+			}},
+			drive: func(env *soakEnv) {
+				work := func(w, iter int, rng *rand.Rand) {
+					env.section(w, fmt.Sprintf("fc-%d", rng.Intn(12)))
+				}
+				env.runWorkers(scale(3), dur/3, work)
+				env.runWorkers(scale(24), dur/3, work)
+				env.runWorkers(scale(6), dur/3, work)
+			},
+		},
+		{
+			id: "skewshift",
+			sched: chaosnet.Schedule{Sites: soakSites, Events: []chaosnet.Event{
+				{Class: chaosnet.ClassLatency, At: dur / 4, For: dur / 2,
+					A: soakSites[0], B: soakSites[2], Delay: 4 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			}},
+			drive: func(env *soakEnv) {
+				start := env.rt.Now()
+				env.runWorkers(scale(12), dur, func(w, iter int, rng *rand.Rand) {
+					zipf := rand.NewZipf(rng, 1.2, 1, 47)
+					phase := int(3 * (env.rt.Now() - start) / dur)
+					key := (int(zipf.Uint64()) + 16*phase) % 48
+					env.section(w, fmt.Sprintf("zk-%02d", key))
+				})
+			},
+		},
+		{
+			id:    "restarts",
+			sched: rollingRestartSchedule(dur),
+			drive: func(env *soakEnv) {
+				env.runWorkers(scale(9), dur, func(w, iter int, rng *rand.Rand) {
+					env.section(w, fmt.Sprintf("rr-%d", rng.Intn(8)))
+				})
+			},
+		},
+	}
+}
+
+// rollingRestartSchedule isolates each site in turn for a sixth of the run —
+// the partition-based emulation of rolling process restarts.
+func rollingRestartSchedule(dur time.Duration) chaosnet.Schedule {
+	var events []chaosnet.Event
+	for i, site := range soakSites {
+		at := dur/8 + time.Duration(i)*dur/4
+		for _, other := range soakSites {
+			if other == site {
+				continue
+			}
+			events = append(events, chaosnet.Event{
+				Class: chaosnet.ClassPartition, At: at, For: dur / 6, A: site, B: other,
+			})
+		}
+	}
+	return chaosnet.Schedule{Sites: soakSites, Events: events}
+}
+
+// soakEnv is one deployed scenario: three single-node MUSIC clusters over
+// loopback TCP, dials routed through the chaosnet injector, one failover
+// client per site, and a private metrics registry.
+type soakEnv struct {
+	scenario string
+	rt       *sim.Real
+	ob       *obs.Obs
+	inj      *chaosnet.Injector
+	clusters []*music.Cluster
+	clients  []*music.Client
+	stopped  atomic.Bool
+}
+
+func newSoakEnv(scenario string, sched chaosnet.Schedule) *soakEnv {
+	rt := sim.NewReal(1)
+	ob := obs.New(rt, obs.Options{})
+	inj := chaosnet.NewInjector(rt, sched)
+	env := &soakEnv{scenario: scenario, rt: rt, ob: ob, inj: inj}
+
+	listeners := make([]net.Listener, len(soakSites))
+	peers := make([]nettrans.Peer, len(soakSites))
+	for i, site := range soakSites {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("bench: soak: %v", err))
+		}
+		listeners[i] = lis
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: site, Addr: lis.Addr().String()}
+	}
+	for i, p := range peers {
+		tr, err := nettrans.New(rt, nettrans.Config{
+			Self:         p.ID,
+			Peers:        peers,
+			Listener:     listeners[i],
+			RPCTimeout:   500 * time.Millisecond,
+			DialTimeout:  200 * time.Millisecond,
+			BackoffFloor: 10 * time.Millisecond,
+			BackoffCeil:  80 * time.Millisecond,
+			Dial:         inj.Dial(p.Site),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: soak: %v", err))
+		}
+		c, err := music.NewOverTransport(tr, music.TransportConfig{
+			T:          2 * time.Second,
+			LocalNodes: []transport.NodeID{p.ID},
+			Obs:        ob,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: soak: %v", err))
+		}
+		env.clusters = append(env.clusters, c)
+		env.clients = append(env.clients, c.Client(p.Site, music.WithRetry(music.RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+		})))
+	}
+	return env
+}
+
+func (env *soakEnv) close() {
+	for _, c := range env.clusters {
+		c.Close()
+	}
+}
+
+// runWorkers drives n closed-loop workers for dur, joining them before
+// returning (fault windows are bounded, so in-flight sections drain).
+func (env *soakEnv) runWorkers(n int, dur time.Duration, work func(w, iter int, rng *rand.Rand)) {
+	deadline := env.rt.Now() + dur
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for iter := 0; env.rt.Now() < deadline && !env.stopped.Load(); iter++ {
+				work(w, iter, rng)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// section runs one Get+Put critical section from worker w's home site and
+// records it in the scenario's SLO series. A retryably failed section is
+// re-driven once through the next site's deployment — the front-end re-route
+// of §III-A ("retry, possibly at another MUSIC replica"): each process here
+// hosts one site, so cross-site failover happens above the client, exactly
+// where a production load balancer would do it.
+func (env *soakEnv) section(w int, key string) {
+	home := w % len(env.clients)
+	m := env.ob.Metrics()
+	labels := obs.Labels{"scenario": env.scenario}
+	body := func(cs *music.CriticalSection) error {
+		if _, err := cs.Get(); err != nil {
+			return err
+		}
+		return cs.Put([]byte(fmt.Sprintf("%s-w%d", env.scenario, w)))
+	}
+	start := env.rt.Now()
+	err := env.clients[home].RunCritical(key, body)
+	if err != nil && music.IsRetryable(err) {
+		next := (home + 1) % len(env.clients)
+		m.Counter("music_failover_total", obs.Labels{"from": soakSites[home], "to": soakSites[next]}).Inc()
+		err = env.clients[next].RunCritical(key, body)
+	}
+	m.Counter("soak_sections_total", labels).Inc()
+	if err != nil {
+		m.Counter("soak_failures_total", labels).Inc()
+		return
+	}
+	m.Histogram("soak_section_latency", labels).Observe(env.rt.Now() - start)
+}
+
+// soakReport is one scenario's JSON artifact entry.
+type soakReport struct {
+	SLO    obs.SLOReport   `json:"slo"`
+	Faults chaosnet.Counts `json:"faults"`
+}
+
+func runSoakScenario(sc soakScenario, dur time.Duration) soakReport {
+	env := newSoakEnv(sc.id, sc.sched)
+	defer env.close()
+	env.inj.Start()
+	start := env.rt.Now()
+	sc.drive(env)
+	wall := env.rt.Now() - start
+	env.stopped.Store(true)
+	return soakReport{
+		SLO: env.ob.Metrics().SLO(obs.SLOOptions{
+			Scenario: sc.id,
+			Latency:  "soak_section_latency",
+			Attempts: "soak_sections_total",
+			Failures: "soak_failures_total",
+			Wall:     wall,
+		}),
+		Faults: env.inj.Counts(),
+	}
+}
+
+func writeSoakJSON(opts Options, reports []soakReport) {
+	doc := struct {
+		Experiment string       `json:"experiment"`
+		Quick      bool         `json:"quick"`
+		Reports    []soakReport `json:"reports"`
+	}{Experiment: "soak", Quick: opts.Quick, Reports: reports}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("bench: soak json: %v", err))
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(opts.SoakJSON, data, 0o644); err != nil {
+		panic(fmt.Sprintf("bench: soak json: %v", err))
+	}
+	opts.logf("  soak: wrote %s", opts.SoakJSON)
+}

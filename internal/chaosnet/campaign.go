@@ -1,0 +1,162 @@
+package chaosnet
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/music"
+)
+
+// CampaignSites are the three sites a campaign deployment spans — one
+// single-node musicd-in-miniature per site, all on loopback TCP.
+var CampaignSites = []string{"ohio", "ncalifornia", "oregon"}
+
+// Outcome is the result of one campaign seed: the fault schedule it ran
+// under, the recorded multi-site history, the checker verdict over it, and
+// the injector's fault tally.
+type Outcome struct {
+	Schedule Schedule
+	Ops      []history.Op
+	Result   history.Result
+	Counts   Counts
+	// RunErr is non-nil when the workload itself wedged (never finished
+	// within the hard deadline) — a liveness failure distinct from a
+	// checker violation.
+	RunErr error
+}
+
+// Violating reports whether the seed found anything: a safety violation
+// flagged by the checkers, or a wedged run.
+func (o Outcome) Violating() bool { return o.RunErr != nil || len(o.Result.Violations) > 0 }
+
+// Repro renders everything needed to chase the outcome down: the schedule,
+// the verdict, and the full history.
+func (o Outcome) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaosnet repro: seed=%d\n\n%s\n", o.Schedule.Seed, o.Schedule)
+	fmt.Fprintf(&b, "\nfaults injected: drops=%d resets=%d delays=%d refused-dials=%d\n",
+		o.Counts.Drops, o.Counts.Resets, o.Counts.Delays, o.Counts.Refused)
+	if o.RunErr != nil {
+		fmt.Fprintf(&b, "\nrun error: %v\n", o.RunErr)
+	}
+	if len(o.Result.Violations) > 0 {
+		b.WriteString("\nviolations:\n")
+		for _, v := range o.Result.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "\nhistory (%d ops):\n", len(o.Ops))
+	for _, op := range o.Ops {
+		fmt.Fprintf(&b, "  %s\n", op)
+	}
+	return b.String()
+}
+
+// RunSeed runs one campaign seed end to end: generate the fault schedule,
+// deploy three single-node MUSIC clusters over real loopback TCP with every
+// dial routed through the injector, drive one client per site through
+// contended critical sections until the schedule has played out, then check
+// the merged history against the ECF contract.
+//
+// All three transports share one wall-clock runtime and one history
+// recorder, so the merged timeline checks as a single history. Individual
+// section errors under faults are expected and fine — the checkers judge
+// what the protocol admitted, not whether every attempt succeeded.
+func RunSeed(seed int64) Outcome {
+	sched := Generate(seed, CampaignSites)
+	rt := sim.NewReal(seed)
+	inj := NewInjector(rt, sched)
+	rec := history.New(rt)
+
+	listeners := make([]net.Listener, len(CampaignSites))
+	peers := make([]nettrans.Peer, len(CampaignSites))
+	for i, site := range CampaignSites {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Outcome{Schedule: sched, RunErr: fmt.Errorf("listen: %w", err)}
+		}
+		listeners[i] = lis
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: site, Addr: lis.Addr().String()}
+	}
+	clusters := make([]*music.Cluster, len(peers))
+	for i, p := range peers {
+		tr, err := nettrans.New(rt, nettrans.Config{
+			Self:         p.ID,
+			Peers:        peers,
+			Listener:     listeners[i],
+			RPCTimeout:   500 * time.Millisecond,
+			DialTimeout:  200 * time.Millisecond,
+			BackoffFloor: 10 * time.Millisecond,
+			BackoffCeil:  80 * time.Millisecond,
+			Dial:         inj.Dial(p.Site),
+		})
+		if err != nil {
+			return Outcome{Schedule: sched, RunErr: fmt.Errorf("nettrans: %w", err)}
+		}
+		c, err := music.NewOverTransport(tr, music.TransportConfig{
+			T:          5 * time.Second,
+			LocalNodes: []transport.NodeID{p.ID},
+			History:    rec,
+		})
+		if err != nil {
+			tr.Close()
+			return Outcome{Schedule: sched, RunErr: fmt.Errorf("music: %w", err)}
+		}
+		clusters[i] = c
+	}
+	defer func() {
+		for _, c := range clusters {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	inj.Start()
+	until := sched.End() + 200*time.Millisecond
+	var wg sync.WaitGroup
+	for ci, c := range clusters {
+		ci, cl := ci, c.Client(CampaignSites[ci])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := 0; inj.Elapsed() < until; si++ {
+				key := fmt.Sprintf("cn-%c", 'a'+(ci+si)%2)
+				val := []byte(fmt.Sprintf("c%d-s%d", ci, si))
+				// Errors are the faults doing their job; the checkers decide
+				// whether what did commit was admissible.
+				_ = cl.RunCritical(key, func(cs *music.CriticalSection) error {
+					if _, err := cs.Get(); err != nil {
+						return err
+					}
+					if err := cs.Put(val); err != nil {
+						return err
+					}
+					_, err := cs.Get()
+					return err
+				})
+				rt.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var runErr error
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		runErr = fmt.Errorf("workload wedged: clients still running 20s after schedule end (%v)", sched.End())
+	}
+
+	out := Outcome{Schedule: sched, Ops: rec.Ops(), Counts: inj.Counts(), RunErr: runErr}
+	out.Result = history.Check(out.Ops, history.CheckOptions{})
+	return out
+}

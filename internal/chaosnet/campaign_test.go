@@ -1,0 +1,119 @@
+package chaosnet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chaosnetSeeds resolves the campaign's seed batch. MUSIC_CHAOSNET_SEEDS
+// pins an explicit comma-separated list (CI uses this for the fast gate);
+// otherwise the default is seeds 1..50, trimmed to 8 under -short.
+func chaosnetSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("MUSIC_CHAOSNET_SEEDS"); env != "" {
+		var seeds []int64
+		for _, f := range strings.Split(env, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("MUSIC_CHAOSNET_SEEDS: bad seed %q: %v", f, err)
+			}
+			seeds = append(seeds, s)
+		}
+		return seeds
+	}
+	n := 50
+	if testing.Short() {
+		n = 8
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// TestChaosnetCampaign runs the pinned-seed fault campaign: every seed
+// deploys the full MUSIC stack over real loopback TCP, plays its generated
+// fault schedule through the dial/conn interposition layer, and checks the
+// recorded multi-site history against the ECF contract. Any violation dumps
+// a full repro (schedule + verdict + history); set MUSIC_CHAOSNET_REPRO_DIR
+// to also archive repro files (CI uploads them as artifacts).
+func TestChaosnetCampaign(t *testing.T) {
+	seeds := chaosnetSeeds(t)
+	reproDir := os.Getenv("MUSIC_CHAOSNET_REPRO_DIR")
+
+	type res struct {
+		seed int64
+		out  Outcome
+	}
+	results := make([]res, len(seeds))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = res{seed: seed, out: RunSeed(seed)}
+		}()
+	}
+	wg.Wait()
+
+	classes := map[Class]bool{}
+	violations := 0
+	for _, r := range results {
+		for cl := range r.out.Schedule.Classes() {
+			classes[cl] = true
+		}
+		if r.out.Violating() {
+			violations++
+			t.Errorf("seed %d: %d violations, run error %v",
+				r.seed, len(r.out.Result.Violations), r.out.RunErr)
+			repro := r.out.Repro()
+			if len(repro) > 16<<10 {
+				repro = repro[:16<<10] + "\n  ... (truncated)\n"
+			}
+			t.Log(repro)
+			if reproDir != "" {
+				path := filepath.Join(reproDir, fmt.Sprintf("chaosnet-seed-%d.txt", r.seed))
+				if err := os.WriteFile(path, []byte(r.out.Repro()), 0o644); err != nil {
+					t.Errorf("write repro: %v", err)
+				} else {
+					t.Logf("repro archived at %s", path)
+				}
+			}
+		}
+		if len(r.out.Ops) == 0 && r.out.RunErr == nil {
+			t.Errorf("seed %d: empty history — the workload recorded nothing", r.seed)
+		}
+	}
+	t.Logf("campaign: %d seeds, %d violating, classes drawn: %v", len(seeds), violations, classKeys(classes))
+
+	// The default full batch must exercise every fault family; a pinned CI
+	// subset only needs to run clean.
+	if os.Getenv("MUSIC_CHAOSNET_SEEDS") == "" && !testing.Short() {
+		for _, want := range []Class{ClassLoss, ClassPartition, ClassReset} {
+			if !classes[want] {
+				t.Errorf("default campaign batch never drew class %q", want)
+			}
+		}
+		if !classes[ClassLatency] && !classes[ClassBandwidth] {
+			t.Error("default campaign batch never drew a delay-family class")
+		}
+	}
+}
+
+func classKeys(m map[Class]bool) []string {
+	var out []string
+	for c := range m {
+		out = append(out, string(c))
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package chaosnet_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaosnet"
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// wrapCluster runs the full transport conformance suite through
+// chaosnet.Wrap over real TCP transports with an empty schedule — the
+// transparency proof: an idle injector must be invisible to protocol code,
+// reset recovery included.
+type wrapCluster struct {
+	inj *chaosnet.Injector
+	ts  map[transport.NodeID]transport.Transport
+
+	mu    sync.Mutex
+	conns map[[2]transport.NodeID][]net.Conn
+}
+
+func (c *wrapCluster) Transport(node transport.NodeID) transport.Transport { return c.ts[node] }
+
+func (c *wrapCluster) Run(t *testing.T, fn func()) { fn() }
+
+func (c *wrapCluster) Close() {
+	for _, tr := range c.ts {
+		tr.Close()
+	}
+}
+
+func (c *wrapCluster) track(self transport.NodeID) func(nettrans.Peer, time.Duration) (net.Conn, error) {
+	return func(peer nettrans.Peer, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", peer.Addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		key := [2]transport.NodeID{self, peer.ID}
+		c.conns[key] = append(c.conns[key], conn)
+		c.mu.Unlock()
+		return conn, nil
+	}
+}
+
+func (c *wrapCluster) Disrupt(from, to transport.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range [][2]transport.NodeID{{from, to}, {to, from}} {
+		for _, conn := range c.conns[key] {
+			_ = conn.Close()
+		}
+		c.conns[key] = nil
+	}
+}
+
+func newWrapCluster(t *testing.T, n int) *wrapCluster {
+	t.Helper()
+	rt := sim.NewReal(1)
+	sites := []string{"ohio", "ncalifornia", "oregon"}
+	inj := chaosnet.NewInjector(rt, chaosnet.Schedule{Seed: 1, Sites: sites})
+	inj.Start()
+	listeners := make([]net.Listener, n)
+	peers := make([]nettrans.Peer, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = lis
+		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: sites[i%len(sites)], Addr: lis.Addr().String()}
+	}
+	c := &wrapCluster{
+		inj:   inj,
+		ts:    make(map[transport.NodeID]transport.Transport, n),
+		conns: make(map[[2]transport.NodeID][]net.Conn),
+	}
+	for i := 0; i < n; i++ {
+		tr, err := nettrans.New(rt, nettrans.Config{
+			Self:       transport.NodeID(i),
+			Peers:      peers,
+			Listener:   listeners[i],
+			RPCTimeout: 2 * time.Second,
+			Dial:       c.track(transport.NodeID(i)),
+		})
+		if err != nil {
+			t.Fatalf("nettrans.New: %v", err)
+		}
+		c.ts[transport.NodeID(i)] = chaosnet.Wrap(tr, inj)
+	}
+	return c
+}
+
+// TestWrappedTransportConformance proves chaosnet.Wrap with an idle
+// schedule passes the full behavioral contract over the real TCP backend.
+func TestWrappedTransportConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) conformance.Cluster {
+		return newWrapCluster(t, 3)
+	})
+}

@@ -1,0 +1,177 @@
+package chaosnet
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Proxy is the in-path interposition point: it fronts one node's listener,
+// forwarding length-prefixed frames between each inbound connection and the
+// real node while applying the injector's verdicts in both directions. Use
+// it when the dialing process cannot be instrumented (a stock musicd): point
+// the peer set's Addr for the node at the proxy instead.
+//
+// The caller's site is learned from the first call frame on each connection
+// (the frame header carries the sending node id); until it is seen,
+// verdicts use the empty site, which only all-pair events match.
+type Proxy struct {
+	in         *Injector
+	target     string
+	targetSite string
+	siteOf     map[transport.NodeID]string
+
+	lis net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+}
+
+// NewProxy starts a proxy on lis forwarding to target (the real node's
+// address). siteOf maps node ids to sites so the proxy can attribute each
+// inbound connection's traffic to a site pair.
+func NewProxy(in *Injector, lis net.Listener, target, targetSite string, siteOf map[transport.NodeID]string) *Proxy {
+	p := &Proxy{in: in, target: target, targetSite: targetSite, siteOf: siteOf, lis: lis}
+	go p.acceptLoop()
+	return p
+}
+
+// Addr returns the address peers should dial instead of the real node.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Close stops accepting and severs every proxied connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	_ = p.lis.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns = append(p.conns, c)
+	return true
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+// pairSite is the per-connection caller-site cell shared by both pumps.
+type pairSite struct {
+	mu   sync.Mutex
+	site string
+}
+
+func (ps *pairSite) get() string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.site
+}
+
+func (ps *pairSite) set(site string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.site == "" {
+		ps.site = site
+	}
+}
+
+// serve proxies one inbound connection: dial the real node, then pump
+// frames both ways under verdicts. A reset verdict (or any socket error)
+// severs both sides — exactly what a mid-call RST does.
+func (p *Proxy) serve(client net.Conn) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	if !p.track(upstream) {
+		_ = client.Close()
+		_ = upstream.Close()
+		return
+	}
+	caller := &pairSite{}
+	sever := func() {
+		_ = client.Close()
+		_ = upstream.Close()
+	}
+	// client → node: call frames; learn the caller's site from the header.
+	go p.pump(client, upstream, sever, func(frame []byte) string {
+		if site, ok := p.callerSite(frame); ok {
+			caller.set(site)
+		}
+		return caller.get()
+	}, func(from string) (string, string) { return from, p.targetSite })
+	// node → client: replies attributed to the reverse direction.
+	go p.pump(upstream, client, sever, func([]byte) string { return caller.get() },
+		func(from string) (string, string) { return p.targetSite, from })
+}
+
+// pump moves frames src→dst, asking the injector for a verdict on each.
+func (p *Proxy) pump(src, dst net.Conn, sever func(), site func(frame []byte) string, dir func(callerSite string) (from, to string)) {
+	for {
+		frame, err := wire.ReadFrame(src)
+		if err != nil {
+			sever()
+			return
+		}
+		from, to := dir(site(frame))
+		v := p.in.Verdict(from, to, len(frame)+wire.FrameOverhead)
+		switch {
+		case v.Drop:
+			continue
+		case v.Reset:
+			sever()
+			return
+		}
+		if v.Delay > 0 {
+			p.in.rt.Sleep(v.Delay)
+		}
+		if err := wire.WriteFrame(dst, frame); err != nil {
+			sever()
+			return
+		}
+	}
+}
+
+// callerSite extracts the sending node's site from a call/one-way frame:
+// [u8 kind][u64 reqID][u32 from]... (the nettrans header layout).
+func (p *Proxy) callerSite(frame []byte) (string, bool) {
+	if len(frame) < 13 {
+		return "", false
+	}
+	kind := frame[0]
+	if kind != 1 && kind != 3 { // kindCall, kindOneway
+		return "", false
+	}
+	id := transport.NodeID(int32(uint32(frame[9])<<24 | uint32(frame[10])<<16 | uint32(frame[11])<<8 | uint32(frame[12])))
+	site, ok := p.siteOf[id]
+	return site, ok
+}

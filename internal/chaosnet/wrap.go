@@ -1,0 +1,128 @@
+package chaosnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Wrap interposes the injector above any transport.Transport at message
+// granularity: each call, reply, and one-way send gets a verdict for the
+// site pair it crosses. This is the backend-agnostic interposition point —
+// it cannot shape individual TCP segments the way the dial hook and Proxy
+// do, but it works over the simulated plane and any future backend
+// unchanged, and an empty schedule is perfectly transparent (the
+// conformance suite runs against a wrapped transport to prove it).
+func Wrap(inner transport.Transport, in *Injector) transport.Transport {
+	return &wrapped{Transport: inner, in: in}
+}
+
+type wrapped struct {
+	transport.Transport
+	in *Injector
+}
+
+// payloadSize estimates the frame bytes a message would occupy on the wire.
+// Unregistered payloads (impossible on the real plane) charge a nominal
+// frame.
+func payloadSize(req any) int {
+	if data, err := wire.Marshal(req); err == nil {
+		return len(data) + wire.FrameOverhead
+	}
+	return 256
+}
+
+func (w *wrapped) rt() sim.Runtime { return w.Transport.Runtime() }
+
+// Call uses the wrapper's CallTimeout so verdicts apply.
+func (w *wrapped) Call(from, to transport.NodeID, svc string, req any) (any, error) {
+	return w.CallTimeout(from, to, svc, req, w.Transport.RPCTimeout())
+}
+
+// CallTimeout judges the request leg and, on a clean reply, the reply leg.
+func (w *wrapped) CallTimeout(from, to transport.NodeID, svc string, req any, timeout time.Duration) (any, error) {
+	a, b := w.SiteOf(from), w.SiteOf(to)
+	v := w.in.Verdict(a, b, payloadSize(req))
+	switch {
+	case v.Drop:
+		// A swallowed request is indistinguishable from a dead peer: burn
+		// the caller's patience, then time out.
+		w.rt().Sleep(timeout)
+		return nil, fmt.Errorf("chaosnet: %s %s→%s dropped: %w", svc, a, b, transport.ErrTimeout)
+	case v.Reset:
+		return nil, fmt.Errorf("chaosnet: %s %s→%s reset: %w", svc, a, b, transport.ErrTimeout)
+	}
+	if v.Delay > 0 {
+		w.rt().Sleep(v.Delay)
+	}
+	resp, err := w.Transport.CallTimeout(from, to, svc, req, timeout)
+	if err != nil {
+		return resp, err
+	}
+	rv := w.in.Verdict(b, a, payloadSize(resp))
+	switch {
+	case rv.Drop:
+		w.rt().Sleep(timeout)
+		return nil, fmt.Errorf("chaosnet: %s reply %s→%s dropped: %w", svc, b, a, transport.ErrTimeout)
+	case rv.Reset:
+		return nil, fmt.Errorf("chaosnet: %s reply %s→%s reset: %w", svc, b, a, transport.ErrTimeout)
+	}
+	if rv.Delay > 0 {
+		w.rt().Sleep(rv.Delay)
+	}
+	return resp, nil
+}
+
+// Send judges the one leg a one-way message has; delays reschedule the
+// delivery without blocking the caller.
+func (w *wrapped) Send(from, to transport.NodeID, svc string, req any) {
+	v := w.in.Verdict(w.SiteOf(from), w.SiteOf(to), payloadSize(req))
+	if v.Drop || v.Reset {
+		return
+	}
+	if v.Delay > 0 {
+		w.rt().Go(func() {
+			w.rt().Sleep(v.Delay)
+			w.Transport.Send(from, to, svc, req)
+		})
+		return
+	}
+	w.Transport.Send(from, to, svc, req)
+}
+
+// Multicast re-fans through the wrapper's CallTimeout so each leg is judged
+// independently, mirroring the inner transports' collection semantics.
+func (w *wrapped) Multicast(from transport.NodeID, targets []transport.NodeID, svc string, req any, need int, timeout time.Duration) []transport.CallResult {
+	results := sim.NewMailbox[transport.CallResult](w.rt())
+	for _, to := range targets {
+		to := to
+		w.rt().Go(func() {
+			resp, err := w.CallTimeout(from, to, svc, req, timeout)
+			results.Send(transport.CallResult{From: to, Resp: resp, Err: err})
+		})
+	}
+	deadline := w.rt().Now() + timeout
+	collected := make([]transport.CallResult, 0, len(targets))
+	successes := 0
+	for len(collected) < len(targets) {
+		remaining := deadline - w.rt().Now()
+		if remaining < 0 {
+			remaining = 0
+		}
+		r, err := results.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		collected = append(collected, r)
+		if r.Err == nil {
+			successes++
+			if need > 0 && successes >= need {
+				break
+			}
+		}
+	}
+	return collected
+}

@@ -497,9 +497,14 @@ func (kh *keyHistory) checkSyncSkip() []Violation {
 		if !haveF {
 			continue
 		}
+		// An acquire spans enqueue (Inv) → grant (Resp), and the synchFlag
+		// matters at grant time: any grant that lands after the forced
+		// release and before g's own grant instant carries (and discharges)
+		// the synchronization obligation, even if g was already enqueued
+		// while it happened.
 		intervening := false
 		for _, h := range firsts[:i] {
-			if h.Resp > f.Resp && h.Resp <= g.Inv {
+			if h.Resp > f.Resp && h.Resp < g.Resp {
 				intervening = true
 				break
 			}

@@ -108,6 +108,34 @@ func (s Script) Classes() map[FaultKind]bool {
 	return m
 }
 
+// Window is one non-overlapping fault window: inject at At, heal at At+For.
+type Window struct {
+	At  time.Duration
+	For time.Duration
+}
+
+// Windows draws n non-overlapping fault windows from rng at the given time
+// scale: the first opens within [scale, 4·scale), each lasts
+// [1.5·scale, 6.5·scale), and consecutive windows are separated by
+// [scale, 4·scale). Non-overlap is what lets a schedule's events heal
+// independently and minimize one at a time. Generate uses scale=100ms on
+// virtual time; internal/chaosnet reuses the same generator at a tighter
+// wall-clock scale for the real TCP plane.
+func Windows(rng *rand.Rand, n int, scale time.Duration) []Window {
+	ms := func(lo, hi time.Duration) time.Duration {
+		loMs, hiMs := int(lo/time.Millisecond), int(hi/time.Millisecond)
+		return time.Duration(loMs+rng.Intn(hiMs-loMs)) * time.Millisecond
+	}
+	wins := make([]Window, 0, n)
+	at := ms(scale, 4*scale)
+	for i := 0; i < n; i++ {
+		w := Window{At: at, For: ms(3*scale/2, 13*scale/2)}
+		wins = append(wins, w)
+		at += w.For + ms(scale, 4*scale)
+	}
+	return wins
+}
+
 // Generate derives a Script from a seed: 2-3 clients spread across the
 // profile's sites running 2-3 sections each over 1-2 keys, under 1-3
 // non-overlapping fault windows drawn from the four classes. A script with
@@ -128,11 +156,10 @@ func Generate(seed int64) Script {
 		s.Keys = append(s.Keys, fmt.Sprintf("key-%c", 'a'+i))
 	}
 
-	nFaults := 1 + rng.Intn(3)
-	at := time.Duration(100+rng.Intn(300)) * time.Millisecond
+	wins := Windows(rng, 1+rng.Intn(3), 100*time.Millisecond)
 	skew := false
-	for i := 0; i < nFaults; i++ {
-		f := FaultEvent{At: at, For: time.Duration(150+rng.Intn(500)) * time.Millisecond}
+	for _, w := range wins {
+		f := FaultEvent{At: w.At, For: w.For}
 		switch rng.Intn(4) {
 		case 0:
 			f.Kind, f.Site = FaultCrash, sites[rng.Intn(len(sites))]
@@ -152,7 +179,6 @@ func Generate(seed int64) Script {
 			f.Kind, skew = FaultSkew, true
 		}
 		s.Faults = append(s.Faults, f)
-		at += f.For + time.Duration(100+rng.Intn(300))*time.Millisecond
 	}
 	if skew {
 		s.T = 400 * time.Millisecond

@@ -106,14 +106,14 @@ func TestExploreCampaign(t *testing.T) {
 // core-layer mutations) must surface the specific ECF rule the mutation
 // breaks, and the unmutated run of that schedule must stay clean.
 func TestExploreDetectsInjectedViolations(t *testing.T) {
-	// Seed 44 draws a skew window, so the forced-release + synchronize-on-
+	// Seed 14 draws a skew window, so the forced-release + synchronize-on-
 	// next-grant path is exercised; both mutations are observable on it.
-	base := Generate(44)
+	base := Generate(14)
 	if !base.Classes()[FaultSkew] {
-		t.Fatalf("seed 44 no longer draws a skew window; pick a new pinned seed")
+		t.Fatalf("seed 14 no longer draws a skew window; pick a new pinned seed")
 	}
 	if out := Run(base); out.Violating() {
-		t.Fatalf("unmutated seed 44 violating:\n%s", out.Repro())
+		t.Fatalf("unmutated seed 14 violating:\n%s", out.Repro())
 	}
 
 	cases := []struct {
@@ -130,7 +130,7 @@ func TestExploreDetectsInjectedViolations(t *testing.T) {
 			s.Mutation = tc.mutation
 			out := Run(s)
 			if !out.Violating() {
-				t.Fatalf("mutation %v on seed 44 not detected", tc.mutation)
+				t.Fatalf("mutation %v on seed 14 not detected", tc.mutation)
 			}
 			found := false
 			for _, v := range out.Result.Violations {
@@ -151,7 +151,7 @@ func TestExploreDetectsInjectedViolations(t *testing.T) {
 // TestMinimizeRepro shrinks a violating schedule and checks the reduced
 // script still violates and renders a self-contained repro.
 func TestMinimizeRepro(t *testing.T) {
-	s := Generate(44)
+	s := Generate(14)
 	s.Mutation = music.MutationSkipSynchronize
 	min, out := Minimize(s)
 	if !out.Violating() {
@@ -162,7 +162,7 @@ func TestMinimizeRepro(t *testing.T) {
 			len(min.Faults), len(min.Clients), len(s.Faults), len(s.Clients))
 	}
 	repro := out.Repro()
-	for _, want := range []string{"explore repro: seed=44", "fault script:", "clients:", "violation:", "history:"} {
+	for _, want := range []string{"explore repro: seed=14", "fault script:", "clients:", "violation:", "history:"} {
 		if !strings.Contains(repro, want) {
 			t.Errorf("repro missing %q:\n%s", want, repro)
 		}

@@ -21,6 +21,12 @@
 //	GET    /traces?limit=N                 → {"traces": [...]}     recent span trees
 //	GET    /traces?id=T                    → {"traces": [...]}     one trace by id
 //
+// When the cluster records operation histories (music.WithHistory, or the
+// TransportConfig.History recorder musicd -history wires up), one more
+// endpoint exports them for offline ECF checking (404 otherwise):
+//
+//	GET    /v1/history                     → {"site": s, "ops": [...]}
+//
 // ECF errors map to HTTP statuses: 409 Conflict for
 // "youAreNoLongerLockHolder" / expired sections (dead lockRef, give up),
 // 412 Precondition Failed for "not (yet) the lock holder" (retry), and
@@ -36,6 +42,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/music"
 )
@@ -61,6 +68,7 @@ func New(cl *music.Client) *Server {
 	})
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /traces", s.traces)
+	s.mux.HandleFunc("GET /v1/history", s.history)
 	return s
 }
 
@@ -238,6 +246,22 @@ func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
 		out = append(out, traceBody{Trace: uint64(id), Spans: tr.TraceJSON(id)})
 	}
 	writeJSON(w, http.StatusOK, map[string][]traceBody{"traces": out})
+}
+
+// history exports this process's recorded operation history. A checker
+// harness fetches every site's ops, merges them by response time, and runs
+// internal/history.Check over the combined timeline.
+func (s *Server) history(w http.ResponseWriter, r *http.Request) {
+	rec := s.cl.Cluster().History()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errBody("history recording disabled (music.WithHistory, or musicd -history)"))
+		return
+	}
+	ops := rec.Ops()
+	if ops == nil {
+		ops = []history.Op{} // a site with no ops yet serves [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"site": s.cl.Site(), "ops": ops})
 }
 
 func parseRef(w http.ResponseWriter, s string) (music.LockRef, bool) {

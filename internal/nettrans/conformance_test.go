@@ -2,6 +2,7 @@ package nettrans_test
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,9 +13,14 @@ import (
 )
 
 // netCluster adapts a set of in-process TCP transports — one per node, all
-// on loopback — to the shared conformance suite.
+// on loopback — to the shared conformance suite. Every transport dials
+// through a tracking hook so Disrupt can kill the live connections of a
+// node pair, the mid-call TCP reset the ResetInFlight case drives.
 type netCluster struct {
 	ts map[transport.NodeID]*nettrans.Transport
+
+	mu    sync.Mutex
+	conns map[[2]transport.NodeID][]net.Conn
 }
 
 func (c *netCluster) Transport(node transport.NodeID) transport.Transport { return c.ts[node] }
@@ -24,6 +30,32 @@ func (c *netCluster) Run(t *testing.T, fn func()) { fn() }
 func (c *netCluster) Close() {
 	for _, tr := range c.ts {
 		tr.Close()
+	}
+}
+
+// track returns a dial hook that records every connection node self dials.
+func (c *netCluster) track(self transport.NodeID) func(nettrans.Peer, time.Duration) (net.Conn, error) {
+	return func(peer nettrans.Peer, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", peer.Addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.conns[[2]transport.NodeID{self, peer.ID}] = append(c.conns[[2]transport.NodeID{self, peer.ID}], conn)
+		c.mu.Unlock()
+		return conn, nil
+	}
+}
+
+// Disrupt severs every live connection between the pair, both directions.
+func (c *netCluster) Disrupt(from, to transport.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range [][2]transport.NodeID{{from, to}, {to, from}} {
+		for _, conn := range c.conns[key] {
+			_ = conn.Close()
+		}
+		c.conns[key] = nil
 	}
 }
 
@@ -43,13 +75,17 @@ func newCluster(t *testing.T, n int) *netCluster {
 		listeners[i] = lis
 		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: sites[i%len(sites)], Addr: lis.Addr().String()}
 	}
-	c := &netCluster{ts: make(map[transport.NodeID]*nettrans.Transport, n)}
+	c := &netCluster{
+		ts:    make(map[transport.NodeID]*nettrans.Transport, n),
+		conns: make(map[[2]transport.NodeID][]net.Conn),
+	}
 	for i := 0; i < n; i++ {
 		tr, err := nettrans.New(rt, nettrans.Config{
 			Self:       transport.NodeID(i),
 			Peers:      peers,
 			Listener:   listeners[i],
 			RPCTimeout: 2 * time.Second,
+			Dial:       c.track(transport.NodeID(i)),
 		})
 		if err != nil {
 			t.Fatalf("nettrans.New: %v", err)

@@ -18,15 +18,10 @@ import (
 // multiplexing state simple — a connection's reader is either a pure
 // client-side reply pump or a pure server-side request loop.
 
-// Backoff bounds for redialing a dead peer.
-const (
-	backoffFloor = 50 * time.Millisecond
-	backoffCeil  = 2 * time.Second
-)
-
-// peerConn is the lazily dialed outbound connection to one peer.
+// peerConn is the lazily dialed outbound connection to one peer. The redial
+// backoff is bounded by Config.BackoffFloor/BackoffCeil.
 type peerConn struct {
-	addr string
+	peer Peer
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -54,11 +49,11 @@ func (t *Transport) send(to transport.NodeID, body []byte) error {
 	defer pc.mu.Unlock()
 	if pc.conn == nil {
 		if until := time.Until(pc.nextDial); until > 0 {
-			return fmt.Errorf("peer %s in dial backoff for %v", pc.addr, until.Round(time.Millisecond))
+			return fmt.Errorf("peer %s in dial backoff for %v", pc.peer.Addr, until.Round(time.Millisecond))
 		}
-		conn, err := net.DialTimeout("tcp", pc.addr, t.cfg.DialTimeout)
+		conn, err := t.cfg.Dial(pc.peer, t.cfg.DialTimeout)
 		if err != nil {
-			pc.backoff = min(max(2*pc.backoff, backoffFloor), backoffCeil)
+			pc.backoff = min(max(2*pc.backoff, t.cfg.BackoffFloor), t.cfg.BackoffCeil)
 			pc.nextDial = time.Now().Add(pc.backoff)
 			return err
 		}
@@ -87,7 +82,7 @@ func (t *Transport) peerConnFor(to transport.NodeID) *peerConn {
 	if !ok {
 		return nil
 	}
-	pc := &peerConn{addr: p.Addr}
+	pc := &peerConn{peer: p}
 	t.conns[to] = pc
 	return pc
 }

@@ -58,6 +58,15 @@ type Config struct {
 	RPCTimeout time.Duration
 	// DialTimeout bounds one connection attempt. Defaults to 1s.
 	DialTimeout time.Duration
+	// BackoffFloor and BackoffCeil bound the exponential redial backoff
+	// after a failed dial. Default to 50ms and 2s; chaos soaks tighten both
+	// so a partitioned peer is re-probed quickly once the window heals.
+	BackoffFloor time.Duration
+	BackoffCeil  time.Duration
+	// Dial, when set, replaces net.DialTimeout for outbound connections.
+	// internal/chaosnet interposes here: the hook can refuse the dial (a
+	// partitioned pair) or wrap the returned conn in a fault-injecting one.
+	Dial func(peer Peer, timeout time.Duration) (net.Conn, error)
 	// Listener, when set, is used instead of listening on Self's Addr —
 	// tests pass a port-0 listener whose address the peer set then records.
 	Listener net.Listener
@@ -110,6 +119,17 @@ func New(rt sim.Runtime, cfg Config) (*Transport, error) {
 	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = time.Second
+	}
+	if cfg.BackoffFloor == 0 {
+		cfg.BackoffFloor = 50 * time.Millisecond
+	}
+	if cfg.BackoffCeil == 0 {
+		cfg.BackoffCeil = 2 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(peer Peer, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", peer.Addr, timeout)
+		}
 	}
 	t := &Transport{
 		rt:       rt,

@@ -175,6 +175,86 @@ func TestSelfCallLoopback(t *testing.T) {
 	}
 }
 
+// TestDialHookAndBackoffConfig exercises the Config knobs: a custom Dial
+// hook sees the full Peer and can refuse connections, and the redial
+// backoff honors the configured floor/ceiling so a briefly refused peer is
+// re-probed on the tightened schedule instead of the 2s default ceiling.
+func TestDialHookAndBackoffConfig(t *testing.T) {
+	lis0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []nettrans.Peer{
+		{ID: 0, Site: "east", Addr: lis0.Addr().String()},
+		{ID: 1, Site: "west", Addr: lis1.Addr().String()},
+	}
+
+	var mu sync.Mutex
+	var dials []nettrans.Peer
+	refusals := 3
+	dial := func(peer nettrans.Peer, timeout time.Duration) (net.Conn, error) {
+		mu.Lock()
+		dials = append(dials, peer)
+		refuse := len(dials) <= refusals
+		mu.Unlock()
+		if refuse {
+			return nil, errors.New("injected dial refusal")
+		}
+		return net.DialTimeout("tcp", peer.Addr, timeout)
+	}
+
+	t0, err := nettrans.New(sim.NewReal(1), nettrans.Config{
+		Self: 0, Peers: peers, Listener: lis0,
+		RPCTimeout:   time.Second,
+		BackoffFloor: 5 * time.Millisecond,
+		BackoffCeil:  20 * time.Millisecond,
+		Dial:         dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := nettrans.New(sim.NewReal(2), nettrans.Config{Self: 1, Peers: peers, Listener: lis1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t1.Handle(1, "echo", func(from transport.NodeID, req any) (any, error) { return req, nil })
+
+	// With floor 5ms / ceiling 20ms the three refusals cost at most ~45ms of
+	// backoff; with the default bounds they would cost ~350ms. Bound the
+	// whole retry loop well under the default to prove the knobs took.
+	start := time.Now()
+	deadline := start.Add(2 * time.Second)
+	for {
+		_, err := t0.CallTimeout(0, 1, "echo", conformance.Msg{Tag: "hi"}, 250*time.Millisecond)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call never succeeded through the dial hook: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("reconnect took %v; backoff bounds not honored", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dials) < refusals+1 {
+		t.Fatalf("dial hook called %d times, want at least %d", len(dials), refusals+1)
+	}
+	for _, p := range dials {
+		if p.ID != 1 || p.Site != "west" || p.Addr != peers[1].Addr {
+			t.Fatalf("dial hook saw peer %+v, want %+v", p, peers[1])
+		}
+	}
+}
+
 // TestTopology checks the peer-set-derived topology accessors.
 func TestTopology(t *testing.T) {
 	c := newCluster(t, 4)

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SLOReport condenses one workload's service levels out of the registry:
+// the latency distribution of the operation that matters, how often it
+// succeeded, and how hard the client machinery worked to keep it available
+// (retries, cross-site failovers). The soak harness emits one per scenario.
+type SLOReport struct {
+	Scenario     string  `json:"scenario"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Attempts     int64   `json:"attempts"`
+	Failures     int64   `json:"failures"`
+	Availability float64 `json:"availability"` // successes / attempts
+	Throughput   float64 `json:"throughput"`   // successes per wall second
+
+	MeanMicros int64 `json:"mean_us"`
+	P50Micros  int64 `json:"p50_us"`
+	P99Micros  int64 `json:"p99_us"`
+	P999Micros int64 `json:"p999_us"`
+	MaxMicros  int64 `json:"max_us"`
+
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+}
+
+// SLOOptions names the series an SLO report reads.
+type SLOOptions struct {
+	// Scenario labels the report.
+	Scenario string
+	// Latency is the name of the success-latency histogram; every label
+	// variant of the name is merged.
+	Latency string
+	// Attempts and Failures are counter names (all label variants summed).
+	Attempts string
+	Failures string
+	// Wall is the workload's wall-clock duration.
+	Wall time.Duration
+}
+
+// SumCounter sums every counter series registered under name, across all
+// label sets — the "total over the whole deployment" view of per-site and
+// per-op counters like music_retry_total.
+func (r *Registry) SumCounter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, s := range r.series {
+		if s.name == name && s.kind == "counter" {
+			total += s.c.Value()
+		}
+	}
+	return total
+}
+
+// MergedHistogram merges every histogram series registered under name,
+// across all label sets, into one distribution.
+func (r *Registry) MergedHistogram(name string) *stats.Histogram {
+	out := stats.NewHistogram()
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, 4)
+	for _, s := range r.series {
+		if s.name == name && s.kind == "histogram" {
+			hs = append(hs, s.h)
+		}
+	}
+	r.mu.Unlock()
+	for _, h := range hs {
+		out.Merge(h.Snapshot())
+	}
+	return out
+}
+
+// SLO computes a service-level report from the named series. Missing series
+// simply contribute zero, so a report can be taken before any traffic ran.
+func (r *Registry) SLO(opts SLOOptions) SLOReport {
+	h := r.MergedHistogram(opts.Latency)
+	attempts := r.SumCounter(opts.Attempts)
+	failures := r.SumCounter(opts.Failures)
+	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
+	rep := SLOReport{
+		Scenario:    opts.Scenario,
+		WallSeconds: opts.Wall.Seconds(),
+		Attempts:    attempts,
+		Failures:    failures,
+		MeanMicros:  us(h.Mean()),
+		P50Micros:   us(h.Quantile(0.50)),
+		P99Micros:   us(h.Quantile(0.99)),
+		P999Micros:  us(h.Quantile(0.999)),
+		MaxMicros:   us(h.Max()),
+		Retries:     r.SumCounter("music_retry_total"),
+		Failovers:   r.SumCounter("music_failover_total"),
+	}
+	if attempts > 0 {
+		rep.Availability = float64(attempts-failures) / float64(attempts)
+	}
+	if s := opts.Wall.Seconds(); s > 0 {
+		rep.Throughput = float64(attempts-failures) / s
+	}
+	return rep
+}

@@ -25,8 +25,16 @@ var _ Runtime = (*Real)(nil)
 
 // NewReal returns a wall-clock runtime seeded with seed.
 func NewReal(seed int64) *Real {
+	return NewRealAt(time.Now(), seed)
+}
+
+// NewRealAt is NewReal with an explicit epoch: Now reports wall time elapsed
+// since start instead of since construction. Processes that agree on one
+// epoch (musicd with -history) produce directly comparable timestamps, so
+// their recorded histories merge into a single checkable timeline.
+func NewRealAt(start time.Time, seed int64) *Real {
 	return &Real{
-		start:  time.Now(),
+		start:  start,
 		rng:    rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
 		locals: make(map[uint64]any),
 	}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -26,6 +27,17 @@ func (c *simCluster) Run(t *testing.T, fn func()) {
 }
 
 func (c *simCluster) Close() {}
+
+// Disrupt black-holes the whole fabric long enough to kill any in-flight
+// exchange, then heals on its own — the simulated analogue of a TCP reset.
+// It runs inside the scheduler (the suite calls it from a task).
+func (c *simCluster) Disrupt(from, to transport.NodeID) {
+	c.n.SetLossRate(1)
+	c.rt.Go(func() {
+		c.rt.Sleep(600 * time.Millisecond)
+		c.n.SetLossRate(0)
+	})
+}
 
 // TestTransportConformance runs the backend-independent contract against the
 // simulated network.

@@ -17,6 +17,9 @@
 //   - Multicast returns once `need` targets succeeded and reports per-target
 //     results.
 //   - Send delivers one-way, best effort, without disturbing the caller.
+//   - A connection reset racing an in-flight call surfaces as ErrTimeout —
+//     the retryable taxonomy — and the next call transparently reconnects
+//     (backends expose the reset through the optional Disruptor interface).
 package conformance
 
 import (
@@ -69,6 +72,16 @@ type Cluster interface {
 	Close()
 }
 
+// Disruptor is the optional fault hook a backend's cluster adapter may
+// implement: Disrupt severs the live network path between two nodes the way
+// a mid-call TCP reset does — in-flight exchanges die, and connectivity
+// restores on its own afterwards (a killed connection redials on the next
+// call; a black-holed simulated path heals after the in-flight window).
+// Backends that implement it get the ResetInFlight case.
+type Disruptor interface {
+	Disrupt(from, to transport.NodeID)
+}
+
 // Run executes the full conformance suite, building a fresh cluster per
 // subtest.
 func Run(t *testing.T, mk func(t *testing.T) Cluster) {
@@ -78,6 +91,53 @@ func Run(t *testing.T, mk func(t *testing.T) Cluster) {
 	t.Run("Timeout", func(t *testing.T) { testTimeout(t, mk(t)) })
 	t.Run("MulticastQuorum", func(t *testing.T) { testMulticastQuorum(t, mk(t)) })
 	t.Run("SendOneWay", func(t *testing.T) { testSendOneWay(t, mk(t)) })
+	t.Run("ResetInFlight", func(t *testing.T) { testResetInFlight(t, mk(t)) })
+}
+
+// testResetInFlight severs the network path while a call is in flight: the
+// caller must see the uniform retryable failure (ErrTimeout, never a raw
+// socket error), and the very next calls must transparently reconnect.
+func testResetInFlight(t *testing.T, c Cluster) {
+	defer c.Close()
+	d, ok := c.(Disruptor)
+	if !ok {
+		t.Skip("backend adapter implements no Disruptor")
+	}
+	slow := c.Transport(1)
+	slow.Handle(1, "conf.slowecho", func(from transport.NodeID, req any) (any, error) {
+		slow.Runtime().Sleep(400 * time.Millisecond)
+		return req, nil
+	})
+	c.Run(t, func() {
+		rt := c.Transport(0).Runtime()
+		rt.Go(func() {
+			rt.Sleep(100 * time.Millisecond)
+			d.Disrupt(0, 1)
+		})
+		_, err := c.Transport(0).CallTimeout(0, 1, "conf.slowecho", Msg{Tag: "doomed"}, 800*time.Millisecond)
+		if err == nil {
+			t.Error("in-flight call survived a connection reset")
+			return
+		}
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("reset surfaced as %v, want the retryable ErrTimeout", err)
+		}
+		var recovered bool
+		for i := 0; i < 50 && !recovered; i++ {
+			resp, err := c.Transport(0).CallTimeout(0, 1, "conf.slowecho", Msg{Tag: "again"}, 2*time.Second)
+			if err == nil {
+				if got := resp.(Msg).Tag; got != "again" {
+					t.Errorf("post-reset reply = %q", got)
+				}
+				recovered = true
+				break
+			}
+			rt.Sleep(100 * time.Millisecond)
+		}
+		if !recovered {
+			t.Error("calls never reconnected after the reset")
+		}
+	})
 }
 
 func testCallEchoIsolated(t *testing.T, c Cluster) {

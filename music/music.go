@@ -305,6 +305,10 @@ type TransportConfig struct {
 	// Obs supplies the observability sink shared with the transport (nil
 	// disables metrics and tracing).
 	Obs *obs.Obs
+	// History, when set, records every protocol operation for the ECF /
+	// linearizability checkers. Pass one shared recorder to every cluster of
+	// a multi-deployment test and the merged timeline checks as one history.
+	History *history.Recorder
 }
 
 // NewOverTransport builds a MUSIC deployment over an externally constructed
@@ -321,6 +325,7 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 		RF:          cfg.RF,
 		DigestReads: cfg.DigestReads,
 		LocalNodes:  cfg.LocalNodes,
+		History:     cfg.History,
 	})
 	local := cfg.LocalNodes
 	if len(local) == 0 {
@@ -342,6 +347,7 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 		st:       st,
 		replicas: make(map[string]*core.Replica, len(sites)),
 		obs:      cfg.Obs,
+		history:  cfg.History,
 	}
 	if v, ok := c.rt.(*sim.Virtual); ok {
 		c.virtual = v
@@ -369,8 +375,9 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 			return nil, fmt.Errorf("music: no local node in site %q", site)
 		}
 		c.replicas[site] = core.NewReplica(st.Client(node), core.Config{
-			T:    cfg.T,
-			Mode: cfg.Mode,
+			T:       cfg.T,
+			Mode:    cfg.Mode,
+			History: cfg.History,
 		})
 	}
 	return c, nil

@@ -32,6 +32,13 @@ MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
 # rationale as the fault campaign above.
 MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
     go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1
+# Chaosnet campaign under pinned seeds: the same ECF checkers, but over the
+# REAL TCP message plane with seed-driven latency / loss / partition / reset
+# faults injected into the dial path (internal/chaosnet). The full 50-seed
+# batch runs in CI's chaosnet job and nightly; this subset keeps the local
+# gate fast without losing the wire-path coverage.
+MUSIC_CHAOSNET_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
+    go test ./internal/chaosnet/ -run 'TestChaosnetCampaign' -count=1
 
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
@@ -45,5 +52,13 @@ grep -q '"experiment": "fastpath"' "$fastpath_json"
 # clusters alongside the simulated plane and must emit BENCH_transport.json.
 go run ./cmd/musicbench -exp transport -quick -quiet -json "$transport_json" > /dev/null
 grep -q '"experiment": "transport"' "$transport_json"
+
+# Soak smoke: the soak scenarios must run end to end in quick mode over real
+# TCP with chaosnet faults and emit a well-formed BENCH_soak.json SLO report.
+soak_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json"' EXIT
+go run ./cmd/musicbench -exp soak -quick -quiet -json "$soak_json" > /dev/null
+grep -q '"experiment": "soak"' "$soak_json"
+grep -q '"scenario": "restarts"' "$soak_json"
 
 echo "check.sh: all green"
