@@ -36,11 +36,12 @@ type outFrame struct {
 
 // faultConn wraps one TCP connection, applying frame verdicts in both
 // directions. The write side reassembles wire frames from arbitrary Write
-// boundaries (wire.WriteFrame issues header and body separately), so every
+// boundaries (nettrans's combining writer coalesces several frames into one
+// batched write, and a writev fallback may split them again), so every
 // verdict covers exactly one protocol frame; delayed frames drain through a
 // single writer goroutine in FIFO order, keeping Write itself non-blocking
-// — the caller holds nettrans's per-peer send lock. The read side applies
-// verdicts per inbound frame with in-order (inline-sleep) delays.
+// for nettrans's drain loop. The read side applies verdicts per inbound
+// frame with in-order (inline-sleep) delays.
 type faultConn struct {
 	net.Conn
 	in       *Injector

@@ -1,0 +1,181 @@
+package nettrans
+
+import (
+	"bytes"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The frame hot path is pooled and single-buffer by design; these tests pin
+// the allocation budget so a regression (a dropped pool, an intermediate
+// payload buffer, a fresh Encoder per frame) fails the gate instead of
+// silently re-inflating the TCP plane. GC is disabled while counting so a
+// collection cannot empty the pools mid-run and charge the refill to us.
+
+// allocMsg is this package's hot-path test payload (test id range 900–999).
+type allocMsg struct {
+	Tag  string
+	Body []byte
+}
+
+func init() {
+	wire.Register(920, "nettrans.allocMsg",
+		func(e *wire.Encoder, v allocMsg) {
+			e.String(v.Tag)
+			e.RawBytes(v.Body)
+		},
+		func(d *wire.Decoder) allocMsg {
+			return allocMsg{Tag: d.String(), Body: d.RawBytes()}
+		})
+}
+
+// buildCallFrame encodes one call frame the way CallTimeout does.
+func buildCallFrame(tb testing.TB, msg any) []byte {
+	tb.Helper()
+	fr := wire.GetEncoder()
+	defer wire.PutEncoder(fr)
+	if err := appendCallFrame(fr, kindCall, 7, 1, "svc.echo", msg); err != nil {
+		tb.Fatalf("appendCallFrame: %v", err)
+	}
+	return append([]byte(nil), fr.Bytes()...)
+}
+
+// TestAllocCeilingCallFrame: encoding a call frame — pooled buffer, payload
+// marshaled in place, both length prefixes back-patched — must not allocate.
+func TestAllocCeilingCallFrame(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts; alloc counts are nondeterministic")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var msg any = allocMsg{Tag: "alloc", Body: make([]byte, 256)}
+	for i := 0; i < 8; i++ { // warm the encoder pool to steady-state capacity
+		buildCallFrame(t, msg)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		fr := wire.GetEncoder()
+		if err := appendCallFrame(fr, kindCall, 7, 1, "svc.echo", msg); err != nil {
+			t.Errorf("appendCallFrame: %v", err)
+		}
+		wire.PutEncoder(fr)
+	})
+	if allocs > 0 {
+		t.Fatalf("frame encode path allocated %.2f/op, want 0", allocs)
+	}
+}
+
+// TestAllocCeilingReadFrame: the decode path — frame read into a reused
+// buffer, header parsed, payload viewed without copying — may allocate at
+// most once per frame (the svc string the handler map is keyed by).
+func TestAllocCeilingReadFrame(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts; alloc counts are nondeterministic")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	msg := allocMsg{Tag: "alloc", Body: make([]byte, 256)}
+	frame := buildCallFrame(t, msg)
+	r := bytes.NewReader(frame)
+	var buf []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		body, err := wire.ReadFrameInto(r, buf)
+		if err != nil {
+			t.Errorf("ReadFrameInto: %v", err)
+			return
+		}
+		buf = body
+		d := wire.DecoderFor(body)
+		if kind := d.Uint8(); kind != kindCall {
+			t.Errorf("kind = %d", kind)
+		}
+		_ = d.Uint64()                          // reqID
+		_ = transport.NodeID(int32(d.Uint32())) // from
+		if svc := d.String(); svc != "svc.echo" {
+			t.Errorf("svc = %q", svc)
+		}
+		if payload := d.RawBytesView(); len(payload) == 0 || d.Err() != nil {
+			t.Errorf("payload view: len %d, err %v", len(payload), d.Err())
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("frame decode path allocated %.2f/op, want ≤1", allocs)
+	}
+}
+
+// BenchmarkCallFrame measures the encode hot path: one pooled buffer, one
+// payload marshal in place, zero allocations.
+func BenchmarkCallFrame(b *testing.B) {
+	var msg any = allocMsg{Tag: "bench", Body: make([]byte, 256)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr := wire.GetEncoder()
+		if err := appendCallFrame(fr, kindCall, uint64(i), 1, "svc.echo", msg); err != nil {
+			b.Fatal(err)
+		}
+		wire.PutEncoder(fr)
+	}
+}
+
+// BenchmarkReadFrame measures the decode hot path: frame into a reused
+// buffer, header parse, zero-copy payload view.
+func BenchmarkReadFrame(b *testing.B) {
+	frame := buildCallFrame(b, allocMsg{Tag: "bench", Body: make([]byte, 256)})
+	r := bytes.NewReader(frame)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		body, err := wire.ReadFrameInto(r, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = body
+		d := wire.DecoderFor(body)
+		_ = d.Uint8()
+		_ = d.Uint64()
+		_ = d.Uint32()
+		_ = d.String()
+		_ = d.RawBytesView()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+// BenchmarkRoundTrip measures a full in-memory frame cycle: encode a call,
+// decode it, unmarshal the payload, encode the reply, decode that — the
+// codec work one RPC costs on top of its two socket writes.
+func BenchmarkRoundTrip(b *testing.B) {
+	var msg any = allocMsg{Tag: "bench", Body: make([]byte, 256)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		call := wire.GetEncoder()
+		if err := appendCallFrame(call, kindCall, uint64(i), 1, "svc.echo", msg); err != nil {
+			b.Fatal(err)
+		}
+		d := wire.DecoderFor(call.Bytes()[4:]) // body after the frame length prefix
+		_ = d.Uint8()
+		id := d.Uint64()
+		_ = d.Uint32()
+		_ = d.String()
+		req, err := wire.Unmarshal(d.RawBytesView())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reply := wire.GetEncoder()
+		if err := appendReplyFrame(reply, id, req, nil); err != nil {
+			b.Fatal(err)
+		}
+		rd := wire.DecoderFor(reply.Bytes()[4:])
+		_ = rd.Uint8()
+		_ = rd.Uint64()
+		_ = rd.Uint8()
+		if _, err := wire.Unmarshal(rd.RawBytesView()); err != nil {
+			b.Fatal(err)
+		}
+		wire.PutEncoder(reply)
+		wire.PutEncoder(call)
+	}
+}

@@ -61,7 +61,7 @@ func (c *netCluster) Disrupt(from, to transport.NodeID) {
 
 // newCluster builds n loopback transports that know each other as peers,
 // using port-0 listeners so tests never collide on addresses.
-func newCluster(t *testing.T, n int) *netCluster {
+func newCluster(t testing.TB, n int) *netCluster {
 	t.Helper()
 	rt := sim.NewReal(1)
 	sites := []string{"east", "east", "west", "west"}

@@ -12,6 +12,14 @@
 // transport.RemoteError with registered sentinels (wire.RegisterError)
 // surviving the process boundary, so callers cannot tell this plane from
 // the simulated one.
+//
+// The hot path is allocation- and goroutine-frugal: frames are assembled in
+// pooled single buffers with back-patched length prefixes, each connection
+// batches concurrent senders' frames through a combining write queue that
+// never holds a lock across a syscall (or a dial — dials are single-flight),
+// Multicast fans out and demultiplexes replies without spawning goroutines,
+// and self-calls run synchronously through the codecs. DESIGN.md "The TCP
+// hot path" tells the full story.
 package nettrans
 
 import (
@@ -92,20 +100,56 @@ type Transport struct {
 	mu       sync.Mutex
 	handlers map[string]handlerEntry
 	conns    map[transport.NodeID]*peerConn
-	inbound  []net.Conn
+	inbound  map[net.Conn]struct{}
 	closed   bool
 
 	nextReq atomic.Uint64
-	pending sync.Map // reqID uint64 → chan reply
+	pending sync.Map // reqID uint64 → *pendingCall
+}
+
+// pendingCall is one in-flight request awaiting its reply. Several ids may
+// share one result channel (a multicast round); the reply pump tags each
+// result with the target it came from. Both the entry and the channel are
+// pooled — steady-state RPC traffic reuses a handful of each.
+type pendingCall struct {
+	to transport.NodeID
+	ch chan transport.CallResult
+}
+
+var pendingCallPool = sync.Pool{New: func() any { return new(pendingCall) }}
+
+// maxPooledFanout caps the capacity of pooled result channels; it must be
+// at least the widest multicast fan-out that shares one channel, so that
+// every reply fits without blocking the reply pump.
+const maxPooledFanout = 16
+
+var resultChPool = sync.Pool{
+	New: func() any { return make(chan transport.CallResult, maxPooledFanout) },
+}
+
+// acquireResultCh returns an empty result channel with capacity ≥ n.
+func acquireResultCh(n int) chan transport.CallResult {
+	if n > maxPooledFanout {
+		return make(chan transport.CallResult, n)
+	}
+	return resultChPool.Get().(chan transport.CallResult)
+}
+
+// releaseResultCh returns ch to the pool. Callers must guarantee it is
+// empty and no send can still be in flight (every pending id mapped to it
+// reclaimed or its reply drained).
+func releaseResultCh(ch chan transport.CallResult) {
+	if cap(ch) == maxPooledFanout {
+		resultChPool.Put(ch)
+	}
 }
 
 type handlerEntry struct {
 	fn transport.Handler
-}
-
-type reply struct {
-	resp any
-	err  error
+	// name is the canonical (registration-time) service string. serveConn
+	// looks handlers up through a byte view of the read buffer and adopts
+	// this stable string instead of materializing a fresh one per request.
+	name string
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -139,6 +183,7 @@ func New(rt sim.Runtime, cfg Config) (*Transport, error) {
 		peers:    make(map[transport.NodeID]Peer, len(cfg.Peers)),
 		handlers: make(map[string]handlerEntry),
 		conns:    make(map[transport.NodeID]*peerConn),
+		inbound:  make(map[net.Conn]struct{}),
 	}
 	for _, p := range cfg.Peers {
 		t.peers[p.ID] = p
@@ -221,7 +266,7 @@ func (t *Transport) Handle(node transport.NodeID, svc string, h transport.Handle
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.handlers[svc] = handlerEntry{fn: h}
+	t.handlers[svc] = handlerEntry{fn: h, name: svc}
 }
 
 // HandleWithCost is Handle; modeled CPU cost does not apply to real CPUs.
@@ -244,47 +289,86 @@ func (t *Transport) Call(from, to transport.NodeID, svc string, req any) (any, e
 // CallTimeout is Call with an explicit timeout. The from node must be this
 // process's own (a process cannot originate traffic for another machine).
 func (t *Transport) CallTimeout(from, to transport.NodeID, svc string, req any, timeout time.Duration) (resp any, err error) {
-	tr := t.obs.Tracer()
-	rpc := tr.Detached(tr.Current().Context(), "rpc:"+svc, t.rt.Now())
-	rpc.Annotatef("route", "n%d → n%d", from, to)
-	if t.obs != nil {
+	// The span name concat and route annotation are gated on an enabled
+	// tracer: with obs off (the default) the call path must not pay them.
+	if tr := t.obs.Tracer(); tr != nil {
+		rpc := tr.Detached(tr.Current().Context(), "rpc:"+svc, t.rt.Now())
+		rpc.Annotatef("route", "n%d → n%d", from, to)
 		start := t.rt.Now()
 		defer func() {
 			t.obs.Metrics().Histogram("nettrans_rpc_latency", obs.Labels{"svc": svc}).
 				Observe(t.rt.Now() - start)
+			rpc.EndErr(err)
 		}()
 	}
-	defer func() { rpc.EndErr(err) }()
 
 	if to == t.self {
-		return t.callLocal(from, svc, req, timeout)
+		return t.callLocal(from, svc, req)
 	}
 
-	payload, merr := wire.Marshal(req)
-	if merr != nil {
-		return nil, fmt.Errorf("nettrans: %s request: %w", svc, merr)
+	ch := acquireResultCh(1)
+	id, err := t.startCall(to, svc, req, ch)
+	if err != nil {
+		releaseResultCh(ch)
+		return nil, err
 	}
-	id := t.nextReq.Add(1)
-	ch := make(chan reply, 1)
-	t.pending.Store(id, ch)
-	defer t.pending.Delete(id)
-
-	if err := t.send(to, callFrame(kindCall, id, t.self, svc, payload)); err != nil {
-		// A peer we cannot reach looks exactly like a lost message.
-		return nil, fmt.Errorf("nettrans: %s to n%d: %v: %w", svc, to, err, transport.ErrTimeout)
-	}
+	tm := acquireTimer(timeout)
+	defer releaseTimer(tm)
 	select {
 	case r := <-ch:
-		return r.resp, r.err
-	case <-time.After(timeout):
+		// The reply pump removed the pending entry before sending; the
+		// channel is ours again and empty.
+		releaseResultCh(ch)
+		return r.Resp, r.Err
+	case <-tm.C:
+		if v, ok := t.pending.LoadAndDelete(id); ok {
+			// We removed the entry, so no reply can ever be sent: pool it.
+			pendingCallPool.Put(v)
+			releaseResultCh(ch)
+		} else {
+			// The reply pump claimed the entry first; its (buffered, non-
+			// blocking) send is imminent. Drain the late reply, then pool.
+			<-ch
+			releaseResultCh(ch)
+		}
 		return nil, fmt.Errorf("nettrans: %s to n%d: %w", svc, to, transport.ErrTimeout)
 	}
 }
 
+// startCall encodes req as a call frame, registers id → ch in the pending
+// table, and queues the frame for to's connection — the non-blocking half
+// of an RPC, shared by CallTimeout and Multicast. It never waits for a
+// reply; the reply pump delivers a tagged CallResult on ch. On error the
+// pending entry is reclaimed and nothing will ever be sent on ch for it.
+func (t *Transport) startCall(to transport.NodeID, svc string, req any, ch chan transport.CallResult) (uint64, error) {
+	fr := wire.GetEncoder()
+	id := t.nextReq.Add(1)
+	if err := appendCallFrame(fr, kindCall, id, t.self, svc, req); err != nil {
+		wire.PutEncoder(fr)
+		return 0, fmt.Errorf("nettrans: %s request: %w", svc, err)
+	}
+	pc := pendingCallPool.Get().(*pendingCall)
+	pc.to, pc.ch = to, ch
+	t.pending.Store(id, pc)
+	if err := t.send(to, fr); err != nil {
+		wire.PutEncoder(fr)
+		if v, ok := t.pending.LoadAndDelete(id); ok {
+			pendingCallPool.Put(v)
+		}
+		// A peer we cannot reach looks exactly like a lost message.
+		return 0, fmt.Errorf("nettrans: %s to n%d: %v: %w", svc, to, err, transport.ErrTimeout)
+	}
+	return id, nil
+}
+
 // callLocal dispatches a self-call without touching the socket, but still
 // round-trips the payload through its codec so the handler gets the same
-// isolated copy a remote caller's handler would.
-func (t *Transport) callLocal(from transport.NodeID, svc string, req any, timeout time.Duration) (any, error) {
+// isolated copy a remote caller's handler would. The handler runs
+// synchronously on the caller's goroutine — a process cannot be partitioned
+// from itself, so the call timeout (which models network loss) does not
+// apply, and the self-leg of every quorum round costs two codec copies
+// instead of a goroutine handoff, a timer and two channel operations.
+func (t *Transport) callLocal(from transport.NodeID, svc string, req any) (any, error) {
 	h, ok := t.handler(svc)
 	if !ok {
 		return nil, &transport.RemoteError{Err: fmt.Errorf("%w: %q on node %d", transport.ErrNoHandler, svc, t.self)}
@@ -293,35 +377,27 @@ func (t *Transport) callLocal(from transport.NodeID, svc string, req any, timeou
 	if err != nil {
 		return nil, fmt.Errorf("nettrans: %s request: %w", svc, err)
 	}
-	ch := make(chan reply, 1)
-	go func() {
-		resp, err := h(from, reqCopy)
-		if err != nil {
-			ch <- reply{err: &transport.RemoteError{Err: err}}
-			return
-		}
-		resp, err = codecCopy(resp)
-		if err != nil {
-			ch <- reply{err: &transport.RemoteError{Err: err}}
-			return
-		}
-		ch <- reply{resp: resp}
-	}()
-	select {
-	case r := <-ch:
-		return r.resp, r.err
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("nettrans: %s loopback: %w", svc, transport.ErrTimeout)
+	resp, herr := h(from, reqCopy)
+	if herr != nil {
+		return nil, &transport.RemoteError{Err: herr}
 	}
+	resp, err = codecCopy(resp)
+	if err != nil {
+		return nil, &transport.RemoteError{Err: err}
+	}
+	return resp, nil
 }
 
 // codecCopy moves v through its wire codec, yielding an independent copy.
+// The encode buffer is pooled; Unmarshal's codecs copy whatever the decoded
+// value retains.
 func codecCopy(v any) (any, error) {
-	data, err := wire.Marshal(v)
-	if err != nil {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	if err := wire.MarshalTo(e, v); err != nil {
 		return nil, err
 	}
-	return wire.Unmarshal(data)
+	return wire.Unmarshal(e.Bytes())
 }
 
 // Send delivers req without waiting for a reply, best effort: marshal or
@@ -335,42 +411,93 @@ func (t *Transport) Send(from, to transport.NodeID, svc string, req any) {
 		}
 		return
 	}
-	payload, err := wire.Marshal(req)
-	if err != nil {
+	fr := wire.GetEncoder()
+	if err := appendCallFrame(fr, kindOneway, 0, t.self, svc, req); err != nil {
+		wire.PutEncoder(fr)
 		return
 	}
-	_ = t.send(to, callFrame(kindOneway, 0, t.self, svc, payload))
+	if err := t.send(to, fr); err != nil {
+		wire.PutEncoder(fr)
+	}
 }
 
 // Multicast fans req out to every target and collects replies until need of
-// them succeeded, everyone answered, or the timeout elapsed.
+// them succeeded, everyone answered, or the timeout elapsed — without
+// spawning a single goroutine. Each remote frame is encoded and queued
+// inline from the caller, the self-leg runs synchronously after the remote
+// frames are on their way, and all replies demultiplex onto one shared
+// pooled result channel through the pending table (replies come back tagged
+// with the sender, so out-of-order completion is fine). On early return the
+// outstanding pending entries are reclaimed and any reply that raced the
+// reclaim is drained before the channel is pooled: nothing — no goroutine,
+// no stuck send, no pending-table entry — outlives the call.
 func (t *Transport) Multicast(from transport.NodeID, targets []transport.NodeID, svc string, req any, need int, timeout time.Duration) []transport.CallResult {
-	results := make(chan transport.CallResult, len(targets))
-	for _, to := range targets {
-		to := to
-		go func() {
-			resp, err := t.CallTimeout(from, to, svc, req, timeout)
-			results <- transport.CallResult{From: to, Resp: resp, Err: err}
-		}()
-	}
-	deadline := time.After(timeout)
+	results := acquireResultCh(len(targets))
 	collected := make([]transport.CallResult, 0, len(targets))
-	successes := 0
+	var idbuf [8]uint64
+	ids := idbuf[:0]
+	successes, consumedRemote := 0, 0
+	selfTarget := false
+	for _, to := range targets {
+		if to == t.self {
+			selfTarget = true // run after the remote frames are queued
+			continue
+		}
+		id, err := t.startCall(to, svc, req, results)
+		if err != nil {
+			collected = append(collected, transport.CallResult{From: to, Err: err})
+			continue
+		}
+		ids = append(ids, id)
+	}
+	cleanup := func() []transport.CallResult {
+		reclaimed := 0
+		for _, id := range ids {
+			if v, ok := t.pending.LoadAndDelete(id); ok {
+				pendingCallPool.Put(v)
+				reclaimed++
+			}
+		}
+		// Every id neither consumed nor reclaimed was claimed by the reply
+		// pump between our reclaim and its (buffered, non-blocking) send:
+		// drain those so the channel is provably empty before pooling it.
+		for imminent := len(ids) - consumedRemote - reclaimed; imminent > 0; imminent-- {
+			<-results
+		}
+		releaseResultCh(results)
+		return collected
+	}
+	if selfTarget {
+		resp, err := t.callLocal(from, svc, req)
+		collected = append(collected, transport.CallResult{From: t.self, Resp: resp, Err: err})
+		if err == nil {
+			successes++
+			if need > 0 && successes >= need {
+				return cleanup()
+			}
+		}
+	}
+	if len(collected) == len(targets) {
+		return cleanup()
+	}
+	tm := acquireTimer(timeout)
+	defer releaseTimer(tm)
 	for len(collected) < len(targets) {
 		select {
 		case r := <-results:
+			consumedRemote++
 			collected = append(collected, r)
 			if r.Err == nil {
 				successes++
 				if need > 0 && successes >= need {
-					return collected
+					return cleanup()
 				}
 			}
-		case <-deadline:
-			return collected
+		case <-tm.C:
+			return cleanup()
 		}
 	}
-	return collected
+	return cleanup()
 }
 
 // Close shuts the listener and every connection down. In-flight calls fail
@@ -385,16 +512,25 @@ func (t *Transport) Close() {
 	conns := t.conns
 	t.conns = map[transport.NodeID]*peerConn{}
 	inbound := t.inbound
-	t.inbound = nil
+	t.inbound = map[net.Conn]struct{}{}
 	t.mu.Unlock()
 
 	_ = t.lis.Close()
 	for _, pc := range conns {
 		pc.close()
 	}
-	for _, c := range inbound {
+	for c := range inbound {
 		_ = c.Close()
 	}
+}
+
+// InboundConns reports the number of live inbound connections currently
+// tracked — a diagnostic for tests guarding the accept-side bookkeeping
+// against leaking dead connections under reconnect churn.
+func (t *Transport) InboundConns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inbound)
 }
 
 func (t *Transport) isClosed() bool {
@@ -410,33 +546,68 @@ func (t *Transport) handler(svc string) (transport.Handler, bool) {
 	return h.fn, ok
 }
 
-// callFrame assembles the frame body:
-// [u8 kind][u64 reqID][u32 from][u32 len(svc)][svc][u32 len(payload)][payload].
-func callFrame(kind byte, id uint64, from transport.NodeID, svc string, payload []byte) []byte {
-	var e wire.Encoder
-	e.Uint8(kind)
-	e.Uint64(id)
-	e.Uint32(uint32(from))
-	e.String(svc)
-	e.RawBytes(payload)
-	return e.Bytes()
+// handlerForBytes is handler keyed by a byte view of the service name. The
+// string(svc) conversion inside the map index does not allocate, and the
+// returned entry carries the canonical name string registered with Handle.
+func (t *Transport) handlerForBytes(svc []byte) (handlerEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.handlers[string(svc)]
+	return h, ok
 }
 
-// replyFrame assembles [u8 kind=reply][u64 reqID][u8 status][payload|error].
-func replyFrame(id uint64, resp any, herr error) ([]byte, error) {
-	var e wire.Encoder
-	e.Uint8(kindReply)
-	e.Uint64(id)
+// appendCallFrame appends the complete on-wire encoding of one call or
+// one-way message to fr — frame length prefix included, so header, routing
+// and payload leave in a single Write:
+//
+//	[u32 frame len][u8 kind][u64 reqID][u32 from][u32 len(svc)][svc][u32 len(payload)][payload]
+//
+// The payload is marshaled straight into fr (no intermediate buffer); both
+// length prefixes are back-patched once their sections are in place. On a
+// marshal error fr is restored to its prior length.
+func appendCallFrame(fr *wire.Encoder, kind byte, id uint64, from transport.NodeID, svc string, req any) error {
+	frameOff := fr.Len()
+	fr.Uint32(0) // frame length, patched below
+	fr.Uint8(kind)
+	fr.Uint64(id)
+	fr.Uint32(uint32(from))
+	fr.String(svc)
+	payOff := fr.Len()
+	fr.Uint32(0) // payload length, patched below
+	if err := wire.MarshalTo(fr, req); err != nil {
+		fr.Truncate(frameOff)
+		return err
+	}
+	fr.FixUint32(payOff, uint32(fr.Len()-payOff-4))
+	fr.FixUint32(frameOff, uint32(fr.Len()-frameOff-4))
+	return nil
+}
+
+// appendReplyFrame appends a complete reply frame to fr:
+//
+//	[u32 frame len][u8 kind=reply][u64 reqID][u8 status][payload|error]
+//
+// mirroring appendCallFrame's single-buffer, single-write layout. On a
+// marshal error fr is restored to its prior length so the caller can append
+// an error reply instead.
+func appendReplyFrame(fr *wire.Encoder, id uint64, resp any, herr error) error {
+	frameOff := fr.Len()
+	fr.Uint32(0) // frame length, patched below
+	fr.Uint8(kindReply)
+	fr.Uint64(id)
 	if herr != nil {
-		e.Uint8(statusErr)
-		wire.EncodeError(&e, herr)
-		return e.Bytes(), nil
+		fr.Uint8(statusErr)
+		wire.EncodeError(fr, herr)
+	} else {
+		fr.Uint8(statusOK)
+		payOff := fr.Len()
+		fr.Uint32(0) // payload length, patched below
+		if err := wire.MarshalTo(fr, resp); err != nil {
+			fr.Truncate(frameOff)
+			return err
+		}
+		fr.FixUint32(payOff, uint32(fr.Len()-payOff-4))
 	}
-	payload, err := wire.Marshal(resp)
-	if err != nil {
-		return nil, err
-	}
-	e.Uint8(statusOK)
-	e.RawBytes(payload)
-	return e.Bytes(), nil
+	fr.FixUint32(frameOff, uint32(fr.Len()-frameOff-4))
+	return nil
 }

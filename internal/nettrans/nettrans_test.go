@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -251,6 +252,139 @@ func TestDialHookAndBackoffConfig(t *testing.T) {
 	for _, p := range dials {
 		if p.ID != 1 || p.Site != "west" || p.Addr != peers[1].Addr {
 			t.Fatalf("dial hook saw peer %+v, want %+v", p, peers[1])
+		}
+	}
+}
+
+// TestInboundChurnBounded churns many short-lived inbound connections — the
+// reconnect pattern chaosnet's reset faults produce — and asserts the
+// accept-side tracking drops each one as it dies. The old code appended
+// every accepted conn to a slice and never removed closed ones, so this
+// count grew without bound.
+func TestInboundChurnBounded(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+	c.Transport(1).Handle(1, "echo", func(from transport.NodeID, req any) (any, error) {
+		return req, nil
+	})
+	// One legitimate live connection: node 0 calling node 1.
+	if _, err := c.Transport(0).Call(0, 1, "echo", conformance.Msg{Tag: "pre"}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+
+	addr := c.ts[1].Addr()
+	const churn = 40
+	for i := 0; i < churn; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("churn dial %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			// Half the churn dies mid-frame, like a chaosnet reset.
+			_, _ = conn.Write([]byte{0, 0, 0})
+		}
+		_ = conn.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := c.ts[1].InboundConns(); n <= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inbound tracking leaked: %d conns tracked after %d churned reconnects, want ≤1",
+				c.ts[1].InboundConns(), churn)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The transport must still serve after the churn.
+	if _, err := c.Transport(0).Call(0, 1, "echo", conformance.Msg{Tag: "post"}); err != nil {
+		t.Fatalf("post-churn Call: %v", err)
+	}
+}
+
+// TestBlackholedPeerDialsSingleFlight drives concurrent calls at a peer
+// whose dial hangs for the full DialTimeout (a black-holed address). The
+// dial must be single-flight and outside the frame-write critical section:
+// every caller returns within about one DialTimeout. The old code held
+// pc.mu across the dial, so N concurrent calls serialized into N×DialTimeout.
+func TestBlackholedPeerDialsSingleFlight(t *testing.T) {
+	lis0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []nettrans.Peer{
+		{ID: 0, Site: "east", Addr: lis0.Addr().String()},
+		{ID: 1, Site: "west", Addr: "192.0.2.1:9"}, // TEST-NET, never reachable
+	}
+	const dialTimeout = 300 * time.Millisecond
+	var dials atomic.Int32
+	t0, err := nettrans.New(sim.NewReal(1), nettrans.Config{
+		Self: 0, Peers: peers, Listener: lis0,
+		DialTimeout: dialTimeout,
+		Dial: func(peer nettrans.Peer, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			time.Sleep(timeout) // black hole: no SYN-ACK until the timeout
+			return nil, errors.New("dial black-holed")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	const callers = 8
+	start := time.Now()
+	elapsed := make(chan time.Duration, callers)
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := t0.CallTimeout(0, 1, "any", conformance.Msg{Tag: "q"}, 5*time.Second)
+			elapsed <- time.Since(start)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(elapsed)
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	}
+	for d := range elapsed {
+		// One shared dial plus scheduling slack — nowhere near callers×DialTimeout.
+		if d > 2*dialTimeout {
+			t.Errorf("caller took %v, want ≈%v (head-of-line blocked?)", d, dialTimeout)
+		}
+	}
+	if n := dials.Load(); n > 2 {
+		t.Errorf("dial attempted %d times for %d concurrent callers, want single-flight", n, callers)
+	}
+}
+
+// BenchmarkLoopbackCall measures one full RPC over real TCP loopback —
+// frame encode, socket write, server decode+dispatch, reply encode, socket
+// write back, reply match — the end-to-end floor the lock-path latencies
+// build on.
+func BenchmarkLoopbackCall(b *testing.B) {
+	c := newCluster(b, 2)
+	defer c.Close()
+	c.Transport(1).Handle(1, "echo", func(from transport.NodeID, req any) (any, error) {
+		return req, nil
+	})
+	msg := conformance.Msg{Tag: "bench", Body: make([]byte, 256)}
+	if _, err := c.Transport(0).Call(0, 1, "echo", msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transport(0).Call(0, 1, "echo", msg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package nettrans
+
+// raceEnabled reports whether the race detector is compiled in. The
+// race-mode runtime deliberately drops a fraction of sync.Pool puts, so
+// allocation-ceiling tests are nondeterministic under it and skip.
+const raceEnabled = true

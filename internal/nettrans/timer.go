@@ -1,0 +1,35 @@
+package nettrans
+
+import (
+	"sync"
+	"time"
+)
+
+// timerPool recycles the timeout timers of the call hot path. time.After
+// allocates a fresh timer per call and leaves it live until it fires — at
+// transport rates that is a steady stream of garbage plus a timer heap full
+// of dead entries — whereas a pooled timer is stopped, drained and reused.
+var timerPool sync.Pool
+
+// acquireTimer returns a timer that fires after d. Pair with releaseTimer.
+func acquireTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		tm := v.(*time.Timer)
+		tm.Reset(d)
+		return tm
+	}
+	return time.NewTimer(d)
+}
+
+// releaseTimer stops tm, drains a pending fire, and returns it to the pool.
+// The caller must be the only receiver on tm.C (true for the select-scoped
+// timers this package creates), so the Reset in acquireTimer is race-free.
+func releaseTimer(tm *time.Timer) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	timerPool.Put(tm)
+}

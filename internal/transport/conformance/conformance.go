@@ -25,6 +25,7 @@ package conformance
 import (
 	"bytes"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -90,6 +91,7 @@ func Run(t *testing.T, mk func(t *testing.T) Cluster) {
 	t.Run("NoHandler", func(t *testing.T) { testNoHandler(t, mk(t)) })
 	t.Run("Timeout", func(t *testing.T) { testTimeout(t, mk(t)) })
 	t.Run("MulticastQuorum", func(t *testing.T) { testMulticastQuorum(t, mk(t)) })
+	t.Run("MulticastStragglerDrain", func(t *testing.T) { testMulticastStragglerDrain(t, mk(t)) })
 	t.Run("SendOneWay", func(t *testing.T) { testSendOneWay(t, mk(t)) })
 	t.Run("ResetInFlight", func(t *testing.T) { testResetInFlight(t, mk(t)) })
 }
@@ -243,6 +245,80 @@ func testMulticastQuorum(t *testing.T, c Cluster) {
 				t.Errorf("duplicate result from n%d", r.From)
 			}
 			seen[r.From] = true
+		}
+	})
+}
+
+// testMulticastStragglerDrain pins the cleanup contract of a quorum-early
+// return: when Multicast comes back with `need` successes while a slow
+// target is still working, whatever machinery was waiting on the straggler
+// must drain on its own once that target answers — no goroutine parked
+// forever on a result channel nobody reads (whether the transport fans out
+// with per-target goroutines or demultiplexes replies onto the caller),
+// and no timeout timer left running for the rest of the window.
+func testMulticastStragglerDrain(t *testing.T, c Cluster) {
+	defer c.Close()
+	const slowFor = 700 * time.Millisecond
+	var slowDone atomic.Bool
+	for _, id := range []transport.NodeID{0, 1, 2} {
+		id := id
+		c.Transport(id).Handle(id, "conf.warm", func(from transport.NodeID, req any) (any, error) {
+			return Msg{Tag: "ack"}, nil
+		})
+		if id != 2 {
+			c.Transport(id).Handle(id, "conf.drain", func(from transport.NodeID, req any) (any, error) {
+				return Msg{Tag: "ack"}, nil
+			})
+		}
+	}
+	slow := c.Transport(2)
+	slow.Handle(2, "conf.drain", func(from transport.NodeID, req any) (any, error) {
+		slow.Runtime().Sleep(slowFor)
+		slowDone.Store(true)
+		return Msg{Tag: "ack"}, nil
+	})
+	c.Run(t, func() {
+		rt := c.Transport(0).Runtime()
+		// Warm every path first (connections, per-node workers, lazy tracer
+		// state) so the goroutine baseline below reflects steady state, not a
+		// cold cluster.
+		warm := c.Transport(0).Multicast(0, []transport.NodeID{0, 1, 2}, "conf.warm", Msg{Tag: "w"}, 0, 5*time.Second)
+		if got := len(transport.Successes(warm)); got != 3 {
+			t.Errorf("warm-up successes = %d, want 3", got)
+			return
+		}
+		baseline := runtime.NumGoroutine()
+		start := rt.Now()
+		results := c.Transport(0).Multicast(0, []transport.NodeID{0, 1, 2}, "conf.drain", Msg{Tag: "q"}, 2, 5*time.Second)
+		if got := len(transport.Successes(results)); got < 2 {
+			t.Errorf("successes = %d, want ≥2", got)
+			return
+		}
+		if elapsed := rt.Now() - start; elapsed >= slowFor/2 {
+			t.Errorf("quorum return took %v, want well under the %v straggler", elapsed, slowFor)
+		}
+		// The straggler is still inside its call. Wait out its handler, then
+		// require the goroutine count to settle back: its result must land in
+		// a buffer (or a closed mailbox) rather than block a goroutine, and
+		// the multicast window's timer must not still be ticking toward 5s.
+		for i := 0; i < 200 && !slowDone.Load(); i++ {
+			rt.Sleep(10 * time.Millisecond)
+		}
+		if !slowDone.Load() {
+			t.Error("straggler handler never completed")
+			return
+		}
+		settled := false
+		for i := 0; i < 200; i++ {
+			if runtime.NumGoroutine() <= baseline+2 {
+				settled = true
+				break
+			}
+			rt.Sleep(10 * time.Millisecond)
+		}
+		if !settled {
+			t.Errorf("goroutines never drained after quorum-early multicast: %d live, baseline %d",
+				runtime.NumGoroutine(), baseline)
 		}
 	})
 }

@@ -37,18 +37,36 @@ func AppendFrame(dst, body []byte) []byte {
 // ReadFrame reads one frame written by WriteFrame. io.EOF surfaces
 // unchanged at a clean frame boundary so stream loops can terminate.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [FrameOverhead]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto is ReadFrame reusing buf's capacity for the frame body: the
+// result aliases buf when it fits and is freshly allocated otherwise. Stream
+// loops feed each call's result back in as the next call's buf, so a
+// long-lived connection settles at zero allocations per frame (the length
+// header is staged in buf too, keeping even it off the heap). The returned
+// slice is only valid until the next reuse.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < FrameOverhead {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:FrameOverhead]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("wire: truncated frame header: %w", err)
 		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds cap %d", n, MaxFrame)
 	}
-	body := make([]byte, n)
+	var body []byte
+	if int(n) <= cap(buf) {
+		body = buf[:n]
+	} else {
+		body = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF

@@ -159,6 +159,23 @@ func Unmarshal(data []byte) (any, error) {
 	return v, nil
 }
 
+// MarshalTo appends msg's [u16 type id][body] encoding to e — Marshal for
+// callers assembling a larger frame in one (typically pooled) buffer, so the
+// payload needs no intermediate allocation before it joins its headers.
+func MarshalTo(e *Encoder, msg any) error {
+	if msg == nil {
+		e.Uint16(idNil)
+		return nil
+	}
+	c, ok := lookupType(msg)
+	if !ok {
+		return fmt.Errorf("%w: %T", ErrUnregistered, msg)
+	}
+	e.Uint16(c.id)
+	c.enc(e, msg)
+	return nil
+}
+
 // Size returns the exact marshaled size of msg in bytes; ok is false when
 // msg's type has no codec.
 func Size(msg any) (int, bool) {
@@ -193,6 +210,48 @@ type Encoder struct {
 
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far — an offset callers record
+// before a section they will length-patch with FixUint32.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Truncate shortens the buffer to n bytes, keeping capacity, so a caller can
+// undo a partially appended section (say, a payload whose codec failed
+// mid-encode) and append something else instead.
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
+
+// FixUint32 overwrites the four bytes at off with v — for back-patching a
+// length prefix once the section it describes has been appended.
+func (e *Encoder) FixUint32(off int, v uint32) {
+	binary.BigEndian.PutUint32(e.buf[off:off+4], v)
+}
+
+// maxPooledBuf caps the capacity an encoder carries back into the pool; a
+// one-off multi-megabyte payload must not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+var encPool sync.Pool
+
+// GetEncoder returns a pooled encoder, emptied but with its previous
+// capacity retained — the hot-path alternative to a fresh Encoder per frame.
+// Pair with PutEncoder once the encoded bytes have been consumed.
+func GetEncoder() *Encoder {
+	if v := encPool.Get(); v != nil {
+		e := v.(*Encoder)
+		e.buf = e.buf[:0]
+		return e
+	}
+	return new(Encoder)
+}
+
+// PutEncoder returns e to the pool. The caller must not touch e or its
+// Bytes afterwards.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
 
 // Uint8 appends one byte.
 func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
@@ -260,6 +319,10 @@ type Decoder struct {
 // NewDecoder wraps data for decoding — for transports parsing their own
 // frame headers outside Marshal/Unmarshal.
 func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// DecoderFor is NewDecoder by value: hot paths declare the decoder as a
+// local so it stays off the heap.
+func DecoderFor(data []byte) Decoder { return Decoder{buf: data} }
 
 // Err returns the sticky decode error, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -342,6 +405,30 @@ func (d *Decoder) RawBytes() []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// RawBytesView is RawBytes without the copy: the returned slice aliases the
+// decode buffer, so it is only valid until the buffer is reused. Transports
+// use it to hand a frame's payload straight to Unmarshal (whose codecs copy
+// whatever they keep) without an intermediate allocation.
+func (d *Decoder) RawBytesView() []byte {
+	n := d.Uint32()
+	if d.err != nil || n == nilLen {
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// StringView reads a length-prefixed string as a byte view aliasing the
+// decode buffer — String without the allocation, for consumers that only
+// key a map lookup or compare before the buffer is reused.
+func (d *Decoder) StringView() []byte {
+	n := d.Uint32()
+	if d.err != nil || n == nilLen {
+		d.fail()
+		return nil
+	}
+	return d.take(int(n))
 }
 
 // String reads a length-prefixed string.

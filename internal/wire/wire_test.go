@@ -199,6 +199,144 @@ func TestAppendFrame(t *testing.T) {
 	}
 }
 
+// TestReadFrameInto pins the buffer-reuse contract: a result that fits
+// aliases the caller's buffer, a bigger frame gets a fresh allocation, and
+// either way the bytes round-trip.
+func TestReadFrameInto(t *testing.T) {
+	small := bytes.Repeat([]byte{0x11}, 64)
+	big := bytes.Repeat([]byte{0x22}, 4096)
+	var stream bytes.Buffer
+	for _, b := range [][]byte{small, big, small} {
+		if err := WriteFrame(&stream, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 0, 128)
+	got, err := ReadFrameInto(&stream, buf)
+	if err != nil || !bytes.Equal(got, small) {
+		t.Fatalf("small frame: %v (len %d)", err, len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("small frame did not reuse the caller's buffer")
+	}
+	got2, err := ReadFrameInto(&stream, got)
+	if err != nil || !bytes.Equal(got2, big) {
+		t.Fatalf("big frame: %v (len %d)", err, len(got2))
+	}
+	if cap(got2) < len(big) {
+		t.Fatalf("big frame buffer cap %d < %d", cap(got2), len(big))
+	}
+	// Feeding the grown buffer back reuses it for the next small frame.
+	got3, err := ReadFrameInto(&stream, got2)
+	if err != nil || !bytes.Equal(got3, small) {
+		t.Fatalf("third frame: %v", err)
+	}
+	if &got3[0] != &got2[:1][0] {
+		t.Error("third frame did not reuse the grown buffer")
+	}
+	// nil buf works (ReadFrame's path).
+	var one bytes.Buffer
+	if err := WriteFrame(&one, small); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFrameInto(&one, nil); err != nil || !bytes.Equal(got, small) {
+		t.Fatalf("nil-buf read: %v", err)
+	}
+}
+
+// TestEncoderPool exercises GetEncoder/PutEncoder: a pooled encoder comes
+// back empty, and oversized buffers are not retained.
+func TestEncoderPool(t *testing.T) {
+	e := GetEncoder()
+	e.String("hello")
+	if e.Len() != len("hello")+4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	PutEncoder(e)
+	e2 := GetEncoder()
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: Len = %d", e2.Len())
+	}
+	// An encoder that grew past the retention cap is dropped, not pooled.
+	e2.RawBytes(make([]byte, maxPooledBuf+1))
+	PutEncoder(e2)
+	if e2.buf != nil {
+		t.Fatal("oversized buffer retained in the pool")
+	}
+}
+
+// TestMarshalTo checks that in-place marshaling produces exactly Marshal's
+// bytes appended to the encoder.
+func TestMarshalTo(t *testing.T) {
+	msg := testMsg{A: 7, S: "svc", Raw: []byte{1, 2, 3}}
+	want, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Encoder
+	e.Uint32(0xDEADBEEF) // pre-existing content must be preserved
+	if err := MarshalTo(&e, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e.Bytes()[4:], want) {
+		t.Fatalf("MarshalTo bytes diverge from Marshal:\n got %x\nwant %x", e.Bytes()[4:], want)
+	}
+	type unregistered struct{ X int }
+	if err := MarshalTo(&e, unregistered{1}); !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("want ErrUnregistered, got %v", err)
+	}
+}
+
+// TestEncoderPatching covers the back-patch primitives the framed hot path
+// uses: reserve a length slot, write, fix it up, and truncate on error.
+func TestEncoderPatching(t *testing.T) {
+	var e Encoder
+	e.Uint8(9)
+	off := e.Len()
+	e.Uint32(0) // placeholder
+	e.String("body")
+	e.FixUint32(off, uint32(e.Len()-off-4))
+	d := Decoder{buf: e.Bytes()}
+	if d.Uint8() != 9 {
+		t.Fatal("prefix byte lost")
+	}
+	if n := d.Uint32(); int(n) != len("body")+4 {
+		t.Fatalf("patched length = %d", n)
+	}
+	if d.String() != "body" {
+		t.Fatal("body lost")
+	}
+	mark := e.Len()
+	e.String("tentative")
+	e.Truncate(mark)
+	if e.Len() != mark {
+		t.Fatalf("Truncate: Len = %d want %d", e.Len(), mark)
+	}
+}
+
+// TestRawBytesView checks the zero-copy payload view: same bytes as
+// RawBytes, aliasing the decode buffer, with nil preserved.
+func TestRawBytesView(t *testing.T) {
+	var e Encoder
+	e.RawBytes([]byte{5, 6, 7})
+	e.RawBytes(nil)
+	buf := e.Bytes()
+	d := DecoderFor(buf)
+	v := d.RawBytesView()
+	if !bytes.Equal(v, []byte{5, 6, 7}) {
+		t.Fatalf("view = %x", v)
+	}
+	if &v[0] != &buf[4] {
+		t.Error("RawBytesView copied instead of aliasing")
+	}
+	if nv := d.RawBytesView(); nv != nil {
+		t.Fatalf("nil raw bytes decoded as %x", nv)
+	}
+	if d.Err() != nil || d.off != len(buf) {
+		t.Fatalf("decoder state after views: err=%v consumed=%d/%d", d.Err(), d.off, len(buf))
+	}
+}
+
 func TestErrorCodes(t *testing.T) {
 	cases := []error{
 		errTestSentinel,

@@ -40,6 +40,13 @@ MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
 MUSIC_CHAOSNET_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
     go test ./internal/chaosnet/ -run 'TestChaosnetCampaign' -count=1
 
+# Hot-path allocation ceilings: encoding a call frame must not allocate at
+# all (pooled buffer, in-place marshal, back-patched length prefixes) and
+# decoding may allocate at most once per frame (the svc string). A dropped
+# pool or an intermediate payload copy fails here by name instead of hiding
+# inside the package test run above.
+go test ./internal/nettrans/ -run 'TestAllocCeiling' -count=1
+
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
 fastpath_json=$(mktemp)
