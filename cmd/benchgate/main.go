@@ -8,20 +8,24 @@
 //
 // Rows are matched by their identity fields (every string-valued field:
 // workload, config, op, backend, ...) and each numeric field ending in
-// "_us" is compared. A metric regresses when it exceeds the baseline by
-// more than -threshold (relative) AND by more than -min-delta-us
-// (absolute) — the floor keeps sub-millisecond noise in real-time-measured
-// metrics from tripping the relative check. Improvements never fail.
+// "_us" (lower is better) or "_per_sec" (higher is better) is compared. A
+// latency metric regresses when it exceeds the baseline by more than
+// -threshold (relative) AND by more than -min-delta-us (absolute); a
+// throughput metric regresses when it falls below the baseline by more
+// than -threshold AND by more than -min-delta-per-sec. The absolute floors
+// keep noise in real-time-measured metrics from tripping the relative
+// check. Improvements never fail.
 //
-// -inflate scales every candidate metric before comparison; CI uses
-// -inflate 1.2 as a dry run proving the gate actually fails on a 20%
-// regression.
+// -inflate worsens every candidate metric before comparison (multiplies
+// latencies, divides throughputs); CI uses -inflate 1.2 as a dry run
+// proving the gate actually fails on a 20% regression.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -39,14 +43,15 @@ type doc struct {
 	Results    []map[string]any `json:"results"`
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	var (
-		baseline  = fs.String("baseline", "", "committed baseline JSON (required)")
-		candidate = fs.String("candidate", "", "freshly measured JSON (required)")
-		threshold = fs.Float64("threshold", 0.10, "max allowed relative regression per metric")
-		minDelta  = fs.Float64("min-delta-us", 2000, "ignore regressions smaller than this many µs")
-		inflate   = fs.Float64("inflate", 1.0, "scale candidate metrics before comparing (CI dry-run)")
+		baseline   = fs.String("baseline", "", "committed baseline JSON (required)")
+		candidate  = fs.String("candidate", "", "freshly measured JSON (required)")
+		threshold  = fs.Float64("threshold", 0.10, "max allowed relative regression per metric")
+		minDelta   = fs.Float64("min-delta-us", 2000, "ignore latency regressions smaller than this many µs")
+		minDeltaPS = fs.Float64("min-delta-per-sec", 50, "ignore throughput regressions smaller than this many ops/s")
+		inflate    = fs.Float64("inflate", 1.0, "worsen candidate metrics before comparing (CI dry-run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,8 +89,21 @@ func run(args []string, out *os.File) error {
 			if !bOK || !cOK {
 				continue
 			}
-			cVal *= *inflate
 			checked++
+			if strings.HasSuffix(metric, "_per_sec") {
+				// Higher is better: -inflate worsens by dividing.
+				if *inflate != 0 {
+					cVal /= *inflate
+				}
+				drop := bVal - cVal
+				if bVal > 0 && drop > *minDeltaPS && drop/bVal > *threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s [%s] %s: %.0f/s -> %.0f/s (-%.1f%%, threshold %.1f%%)",
+							cand.Experiment, id, metric, bVal, cVal, 100*drop/bVal, 100**threshold))
+				}
+				continue
+			}
+			cVal *= *inflate
 			delta := cVal - bVal
 			if bVal > 0 && delta > *minDelta && delta/bVal > *threshold {
 				regressions = append(regressions,
@@ -139,11 +157,12 @@ func identity(row map[string]any) string {
 	return strings.Join(parts, " ")
 }
 
-// metricNames lists a row's gated metrics: numeric fields ending in "_us".
+// metricNames lists a row's gated metrics: numeric fields ending in "_us"
+// (lower is better) or "_per_sec" (higher is better).
 func metricNames(row map[string]any) []string {
 	var names []string
 	for k, v := range row {
-		if _, ok := number(v); ok && strings.HasSuffix(k, "_us") {
+		if _, ok := number(v); ok && (strings.HasSuffix(k, "_us") || strings.HasSuffix(k, "_per_sec")) {
 			names = append(names, k)
 		}
 	}

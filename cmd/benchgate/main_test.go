@@ -64,6 +64,75 @@ func TestGateHonorsAbsoluteFloor(t *testing.T) {
 	}
 }
 
+const scaleDoc = `{
+  "experiment": "scale",
+  "results": [
+    {"shards": "1", "ops_per_sec": 4000, "mean_us": 44000, "p99_us": 45000},
+    {"shards": "4", "ops_per_sec": 14000, "mean_us": 12000, "p99_us": 18000}
+  ]
+}`
+
+func TestGateFailsOnThroughputDrop(t *testing.T) {
+	base := writeDoc(t, "base.json", scaleDoc)
+	// 4-shard throughput down 30%; latencies unchanged.
+	cand := writeDoc(t, "cand.json", strings.ReplaceAll(scaleDoc, `"ops_per_sec": 14000`, `"ops_per_sec": 9800`))
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-candidate", cand}, &out)
+	if err == nil {
+		t.Fatalf("30%% throughput drop passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ops_per_sec") {
+		t.Fatalf("regression report missing ops_per_sec:\n%s", out.String())
+	}
+}
+
+func TestGateAllowsThroughputGain(t *testing.T) {
+	base := writeDoc(t, "base.json", scaleDoc)
+	cand := writeDoc(t, "cand.json", strings.ReplaceAll(scaleDoc, `"ops_per_sec": 14000`, `"ops_per_sec": 20000`))
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-candidate", cand}, &out); err != nil {
+		t.Fatalf("throughput improvement failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateThroughputAbsoluteFloor(t *testing.T) {
+	// A 50% relative drop that is only 5 ops/s absolute stays under the
+	// default -min-delta-per-sec floor.
+	base := writeDoc(t, "base.json", `{
+  "experiment": "scale",
+  "results": [{"shards": "1", "ops_per_sec": 10, "p99_us": 45000}]
+}`)
+	cand := writeDoc(t, "cand.json", `{
+  "experiment": "scale",
+  "results": [{"shards": "1", "ops_per_sec": 5, "p99_us": 45000}]
+}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}, os.Stdout); err != nil {
+		t.Fatalf("sub-floor throughput drop failed the gate: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-candidate", cand, "-min-delta-per-sec", "1"}, os.Stdout); err == nil {
+		t.Fatal("drop above a 1 ops/s floor passed")
+	}
+}
+
+func TestGateInflateWorsensThroughput(t *testing.T) {
+	// The CI dry run must catch throughput regressions too: -inflate divides
+	// *_per_sec while it multiplies *_us, so identical artifacts fail on
+	// both metric kinds.
+	base := writeDoc(t, "base.json", scaleDoc)
+	cand := writeDoc(t, "cand.json", scaleDoc)
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-candidate", cand, "-inflate", "1.2"}, &out)
+	if err == nil {
+		t.Fatalf("-inflate 1.2 on identical scale artifacts passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ops_per_sec") {
+		t.Fatalf("inflate did not worsen throughput:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99_us") {
+		t.Fatalf("inflate did not worsen latency:\n%s", out.String())
+	}
+}
+
 func TestGateRejectsMismatchedExperiments(t *testing.T) {
 	base := writeDoc(t, "base.json", baselineDoc)
 	cand := writeDoc(t, "cand.json", strings.ReplaceAll(baselineDoc, "fastpath", "transport"))

@@ -65,6 +65,7 @@ func run(args []string) error {
 		profile = fs.String("profile", music.ProfileLocal, "latency profile: 11, IUs, IUsEu, local")
 		t       = fs.Duration("t", time.Minute, "critical-section bound T")
 		obsOn   = fs.Bool("obs", true, "serve metrics and traces on /metrics and /traces")
+		shards  = fs.Int("shards", 1, "per-site lock/data plane shards (keys routed by consistent hash)")
 
 		peersPath = fs.String("peers", "", "peers.json path; enables multi-process mode")
 		site      = fs.String("site", "", "this process's site (multi-process mode)")
@@ -76,10 +77,15 @@ func run(args []string) error {
 		return err
 	}
 	if *peersPath != "" {
-		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn, *histOn)
+		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn, *histOn, *shards)
 	}
 
 	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
+	if *shards > 1 {
+		// Each shard coordinates through its own store node, so give every
+		// site one node per shard.
+		opts = append(opts, music.WithShards(*shards), music.WithNodesPerSite(*shards))
+	}
 	if *obsOn {
 		opts = append(opts, music.WithObservability())
 	}
@@ -113,7 +119,7 @@ func run(args []string) error {
 // runMulti is one process of a multi-process deployment: a TCP transport
 // node in the peer ring, the store replica for that node, the MUSIC replica
 // for its site, and the site's REST listener.
-func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn, histOn bool) error {
+func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn, histOn bool, shards int) error {
 	peers, err := loadPeers(peersPath)
 	if err != nil {
 		return err
@@ -150,6 +156,7 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 	}
 	c, err := music.NewOverTransport(tr, music.TransportConfig{
 		T:          t,
+		Shards:     shards,
 		LocalNodes: []transport.NodeID{self.ID},
 		Obs:        ob,
 		History:    rec,

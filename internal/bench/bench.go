@@ -94,6 +94,10 @@ type Options struct {
 	// per-scenario SLO reports to this path as JSON (the BENCH_soak.json
 	// artifact).
 	SoakJSON string
+	// ScaleJSON, when non-empty, makes the scale experiment also write its
+	// per-shard-count results to this path as JSON (the BENCH_scale.json
+	// artifact).
+	ScaleJSON string
 }
 
 func (o Options) workers() int {
@@ -140,6 +144,7 @@ func Experiments() []Experiment {
 		{"transport", "Message-plane overhead: simulated network vs TCP loopback, per Table I op", runTransport},
 		{"explore", "Seeded chaos explorer: randomized fault schedules checked against ECF (internal/history)", runExplore},
 		{"soak", "Soak scenarios over TCP with chaosnet faults: SLO report per scenario (internal/chaosnet)", runSoak},
+		{"scale", "Sharded lock/data plane scale-out: YCSB over a million-key uniform space, shards 1/2/4/8", runScale},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/nettrans"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/music"
 )
@@ -69,15 +70,33 @@ func (o Outcome) Repro() string {
 // recorder, so the merged timeline checks as a single history. Individual
 // section errors under faults are expected and fine — the checkers judge
 // what the protocol admitted, not whether every attempt succeeded.
-func RunSeed(seed int64) Outcome {
+func RunSeed(seed int64) Outcome { return runCampaignSeed(seed, 1) }
+
+// RunSeedSharded is RunSeed over a sharded deployment: each site runs
+// `shards` single-node processes, every process hosting a full MUSIC
+// replica with its plane partitioned by store.ShardOf, and the driving
+// client routes each key to its site's owning shard process — so grant
+// state, forced release and failover all play out per shard while the
+// merged history still has to check as one ECF timeline. The key set is
+// widened so sections land in more than one shard per site.
+func RunSeedSharded(seed int64, shards int) Outcome { return runCampaignSeed(seed, shards) }
+
+func runCampaignSeed(seed int64, shards int) Outcome {
+	if shards < 1 {
+		shards = 1
+	}
 	sched := Generate(seed, CampaignSites)
 	rt := sim.NewReal(seed)
 	inj := NewInjector(rt, sched)
 	rec := history.New(rt)
 
-	listeners := make([]net.Listener, len(CampaignSites))
-	peers := make([]nettrans.Peer, len(CampaignSites))
-	for i, site := range CampaignSites {
+	// One single-node process per (site, shard); node IDs are dense in
+	// site-major order so process si*shards+sh serves site si, shard sh.
+	nProcs := len(CampaignSites) * shards
+	listeners := make([]net.Listener, nProcs)
+	peers := make([]nettrans.Peer, nProcs)
+	for i := range peers {
+		site := CampaignSites[i/shards]
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return Outcome{Schedule: sched, RunErr: fmt.Errorf("listen: %w", err)}
@@ -102,6 +121,7 @@ func RunSeed(seed int64) Outcome {
 		}
 		c, err := music.NewOverTransport(tr, music.TransportConfig{
 			T:          5 * time.Second,
+			Shards:     shards,
 			LocalNodes: []transport.NodeID{p.ID},
 			History:    rec,
 		})
@@ -119,17 +139,27 @@ func RunSeed(seed int64) Outcome {
 		}
 	}()
 
+	// Two keys in the single-shard campaign (the historical workload);
+	// four when sharded, so each site's sections hit multiple shards.
+	keySpan := 2 * shards
+	if keySpan > 4 {
+		keySpan = 4
+	}
+
 	inj.Start()
 	until := sched.End() + 200*time.Millisecond
 	var wg sync.WaitGroup
-	for ci, c := range clusters {
-		ci, cl := ci, c.Client(CampaignSites[ci])
+	for ci := range CampaignSites {
+		ci, site := ci, CampaignSites[ci]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for si := 0; inj.Elapsed() < until; si++ {
-				key := fmt.Sprintf("cn-%c", 'a'+(ci+si)%2)
+				key := fmt.Sprintf("cn-%c", 'a'+(ci+si)%keySpan)
 				val := []byte(fmt.Sprintf("c%d-s%d", ci, si))
+				// The client talks to the process owning the key's shard at
+				// its site — the same routing a sharded front end would do.
+				cl := clusters[ci*shards+store.ShardOf(key, shards)].Client(site)
 				// Errors are the faults doing their job; the checkers decide
 				// whether what did commit was admissible.
 				_ = cl.RunCritical(key, func(cs *music.CriticalSection) error {

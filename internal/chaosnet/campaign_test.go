@@ -110,6 +110,72 @@ func TestChaosnetCampaign(t *testing.T) {
 	}
 }
 
+// TestChaosnetCampaignSharded replays the fault campaign against a sharded
+// deployment: two single-node processes per site, each site's MUSIC plane
+// partitioned across them by store.ShardOf, clients routing every key to
+// its owning shard process. The merged multi-site history must still check
+// as one clean ECF timeline. Seeds come from MUSIC_CHAOSNET_SEEDS when
+// pinned (CI runs 1..12), else 1..12 by default, 4 under -short.
+func TestChaosnetCampaignSharded(t *testing.T) {
+	seeds := chaosnetSeeds(t)
+	if os.Getenv("MUSIC_CHAOSNET_SEEDS") == "" {
+		n := 12
+		if testing.Short() {
+			n = 4
+		}
+		if len(seeds) > n {
+			seeds = seeds[:n]
+		}
+	}
+	reproDir := os.Getenv("MUSIC_CHAOSNET_REPRO_DIR")
+
+	type res struct {
+		seed int64
+		out  Outcome
+	}
+	results := make([]res, len(seeds))
+	// Each sharded seed runs 6 TCP processes; halve the seed concurrency.
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = res{seed: seed, out: RunSeedSharded(seed, 2)}
+		}()
+	}
+	wg.Wait()
+
+	violations := 0
+	for _, r := range results {
+		if r.out.Violating() {
+			violations++
+			t.Errorf("sharded seed %d: %d violations, run error %v",
+				r.seed, len(r.out.Result.Violations), r.out.RunErr)
+			repro := r.out.Repro()
+			if len(repro) > 16<<10 {
+				repro = repro[:16<<10] + "\n  ... (truncated)\n"
+			}
+			t.Log(repro)
+			if reproDir != "" {
+				path := filepath.Join(reproDir, fmt.Sprintf("chaosnet-sharded-seed-%d.txt", r.seed))
+				if err := os.WriteFile(path, []byte(r.out.Repro()), 0o644); err != nil {
+					t.Errorf("write repro: %v", err)
+				} else {
+					t.Logf("repro archived at %s", path)
+				}
+			}
+		}
+		if len(r.out.Ops) == 0 && r.out.RunErr == nil {
+			t.Errorf("sharded seed %d: empty history — the workload recorded nothing", r.seed)
+		}
+	}
+	t.Logf("sharded campaign: %d seeds, %d violating", len(seeds), violations)
+}
+
 func classKeys(m map[Class]bool) []string {
 	var out []string
 	for c := range m {

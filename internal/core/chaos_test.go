@@ -67,7 +67,7 @@ func runChaos(t *testing.T, seed int64) {
 		rt.Go(func() {
 			for !stopChaos {
 				rt.Sleep(time.Duration(50+rt.Rand().Intn(400)) * time.Millisecond)
-				if head, ok, err := reps[2].ls.Peek(key); err == nil && ok {
+				if head, ok, err := reps[2].shardFor(key).ls.Peek(key); err == nil && ok {
 					_ = reps[2].ForcedRelease(key, head.Ref)
 				}
 			}

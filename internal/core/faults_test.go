@@ -359,7 +359,7 @@ func TestSetGrantRetriedSurvivesTransientLoss(t *testing.T) {
 		// The retried grant-cell write must land within the backoff budget.
 		deadline := w.rt.Now() + time.Minute
 		for {
-			queue, err := w.reps[1].ls.Queue(key)
+			queue, err := w.reps[1].shardFor(key).ls.Queue(key)
 			if err == nil && len(queue) > 0 && queue[0].Ref == ref && queue[0].StartTime > 0 {
 				break
 			}

@@ -126,6 +126,14 @@ type Config struct {
 	// into a WAN round trip (§III-A motivates the local peek).
 	QuorumPeek bool
 
+	// Shards partitions the replica's lock/data plane by
+	// store.ShardOf(key, Shards): each shard owns its own lockstore
+	// service, grant/seen/behind maps, and mutex, so operations on keys in
+	// different shards never serialize on shared replica state. Defaults
+	// to 1 (the unsharded plane). NewReplicaSharded overrides it with the
+	// number of per-shard store clients it is given.
+	Shards int
+
 	// History, when set, records every MUSIC operation (grants, releases,
 	// critical reads/writes, synchronizations, preemptions) with
 	// invocation/response times and v2s stamps for the ECF checker
@@ -186,12 +194,24 @@ func (c Config) withDefaults() Config {
 // Replica is one MUSIC replica (Fig 1): clients send it operations, and it
 // drives the back-end lock and data stores. A replica is colocated with a
 // store coordinator node; its CPU work and message origins are that node's.
+//
+// The plane is partitioned across Config.Shards planeShards by
+// store.ShardOf(key): each shard carries its own store client (its own
+// coordinator node in a sharded deployment), lockstore service, and
+// grant-tracking maps under a private mutex, so shard A's mutex is never
+// contended by shard B's keys. With one shard — the default — shardFor
+// short-circuits without hashing, so unsharded replicas pay nothing.
 type Replica struct {
-	cfg  Config
-	ds   *store.Client
-	ls   *lockstore.Service
-	node simnet.NodeID
-	site string
+	cfg    Config
+	node   simnet.NodeID
+	site   string
+	shards []*planeShard
+}
+
+// planeShard is one shard's slice of the MUSIC plane.
+type planeShard struct {
+	ds *store.Client
+	ls *lockstore.Service
 
 	mu     sync.Mutex
 	grants map[string]grant   // key → local record of our granted head
@@ -210,19 +230,66 @@ type headAge struct {
 }
 
 // NewReplica builds a MUSIC replica issuing store operations through st
-// (which fixes both the coordinator node and the site).
+// (which fixes both the coordinator node and the site). Config.Shards > 1
+// partitions the replica's lock-plane state while every shard keeps
+// coordinating through st; use NewReplicaSharded to give each shard its
+// own coordinator node.
 func NewReplica(st *store.Client, cfg Config) *Replica {
-	return &Replica{
-		cfg:    cfg.withDefaults(),
-		ds:     st,
-		ls:     lockstore.New(st),
-		node:   st.Node(),
-		site:   st.Cluster().Net().SiteOf(st.Node()),
-		grants: make(map[string]grant),
-		seen:   make(map[string]headAge),
-		behind: make(map[string]int64),
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
 	}
+	clients := make([]*store.Client, n)
+	for i := range clients {
+		clients[i] = st
+	}
+	return NewReplicaSharded(clients, cfg)
 }
+
+// NewReplicaSharded builds a MUSIC replica whose plane is partitioned
+// across len(clients) shards: shard i issues its store operations through
+// clients[i], so each shard can coordinate through its own node (its own
+// simnet executor, its own TCP process). All clients must belong to the
+// same site. Key routing is store.ShardOf(key, len(clients)) — a pure
+// function of the key — so every site agrees on which shard owns a key.
+func NewReplicaSharded(clients []*store.Client, cfg Config) *Replica {
+	if len(clients) == 0 {
+		panic("core: NewReplicaSharded needs at least one store client")
+	}
+	cfg.Shards = len(clients)
+	r := &Replica{
+		cfg:    cfg.withDefaults(),
+		node:   clients[0].Node(),
+		site:   clients[0].Cluster().Net().SiteOf(clients[0].Node()),
+		shards: make([]*planeShard, len(clients)),
+	}
+	for i, cl := range clients {
+		r.shards[i] = &planeShard{
+			ds:     cl,
+			ls:     lockstore.New(cl),
+			grants: make(map[string]grant),
+			seen:   make(map[string]headAge),
+			behind: make(map[string]int64),
+		}
+	}
+	return r
+}
+
+// shardFor routes key to its owning plane shard. The single-shard fast
+// path skips hashing entirely.
+func (r *Replica) shardFor(key string) *planeShard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	return r.shards[store.ShardOf(key, len(r.shards))]
+}
+
+// ds0 is shard 0's store client — the replica's home coordinator, used for
+// shard-independent work (clock, tracing, metrics, whole-table scans).
+func (r *Replica) ds0() *store.Client { return r.shards[0].ds }
+
+// Shards returns the number of plane shards (≥ 1).
+func (r *Replica) Shards() int { return len(r.shards) }
 
 // Node returns the store node this replica coordinates through.
 func (r *Replica) Node() simnet.NodeID { return r.node }
@@ -233,21 +300,21 @@ func (r *Replica) T() time.Duration { return r.cfg.T }
 // Mode returns the critical-put mode.
 func (r *Replica) Mode() Mode { return r.cfg.Mode }
 
-func (r *Replica) nowMicros() int64 { return r.ds.Cluster().NowMicros() }
+func (r *Replica) nowMicros() int64 { return r.ds0().Cluster().NowMicros() }
 
 func (r *Replica) observe(op Op, start time.Duration) {
-	now := r.ds.Cluster().Net().Runtime().Now()
+	now := r.ds0().Cluster().Net().Runtime().Now()
 	if r.cfg.Observer != nil {
 		r.cfg.Observer(op, now-start)
 	}
-	if o := r.ds.Cluster().Net().Obs(); o != nil {
+	if o := r.ds0().Cluster().Net().Obs(); o != nil {
 		o.Metrics().Histogram("music_op_latency", obs.Labels{"op": op.String(), "site": r.site}).
 			Observe(now - start)
 	}
 }
 
 // tracer returns the shared tracer (nil when observability is disabled).
-func (r *Replica) tracer() *obs.Tracer { return r.ds.Cluster().Net().Tracer() }
+func (r *Replica) tracer() *obs.Tracer { return r.ds0().Cluster().Net().Tracer() }
 
 // CreateLockRef enqueues and returns a new per-key unique increasing lock
 // reference, good for one critical section. Cost: one consensus write (an
@@ -256,7 +323,7 @@ func (r *Replica) CreateLockRef(key string) (int64, error) {
 	sp := r.tracer().Start("music.createLockRef")
 	sp.Annotate("key", key)
 	start := r.now()
-	ref, err := r.ls.GenerateAndEnqueue(key)
+	ref, err := r.shardFor(key).ls.GenerateAndEnqueue(key)
 	sp.EndErr(err)
 	if err != nil {
 		return 0, fmt.Errorf("createLockRef %s: %w", key, err)
@@ -339,9 +406,10 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	}
 
 	// ref is first in the queue. Idempotent re-acquire after a grant.
-	r.mu.Lock()
-	g, granted := r.grants[key]
-	r.mu.Unlock()
+	s := r.shardFor(key)
+	s.mu.Lock()
+	g, granted := s.grants[key]
+	s.mu.Unlock()
 	if granted && g.ref == ref {
 		hc.Note("reacquire")
 		return true, ValueSeed{}, nil
@@ -363,7 +431,7 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	grantStart := r.now()
 	needSync := r.cfg.AlwaysSynchronize
 	if !needSync {
-		sfRow, err := r.ds.GetCols(DataTable, key, []string{colSynch, colValue}, store.Quorum)
+		sfRow, err := s.ds.GetCols(DataTable, key, []string{colSynch, colValue}, store.Quorum)
 		if err != nil {
 			grantSp.EndErr(err)
 			return false, ValueSeed{}, fmt.Errorf("acquireLock %s: synchFlag: %w", key, err)
@@ -397,15 +465,15 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	r.observe(OpAcquireGrant, grantStart)
 
 	now := r.nowMicros()
-	r.mu.Lock()
-	r.grants[key] = grant{ref: ref, startMicros: now}
-	r.mu.Unlock()
+	s.mu.Lock()
+	s.grants[key] = grant{ref: ref, startMicros: now}
+	s.mu.Unlock()
 	// Record the grant time in the lock store so other MUSIC replicas can
 	// detect expiry and serve failover clients. Off the critical path, but
 	// not fire-and-forget: without the grant cell, failover replicas
 	// misclassify a granted-but-crashed holder as an orphan and stall for
 	// OrphanTimeout instead of T, so transient failures are retried.
-	rt := r.ds.Cluster().Net().Runtime()
+	rt := r.ds0().Cluster().Net().Runtime()
 	rt.Go(func() { r.setGrantRetried(key, ref, now) })
 	return true, seed, nil
 }
@@ -415,7 +483,8 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 // released or preempted (the cell no longer matters) and counts permanent
 // failures as music_setgrant_abandoned_total.
 func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
-	rt := r.ds.Cluster().Net().Runtime()
+	rt := r.ds0().Cluster().Net().Runtime()
+	s := r.shardFor(key)
 	backoff := 50 * time.Millisecond
 	for attempt := 0; attempt < 8; attempt++ {
 		if attempt > 0 {
@@ -423,18 +492,18 @@ func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
 			if backoff < 2*time.Second {
 				backoff *= 2
 			}
-			r.mu.Lock()
-			g, ok := r.grants[key]
-			r.mu.Unlock()
+			s.mu.Lock()
+			g, ok := s.grants[key]
+			s.mu.Unlock()
 			if !ok || g.ref != ref {
 				return
 			}
 		}
-		if err := r.ls.SetGrant(key, ref, startMicros); err == nil {
+		if err := s.ls.SetGrant(key, ref, startMicros); err == nil {
 			return
 		}
 	}
-	if o := r.ds.Cluster().Net().Obs(); o != nil {
+	if o := r.ds0().Cluster().Net().Obs(); o != nil {
 		o.Metrics().Counter("music_setgrant_abandoned_total", obs.Labels{"site": r.site}).Inc()
 	}
 }
@@ -451,7 +520,8 @@ func (r *Replica) synchronize(key string, ref int64) (value []byte, present bool
 	defer func() { sp.EndErr(err) }()
 	hc := r.cfg.History.Begin(r.site, history.KindSync, key, ref).TS(v2s(ref, 0, r.cfg.T))
 	defer func() { hc.Value(value, present).End(err) }()
-	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
+	s := r.shardFor(key)
+	row, err := s.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
 	if err != nil {
 		return nil, false, fmt.Errorf("synchronize read: %w", err)
 	}
@@ -460,11 +530,11 @@ func (r *Replica) synchronize(key string, ref int64) (value []byte, present bool
 		valueCell = store.Cell{Value: c.Value, TS: v2s(ref, 0, r.cfg.T)}
 		value, present = c.Value, true
 	}
-	if err := r.ds.Put(DataTable, key, store.Row{colValue: valueCell}, store.Quorum); err != nil {
+	if err := s.ds.Put(DataTable, key, store.Row{colValue: valueCell}, store.Quorum); err != nil {
 		return nil, false, fmt.Errorf("synchronize rewrite: %w", err)
 	}
 	reset := store.Row{colSynch: store.Cell{Value: synchFalse, TS: v2s(ref, time.Microsecond, r.cfg.T)}}
-	if err := r.ds.Put(DataTable, key, reset, store.Quorum); err != nil {
+	if err := s.ds.Put(DataTable, key, reset, store.Quorum); err != nil {
 		return nil, false, fmt.Errorf("synchronize reset: %w", err)
 	}
 	return value, present, nil
@@ -485,8 +555,9 @@ func (r *Replica) CriticalPut(key string, ref int64, value []byte) (err error) {
 	}
 	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T)}
 	hc.TS(cell.TS)
+	s := r.shardFor(key)
 	if r.cfg.Mode == ModeLWT {
-		res, casErr := r.ds.CAS(DataTable, key, nil, store.Row{colValue: cell})
+		res, casErr := s.ds.CAS(DataTable, key, nil, store.Row{colValue: cell})
 		if casErr != nil {
 			return fmt.Errorf("criticalPut %s: %w", key, casErr)
 		}
@@ -494,7 +565,7 @@ func (r *Replica) CriticalPut(key string, ref int64, value []byte) (err error) {
 			return fmt.Errorf("criticalPut %s: lwt not applied", key)
 		}
 	} else {
-		if putErr := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); putErr != nil {
+		if putErr := s.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); putErr != nil {
 			return fmt.Errorf("criticalPut %s: %w", key, putErr)
 		}
 	}
@@ -516,7 +587,7 @@ func (r *Replica) CriticalDelete(key string, ref int64) (err error) {
 	}
 	cell := store.Cell{TS: v2s(ref, elapsed, r.cfg.T), Deleted: true}
 	hc.TS(cell.TS)
-	if err := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
+	if err := r.shardFor(key).ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
 		return fmt.Errorf("criticalDelete %s: %w", key, err)
 	}
 	return nil
@@ -535,7 +606,7 @@ func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
 	if _, err := r.guardCritical(key, ref); err != nil {
 		return nil, err
 	}
-	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
+	row, err := r.shardFor(key).ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
 	if err != nil {
 		return nil, fmt.Errorf("criticalGet %s: %w", key, err)
 	}
@@ -599,11 +670,11 @@ func (r *Replica) criticalWriteAsync(key string, ref int64, value []byte, delete
 		kind = history.KindDelete
 	}
 	hc := r.cfg.History.Begin(r.site, kind, key, ref).Value(value, !deleted).TS(cell.TS)
-	pending := r.ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum)
+	pending := r.shardFor(key).ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum)
 	if hc != nil {
 		// Close the record at quorum-ack time: the op's response interval is
 		// issue → settle, which is what the checker's overlap rules need.
-		r.ds.Cluster().Net().Runtime().Go(func() { hc.End(pending.Wait()) })
+		r.ds0().Cluster().Net().Runtime().Go(func() { hc.End(pending.Wait()) })
 	}
 	return pending, nil
 }
@@ -645,10 +716,11 @@ func (r *Replica) guardCritical(key string, ref int64) (time.Duration, error) {
 // peek reads the head of the key's lock queue: a local eventual read in
 // standard MUSIC, or a quorum read under the QuorumPeek ablation.
 func (r *Replica) peek(key string) (lockstore.Entry, bool, error) {
+	s := r.shardFor(key)
 	if !r.cfg.QuorumPeek {
-		return r.ls.Peek(key)
+		return s.ls.Peek(key)
 	}
-	queue, err := r.ls.Queue(key)
+	queue, err := s.ls.Queue(key)
 	if err != nil || len(queue) == 0 {
 		return lockstore.Entry{}, false, err
 	}
@@ -659,9 +731,10 @@ func (r *Replica) peek(key string) (lockstore.Entry, bool, error) {
 // from the (replicated) grant cell, or — for failover to a replica that has
 // seen neither — from a quorum read of the lock row.
 func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64, error) {
-	r.mu.Lock()
-	g, ok := r.grants[key]
-	r.mu.Unlock()
+	s := r.shardFor(key)
+	s.mu.Lock()
+	g, ok := s.grants[key]
+	s.mu.Unlock()
 	if ok && g.ref == ref {
 		return g.startMicros, nil
 	}
@@ -669,7 +742,7 @@ func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64,
 		r.rememberGrant(key, ref, head.StartTime)
 		return head.StartTime, nil
 	}
-	queue, err := r.ls.Queue(key)
+	queue, err := s.ls.Queue(key)
 	if err != nil {
 		return 0, err
 	}
@@ -683,9 +756,10 @@ func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64,
 }
 
 func (r *Replica) rememberGrant(key string, ref, startMicros int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.grants[key] = grant{ref: ref, startMicros: startMicros}
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grants[key] = grant{ref: ref, startMicros: startMicros}
 }
 
 // ReleaseLock removes lockRef from the queue, making the lock available.
@@ -697,15 +771,16 @@ func (r *Replica) ReleaseLock(key string, ref int64) (err error) {
 	hc := r.cfg.History.Begin(r.site, history.KindRelease, key, ref)
 	defer func() { hc.End(err) }()
 	start := r.now()
+	s := r.shardFor(key)
 	r.forgetGrant(key, ref)
-	head, ok, err := r.ls.Peek(key)
+	head, ok, err := s.ls.Peek(key)
 	if err != nil {
 		return err
 	}
 	if ok && ref < head.Ref {
 		return nil // lock was forcibly released already (§IV-A)
 	}
-	if err := r.ls.Dequeue(key, ref); err != nil {
+	if err := s.ls.Dequeue(key, ref); err != nil {
 		return fmt.Errorf("releaseLock %s/%d: %w", key, ref, err)
 	}
 	r.observe(OpReleaseLock, start)
@@ -724,7 +799,8 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 	sp.Annotatef("lockref", "%s/%d", key, ref)
 	defer func() { sp.EndErr(err) }()
 	start := r.now()
-	head, ok, err := r.ls.Peek(key)
+	s := r.shardFor(key)
+	head, ok, err := s.ls.Peek(key)
 	if err != nil {
 		return err
 	}
@@ -735,10 +811,10 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 	hc := r.cfg.History.Begin(r.site, history.KindForcedRelease, key, ref).TS(v2sForced(ref, r.cfg.T))
 	defer func() { hc.End(err) }()
 	mark := store.Row{colSynch: store.Cell{Value: synchTrueVal, TS: v2sForced(ref, r.cfg.T)}}
-	if err := r.ds.Put(DataTable, key, mark, store.Quorum); err != nil {
+	if err := s.ds.Put(DataTable, key, mark, store.Quorum); err != nil {
 		return fmt.Errorf("forcedRelease %s/%d: synchFlag: %w", key, ref, err)
 	}
-	if err := r.ls.Dequeue(key, ref); err != nil {
+	if err := s.ls.Dequeue(key, ref); err != nil {
 		return fmt.Errorf("forcedRelease %s/%d: %w", key, ref, err)
 	}
 	r.forgetGrant(key, ref)
@@ -747,10 +823,11 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 }
 
 func (r *Replica) forgetGrant(key string, ref int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok := r.grants[key]; ok && g.ref == ref {
-		delete(r.grants, key)
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.grants[key]; ok && g.ref == ref {
+		delete(s.grants, key)
 	}
 }
 
@@ -767,15 +844,16 @@ func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 		}
 		return
 	}
-	r.mu.Lock()
-	age, ok := r.seen[key]
+	s := r.shardFor(key)
+	s.mu.Lock()
+	age, ok := s.seen[key]
 	if !ok || age.ref != head.Ref {
-		r.seen[key] = headAge{ref: head.Ref, sinceMicros: now}
-		r.mu.Unlock()
+		s.seen[key] = headAge{ref: head.Ref, sinceMicros: now}
+		s.mu.Unlock()
 		return
 	}
 	expired := now-age.sinceMicros > int64(r.cfg.OrphanTimeout/time.Microsecond)
-	r.mu.Unlock()
+	s.mu.Unlock()
 	if expired {
 		_ = r.ForcedRelease(key, head.Ref)
 	}
@@ -790,27 +868,28 @@ func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 // poll forever. The quorum read fires at most once per OrphanTimeout per
 // waiter, keeping the healthy polling path local.
 func (r *Replica) settleBehindRef(key string, ref int64) (dead bool, err error) {
+	s := r.shardFor(key)
 	id := behindID(key, ref)
 	now := r.nowMicros()
-	r.mu.Lock()
-	since, tracked := r.behind[id]
+	s.mu.Lock()
+	since, tracked := s.behind[id]
 	if !tracked {
-		r.behind[id] = now
+		s.behind[id] = now
 	}
-	r.mu.Unlock()
+	s.mu.Unlock()
 	if !tracked || time.Duration(now-since)*time.Microsecond < r.cfg.OrphanTimeout {
 		return false, nil
 	}
-	queue, err := r.ls.Queue(key)
+	queue, err := s.ls.Queue(key)
 	if err != nil {
 		return false, err
 	}
 	for _, e := range queue {
 		if e.Ref == ref {
 			// Genuinely pending; restart the convergence clock.
-			r.mu.Lock()
-			r.behind[id] = now
-			r.mu.Unlock()
+			s.mu.Lock()
+			s.behind[id] = now
+			s.mu.Unlock()
 			return false, nil
 		}
 	}
@@ -819,9 +898,10 @@ func (r *Replica) settleBehindRef(key string, ref int64) (dead bool, err error) 
 }
 
 func (r *Replica) clearBehind(key string, ref int64) {
-	r.mu.Lock()
-	delete(r.behind, behindID(key, ref))
-	r.mu.Unlock()
+	s := r.shardFor(key)
+	s.mu.Lock()
+	delete(s.behind, behindID(key, ref))
+	s.mu.Unlock()
 }
 
 func behindID(key string, ref int64) string { return fmt.Sprintf("%s/%d", key, ref) }
@@ -834,7 +914,7 @@ func (r *Replica) Put(key string, value []byte) error {
 	sp.Annotate("key", key)
 	hc := r.cfg.History.Begin(r.site, history.KindEventualPut, key, 0).Value(value, true)
 	start := r.now()
-	err := r.ds.Put(DataTable, key, store.Row{colValue: store.Cell{Value: value}}, store.One)
+	err := r.shardFor(key).ds.Put(DataTable, key, store.Row{colValue: store.Cell{Value: value}}, store.One)
 	sp.EndErr(err)
 	hc.End(err)
 	if err != nil {
@@ -851,7 +931,7 @@ func (r *Replica) Get(key string) ([]byte, error) {
 	sp.Annotate("key", key)
 	hc := r.cfg.History.Begin(r.site, history.KindEventualGet, key, 0)
 	start := r.now()
-	row, err := r.ds.GetCols(DataTable, key, []string{colValue}, store.One)
+	row, err := r.shardFor(key).ds.GetCols(DataTable, key, []string{colValue}, store.One)
 	sp.EndErr(err)
 	if err != nil {
 		hc.End(err)
@@ -869,7 +949,7 @@ func (r *Replica) Get(key string) ([]byte, error) {
 // GetAllKeys lists keys with a live value, eventually consistent (the
 // homing workers' job-discovery helper, §VII-a).
 func (r *Replica) GetAllKeys() ([]string, error) {
-	return r.ds.AllKeys(DataTable)
+	return r.ds0().AllKeys(DataTable)
 }
 
 // Remove retires a key entirely (tombstones that dominate even critical
@@ -877,7 +957,7 @@ func (r *Replica) GetAllKeys() ([]string, error) {
 // not be reused afterwards.
 func (r *Replica) Remove(key string) error {
 	cell := store.Cell{TS: int64(1<<63 - 1), Deleted: true}
-	if err := r.ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
+	if err := r.shardFor(key).ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
 		return fmt.Errorf("remove %s: %w", key, err)
 	}
 	return nil
@@ -889,7 +969,7 @@ func (r *Replica) Remove(key string) error {
 // quorum reads) runs after it returns — in real-time mode a stray sweep
 // would outlive Cluster.Close.
 func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
-	rt := r.ds.Cluster().Net().Runtime()
+	rt := r.ds0().Cluster().Net().Runtime()
 	var mu sync.Mutex
 	stopped := false
 	var timer *sim.Timer
@@ -901,13 +981,15 @@ func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
 			return
 		}
 		mu.Unlock()
-		if o := r.ds.Cluster().Net().Obs(); o != nil {
+		if o := r.ds0().Cluster().Net().Obs(); o != nil {
 			o.Metrics().Counter("music_janitor_sweeps_total", obs.Labels{"site": r.site}).Inc()
 		}
-		keys, err := r.ds.AllKeys(lockstore.Table)
+		keys, err := r.ds0().AllKeys(lockstore.Table)
 		if err == nil {
 			for _, key := range keys {
-				if head, ok, peekErr := r.ls.Peek(key); peekErr == nil && ok {
+				// Peek through the key's owning shard so the sweep's reads
+				// originate from that shard's coordinator.
+				if head, ok, peekErr := r.shardFor(key).ls.Peek(key); peekErr == nil && ok {
 					r.reapExpiredHead(key, head)
 				}
 			}
@@ -931,7 +1013,7 @@ func (r *Replica) StartJanitor(interval time.Duration) (stop func()) {
 }
 
 // now returns the runtime clock (for observers).
-func (r *Replica) now() time.Duration { return r.ds.Cluster().Net().Runtime().Now() }
+func (r *Replica) now() time.Duration { return r.ds0().Cluster().Net().Runtime().Now() }
 
 // synchFlag encoding.
 var (

@@ -536,7 +536,7 @@ func TestFig5bLatencyShape(t *testing.T) {
 
 // lockPeek exposes the lock store peek for the latency-shape test.
 func lockPeek(r *Replica, key string) (int64, bool, error) {
-	e, ok, err := r.ls.Peek(key)
+	e, ok, err := r.shardFor(key).ls.Peek(key)
 	return e.Ref, ok, err
 }
 

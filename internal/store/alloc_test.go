@@ -1,0 +1,53 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Per-op allocation ceilings on the disabled-observability hot path,
+// measured inside the deterministic virtual-time simulator (cooperative
+// single-threaded scheduling makes AllocsPerRun exact, so these pin the
+// whole coordinator+replica stack per op). The ceilings sit one alloc
+// above the measured counts: reintroducing the unconditional
+// `table+"/"+key` span/history concats that used to run with tracing off
+// costs 2+ allocs per op and fails here by name.
+const (
+	putQuorumAllocCeiling = 185
+	getQuorumAllocCeiling = 193
+	getOneAllocCeiling    = 68
+)
+
+func TestAllocCeilingStoreOps(t *testing.T) {
+	fixture(t, Config{}, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		cl := c.Client(0)
+		if err := cl.Put(tbl, "alloc-key", val("x"), Quorum); err != nil {
+			t.Fatalf("warmup Put: %v", err)
+		}
+		put := testing.AllocsPerRun(50, func() {
+			if err := cl.Put(tbl, "alloc-key", val("x"), Quorum); err != nil {
+				panic(err)
+			}
+		})
+		get := testing.AllocsPerRun(50, func() {
+			if _, err := cl.Get(tbl, "alloc-key", Quorum); err != nil {
+				panic(err)
+			}
+		})
+		one := testing.AllocsPerRun(50, func() {
+			if _, err := cl.Get(tbl, "alloc-key", One); err != nil {
+				panic(err)
+			}
+		})
+		check := func(op string, got float64, ceiling float64) {
+			if got > ceiling {
+				t.Errorf("%s allocates %v per op, ceiling %v — did a disabled-path span/history annotation lose its nil guard?", op, got, ceiling)
+			}
+		}
+		check("Put(QUORUM)", put, putQuorumAllocCeiling)
+		check("Get(QUORUM)", get, getQuorumAllocCeiling)
+		check("Get(ONE)", one, getOneAllocCeiling)
+	})
+}

@@ -54,18 +54,23 @@ func (cl *Client) Cluster() *Cluster { return cl.c }
 func (cl *Client) Put(table, key string, cells Row, cons Consistency) error {
 	cfg := cl.c.cfg
 	sp := cl.tracer().Child("store.put")
-	sp.Annotate("row", table+"/"+key)
-	sp.Annotate("cons", cons.String())
+	if sp != nil {
+		sp.Annotate("row", table+"/"+key)
+		sp.Annotate("cons", cons.String())
+	}
 	start := cl.c.net.Runtime().Now()
 	stamped := make(Row, len(cells))
 	for col, c := range cells {
 		if c.TS == 0 {
-			c.TS = cl.c.nextWriteTS()
+			c.TS = cl.c.nextWriteTS(key)
 		}
 		stamped[col] = c
 	}
 	req := applyReq{Table: table, Key: key, Cells: stamped}
-	hc := cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note(cons.String())
+	var hc *history.Call
+	if cfg.History != nil {
+		hc = cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note(cons.String())
+	}
 	cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 	err := cl.replicate(req, cons)
 	hc.End(err)
@@ -168,11 +173,13 @@ func (cl *Client) GetCols(table, key string, cols []string, cons Consistency) (R
 func (cl *Client) get(table, key string, cols []string, cons Consistency, chargeCoord bool) (row Row, err error) {
 	cfg := cl.c.cfg
 	sp := cl.tracer().Child("store.get")
-	sp.Annotate("row", table+"/"+key)
-	sp.Annotate("cons", cons.String())
+	if sp != nil {
+		sp.Annotate("row", table+"/"+key)
+		sp.Annotate("cons", cons.String())
+	}
 	start := cl.c.net.Runtime().Now()
 	var hc *history.Call
-	if cons != One {
+	if cfg.History != nil && cons != One {
 		// ONE reads (lock-wait polling, eventual peeks) are noise; record
 		// only quorum-level traffic.
 		hc = cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStoreGet, table+"/"+key, 0).Note(cons.String())

@@ -240,18 +240,23 @@ func (cl *Client) PutAsync(table, key string, cells Row, cons Consistency) *Pend
 	stamped := make(Row, len(cells))
 	for col, c := range cells {
 		if c.TS == 0 {
-			c.TS = cl.c.nextWriteTS()
+			c.TS = cl.c.nextWriteTS(key)
 		}
 		stamped[col] = c
 	}
 	req := applyReq{Table: table, Key: key, Cells: stamped}
 	p := &PendingPut{done: sim.NewPromise[struct{}](rt)}
 	start := rt.Now()
-	hc := cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note("async " + cons.String())
+	var hc *history.Call
+	if cfg.History != nil {
+		hc = cfg.History.Begin(cl.c.net.SiteOf(cl.node), history.KindStorePut, table+"/"+key, 0).TS(maxTS(stamped)).Note("async " + cons.String())
+	}
 	rt.Go(func() {
 		sp := cl.tracer().Child("store.put.async")
-		sp.Annotate("row", table+"/"+key)
-		sp.Annotate("cons", cons.String())
+		if sp != nil {
+			sp.Annotate("row", table+"/"+key)
+			sp.Annotate("cons", cons.String())
+		}
 		cl.c.net.Work(cl.node, cfg.Costs.CoordWrite+perKBCost(cfg.Costs.PerKB, rowSize(req.Cells)))
 		err := cl.replicate(req, cons)
 		hc.End(err)

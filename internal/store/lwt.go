@@ -31,7 +31,9 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 	quorum := len(targets)/2 + 1
 
 	sp := cl.tracer().Child("store.cas")
-	sp.Annotate("row", table+"/"+key)
+	if sp != nil {
+		sp.Annotate("row", table+"/"+key)
+	}
 	start := rt.Now()
 	defer func() {
 		cl.observeLatency("cas", Quorum, rt.Now()-start)
@@ -49,7 +51,7 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 			// Randomized backoff keeps competing proposers from livelock.
 			rt.Sleep(time.Duration(1+rt.Rand().Intn(20*(attempt+1))) * time.Millisecond)
 		}
-		b := cl.c.nextBallot(cl.node, observed)
+		b := cl.c.nextBallot(key, cl.node, observed)
 
 		// Round 1: prepare.
 		prep := cl.tracer().Child("paxos.prepare")
@@ -156,6 +158,21 @@ func (cl *Client) proposeCommit(table, key string, targets []transport.NodeID, q
 	com.End()
 	if len(transport.Successes(commitResults)) < quorum {
 		return fmt.Errorf("%w: cas commit %s/%s", ErrUnavailable, table, key)
+	}
+	// Read-your-CAS: the quorum above may have been satisfied entirely by
+	// remote acks while the commit addressed to this coordinator's own
+	// replica is still in flight (on the wall-clock transports delivery
+	// order is goroutine scheduling). A caller that immediately issues a
+	// ONE read — served self-first by getOne — would then miss its own
+	// committed write; the lock stack does exactly that in
+	// GenerateAndEnqueue's local read-back, which is how the "fresh lockRef
+	// not granted" transport flake arose. Applying the commit directly to
+	// the co-located replica closes the window; HandleCommit is idempotent
+	// (it applies only when b advances Committed), so the in-flight RPC
+	// copy is a no-op when it lands. A direct memory call, not an RPC: it
+	// charges no modeled cost and adds no hop.
+	if r, ok := cl.c.replicas[cl.node]; ok && contains(targets, cl.node) {
+		_, _ = r.handleCommit(cl.node, commitReq{Table: table, Key: key, B: b, Update: update})
 	}
 	return nil
 }

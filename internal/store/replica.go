@@ -71,7 +71,14 @@ type commitReq struct {
 
 // replica is the per-node storage engine: tables of rows plus per-row Paxos
 // acceptor state. State survives Crash/Restart (it models durable storage).
+// The engine is striped by key shard — each stripe has its own mutex and
+// its own table maps — so concurrent operations on keys in different shards
+// never contend.
 type replica struct {
+	stripes []engineStripe
+}
+
+type engineStripe struct {
 	mu     sync.Mutex
 	tables map[string]map[string]*rowState
 }
@@ -81,8 +88,24 @@ type rowState struct {
 	ax    paxos.Acceptor
 }
 
-func newReplica() *replica {
-	return &replica{tables: make(map[string]map[string]*rowState)}
+func newReplica(shards int) *replica {
+	if shards <= 0 {
+		shards = 1
+	}
+	r := &replica{stripes: make([]engineStripe, shards)}
+	for i := range r.stripes {
+		r.stripes[i].tables = make(map[string]map[string]*rowState)
+	}
+	return r
+}
+
+// stripe returns the engine stripe owning key. The single-stripe fast path
+// skips hashing so unsharded deployments pay nothing.
+func (r *replica) stripe(key string) *engineStripe {
+	if len(r.stripes) == 1 {
+		return &r.stripes[0]
+	}
+	return &r.stripes[ShardOf(key, len(r.stripes))]
 }
 
 // register installs the replica's services on node with their CPU costs.
@@ -99,15 +122,16 @@ func (r *replica) register(tr transport.Transport, node transport.NodeID, costs 
 	cost(svcCommit, r.handleCommit, costs.PaxosMsg, costs.PerKB)
 }
 
-// row returns the row state, creating it when create is set.
-func (r *replica) row(table, key string, create bool) *rowState {
-	t, ok := r.tables[table]
+// row returns the row state within a stripe, creating it when create is set.
+// The caller must hold s.mu.
+func (s *engineStripe) row(table, key string, create bool) *rowState {
+	t, ok := s.tables[table]
 	if !ok {
 		if !create {
 			return nil
 		}
 		t = make(map[string]*rowState)
-		r.tables[table] = t
+		s.tables[table] = t
 	}
 	rs, ok := t[key]
 	if !ok {
@@ -122,18 +146,20 @@ func (r *replica) row(table, key string, create bool) *rowState {
 
 func (r *replica) handleApply(from transport.NodeID, req any) (any, error) {
 	m := req.(applyReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(m.Table, m.Key, true)
+	s := r.stripe(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(m.Table, m.Key, true)
 	mergeInto(rs.cells, m.Cells)
 	return nil, nil
 }
 
 func (r *replica) handleRead(from transport.NodeID, req any) (any, error) {
 	m := req.(readReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(m.Table, m.Key, false)
+	s := r.stripe(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(m.Table, m.Key, false)
 	if rs == nil {
 		return readResp{}, nil
 	}
@@ -151,41 +177,47 @@ func (r *replica) handleRead(from transport.NodeID, req any) (any, error) {
 
 func (r *replica) handleScan(from transport.NodeID, req any) (any, error) {
 	m := req.(scanReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var keys []string
-	for key, rs := range r.tables[m.Table] {
-		for _, c := range rs.cells {
-			if !c.Deleted {
-				keys = append(keys, key)
-				break
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for key, rs := range s.tables[m.Table] {
+			for _, c := range rs.cells {
+				if !c.Deleted {
+					keys = append(keys, key)
+					break
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return scanResp{Keys: keys}, nil
 }
 
 func (r *replica) handlePrepare(from transport.NodeID, req any) (any, error) {
 	m := req.(prepareReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(m.Table, m.Key, true)
+	s := r.stripe(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(m.Table, m.Key, true)
 	return prepareResp{rs.ax.HandlePrepare(m.B)}, nil
 }
 
 func (r *replica) handlePropose(from transport.NodeID, req any) (any, error) {
 	m := req.(proposeReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(m.Table, m.Key, true)
+	s := r.stripe(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(m.Table, m.Key, true)
 	return proposeResp{OK: rs.ax.HandlePropose(m.B, m.Update)}, nil
 }
 
 func (r *replica) handleCommit(from transport.NodeID, req any) (any, error) {
 	m := req.(commitReq)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(m.Table, m.Key, true)
+	s := r.stripe(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(m.Table, m.Key, true)
 	if rs.ax.HandleCommit(m.B) {
 		// Stamp unstamped cells so that later CAS commits always beat
 		// earlier ones regardless of coordinator clocks.
@@ -206,9 +238,10 @@ func (r *replica) handleCommit(from transport.NodeID, req any) (any, error) {
 
 // dump returns a copy of a row's cells for tests.
 func (r *replica) dump(table, key string) Row {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rs := r.row(table, key, false)
+	s := r.stripe(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.row(table, key, false)
 	if rs == nil {
 		return nil
 	}

@@ -1,11 +1,33 @@
 package store
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/transport"
 )
+
+// fnv64a is hash/fnv's 64-bit FNV-1a inlined over a string so the hot
+// paths (ring placement, shard routing) stay allocation-free.
+func fnv64a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardOf maps key to one of shards partitions. It is a pure function of
+// the key bytes, so every site and every process routes a given key to the
+// same shard index — the property the sharded lock/data plane relies on
+// for cross-site grant adoption and failover. shards <= 1 short-circuits
+// to 0 so unsharded deployments pay nothing.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(fnv64a(key) % uint64(shards))
+}
 
 // ring places keys on replicas. Nodes are arranged in a site-interleaved
 // walk (site1[0], site2[0], site3[0], site1[1], ...) so that taking RF
@@ -54,9 +76,7 @@ func buildRing(tr transport.Transport, nodes []transport.NodeID, rf int) ring {
 
 // replicasFor returns the RF nodes responsible for key.
 func (r ring) replicasFor(key string) []transport.NodeID {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	pos := int(h.Sum64() % uint64(len(r.walk)))
+	pos := int(fnv64a(key) % uint64(len(r.walk)))
 	out := make([]transport.NodeID, 0, r.rf)
 	for i := 0; i < r.rf; i++ {
 		out = append(out, r.walk[(pos+i)%len(r.walk)])

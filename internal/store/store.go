@@ -213,6 +213,12 @@ type Config struct {
 	Timeout time.Duration
 	// MaxCASAttempts bounds Paxos retries under contention. Defaults to 16.
 	MaxCASAttempts int
+	// Shards stripes each replica's row engine and the coordinator's
+	// timestamp/ballot mints by ShardOf(key, Shards), so operations on
+	// keys in different shards never contend on a shared mutex. Placement
+	// (the ring walk) is unaffected: sharding partitions lock state, not
+	// replica sets. Defaults to 1 (the unsharded plane).
+	Shards int
 	// Costs overrides the CPU cost model; zero fields keep defaults.
 	Costs CostModel
 	// History, when non-nil, records every coordinator-level put and every
@@ -232,8 +238,18 @@ type Cluster struct {
 
 	replicas map[transport.NodeID]*replica
 
-	mu         sync.Mutex
-	lastBallot uint64
+	// clocks stripes the monotonic timestamp/ballot mint by key shard so
+	// writes to different shards never serialize on one mutex. Monotonicity
+	// is only required per key (LWW merge and Paxos ballots are per-row
+	// state), so independent stripes are safe.
+	clocks []clockStripe
+}
+
+// clockStripe is one shard's timestamp/ballot mint.
+type clockStripe struct {
+	mu   sync.Mutex
+	last uint64
+	_    [40]byte // pad to a cache line so stripes don't false-share
 }
 
 // New builds a store cluster over tr and registers its replica services on
@@ -256,6 +272,9 @@ func New(tr transport.Transport, cfg Config) *Cluster {
 	}
 	if cfg.MaxCASAttempts == 0 {
 		cfg.MaxCASAttempts = 16
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	d := defaultCosts()
 	if cfg.Costs.CoordWrite == 0 {
@@ -282,14 +301,18 @@ func New(tr transport.Transport, cfg Config) *Cluster {
 		cfg:      cfg,
 		ring:     buildRing(tr, cfg.Nodes, cfg.RF),
 		replicas: make(map[transport.NodeID]*replica, len(cfg.LocalNodes)),
+		clocks:   make([]clockStripe, cfg.Shards),
 	}
 	for _, id := range cfg.LocalNodes {
-		r := newReplica()
+		r := newReplica(cfg.Shards)
 		c.replicas[id] = r
 		r.register(tr, id, cfg.Costs)
 	}
 	return c
 }
+
+// Shards returns the configured shard count (≥ 1).
+func (c *Cluster) Shards() int { return c.cfg.Shards }
 
 // Net returns the underlying transport.
 func (c *Cluster) Net() transport.Transport { return c.net }
@@ -308,30 +331,34 @@ func (c *Cluster) ReplicasFor(key string) []transport.NodeID { return c.ring.rep
 // plain writes.
 func (c *Cluster) NowMicros() int64 { return int64(c.net.Runtime().Now() / time.Microsecond) }
 
-// nextWriteTS returns a cluster-monotonic microsecond timestamp for plain
-// writes, so two back-to-back writes never tie on timestamp.
-func (c *Cluster) nextWriteTS() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// nextWriteTS returns a per-shard-monotonic microsecond timestamp for plain
+// writes to key, so two back-to-back writes to the same key never tie on
+// timestamp.
+func (c *Cluster) nextWriteTS(key string) int64 {
+	s := &c.clocks[ShardOf(key, len(c.clocks))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := uint64(c.NowMicros())
-	if n <= c.lastBallot {
-		n = c.lastBallot + 1
+	if n <= s.last {
+		n = s.last + 1
 	}
-	c.lastBallot = n
+	s.last = n
 	return int64(n)
 }
 
-// nextBallot mints a monotonically increasing ballot for a coordinator.
-func (c *Cluster) nextBallot(node transport.NodeID, atLeast uint64) paxos.Ballot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// nextBallot mints a monotonically increasing ballot for a coordinator's
+// CAS on key.
+func (c *Cluster) nextBallot(key string, node transport.NodeID, atLeast uint64) paxos.Ballot {
+	s := &c.clocks[ShardOf(key, len(c.clocks))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := uint64(c.NowMicros())
-	if n <= c.lastBallot {
-		n = c.lastBallot + 1
+	if n <= s.last {
+		n = s.last + 1
 	}
 	if n <= atLeast {
 		n = atLeast + 1
 	}
-	c.lastBallot = n
+	s.last = n
 	return paxos.Ballot{Counter: n, Node: int32(node)}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // OpKind is a workload operation type.
@@ -27,6 +28,16 @@ const (
 	WorkloadU  = "U"  // 100% updates
 )
 
+// Request distributions over the keyspace.
+const (
+	// DistZipfian is YCSB's default hot-key skew (the paper's Fig 9 setting).
+	DistZipfian = "zipfian"
+	// DistUniform draws every key with equal probability — the standard
+	// YCSB "uniform" requestdistribution setting, used by the scale-out campaign
+	// where throughput rather than contention is under test.
+	DistUniform = "uniform"
+)
+
 // Config describes a workload.
 type Config struct {
 	// Workload selects the op mix: WorkloadR, WorkloadUR or WorkloadU.
@@ -37,8 +48,11 @@ type Config struct {
 	// (the paper's default data size).
 	ValueSize int
 	// Theta is the Zipfian skew parameter. Defaults to 0.99 (YCSB's
-	// standard constant).
+	// standard constant). Ignored when Distribution is DistUniform.
 	Theta float64
+	// Distribution selects how keys are drawn: DistZipfian (default) or
+	// DistUniform.
+	Distribution string
 }
 
 // Op is one generated operation.
@@ -68,6 +82,9 @@ func NewGenerator(cfg Config, seed int64) (*Generator, error) {
 	if cfg.Theta == 0 {
 		cfg.Theta = 0.99
 	}
+	if cfg.Distribution == "" {
+		cfg.Distribution = DistZipfian
+	}
 	switch cfg.Workload {
 	case WorkloadR, WorkloadUR, WorkloadU:
 	default:
@@ -78,17 +95,26 @@ func NewGenerator(cfg Config, seed int64) (*Generator, error) {
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
-	return &Generator{
-		cfg: cfg,
-		rng: rng,
-		zip: NewZipfian(cfg.Records, cfg.Theta, rng),
-		val: val,
-	}, nil
+	g := &Generator{cfg: cfg, rng: rng, val: val}
+	switch cfg.Distribution {
+	case DistZipfian:
+		g.zip = NewZipfian(cfg.Records, cfg.Theta, rng)
+	case DistUniform:
+	default:
+		return nil, fmt.Errorf("ycsb: unknown distribution %q", cfg.Distribution)
+	}
+	return g, nil
 }
 
 // Next returns the next operation.
 func (g *Generator) Next() Op {
-	key := fmt.Sprintf("user%06d", g.zip.Next())
+	idx := 0
+	if g.zip != nil {
+		idx = g.zip.Next()
+	} else {
+		idx = g.rng.Intn(g.cfg.Records)
+	}
+	key := fmt.Sprintf("user%06d", idx)
 	kind := Read
 	switch g.cfg.Workload {
 	case WorkloadU:
@@ -135,11 +161,37 @@ func NewZipfian(n int, theta float64, rng *rand.Rand) *Zipfian {
 	return z
 }
 
+// zetaCache memoises zeta(n, theta): the harmonic sum is O(n) and the
+// scale campaign builds hundreds of generators over million-key spaces,
+// all sharing a handful of (n, theta) pairs.
+var zetaCache struct {
+	sync.Mutex
+	m map[zetaKey]float64
+}
+
+type zetaKey struct {
+	n     int
+	theta float64
+}
+
 func zeta(n int, theta float64) float64 {
+	k := zetaKey{n, theta}
+	zetaCache.Lock()
+	if v, ok := zetaCache.m[k]; ok {
+		zetaCache.Unlock()
+		return v
+	}
+	zetaCache.Unlock()
 	sum := 0.0
 	for i := 1; i <= n; i++ {
 		sum += 1.0 / math.Pow(float64(i), theta)
 	}
+	zetaCache.Lock()
+	if zetaCache.m == nil {
+		zetaCache.m = make(map[zetaKey]float64)
+	}
+	zetaCache.m[k] = sum
+	zetaCache.Unlock()
 	return sum
 }
 

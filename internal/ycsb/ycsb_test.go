@@ -119,6 +119,47 @@ func TestZipfianDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestUniformDistribution(t *testing.T) {
+	g, err := NewGenerator(Config{Workload: WorkloadU, Records: 100, Distribution: DistUniform}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next().Key]++
+	}
+	if len(counts) != 100 {
+		t.Fatalf("uniform over 100 records drew %d distinct keys", len(counts))
+	}
+	// Every key should be near draws/100 = 500; a Zipfian head would be ~10x.
+	for k, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("key %s drew %d times, want ~500 (uniform)", k, c)
+		}
+	}
+}
+
+func TestUnknownDistributionRejected(t *testing.T) {
+	if _, err := NewGenerator(Config{Workload: WorkloadU, Distribution: "latest"}, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestZetaCache(t *testing.T) {
+	a := zeta(100000, 0.99)
+	b := zeta(100000, 0.99)
+	if a != b {
+		t.Fatalf("cached zeta differs: %v vs %v", a, b)
+	}
+	zetaCache.Lock()
+	_, ok := zetaCache.m[zetaKey{100000, 0.99}]
+	zetaCache.Unlock()
+	if !ok {
+		t.Fatal("zeta(100000, 0.99) not cached")
+	}
+}
+
 func TestCollisionRateWithZipfianKeys(t *testing.T) {
 	// Sanity for the Fig 9 setup: with a few concurrent threads drawing
 	// Zipfian keys from a 1000-record space, same-key collisions happen but

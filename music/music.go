@@ -90,6 +90,7 @@ type options struct {
 	digestReads  bool
 	history      bool
 	mutation     core.Mutation
+	shards       int
 }
 
 // Option configures New.
@@ -128,6 +129,16 @@ func WithNodesPerSite(n int) Option {
 // WithRF sets the replication factor (default 3, one copy per site).
 func WithRF(n int) Option {
 	return optionFunc(func(o *options) { o.rf = n })
+}
+
+// WithShards partitions each site's MUSIC plane into n shards routed by
+// store.ShardOf(key, n): each shard gets its own lock/grant state, its own
+// store coordinator (shard i coordinates through the site's i-th node,
+// wrapping round when the site has fewer nodes), and its own striped slice
+// of every replica's row engine. Cross-shard critical sections stay correct
+// through RunCriticalMulti's canonical key order. Default 1.
+func WithShards(n int) Option {
+	return optionFunc(func(o *options) { o.shards = n })
 }
 
 // WithT bounds the duration of a critical section (default 1 minute).
@@ -259,7 +270,10 @@ func New(opts ...Option) (*Cluster, error) {
 		Seed:         o.seed,
 		Obs:          ob,
 	})
-	st := store.New(net, store.Config{RF: o.rf, DigestReads: o.digestReads, History: rec})
+	if o.shards <= 0 {
+		o.shards = 1
+	}
+	st := store.New(net, store.Config{RF: o.rf, DigestReads: o.digestReads, History: rec, Shards: o.shards})
 
 	c := &Cluster{
 		rt:       rt,
@@ -273,8 +287,15 @@ func New(opts ...Option) (*Cluster, error) {
 		history:  rec,
 	}
 	for _, site := range c.sites {
-		node := net.NodesInSite(site)[0]
-		c.replicas[site] = core.NewReplica(st.Client(node), core.Config{
+		// Shard i coordinates through the site's i-th node (wrapping when
+		// the site has fewer nodes than shards), so with NodesPerSite ≥
+		// shards each shard drives its own simnet executor.
+		nodes := net.NodesInSite(site)
+		clients := make([]*store.Client, o.shards)
+		for i := range clients {
+			clients[i] = st.Client(nodes[i%len(nodes)])
+		}
+		c.replicas[site] = core.NewReplicaSharded(clients, core.Config{
 			T:        o.t,
 			Mode:     o.mode,
 			Observer: o.observer,
@@ -293,6 +314,10 @@ type TransportConfig struct {
 	T time.Duration
 	// Mode selects ModeQuorum (default) or ModeLWT critical puts.
 	Mode Mode
+	// Shards partitions each site's MUSIC plane by store.ShardOf (see
+	// WithShards). Shard i coordinates through the site's i-th local node,
+	// wrapping round when the process hosts fewer nodes. Default 1.
+	Shards int
 	// DigestReads enables the store's digest quorum-read path.
 	DigestReads bool
 	// LocalNodes lists the transport nodes this process hosts store
@@ -321,11 +346,15 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 	if cfg.RF == 0 {
 		cfg.RF = 3
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	st := store.New(tr, store.Config{
 		RF:          cfg.RF,
 		DigestReads: cfg.DigestReads,
 		LocalNodes:  cfg.LocalNodes,
 		History:     cfg.History,
+		Shards:      cfg.Shards,
 	})
 	local := cfg.LocalNodes
 	if len(local) == 0 {
@@ -364,17 +393,20 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 		}
 	}
 	for _, site := range sites {
-		var node transport.NodeID = -1
+		var siteNodes []transport.NodeID
 		for _, id := range local {
 			if tr.SiteOf(id) == site {
-				node = id
-				break
+				siteNodes = append(siteNodes, id)
 			}
 		}
-		if node < 0 {
+		if len(siteNodes) == 0 {
 			return nil, fmt.Errorf("music: no local node in site %q", site)
 		}
-		c.replicas[site] = core.NewReplica(st.Client(node), core.Config{
+		clients := make([]*store.Client, cfg.Shards)
+		for i := range clients {
+			clients[i] = st.Client(siteNodes[i%len(siteNodes)])
+		}
+		c.replicas[site] = core.NewReplicaSharded(clients, core.Config{
 			T:       cfg.T,
 			Mode:    cfg.Mode,
 			History: cfg.History,

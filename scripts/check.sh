@@ -34,9 +34,12 @@ MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
     go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1
 # Chaosnet campaign under pinned seeds: the same ECF checkers, but over the
 # REAL TCP message plane with seed-driven latency / loss / partition / reset
-# faults injected into the dial path (internal/chaosnet). The full 50-seed
-# batch runs in CI's chaosnet job and nightly; this subset keeps the local
-# gate fast without losing the wire-path coverage.
+# faults injected into the dial path (internal/chaosnet). The regexp matches
+# both the single-shard campaign and the sharded one (RunSeedSharded: two
+# processes per site, keys routed to their owning shard), so the 12 pinned
+# seeds run against both deployments. The full 50-seed batch runs in CI's
+# chaosnet job and nightly; this subset keeps the local gate fast without
+# losing the wire-path coverage.
 MUSIC_CHAOSNET_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
     go test ./internal/chaosnet/ -run 'TestChaosnetCampaign' -count=1
 
@@ -46,6 +49,12 @@ MUSIC_CHAOSNET_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
 # pool or an intermediate payload copy fails here by name instead of hiding
 # inside the package test run above.
 go test ./internal/nettrans/ -run 'TestAllocCeiling' -count=1
+# Store/core allocation gates from the sharding work: shard routing is
+# alloc-free, critical ops allocate no more on an 8-shard plane than on an
+# unsharded one, and the store's disabled-observability hot path stays under
+# its pinned per-op ceilings (the span/history nil-guard regression).
+go test ./internal/store/ -run 'TestAllocCeilingStoreOps|TestShardOfZeroAlloc' -count=1
+go test ./internal/core/ -run 'TestShardedSingleKeyNoExtraAllocs' -count=1
 
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
@@ -67,5 +76,15 @@ trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json"' EXIT
 go run ./cmd/musicbench -exp soak -quick -quiet -json "$soak_json" > /dev/null
 grep -q '"experiment": "soak"' "$soak_json"
 grep -q '"scenario": "restarts"' "$soak_json"
+
+# Scale smoke: the sharded-plane campaign must run end to end in quick mode
+# (shard counts 1 and 4 over the million-key uniform YCSB workload) and emit
+# a well-formed BENCH_scale.json. The full sweep runs in CI's bench-gate job
+# against the committed baseline.
+scale_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json" "$scale_json"' EXIT
+go run ./cmd/musicbench -exp scale -quick -quiet -json "$scale_json" > /dev/null
+grep -q '"experiment": "scale"' "$scale_json"
+grep -q '"shards": "4"' "$scale_json"
 
 echo "check.sh: all green"
