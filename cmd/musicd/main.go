@@ -26,8 +26,27 @@
 //	[
 //	  {"id": 0, "site": "ohio",         "addr": "127.0.0.1:7001"},
 //	  {"id": 1, "site": "ncalifornia",  "addr": "127.0.0.1:7002"},
-//	  {"id": 2, "site": "oregon",       "addr": "127.0.0.1:7003"}
+//	  {"id": 2, "site": "oregon",       "addr": "127.0.0.1:7003"},
+//	  {"id": 3, "site": "dublin",       "addr": "127.0.0.1:7004", "spare": true}
 //	]
+//
+// Live membership: marking a peer "spare": true provisions it outside the
+// initial membership — it boots, serves store RPCs, and refuses critical
+// sections until a join brings its site in. Any spare in peers.json switches
+// the whole deployment to epoch-versioned membership: the non-spare nodes
+// replicate a config log (internal/membership over internal/raft), spare
+// processes follow it by polling, and every process answers
+//
+//	GET  /v1/membership                    the current epoch + site set
+//	POST /v1/admin/membership              {"op":"join"|"retire"|"replace",
+//	                                        "site": s, "with": spare}
+//
+// A spare process started with -join proposes its own site into the
+// membership once it is up (idempotent across restarts), then bulk-pulls
+// the rows the new placement assigns it. On every epoch the processes
+// update their transport peer tables from the membership's recorded
+// addresses, so replacement processes at new addresses become dialable
+// without restarts.
 package main
 
 import (
@@ -43,6 +62,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/httpapi"
+	"repro/internal/membership"
 	"repro/internal/nettrans"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -72,12 +92,27 @@ func run(args []string) error {
 		listen    = fs.String("listen", "", "transport TCP listen address (default: this node's addr from peers.json)")
 		node      = fs.Int("node", -1, "this process's node id (default: the single -site node in peers.json)")
 		histOn    = fs.Bool("history", false, "record the operation history and serve it on /v1/history (multi-process mode; timestamps share the Unix epoch so per-process histories merge)")
+		join      = fs.Bool("join", false, "propose this spare site into the live membership at startup (multi-process mode; the node must be marked \"spare\" in peers.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *peersPath != "" {
-		return runMulti(*peersPath, *site, *listen, *node, *addr, *t, *obsOn, *histOn, *shards)
+		return runMulti(multiConfig{
+			peersPath: *peersPath,
+			site:      *site,
+			listen:    *listen,
+			node:      *node,
+			httpAddr:  *addr,
+			t:         *t,
+			obsOn:     *obsOn,
+			histOn:    *histOn,
+			join:      *join,
+			shards:    *shards,
+		})
+	}
+	if *join {
+		return fmt.Errorf("-join needs multi-process mode (-peers)")
 	}
 
 	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
@@ -107,7 +142,7 @@ func run(args []string) error {
 	errc := make(chan error, len(listenAddrs))
 	for i, a := range listenAddrs {
 		site := sites[i]
-		srv := httpapi.New(c.Client(site))
+		srv := newAPIServer(c, site, *shards)
 		log.Printf("serving site %s on %s", site, a)
 		go func(a string) {
 			errc <- http.ListenAndServe(a, srv)
@@ -116,17 +151,44 @@ func run(args []string) error {
 	return <-errc
 }
 
+// newAPIServer builds a site's REST server: one client per plane shard,
+// routed by store.ShardOf inside httpapi, so the HTTP front end drives all
+// shards concurrently instead of funneling through one client.
+func newAPIServer(c *music.Cluster, site string, shards int) *httpapi.Server {
+	if shards < 1 {
+		shards = 1
+	}
+	cls := make([]*music.Client, shards)
+	for i := range cls {
+		cls[i] = c.Client(site)
+	}
+	return httpapi.NewSharded(cls)
+}
+
+// multiConfig bundles runMulti's flag values.
+type multiConfig struct {
+	peersPath, site, listen string
+	node                    int
+	httpAddr                string
+	t                       time.Duration
+	obsOn, histOn, join     bool
+	shards                  int
+}
+
 // runMulti is one process of a multi-process deployment: a TCP transport
 // node in the peer ring, the store replica for that node, the MUSIC replica
 // for its site, and the site's REST listener.
-func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.Duration, obsOn, histOn bool, shards int) error {
-	peers, err := loadPeers(peersPath)
+func runMulti(mc multiConfig) error {
+	peers, spares, err := loadPeers(mc.peersPath)
 	if err != nil {
 		return err
 	}
-	self, err := pickSelf(peers, site, node)
+	self, err := pickSelf(peers, mc.site, mc.node)
 	if err != nil {
 		return err
+	}
+	if mc.join && !spares[self.ID] {
+		return fmt.Errorf("-join: node %d is not marked \"spare\" in %s", self.ID, mc.peersPath)
 	}
 
 	// With -history every process clocks from the Unix epoch, so the
@@ -134,19 +196,19 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 	// checker harness can merge them into one timeline.
 	rt := sim.NewReal(1)
 	var rec *history.Recorder
-	if histOn {
+	if mc.histOn {
 		rt = sim.NewRealAt(time.Unix(0, 0), 1)
 		rec = history.New(rt)
 	}
 	var ob *obs.Obs
-	if obsOn {
+	if mc.obsOn {
 		ob = obs.New(rt, obs.Options{})
 	}
 	cfg := nettrans.Config{Self: self.ID, Peers: peers, Obs: ob}
-	if listen != "" {
-		lis, err := net.Listen("tcp", listen)
+	if mc.listen != "" {
+		lis, err := net.Listen("tcp", mc.listen)
 		if err != nil {
-			return fmt.Errorf("listen %s: %w", listen, err)
+			return fmt.Errorf("listen %s: %w", mc.listen, err)
 		}
 		cfg.Listener = lis
 	}
@@ -154,12 +216,88 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 	if err != nil {
 		return err
 	}
+
+	// Any spare in peers.json switches the deployment to live membership:
+	// the initial members replicate the config log, spares follow by
+	// polling, and both kinds can drive proposals.
+	var (
+		view    *membership.View
+		propose func(membership.Change) (membership.Membership, error)
+	)
+	if len(spares) > 0 {
+		var mems []membership.Member
+		var seeds []transport.NodeID
+		for _, p := range peers {
+			if spares[p.ID] {
+				continue
+			}
+			mems = append(mems, membership.Member{ID: p.ID, Site: p.Site, Addr: p.Addr})
+			seeds = append(seeds, p.ID)
+		}
+		if len(mems) == 0 {
+			return fmt.Errorf("%s marks every node spare; at least one initial member is required", mc.peersPath)
+		}
+		initial := membership.New(mems)
+		if spares[self.ID] {
+			// Outside the config group: follow the log by polling members,
+			// forward proposals through a serving member.
+			view = membership.NewView(initial)
+			poller := membership.Poll(tr, self.ID, seeds, view, 0)
+			defer poller.Stop()
+			propose = func(ch membership.Change) (membership.Membership, error) {
+				var lastErr error
+				for _, seed := range seeds {
+					m, perr := membership.ProposeRemote(tr, self.ID, seed, ch, 0)
+					if perr == nil {
+						return m, nil
+					}
+					lastErr = perr
+				}
+				return membership.Membership{}, lastErr
+			}
+		} else {
+			memLog, lerr := membership.NewLog(membership.LogConfig{
+				Transport: tr,
+				Group:     initial.NodeIDs(),
+				Local:     []transport.NodeID{self.ID},
+				Initial:   initial,
+			})
+			if lerr != nil {
+				tr.Close()
+				return lerr
+			}
+			defer memLog.Stop()
+			view = memLog.View()
+			propose = func(ch membership.Change) (membership.Membership, error) {
+				return memLog.Propose(self.ID, ch)
+			}
+		}
+		// Refresh the transport's peer table before the store ring sees each
+		// epoch (View subscribers run in registration order), so a node the
+		// new placement brings in is dialable by the time state transfer and
+		// replication want it — including replacement processes at addresses
+		// peers.json never listed.
+		view.Subscribe(func(m membership.Membership) {
+			log.Printf("membership: %s", m)
+			for _, mem := range m.Members {
+				if mem.ID == self.ID || mem.Addr == "" {
+					continue
+				}
+				if aerr := tr.AddPeer(mem.ID, mem.Site, mem.Addr); aerr != nil {
+					log.Printf("membership: AddPeer n%d: %v", mem.ID, aerr)
+				}
+			}
+		})
+	}
+
 	c, err := music.NewOverTransport(tr, music.TransportConfig{
-		T:          t,
-		Shards:     shards,
+		T:          mc.t,
+		Shards:     mc.shards,
 		LocalNodes: []transport.NodeID{self.ID},
 		Obs:        ob,
 		History:    rec,
+		Membership: view,
+		Propose:    propose,
 	})
 	if err != nil {
 		tr.Close()
@@ -167,25 +305,84 @@ func runMulti(peersPath, site, listen string, node int, httpAddr string, t time.
 	}
 	defer c.Close()
 
-	srv := httpapi.New(c.Client(self.Site))
+	// Crash-restart catch-up: pull whatever this node's key ranges
+	// accumulated while the process was down, before serving traffic. On a
+	// fresh cluster boot peers may not be up yet — that is fine, the pull
+	// finds nothing and read repair covers the race.
+	if n, serr := c.SyncLocal(); serr != nil {
+		log.Printf("startup state transfer: %v", serr)
+	} else {
+		log.Printf("startup state transfer: caught up %d rows", n)
+	}
+	if mc.join {
+		go joinSelf(c, self.Site)
+	}
+
+	srv := newAPIServer(c, self.Site, mc.shards)
 	log.Printf("node %d (site %s): transport on %s, REST on %s, %d peers",
-		self.ID, self.Site, tr.Addr(), httpAddr, len(peers)-1)
-	return http.ListenAndServe(httpAddr, srv)
+		self.ID, self.Site, tr.Addr(), mc.httpAddr, len(peers)-1)
+	return http.ListenAndServe(mc.httpAddr, srv)
 }
 
-func loadPeers(path string) ([]nettrans.Peer, error) {
+// joinSelf proposes this process's site into the membership, retrying until
+// the site is a member. It is idempotent across restarts: if a previous run
+// already joined, the poller catches the view up and the loop exits without
+// proposing a duplicate.
+func joinSelf(c *music.Cluster, site string) {
+	for attempt := 0; ; attempt++ {
+		if c.Membership().HasSite(site) {
+			break
+		}
+		m, err := c.JoinSite(site)
+		if err == nil {
+			log.Printf("joined membership: %s", m)
+			break
+		}
+		log.Printf("join %s (attempt %d): %v", site, attempt+1, err)
+		time.Sleep(time.Second)
+	}
+	// Wait for the join epoch to reach this process's own view, then pull
+	// the rows the new placement assigns this node (state transfer). The
+	// propose path's SyncLocal ran before the poller observed the epoch, so
+	// this second pull is the one that actually moves data.
+	for i := 0; i < 100 && !c.Membership().HasSite(site); i++ {
+		time.Sleep(100 * time.Millisecond)
+	}
+	if n, err := c.SyncLocal(); err != nil {
+		log.Printf("join state transfer: %v", err)
+	} else {
+		log.Printf("join state transfer: %d rows", n)
+	}
+}
+
+// peerEntry is one peers.json record: a transport peer plus the optional
+// "spare" marker for nodes provisioned outside the initial membership.
+type peerEntry struct {
+	nettrans.Peer
+	Spare bool `json:"spare,omitempty"`
+}
+
+func loadPeers(path string) ([]nettrans.Peer, map[transport.NodeID]bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var peers []nettrans.Peer
-	if err := json.Unmarshal(data, &peers); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+	var entries []peerEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(peers) == 0 {
-		return nil, fmt.Errorf("%s: empty peer set", path)
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("%s: empty peer set", path)
 	}
-	return peers, nil
+	peers := make([]nettrans.Peer, len(entries))
+	spares := make(map[transport.NodeID]bool)
+	for i, e := range entries {
+		peers[i] = e.Peer
+		if e.Spare {
+			spares[e.Peer.ID] = true
+		}
+	}
+	return peers, spares, nil
 }
 
 // pickSelf resolves which peer this process is: an explicit -node id, or

@@ -34,9 +34,12 @@ import (
 //     brief loss window striking at peak load.
 //   - skewshift: Zipfian traffic over 48 keys whose hot set rotates twice
 //     mid-run, under a single-pair latency fault.
-//   - restarts: rolling site outages — each site in turn is partitioned
-//     from both peers (the reachable emulation of a process restart inside
-//     one benchmark process), exercising retry and cross-site failover.
+//   - restarts: a real musicd OS process is SIGKILLed mid-run and restarted
+//     on the same identity; the report records the rows the rejoined process
+//     pulled back through the startup state-transfer path.
+//   - reconfig: real processes again — a spare site joins, a member retires,
+//     and a crashed member is replaced through POST /v1/admin/membership,
+//     all while the workload keeps running.
 //
 // With -json the per-scenario SLO reports are written as BENCH_soak.json.
 func runSoak(opts Options) []Table {
@@ -51,18 +54,15 @@ func runSoak(opts Options) []Table {
 		Columns: []string{"scenario", "sections", "avail", "p50", "p99", "p999",
 			"retries", "failovers", "drops", "resets"},
 		Notes: []string{
-			fmt.Sprintf("each scenario runs %v against a fresh 3-site TCP loopback deployment with chaosnet faults in the dial path", dur),
-			"restarts emulates rolling site restarts as full partitions of one site at a time; avail = successful sections / attempts",
+			fmt.Sprintf("storm/flashcrowd/skewshift run %v against a fresh in-process 3-site TCP loopback deployment with chaosnet faults in the dial path", dur),
+			"restarts and reconfig deploy real musicd OS processes and drive the REST API: restarts kill -9s one process and verifies its state-transfer catch-up; reconfig joins/retires/replaces sites live",
+			"avail = successful sections / attempts; a section failing at one site is re-driven at the next serving site (counted as a failover, not a failure)",
 		},
 	}
-	var reports []soakReport
-	for _, sc := range soakScenarios(opts, dur) {
-		opts.logf("  soak: %s", sc.id)
-		rep := runSoakScenario(sc, dur)
-		reports = append(reports, rep)
+	addRow := func(id string, rep soakReport) {
 		d := func(us int64) string { return stats.FormatDuration(time.Duration(us) * time.Microsecond) }
 		tbl.Rows = append(tbl.Rows, []string{
-			sc.id,
+			id,
 			fmt.Sprintf("%d", rep.SLO.Attempts),
 			fmt.Sprintf("%.3f", rep.SLO.Availability),
 			d(rep.SLO.P50Micros), d(rep.SLO.P99Micros), d(rep.SLO.P999Micros),
@@ -71,6 +71,17 @@ func runSoak(opts Options) []Table {
 			fmt.Sprintf("%d", rep.Faults.Drops),
 			fmt.Sprintf("%d", rep.Faults.Resets),
 		})
+	}
+	var reports []soakReport
+	for _, sc := range soakScenarios(opts, dur) {
+		opts.logf("  soak: %s", sc.id)
+		rep := runSoakScenario(sc, dur)
+		reports = append(reports, rep)
+		addRow(sc.id, rep)
+	}
+	for _, rep := range runSoakProcScenarios(opts) {
+		reports = append(reports, rep)
+		addRow(rep.SLO.Scenario, rep)
 	}
 	if opts.SoakJSON != "" {
 		writeSoakJSON(opts, reports)
@@ -136,54 +147,33 @@ func soakScenarios(opts Options, dur time.Duration) []soakScenario {
 				})
 			},
 		},
-		{
-			id:    "restarts",
-			sched: rollingRestartSchedule(dur),
-			drive: func(env *soakEnv) {
-				env.runWorkers(scale(9), dur, func(w, iter int, rng *rand.Rand) {
-					env.section(w, fmt.Sprintf("rr-%d", rng.Intn(8)))
-				})
-			},
-		},
 	}
 }
 
-// rollingRestartSchedule isolates each site in turn for a sixth of the run —
-// the partition-based emulation of rolling process restarts.
-func rollingRestartSchedule(dur time.Duration) chaosnet.Schedule {
-	var events []chaosnet.Event
-	for i, site := range soakSites {
-		at := dur/8 + time.Duration(i)*dur/4
-		for _, other := range soakSites {
-			if other == site {
-				continue
-			}
-			events = append(events, chaosnet.Event{
-				Class: chaosnet.ClassPartition, At: at, For: dur / 6, A: site, B: other,
-			})
-		}
-	}
-	return chaosnet.Schedule{Sites: soakSites, Events: events}
+// soakRecorder is the driver-side clock, metrics registry and stop flag
+// shared by the in-process and process-backed scenario environments.
+type soakRecorder struct {
+	rt      *sim.Real
+	ob      *obs.Obs
+	stopped atomic.Bool
 }
 
-// soakEnv is one deployed scenario: three single-node MUSIC clusters over
-// loopback TCP, dials routed through the chaosnet injector, one failover
-// client per site, and a private metrics registry.
+// soakEnv is one deployed in-process scenario: three single-node MUSIC
+// clusters over loopback TCP, dials routed through the chaosnet injector,
+// one failover client per site, and a private metrics registry.
 type soakEnv struct {
+	soakRecorder
 	scenario string
-	rt       *sim.Real
-	ob       *obs.Obs
 	inj      *chaosnet.Injector
 	clusters []*music.Cluster
 	clients  []*music.Client
-	stopped  atomic.Bool
 }
 
 func newSoakEnv(scenario string, sched chaosnet.Schedule) *soakEnv {
 	rt := sim.NewReal(1)
 	ob := obs.New(rt, obs.Options{})
 	inj := chaosnet.NewInjector(rt, sched)
-	env := &soakEnv{scenario: scenario, rt: rt, ob: ob, inj: inj}
+	env := &soakEnv{soakRecorder: soakRecorder{rt: rt, ob: ob}, scenario: scenario, inj: inj}
 
 	listeners := make([]net.Listener, len(soakSites))
 	peers := make([]nettrans.Peer, len(soakSites))
@@ -236,7 +226,12 @@ func (env *soakEnv) close() {
 // runWorkers drives n closed-loop workers for dur, joining them before
 // returning (fault windows are bounded, so in-flight sections drain).
 func (env *soakEnv) runWorkers(n int, dur time.Duration, work func(w, iter int, rng *rand.Rand)) {
-	deadline := env.rt.Now() + dur
+	soakWorkers(env.rt, &env.stopped, n, dur, work)
+}
+
+// soakWorkers is the closed-loop worker pool both scenario environments use.
+func soakWorkers(rt *sim.Real, stopped *atomic.Bool, n int, dur time.Duration, work func(w, iter int, rng *rand.Rand)) {
+	deadline := rt.Now() + dur
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		w := w
@@ -244,7 +239,7 @@ func (env *soakEnv) runWorkers(n int, dur time.Duration, work func(w, iter int, 
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w + 1)))
-			for iter := 0; env.rt.Now() < deadline && !env.stopped.Load(); iter++ {
+			for iter := 0; rt.Now() < deadline && !stopped.Load(); iter++ {
 				work(w, iter, rng)
 			}
 		}()
@@ -283,10 +278,13 @@ func (env *soakEnv) section(w int, key string) {
 	m.Histogram("soak_section_latency", labels).Observe(env.rt.Now() - start)
 }
 
-// soakReport is one scenario's JSON artifact entry.
+// soakReport is one scenario's JSON artifact entry. Proc is set only by the
+// process-backed scenarios (restarts, reconfig) and records what the script
+// did to the deployment.
 type soakReport struct {
 	SLO    obs.SLOReport   `json:"slo"`
 	Faults chaosnet.Counts `json:"faults"`
+	Proc   *soakProcReport `json:"proc,omitempty"`
 }
 
 func runSoakScenario(sc soakScenario, dur time.Duration) soakReport {

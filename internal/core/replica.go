@@ -51,6 +51,16 @@ var (
 	// replicas responded; the client should retry, possibly at another
 	// MUSIC replica (§III-A "Failure Semantics").
 	ErrUnavailable = store.ErrUnavailable
+	// ErrEpochFenced means a membership epoch change moved the key's
+	// placement mid-section (or a failover site asked to adopt a grant for
+	// a key the new epoch no longer places there). The section cannot
+	// safely continue: its earlier quorum writes went to the old replica
+	// set, so a quorum assembled under the new one might miss them. The
+	// fencing replica force-releases the lock — marking the synchFlag, so
+	// the next grant re-stamps the surviving value under the new placement
+	// — and the client must run a new critical section. Terminal for the
+	// lockRef, retryable at section granularity.
+	ErrEpochFenced = errors.New("music: fenced by membership epoch change")
 )
 
 // Op identifies a MUSIC operation (or sub-phase) for latency observers —
@@ -222,6 +232,13 @@ type planeShard struct {
 type grant struct {
 	ref         int64
 	startMicros int64
+	// epoch and replicas snapshot the key's placement when the grant was
+	// recorded locally. guardCritical's epoch fence compares them against
+	// the live placement: while the replica set is unchanged the section
+	// proceeds (and silently adopts the new epoch); once membership moves
+	// the key, the section is preempted (see ErrEpochFenced).
+	epoch    int64
+	replicas []simnet.NodeID
 }
 
 type headAge struct {
@@ -322,6 +339,12 @@ func (r *Replica) tracer() *obs.Tracer { return r.ds0().Cluster().Net().Tracer()
 func (r *Replica) CreateLockRef(key string) (int64, error) {
 	sp := r.tracer().Start("music.createLockRef")
 	sp.Annotate("key", key)
+	if c := r.shardFor(key).ds.Cluster(); c.Dynamic() && !c.MemberSite(r.site) {
+		err := fmt.Errorf("createLockRef %s at %s (epoch %d): site not in membership: %w",
+			key, r.site, c.Epoch(), ErrEpochFenced)
+		sp.EndErr(err)
+		return 0, err
+	}
 	start := r.now()
 	ref, err := r.shardFor(key).ls.GenerateAndEnqueue(key)
 	sp.EndErr(err)
@@ -370,9 +393,24 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 			if seed.Valid {
 				hc.Value(seed.Value, seed.Present)
 			}
+			if acquired {
+				// The grant's certification epoch is the one current now —
+				// a contended acquire may have queued across an epoch change.
+				hc.EpochNow()
+			}
 			hc.End(err)
 		}
 	}()
+
+	// Under dynamic membership, a site outside the current epoch — retired,
+	// or a spare that has not joined yet — must not issue or adopt grants:
+	// its sections would be invisible to the membership the rest of the
+	// cluster reconfigures around. Clients see ErrEpochFenced and fail over
+	// to a member site.
+	if c := r.shardFor(key).ds.Cluster(); c.Dynamic() && !c.MemberSite(r.site) {
+		return false, ValueSeed{}, fmt.Errorf("acquire %s/%d at %s (epoch %d): site not in membership: %w",
+			key, ref, r.site, c.Epoch(), ErrEpochFenced)
+	}
 
 	peekSp := r.tracer().Child("music.acquireLock.peek")
 	peekStart := r.now()
@@ -421,9 +459,11 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 		// window keeps counting, and the section's elapsed-time timestamps
 		// stay monotonic across sites, so a straggler write accepted before
 		// the failover can never outrank writes issued after it.
+		if err := r.adoptGrant(key, ref, head.StartTime, head.GrantEpoch); err != nil {
+			return false, ValueSeed{}, err
+		}
 		sp.Annotate("outcome", "adopted grant")
 		hc.Note("adopted")
-		r.rememberGrant(key, ref, head.StartTime)
 		return true, ValueSeed{}, nil
 	}
 
@@ -465,9 +505,7 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	r.observe(OpAcquireGrant, grantStart)
 
 	now := r.nowMicros()
-	s.mu.Lock()
-	s.grants[key] = grant{ref: ref, startMicros: now}
-	s.mu.Unlock()
+	r.rememberGrant(key, ref, now)
 	// Record the grant time in the lock store so other MUSIC replicas can
 	// detect expiry and serve failover clients. Off the critical path, but
 	// not fire-and-forget: without the grant cell, failover replicas
@@ -485,6 +523,16 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
 	rt := r.ds0().Cluster().Net().Runtime()
 	s := r.shardFor(key)
+	// The cell carries the epoch recorded at grant time (not the epoch at
+	// write time — the async retry may straddle a reconfiguration, and the
+	// cell must describe the placement the grant was actually issued under).
+	s.mu.Lock()
+	g, ok := s.grants[key]
+	s.mu.Unlock()
+	epoch := int64(0)
+	if ok && g.ref == ref {
+		epoch = g.epoch
+	}
 	backoff := 50 * time.Millisecond
 	for attempt := 0; attempt < 8; attempt++ {
 		if attempt > 0 {
@@ -499,7 +547,7 @@ func (r *Replica) setGrantRetried(key string, ref, startMicros int64) {
 				return
 			}
 		}
-		if err := s.ls.SetGrant(key, ref, startMicros); err == nil {
+		if err := s.ls.SetGrant(key, ref, startMicros, epoch); err == nil {
 			return
 		}
 	}
@@ -698,6 +746,9 @@ func (r *Replica) guardCritical(key string, ref int64) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := r.epochFence(key, ref); err != nil {
+		return 0, err
+	}
 	elapsed := time.Duration(r.nowMicros()-start) * time.Microsecond
 	if elapsed >= r.cfg.T {
 		// The critical section overran its bound: preempt ourselves so the
@@ -739,7 +790,9 @@ func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64,
 		return g.startMicros, nil
 	}
 	if head.StartTime > 0 {
-		r.rememberGrant(key, ref, head.StartTime)
+		if err := r.adoptGrant(key, ref, head.StartTime, head.GrantEpoch); err != nil {
+			return 0, err
+		}
 		return head.StartTime, nil
 	}
 	queue, err := s.ls.Queue(key)
@@ -748,18 +801,118 @@ func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64,
 	}
 	for _, e := range queue {
 		if e.Ref == ref && e.StartTime > 0 {
-			r.rememberGrant(key, ref, e.StartTime)
+			if err := r.adoptGrant(key, ref, e.StartTime, e.GrantEpoch); err != nil {
+				return 0, err
+			}
 			return e.StartTime, nil
 		}
 	}
 	return 0, fmt.Errorf("%w: %s/%d not granted", ErrNotLockHolder, key, ref)
 }
 
+// adoptGrant validates taking over a grant another replica issued (the
+// failover path) before recording it locally. Under dynamic membership the
+// adopted section keeps its ECF guarantee only if (a) the current epoch
+// places the key at this site and (b) the key's replica set is unchanged
+// since the epoch the grant was issued under — otherwise its earlier
+// quorum writes may not intersect quorums assembled here. Grants whose
+// epoch is unknown (cell written before the epoch extension, or older than
+// the store's bounded ring history) are refused conservatively.
+func (r *Replica) adoptGrant(key string, ref, startMicros, grantEpoch int64) error {
+	c := r.shardFor(key).ds.Cluster()
+	if c.Dynamic() {
+		if !c.SitePlaced(key, r.site) {
+			return fmt.Errorf("adopt %s/%d at %s (epoch %d): key not placed here: %w",
+				key, ref, r.site, c.Epoch(), ErrEpochFenced)
+		}
+		if epoch := c.Epoch(); grantEpoch != epoch {
+			old, ok := c.ReplicasForAt(key, grantEpoch)
+			if !ok || !sameNodes(old, c.ReplicasFor(key)) {
+				return fmt.Errorf("adopt %s/%d at %s: granted under epoch %d, placement changed by epoch %d: %w",
+					key, ref, r.site, grantEpoch, epoch, ErrEpochFenced)
+			}
+		}
+	}
+	r.rememberGrant(key, ref, startMicros)
+	return nil
+}
+
 func (r *Replica) rememberGrant(key string, ref, startMicros int64) {
 	s := r.shardFor(key)
+	epoch, replicas := r.placeStamp(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.grants[key] = grant{ref: ref, startMicros: startMicros}
+	s.grants[key] = grant{ref: ref, startMicros: startMicros, epoch: epoch, replicas: replicas}
+}
+
+// placeStamp snapshots the key's placement (epoch + replica set) for a
+// grant record. On static clusters the replica set is not needed — the
+// epoch never changes, so the fence can never fire — and skipping it keeps
+// grants allocation-free there.
+func (r *Replica) placeStamp(key string) (int64, []simnet.NodeID) {
+	c := r.shardFor(key).ds.Cluster()
+	if !c.Dynamic() {
+		return c.Epoch(), nil
+	}
+	return c.Epoch(), c.ReplicasFor(key)
+}
+
+// epochFence enforces the cross-epoch rule on a granted section: a section
+// granted under epoch N may keep operating only while the key's replica
+// set is the one it was granted under. A membership change that leaves the
+// key in place merely advances the grant's recorded epoch; one that moves
+// the key preempts the section with a forced release (marking the
+// synchFlag, so the next holder synchronizes under the new placement) and
+// fails the operation with ErrEpochFenced.
+func (r *Replica) epochFence(key string, ref int64) error {
+	s := r.shardFor(key)
+	c := s.ds.Cluster()
+	epoch := c.Epoch()
+	if c.Dynamic() && !c.MemberSite(r.site) {
+		// The epoch retired this site outright: every section it still
+		// holds is preempted, whether or not the key's replicas moved.
+		_ = r.ForcedRelease(key, ref)
+		return fmt.Errorf("%w: site %s retired at epoch %d", ErrEpochFenced, r.site, epoch)
+	}
+	s.mu.Lock()
+	g, ok := s.grants[key]
+	s.mu.Unlock()
+	if !ok || g.ref != ref || g.epoch == epoch {
+		return nil
+	}
+	cur := c.ReplicasFor(key)
+	if sameNodes(cur, g.replicas) {
+		s.mu.Lock()
+		if g2, ok := s.grants[key]; ok && g2.ref == ref {
+			g2.epoch, g2.replicas = epoch, cur
+			s.grants[key] = g2
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	_ = r.ForcedRelease(key, ref)
+	return fmt.Errorf("%w: %s/%d placement moved at epoch %d (granted under %d)",
+		ErrEpochFenced, key, ref, epoch, g.epoch)
+}
+
+// sameNodes reports set equality of two small replica lists.
+func sameNodes(a, b []simnet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // ReleaseLock removes lockRef from the queue, making the lock available.

@@ -1,0 +1,58 @@
+package crdb
+
+import "repro/internal/wire"
+
+// Wire codecs for the transaction commands crdb replicates through Raft.
+// Raft's own message codecs marshal Entry.Data with a nested wire.Marshal,
+// so every command type proposed into the log needs a codec of its own even
+// when the group runs entirely over the simulated network.
+const (
+	idBeginTxn  = 64
+	idCommitTxn = 65
+	idAbortTxn  = 66
+)
+
+func init() {
+	wire.Register(idBeginTxn, "crdb.beginTxn",
+		func(e *wire.Encoder, v beginTxn) {
+			e.Uint64(v.ID)
+			e.Uint32(uint32(len(v.Keys)))
+			for _, k := range v.Keys {
+				e.String(k)
+			}
+		},
+		func(d *wire.Decoder) beginTxn {
+			v := beginTxn{ID: d.Uint64()}
+			n := int(d.Uint32())
+			if n > 0 && d.Err() == nil {
+				v.Keys = make([]string, 0, n)
+				for i := 0; i < n && d.Err() == nil; i++ {
+					v.Keys = append(v.Keys, d.String())
+				}
+			}
+			return v
+		})
+	wire.Register(idCommitTxn, "crdb.commitTxn",
+		func(e *wire.Encoder, v commitTxn) {
+			e.Uint64(v.ID)
+			e.Uint32(uint32(len(v.Writes)))
+			for _, w := range v.Writes {
+				e.String(w.Key)
+				e.RawBytes(w.Value)
+			}
+		},
+		func(d *wire.Decoder) commitTxn {
+			v := commitTxn{ID: d.Uint64()}
+			n := int(d.Uint32())
+			if n > 0 && d.Err() == nil {
+				v.Writes = make([]KV, 0, n)
+				for i := 0; i < n && d.Err() == nil; i++ {
+					v.Writes = append(v.Writes, KV{Key: d.String(), Value: d.RawBytes()})
+				}
+			}
+			return v
+		})
+	wire.Register(idAbortTxn, "crdb.abortTxn",
+		func(e *wire.Encoder, v abortTxn) { e.Uint64(v.ID) },
+		func(d *wire.Decoder) abortTxn { return abortTxn{ID: d.Uint64()} })
+}

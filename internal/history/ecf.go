@@ -87,6 +87,9 @@ type CheckOptions struct {
 // search over a recorded history.
 func Check(ops []Op, opt CheckOptions) Result {
 	res := Result{Ops: len(ops)}
+	// Global rules first: the epoch checker certifies membership changes
+	// across the whole history (see epoch.go) before the per-key ECF rules.
+	res.Violations = append(res.Violations, checkEpochs(ops)...)
 	keys := partition(ops)
 	names := make([]string, 0, len(keys))
 	for k := range keys {

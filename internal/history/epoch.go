@@ -1,0 +1,305 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+// The epoch checker extends the ECF contract to live membership (epoch-
+// versioned reconfiguration): critical sections must be *certified* across
+// epoch changes. Ops are stamped with the membership epoch current at their
+// invocation — except successful acquires, which stamp at response, the
+// moment the grant is certified — and each epoch change is a KindEpoch
+// event whose Note records
+// the member set it placed, so the checker re-derives every epoch's
+// placement itself (via package placement) instead of trusting the store
+// under test. Rules, over the whole history:
+//
+//   - epoch-conflict: two sites must never disagree on what an epoch means —
+//     every KindEpoch event for epoch e carries the same rf and member set
+//     (the config log is a single serial order).
+//   - epoch-mono: per site, epoch stamps are non-decreasing in invocation
+//     order; a site regressing to an older epoch would re-admit placements
+//     the cluster has moved past.
+//   - epoch-member: a successful grant or critical-data op stamped with
+//     epoch e must run at a site that e's member set still includes — a
+//     retired site continuing to serve sections is a reconfiguration leak.
+//     Releases (voluntary and forced) are exempt: they are exactly the
+//     cleanup a fenced site performs while draining its last holders.
+//   - epoch-span: a section granted under epoch N may complete ops under a
+//     later epoch M only if N's and M's placements agree on the key's
+//     replica set (the silent-adoption case). If the key moved, the op had
+//     to fail retryably (the epoch fence); a *successful* cross-epoch op on
+//     a moved key means a section ran against two different replica sets —
+//     its reads and writes may have quorums that do not intersect, the
+//     signature reconfiguration violation.
+//
+// Histories with no KindEpoch events (fixed-membership clusters) stamp every
+// op with epoch 0 and all four rules are inert.
+
+// encodeEpochNote renders an epoch's placement inputs into the one-line
+// Note format parseEpochNote reads back: "rf=3 members=ohio:0,oregon:2".
+func encodeEpochNote(rf int, members []placement.Node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rf=%d members=", rf)
+	for i, m := range members {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(m.Site)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(m.ID)))
+	}
+	return b.String()
+}
+
+// parseEpochNote inverts encodeEpochNote. ok is false on any malformation
+// (a hand-edited repro file); the checker then skips placement-dependent
+// rules for that epoch rather than guessing.
+func parseEpochNote(note string) (rf int, members []placement.Node, ok bool) {
+	rest, found := strings.CutPrefix(note, "rf=")
+	if !found {
+		return 0, nil, false
+	}
+	rfStr, memStr, found := strings.Cut(rest, " members=")
+	if !found {
+		return 0, nil, false
+	}
+	rf, err := strconv.Atoi(rfStr)
+	if err != nil || rf <= 0 {
+		return 0, nil, false
+	}
+	for _, part := range strings.Split(memStr, ",") {
+		if part == "" {
+			continue
+		}
+		site, idStr, found := strings.Cut(part, ":")
+		if !found || site == "" {
+			return 0, nil, false
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return 0, nil, false
+		}
+		members = append(members, placement.Node{ID: transport.NodeID(id), Site: site})
+	}
+	return rf, members, len(members) > 0
+}
+
+// epochInfo is one epoch's recorded placement inputs plus its lazily built
+// ring.
+type epochInfo struct {
+	op      Op // first KindEpoch event announcing this epoch
+	rf      int
+	members []placement.Node
+	ring    *placement.Ring
+}
+
+func (e *epochInfo) placement() *placement.Ring {
+	if e.ring == nil {
+		e.ring = placement.New(e.members, e.rf)
+	}
+	return e.ring
+}
+
+// hasSite reports whether the epoch's member set includes site.
+func (e *epochInfo) hasSite(site string) bool {
+	for _, m := range e.members {
+		if m.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+func sameMembers(a, b []placement.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]placement.Node(nil), a...)
+	bs := append([]placement.Node(nil), b...)
+	less := func(s []placement.Node) func(i, j int) bool {
+		return func(i, j int) bool { return s[i].ID < s[j].ID }
+	}
+	sort.Slice(as, less(as))
+	sort.Slice(bs, less(bs))
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameReplicas(a, b []transport.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, id := range a {
+		found := false
+		for _, x := range b {
+			if x == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEpochs runs the four epoch rules over a full history.
+func checkEpochs(ops []Op) []Violation {
+	var vs []Violation
+
+	// Collect the epoch table from KindEpoch events, flagging conflicts.
+	epochs := make(map[int64]*epochInfo)
+	any := false
+	for _, o := range ops {
+		if o.Epoch != 0 {
+			any = true
+		}
+		if o.Kind != KindEpoch || o.Failed() {
+			continue
+		}
+		rf, members, ok := parseEpochNote(o.Note)
+		if !ok {
+			continue
+		}
+		if prev, dup := epochs[o.Epoch]; dup {
+			if prev.rf != rf || !sameMembers(prev.members, members) {
+				vs = append(vs, Violation{
+					Rule:   "epoch-conflict",
+					Detail: fmt.Sprintf("epoch %d announced with two different member sets", o.Epoch),
+					Ops:    []Op{o, prev.op},
+				})
+			}
+			continue
+		}
+		epochs[o.Epoch] = &epochInfo{op: o, rf: rf, members: members}
+	}
+	if !any {
+		return vs // fixed-membership history: rules inert
+	}
+
+	// epoch-mono: per site, stamps non-decreasing in stamp order. Most ops
+	// stamp their epoch at invocation; acquires stamp at response (the
+	// grant is certified when it is issued, and a contended acquire can
+	// queue across an epoch change), so each op is ordered by the moment
+	// its stamp was taken.
+	stampAt := func(o Op) time.Duration {
+		if o.Kind == KindAcquire {
+			return o.Resp
+		}
+		return o.Inv
+	}
+	bySite := make(map[string][]Op)
+	for _, o := range ops {
+		if o.Epoch != 0 {
+			bySite[o.Site] = append(bySite[o.Site], o)
+		}
+	}
+	sites := make([]string, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		sos := bySite[s]
+		sort.Slice(sos, func(i, j int) bool {
+			if stampAt(sos[i]) != stampAt(sos[j]) {
+				return stampAt(sos[i]) < stampAt(sos[j])
+			}
+			return sos[i].ID < sos[j].ID
+		})
+		for i := 1; i < len(sos); i++ {
+			if sos[i].Epoch < sos[i-1].Epoch {
+				vs = append(vs, Violation{
+					Rule: "epoch-mono",
+					Key:  sos[i].Key,
+					Detail: fmt.Sprintf("site %s regressed from epoch %d to epoch %d",
+						s, sos[i-1].Epoch, sos[i].Epoch),
+					Ops: []Op{sos[i], sos[i-1]},
+				})
+				break // one violation per site names the first regression
+			}
+		}
+	}
+
+	// epoch-member: sections only run at sites the epoch still includes.
+	for _, o := range ops {
+		if o.Epoch == 0 || o.Failed() {
+			continue
+		}
+		switch o.Kind {
+		case KindAcquire, KindPut, KindDelete, KindGet, KindSync:
+		default:
+			continue
+		}
+		info := epochs[o.Epoch]
+		if info == nil || info.hasSite(o.Site) {
+			continue
+		}
+		vs = append(vs, Violation{
+			Rule: "epoch-member",
+			Key:  o.Key,
+			Detail: fmt.Sprintf("site %s served %s under epoch %d, which retired it",
+				o.Site, o.Kind, o.Epoch),
+			Ops: []Op{o, info.op},
+		})
+	}
+
+	// epoch-span: certify sections that span an epoch change. The grant
+	// epoch is the earliest successful acquire per (key, ref).
+	type section struct {
+		key string
+		ref int64
+	}
+	grantEpoch := make(map[section]Op)
+	for _, o := range ops {
+		if o.Kind != KindAcquire || o.Failed() || o.Epoch == 0 {
+			continue
+		}
+		s := section{o.Key, o.Ref}
+		if g, ok := grantEpoch[s]; !ok || o.Resp < g.Resp {
+			grantEpoch[s] = o
+		}
+	}
+	for _, o := range ops {
+		if o.Failed() || o.Epoch == 0 {
+			continue
+		}
+		switch o.Kind {
+		case KindPut, KindDelete, KindGet, KindSync:
+		default:
+			continue
+		}
+		g, ok := grantEpoch[section{o.Key, o.Ref}]
+		if !ok || o.Epoch == g.Epoch {
+			continue
+		}
+		from, to := epochs[g.Epoch], epochs[o.Epoch]
+		if from == nil || to == nil {
+			continue // unknown epoch: cannot re-derive placement, stay silent
+		}
+		if sameReplicas(from.placement().ReplicasFor(o.Key), to.placement().ReplicasFor(o.Key)) {
+			continue // silent adoption: the key's replica set is unchanged
+		}
+		vs = append(vs, Violation{
+			Rule: "epoch-span",
+			Key:  o.Key,
+			Detail: fmt.Sprintf("lockRef %d was granted under epoch %d but completed %s under epoch %d, which moved the key's replicas",
+				o.Ref, g.Epoch, o.Kind, o.Epoch),
+			Ops: []Op{o, g},
+		})
+	}
+	return vs
+}

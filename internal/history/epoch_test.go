@@ -1,0 +1,205 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Epoch-checker fixtures: a 3-site member set growing by site-d, mirroring
+// the live-membership campaign topologies.
+var (
+	epochMembers1 = []placement.Node{{ID: 0, Site: "ohio"}, {ID: 1, Site: "ncalifornia"}, {ID: 2, Site: "oregon"}}
+	epochMembers2 = append(append([]placement.Node(nil), epochMembers1...), placement.Node{ID: 3, Site: "site-d"})
+)
+
+// epochEv builds the KindEpoch event announcing epoch e with the given
+// member set at time at.
+func epochEv(site string, e int64, members []placement.Node, at time.Duration) Op {
+	return Op{Kind: KindEpoch, Site: site, Epoch: e, Inv: at, Resp: at, Note: encodeEpochNote(3, members)}
+}
+
+// epochKeys finds one key whose replica set moves in the 1→2 growth and one
+// whose placement is untouched.
+func epochKeys(t *testing.T) (moved, unmoved string) {
+	t.Helper()
+	r1, r2 := placement.New(epochMembers1, 3), placement.New(epochMembers2, 3)
+	for i := 0; i < 10000 && (moved == "" || unmoved == ""); i++ {
+		k := fmt.Sprintf("ek-%d", i)
+		if sameReplicas(r1.ReplicasFor(k), r2.ReplicasFor(k)) {
+			if unmoved == "" {
+				unmoved = k
+			}
+		} else if moved == "" {
+			moved = k
+		}
+	}
+	if moved == "" || unmoved == "" {
+		t.Fatalf("no moved/unmoved key pair (moved=%q unmoved=%q)", moved, unmoved)
+	}
+	return moved, unmoved
+}
+
+// at stamps an op with site, key and epoch — the epoch rules read those
+// three; mk's defaults cover the rest.
+func at(o Op, site, key string, epoch int64) Op {
+	o.Site, o.Key, o.Epoch = site, key, epoch
+	return o
+}
+
+func TestEpochNoteRoundTrip(t *testing.T) {
+	note := encodeEpochNote(3, epochMembers2)
+	rf, members, ok := parseEpochNote(note)
+	if !ok || rf != 3 || !sameMembers(members, epochMembers2) {
+		t.Fatalf("round trip failed: ok=%v rf=%d members=%v from %q", ok, rf, members, note)
+	}
+	for _, bad := range []string{"", "rf=3", "rf=x members=a:1", "rf=3 members=", "rf=3 members=a", "rf=3 members=a:z"} {
+		if _, _, ok := parseEpochNote(bad); ok {
+			t.Errorf("parseEpochNote(%q) accepted malformed note", bad)
+		}
+	}
+}
+
+// TestEpochSpanCertified: a section on an unmoved key sails across the
+// epoch change (silent adoption); the same shape on a moved key is the
+// signature reconfiguration violation.
+func TestEpochSpanCertified(t *testing.T) {
+	moved, unmoved := epochKeys(t)
+	section := func(key string) []Op {
+		return finish([]Op{
+			epochEv("ohio", 1, epochMembers1, 0),
+			at(mk(KindAcquire, 1, 5*us, 10*us), "ohio", key, 1),
+			at(withValue(mk(KindPut, 1, 20*us, 30*us), "a", ts(1, 20)), "ohio", key, 1),
+			epochEv("ohio", 2, epochMembers2, 40*us),
+			at(withValue(mk(KindPut, 1, 50*us, 60*us), "b", ts(1, 50)), "ohio", key, 2),
+			at(mk(KindRelease, 1, 70*us, 80*us), "ohio", key, 2),
+		})
+	}
+	if got := rules(checkEpochs(section(unmoved))); got != "" {
+		t.Fatalf("unmoved-key cross-epoch section flagged: [%s]", got)
+	}
+	vs := checkEpochs(section(moved))
+	if got := rules(vs); !strings.Contains(got, "epoch-span") {
+		t.Fatalf("moved-key cross-epoch section not flagged: [%s]", got)
+	}
+	// The violation names the offending op and the grant it betrays.
+	if len(vs[0].Ops) != 2 || vs[0].Ops[0].Kind != KindPut || vs[0].Ops[1].Kind != KindAcquire {
+		t.Fatalf("epoch-span violation ops: %+v", vs[0].Ops)
+	}
+}
+
+// TestEpochMemberRetiredSite: epoch 2 retires oregon; oregon continuing to
+// serve critical ops stamped with epoch 2 is flagged.
+func TestEpochMemberRetiredSite(t *testing.T) {
+	shrunk := []placement.Node{{ID: 0, Site: "ohio"}, {ID: 1, Site: "ncalifornia"}}
+	ops := finish([]Op{
+		epochEv("ohio", 1, epochMembers1, 0),
+		epochEv("ohio", 2, shrunk, 10*us),
+		at(mk(KindAcquire, 1, 20*us, 30*us), "oregon", "k", 2),
+	})
+	if got := rules(checkEpochs(ops)); !strings.Contains(got, "epoch-member") {
+		t.Fatalf("retired site serving a grant not flagged: [%s]", got)
+	}
+	// The same grant at a surviving site is clean.
+	ok := finish([]Op{
+		epochEv("ohio", 1, epochMembers1, 0),
+		epochEv("ohio", 2, shrunk, 10*us),
+		at(mk(KindAcquire, 1, 20*us, 30*us), "ohio", "k", 2),
+	})
+	if got := rules(checkEpochs(ok)); got != "" {
+		t.Fatalf("surviving site flagged: [%s]", got)
+	}
+}
+
+// TestEpochMonoRegression: a site stamping a later-invoked op with an older
+// epoch regressed its membership view.
+func TestEpochMonoRegression(t *testing.T) {
+	ops := finish([]Op{
+		epochEv("ohio", 1, epochMembers1, 0),
+		epochEv("ohio", 2, epochMembers2, 10*us),
+		at(mk(KindAcquire, 1, 20*us, 30*us), "ohio", "k", 2),
+		at(withValue(mk(KindPut, 1, 40*us, 50*us), "a", ts(1, 40)), "ohio", "k", 1), // regressed stamp
+	})
+	if got := rules(checkEpochs(ops)); !strings.Contains(got, "epoch-mono") {
+		t.Fatalf("epoch regression not flagged: [%s]", got)
+	}
+}
+
+// TestEpochConflict: two sites announcing different member sets for one
+// epoch means the config log forked.
+func TestEpochConflict(t *testing.T) {
+	ops := finish([]Op{
+		epochEv("ohio", 2, epochMembers2, 0),
+		epochEv("oregon", 2, epochMembers1, 5*us),
+	})
+	if got := rules(checkEpochs(ops)); !strings.Contains(got, "epoch-conflict") {
+		t.Fatalf("forked epoch announcement not flagged: [%s]", got)
+	}
+	// Identical re-announcements (each site logs the epoch as it applies
+	// it) are the normal case, not a conflict.
+	ok := finish([]Op{
+		epochEv("ohio", 2, epochMembers2, 0),
+		epochEv("oregon", 2, epochMembers2, 5*us),
+	})
+	if got := rules(checkEpochs(ok)); got != "" {
+		t.Fatalf("duplicate identical announcement flagged: [%s]", got)
+	}
+}
+
+// TestEpochInertWithoutEvents: fixed-membership histories (every op stamped
+// 0) bypass all epoch rules, and Check wires the checker in.
+func TestEpochInertWithoutEvents(t *testing.T) {
+	ops := finish([]Op{
+		mk(KindAcquire, 1, 0, 10*us),
+		withValue(mk(KindPut, 1, 20*us, 30*us), "a", ts(1, 20)),
+		mk(KindRelease, 1, 40*us, 50*us),
+	})
+	if got := rules(checkEpochs(ops)); got != "" {
+		t.Fatalf("static history flagged by epoch rules: [%s]", got)
+	}
+	moved, _ := epochKeys(t)
+	bad := finish([]Op{
+		epochEv("ohio", 1, epochMembers1, 0),
+		at(mk(KindAcquire, 1, 5*us, 10*us), "ohio", moved, 1),
+		epochEv("ohio", 2, epochMembers2, 20*us),
+		at(withValue(mk(KindPut, 1, 30*us, 40*us), "b", ts(1, 30)), "ohio", moved, 2),
+	})
+	res := Check(bad, CheckOptions{})
+	if got := rules(res.Violations); !strings.Contains(got, "epoch-span") {
+		t.Fatalf("Check did not run the epoch rules: [%s]", got)
+	}
+}
+
+// TestRecorderEpochStamping: EpochEvent flips the stamp applied to every
+// subsequently begun op and records the member set for the checker.
+func TestRecorderEpochStamping(t *testing.T) {
+	rt := sim.New(1)
+	rec := New(rt)
+	if err := rt.Run(func() {
+		rec.Begin("ohio", KindAcquire, "k", 1).End(nil) // before any epoch: stamp 0
+		rec.EpochEvent("ohio", 2, 3, epochMembers2)
+		rec.Begin("ohio", KindPut, "k", 1).End(nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	if ops[0].Epoch != 0 || ops[1].Epoch != 2 || ops[2].Epoch != 2 {
+		t.Fatalf("epoch stamps = %d,%d,%d, want 0,2,2", ops[0].Epoch, ops[1].Epoch, ops[2].Epoch)
+	}
+	if ops[1].Kind != KindEpoch {
+		t.Fatalf("EpochEvent kind = %v", ops[1].Kind)
+	}
+	if rf, members, ok := parseEpochNote(ops[1].Note); !ok || rf != 3 || !sameMembers(members, epochMembers2) {
+		t.Fatalf("EpochEvent note %q did not round-trip", ops[1].Note)
+	}
+	if s := ops[2].String(); !strings.Contains(s, "epoch=2") {
+		t.Fatalf("op render missing epoch stamp: %s", s)
+	}
+}

@@ -97,6 +97,13 @@ type Script struct {
 	Keys        []string
 	Clients     []ClientPlan
 	Faults      []FaultEvent
+	// Spares and Membership turn the script into a live-membership churn
+	// schedule: the cluster starts dynamic with the spare sites provisioned
+	// but unjoined, and each MembershipEvent reconfigures it mid-workload.
+	// Both empty (every Generate script) leaves the cluster static and the
+	// run byte-identical to the pre-churn explorer.
+	Spares     []string
+	Membership []MembershipEvent
 }
 
 // Classes returns the set of fault classes the script exercises.
@@ -229,14 +236,18 @@ func (o Outcome) Violating() bool {
 // recording (and observability, for repro span trees) enabled, then checks
 // the recorded history.
 func Run(s Script) Outcome {
-	c, err := music.New(
+	opts := []music.Option{
 		music.WithProfile(s.Profile),
 		music.WithSeed(s.Seed),
 		music.WithT(s.T),
 		music.WithHistory(),
 		music.WithObservability(),
 		music.WithProtocolMutation(s.Mutation),
-	)
+	}
+	if len(s.Spares) > 0 {
+		opts = append(opts, music.WithSpareSites(s.Spares...))
+	}
+	c, err := music.New(opts...)
 	if err != nil {
 		return Outcome{Script: s, RunErr: err}
 	}
@@ -277,6 +288,32 @@ func Run(s Script) Outcome {
 					c.SetLossRate(0)
 				case FaultSkew:
 					skewActive = false
+				}
+			})
+		}
+
+		// The membership driver: one task per event. Reconfiguration RPCs
+		// legitimately fail while faults are live (the proposer may be cut
+		// off), so each event retries through its window; whatever epoch
+		// sequence actually materializes, the history checkers certify it.
+		for _, ev := range s.Membership {
+			ev := ev
+			c.Go(func() {
+				c.Sleep(ev.At)
+				for attempt := 0; attempt < 60; attempt++ {
+					var err error
+					switch ev.Op {
+					case "join":
+						_, err = c.JoinSite(ev.Site)
+					case "retire":
+						_, err = c.RetireSite(ev.Site)
+					case "replace":
+						_, err = c.ReplaceSite(ev.Site, ev.With)
+					}
+					if err == nil {
+						return
+					}
+					c.Sleep(500 * time.Millisecond)
 				}
 			})
 		}

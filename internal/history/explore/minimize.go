@@ -30,6 +30,17 @@ func Minimize(s Script) (Script, Outcome) {
 		if changed {
 			continue
 		}
+		for i := 0; i < len(s.Membership); i++ {
+			cand := s
+			cand.Membership = dropIndex(s.Membership, i)
+			if o := Run(cand); o.Violating() {
+				s, out, changed = cand, o, true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
 		for i := 0; i < len(s.Clients); i++ {
 			cand := s
 			cand.Clients = dropIndex(s.Clients, i)
@@ -79,6 +90,12 @@ func (o Outcome) Repro() string {
 	}
 	for _, f := range s.Faults {
 		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	if len(s.Spares) > 0 {
+		fmt.Fprintf(&b, "spares: %v\nmembership script:\n", s.Spares)
+		for _, ev := range s.Membership {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
 	}
 	b.WriteString("clients:\n")
 	for ci, plan := range s.Clients {

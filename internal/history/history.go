@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/placement"
 	"repro/internal/sim"
 )
 
@@ -60,6 +62,12 @@ const (
 	// beneath the MUSIC table (diagnostics; not checked).
 	KindStorePut
 	KindStoreGet
+	// KindEpoch is a membership epoch change becoming visible at a site:
+	// Epoch is the new epoch and Note carries the member set it placed
+	// ("rf=3 members=site:id,..."), from which the epoch checker re-derives
+	// placement. Appended after the store kinds so every earlier kind keeps
+	// its historical numeric value (pinned repro artifacts render ids).
+	KindEpoch
 )
 
 // String names the kind for reports.
@@ -89,6 +97,8 @@ func (k Kind) String() string {
 		return "store.put"
 	case KindStoreGet:
 		return "store.get"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -114,6 +124,11 @@ type Op struct {
 	// data-store synchronization before admitting the holder.
 	Synchronized bool
 
+	// Epoch is the membership epoch current at this site when the op was
+	// invoked; 0 on fixed-membership clusters (no epoch events recorded),
+	// where the epoch checker is inert.
+	Epoch int64
+
 	Note string // free-form detail (failover target, cache source, …)
 	Err  string // empty on success
 }
@@ -136,6 +151,9 @@ func (o Op) String() string {
 	if o.TS != 0 {
 		fmt.Fprintf(&b, " ts=%d", o.TS)
 	}
+	if o.Epoch != 0 {
+		fmt.Fprintf(&b, " epoch=%d", o.Epoch)
+	}
 	if o.Kind == KindAcquire {
 		fmt.Fprintf(&b, " synchronized=%t", o.Synchronized)
 	}
@@ -152,6 +170,11 @@ func (o Op) String() string {
 // every method on a nil *Recorder is a no-op.
 type Recorder struct {
 	rt sim.Runtime
+
+	// epoch is the membership epoch ops are stamped with at Begin. It stays
+	// 0 (no stamp) until the first EpochEvent, so fixed-membership clusters
+	// record byte-identical histories with or without this feature.
+	epoch atomic.Int64
 
 	mu   sync.Mutex
 	ops  []Op
@@ -177,7 +200,7 @@ func (r *Recorder) Begin(site string, kind Kind, key string, ref int64) *Call {
 	if r == nil {
 		return nil
 	}
-	return &Call{r: r, op: Op{Site: site, Kind: kind, Key: key, Ref: ref, Inv: r.rt.Now()}}
+	return &Call{r: r, op: Op{Site: site, Kind: kind, Key: key, Ref: ref, Inv: r.rt.Now(), Epoch: r.epoch.Load()}}
 }
 
 // Value records the value written or observed. The bytes are copied.
@@ -198,6 +221,19 @@ func (c *Call) TS(ts int64) *Call {
 		return nil
 	}
 	c.op.TS = ts
+	return c
+}
+
+// EpochNow re-stamps the op with the epoch current at the time of the call
+// rather than at Begin. Acquires use it on success: a contended acquire can
+// wait in the queue across an epoch change and only be granted after it, and
+// the epoch the grant was certified under — the one the epoch-span rule must
+// judge the section by — is the one at grant time, not at enqueue time.
+func (c *Call) EpochNow() *Call {
+	if c == nil {
+		return nil
+	}
+	c.op.Epoch = c.r.epoch.Load()
 	return c
 }
 
@@ -247,7 +283,26 @@ func (r *Recorder) Event(site string, kind Kind, key string, ref int64, note str
 	r.next++
 	r.ops = append(r.ops, Op{
 		ID: r.next, Site: site, Kind: kind, Key: key, Ref: ref,
-		Inv: now, Resp: now, Note: note,
+		Inv: now, Resp: now, Note: note, Epoch: r.epoch.Load(),
+	})
+	r.mu.Unlock()
+}
+
+// EpochEvent records a membership epoch becoming visible at site and makes
+// epoch the stamp of every subsequently begun op. The member set (and the
+// rf it was applied with) is encoded into the op's Note so the epoch
+// checker can re-derive each epoch's placement from the history alone.
+func (r *Recorder) EpochEvent(site string, epoch int64, rf int, members []placement.Node) {
+	if r == nil {
+		return
+	}
+	r.epoch.Store(epoch)
+	now := r.rt.Now()
+	r.mu.Lock()
+	r.next++
+	r.ops = append(r.ops, Op{
+		ID: r.next, Site: site, Kind: KindEpoch,
+		Inv: now, Resp: now, Epoch: epoch, Note: encodeEpochNote(rf, members),
 	})
 	r.mu.Unlock()
 }

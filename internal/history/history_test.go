@@ -99,7 +99,7 @@ func TestRenderAndStrings(t *testing.T) {
 	if !strings.Contains(out, "criticalPut") || !strings.Contains(out, `value="a"`) || !strings.Contains(out, "ts=1010") {
 		t.Fatalf("render missing fields:\n%s", out)
 	}
-	for k := KindAcquire; k <= KindStoreGet; k++ {
+	for k := KindAcquire; k <= KindEpoch; k++ {
 		if strings.HasPrefix(k.String(), "kind(") {
 			t.Fatalf("kind %d has no name", k)
 		}

@@ -27,6 +27,18 @@
 //
 //	GET    /v1/history                     → {"site": s, "ops": [...]}
 //
+// Live membership (epoch 0 = fixed build-time membership; reconfiguration
+// requires a dynamic cluster — music.WithSpareSites / musicd -join):
+//
+//	GET    /v1/membership                  → {"epoch": n, "sites": [...], "members": [...]}
+//	POST   /v1/admin/membership            {"op": "join"|"retire"|"replace",
+//	                                        "site": s, "with": spare}
+//	                                       → the new epoch's membership
+//
+// Requests for different keys route to per-shard clients by store.ShardOf
+// (NewSharded), so a sharded site's HTTP front end drives every shard
+// concurrently instead of funneling through one client.
+//
 // ECF errors map to HTTP statuses: 409 Conflict for
 // "youAreNoLongerLockHolder" / expired sections (dead lockRef, give up),
 // 412 Precondition Failed for "not (yet) the lock holder" (retry), and
@@ -43,19 +55,32 @@ import (
 	"strconv"
 
 	"repro/internal/history"
+	"repro/internal/membership"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/music"
 )
 
-// Server handles the REST API for one site's MUSIC client.
+// Server handles the REST API for one site's MUSIC clients — one per plane
+// shard, so concurrent HTTP requests for different shards never serialize
+// on one client's binding state.
 type Server struct {
-	cl  *music.Client
+	cls []*music.Client
 	mux *http.ServeMux
 }
 
-// New builds a server around cl.
-func New(cl *music.Client) *Server {
-	s := &Server{cl: cl, mux: http.NewServeMux()}
+// New builds a server around a single client (the unsharded deployment).
+func New(cl *music.Client) *Server { return NewSharded([]*music.Client{cl}) }
+
+// NewSharded builds a server that routes each keyed request to the client
+// owning the key's plane shard (store.ShardOf over len(cls) — pass one
+// client per shard, in shard order, all bound to the same site). Keyless
+// endpoints (health, key listing, membership, diagnostics) use cls[0].
+func NewSharded(cls []*music.Client) *Server {
+	if len(cls) == 0 {
+		panic("httpapi: NewSharded with no clients")
+	}
+	s := &Server{cls: cls, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/locks/{key}", s.createLockRef)
 	s.mux.HandleFunc("GET /v1/locks/{key}/{ref}", s.acquireLock)
 	s.mux.HandleFunc("DELETE /v1/locks/{key}/{ref}", s.releaseLock)
@@ -64,19 +89,32 @@ func New(cl *music.Client) *Server {
 	s.mux.HandleFunc("DELETE /v1/keys/{key}", s.deleteKey)
 	s.mux.HandleFunc("GET /v1/keys", s.allKeys)
 	s.mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "site": s.cl.Site()})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "site": s.cls[0].Site()})
 	})
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /traces", s.traces)
 	s.mux.HandleFunc("GET /v1/history", s.history)
+	s.mux.HandleFunc("GET /v1/membership", s.getMembership)
+	s.mux.HandleFunc("POST /v1/admin/membership", s.postMembership)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// clientFor routes key to the client owning its plane shard — the same
+// store.ShardOf walk core uses, so the HTTP layer lands each request on the
+// client already bound to the shard's coordinator.
+func (s *Server) clientFor(key string) *music.Client {
+	if len(s.cls) == 1 {
+		return s.cls[0]
+	}
+	return s.cls[store.ShardOf(key, len(s.cls))]
+}
+
 func (s *Server) createLockRef(w http.ResponseWriter, r *http.Request) {
-	ref, err := s.cl.CreateLockRef(r.PathValue("key"))
+	key := r.PathValue("key")
+	ref, err := s.clientFor(key).CreateLockRef(key)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -89,7 +127,8 @@ func (s *Server) acquireLock(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	holder, err := s.cl.AcquireLock(r.PathValue("key"), ref)
+	key := r.PathValue("key")
+	holder, err := s.clientFor(key).AcquireLock(key, ref)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -103,11 +142,12 @@ func (s *Server) releaseLock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := r.PathValue("key")
+	cl := s.clientFor(key)
 	var err error
 	if r.URL.Query().Get("forced") != "" {
-		err = s.cl.ForcedRelease(key, ref)
+		err = cl.ForcedRelease(key, ref)
 	} else {
-		err = s.cl.ReleaseLock(key, ref)
+		err = cl.ReleaseLock(key, ref)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -128,9 +168,9 @@ func (s *Server) putKey(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		err = s.cl.CriticalPut(key, ref, value)
+		err = s.clientFor(key).CriticalPut(key, ref, value)
 	} else {
-		err = s.cl.Put(key, value)
+		err = s.clientFor(key).Put(key, value)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -150,9 +190,9 @@ func (s *Server) getKey(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		value, err = s.cl.CriticalGet(key, ref)
+		value, err = s.clientFor(key).CriticalGet(key, ref)
 	} else {
-		value, err = s.cl.Get(key)
+		value, err = s.clientFor(key).Get(key)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -176,7 +216,8 @@ func (s *Server) deleteKey(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.cl.CriticalDelete(r.PathValue("key"), ref); err != nil {
+	key := r.PathValue("key")
+	if err := s.clientFor(key).CriticalDelete(key, ref); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -184,7 +225,7 @@ func (s *Server) deleteKey(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) allKeys(w http.ResponseWriter, r *http.Request) {
-	keys, err := s.cl.GetAllKeys()
+	keys, err := s.cls[0].GetAllKeys()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -197,7 +238,7 @@ func (s *Server) allKeys(w http.ResponseWriter, r *http.Request) {
 
 // metrics serves the cluster's metric registry in text exposition format.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	o := s.cl.Cluster().Obs()
+	o := s.cls[0].Cluster().Obs()
 	if o == nil {
 		writeJSON(w, http.StatusNotFound, errBody("observability disabled (build the cluster WithObservability)"))
 		return
@@ -215,7 +256,7 @@ type traceBody struct {
 // traces serves recent span trees from the tracer's ring buffer, most
 // recent last; ?id= selects one trace, ?limit= caps the listing (default 16).
 func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
-	o := s.cl.Cluster().Obs()
+	o := s.cls[0].Cluster().Obs()
 	if o == nil {
 		writeJSON(w, http.StatusNotFound, errBody("observability disabled (build the cluster WithObservability)"))
 		return
@@ -252,7 +293,7 @@ func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
 // harness fetches every site's ops, merges them by response time, and runs
 // internal/history.Check over the combined timeline.
 func (s *Server) history(w http.ResponseWriter, r *http.Request) {
-	rec := s.cl.Cluster().History()
+	rec := s.cls[0].Cluster().History()
 	if rec == nil {
 		writeJSON(w, http.StatusNotFound, errBody("history recording disabled (music.WithHistory, or musicd -history)"))
 		return
@@ -261,7 +302,90 @@ func (s *Server) history(w http.ResponseWriter, r *http.Request) {
 	if ops == nil {
 		ops = []history.Op{} // a site with no ops yet serves [], not null
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"site": s.cl.Site(), "ops": ops})
+	writeJSON(w, http.StatusOK, map[string]any{"site": s.cls[0].Site(), "ops": ops})
+}
+
+// membershipBody is the JSON rendering of an epoch-versioned membership.
+type membershipBody struct {
+	Epoch   int64        `json:"epoch"`
+	Sites   []string     `json:"sites"`
+	Members []memberBody `json:"members"`
+}
+
+type memberBody struct {
+	ID   int64  `json:"id"`
+	Site string `json:"site"`
+	Addr string `json:"addr,omitempty"`
+}
+
+func renderMembership(m membership.Membership) membershipBody {
+	body := membershipBody{Epoch: m.Epoch, Sites: m.Sites(), Members: []memberBody{}}
+	if body.Sites == nil {
+		body.Sites = []string{}
+	}
+	for _, mem := range m.Members {
+		body.Members = append(body.Members, memberBody{ID: int64(mem.ID), Site: mem.Site, Addr: mem.Addr})
+	}
+	return body
+}
+
+// getMembership serves the current epoch-versioned membership. Epoch 0
+// means the cluster runs fixed (build-time) membership.
+func (s *Server) getMembership(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, renderMembership(s.cls[0].Cluster().Membership()))
+}
+
+// postMembership drives one reconfiguration: {"op": "join"|"retire"|
+// "replace", "site": s, "with": spare}. The change replicates through the
+// config log; the response is the membership the new epoch installed.
+func (s *Server) postMembership(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Op   string `json:"op"`
+		Site string `json:"site"`
+		With string `json:"with"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad body: "+err.Error()))
+		return
+	}
+	op, err := membership.ParseOp(body.Op)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	if body.Site == "" {
+		writeJSON(w, http.StatusBadRequest, errBody("missing site"))
+		return
+	}
+	c := s.cls[0].Cluster()
+	var m membership.Membership
+	switch op {
+	case membership.OpJoin:
+		m, err = c.JoinSite(body.Site)
+	case membership.OpRetire:
+		m, err = c.RetireSite(body.Site)
+	case membership.OpReplace:
+		if body.With == "" {
+			writeJSON(w, http.StatusBadRequest, errBody(`replace needs "with": the spare site taking over`))
+			return
+		}
+		m, err = c.ReplaceSite(body.Site, body.With)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, membership.ErrNotReplicated),
+			errors.Is(err, membership.ErrUnknownSite),
+			errors.Is(err, membership.ErrSiteExists),
+			errors.Is(err, membership.ErrBadChange),
+			errors.Is(err, membership.ErrTooFewSites):
+			writeJSON(w, http.StatusConflict, errBody(err.Error()))
+		default:
+			// A failed propose (config-log quorum unreachable) is retryable.
+			writeJSON(w, http.StatusServiceUnavailable, errBody(err.Error()))
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, renderMembership(m))
 }
 
 func parseRef(w http.ResponseWriter, s string) (music.LockRef, bool) {
@@ -275,7 +399,11 @@ func parseRef(w http.ResponseWriter, s string) (music.LockRef, bool) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, music.ErrNoLongerLockHolder), errors.Is(err, music.ErrExpired):
+	case errors.Is(err, music.ErrNoLongerLockHolder), errors.Is(err, music.ErrExpired),
+		errors.Is(err, music.ErrEpochFenced):
+		// Epoch-fenced sections are dead at lockRef granularity but retryable
+		// as a whole: open a new section (possibly at another site) and it
+		// runs under the new placement.
 		writeJSON(w, http.StatusConflict, errBody(err.Error()))
 	case errors.Is(err, music.ErrNotLockHolder):
 		writeJSON(w, http.StatusPreconditionFailed, errBody(err.Error()))

@@ -36,6 +36,11 @@ type Entry struct {
 	Ref       int64
 	StartTime int64
 	Nonce     uint64
+	// GrantEpoch is the membership epoch the grant was issued under (0 on
+	// fixed-membership clusters and on grants whose cell predates the
+	// epoch extension). A replica adopting a foreign grant under dynamic
+	// membership certifies the section against this epoch's placement.
+	GrantEpoch int64
 }
 
 // ErrContention is returned when the enqueue/dequeue CAS loop exhausts its
@@ -157,7 +162,7 @@ func (s *Service) Peek(key string) (Entry, bool, error) {
 		return Entry{}, false, nil
 	}
 	head := queue[0]
-	head.StartTime = decodeGrant(row, head.Ref)
+	head.StartTime, head.GrantEpoch = decodeGrant(row, head.Ref)
 	return head, true, nil
 }
 
@@ -170,18 +175,19 @@ func (s *Service) Queue(key string) ([]Entry, error) {
 	}
 	queue := decodeQueue(row)
 	for i := range queue {
-		queue[i].StartTime = decodeGrant(row, queue[i].Ref)
+		queue[i].StartTime, queue[i].GrantEpoch = decodeGrant(row, queue[i].Ref)
 	}
 	return queue, nil
 }
 
-// SetGrant records the grant time for a head lock reference with a plain
-// replicated write (not an LWT — the cell is uncontended, written once by
-// the granting MUSIC replica, mirroring the paper's startTime column).
-func (s *Service) SetGrant(key string, ref int64, startMicros int64) error {
+// SetGrant records the grant time — and, on dynamic clusters, the grant's
+// membership epoch — for a head lock reference with a plain replicated
+// write (not an LWT — the cell is uncontended, written once by the
+// granting MUSIC replica, mirroring the paper's startTime column).
+func (s *Service) SetGrant(key string, ref int64, startMicros, epoch int64) error {
 	sp := s.tracer().Child("lockstore.setGrant")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
-	cell := store.Cell{Value: encodeGuard(startMicros)}
+	cell := store.Cell{Value: encodeGrantCell(startMicros, epoch)}
 	err := s.st.Put(Table, key, store.Row{grantCol(ref): cell}, store.Quorum)
 	sp.EndErr(err)
 	if err != nil {
@@ -252,12 +258,26 @@ func decodeGuard(row store.Row) int64 {
 	return int64(binary.BigEndian.Uint64(b))
 }
 
-func decodeGrant(row store.Row, ref int64) int64 {
+// encodeGrantCell packs (startMicros, grantEpoch) as two big-endian words.
+func encodeGrantCell(startMicros, epoch int64) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, uint64(startMicros))
+	binary.BigEndian.PutUint64(b[8:], uint64(epoch))
+	return b
+}
+
+// decodeGrant reads a grant cell. 8-byte cells (pre-epoch format) decode
+// with epoch 0, meaning "epoch unknown".
+func decodeGrant(row store.Row, ref int64) (startMicros, epoch int64) {
 	b := cellBytes(row, grantCol(ref))
-	if len(b) != 8 {
-		return 0
+	switch len(b) {
+	case 8:
+		return int64(binary.BigEndian.Uint64(b)), 0
+	case 16:
+		return int64(binary.BigEndian.Uint64(b)), int64(binary.BigEndian.Uint64(b[8:]))
+	default:
+		return 0, 0
 	}
-	return int64(binary.BigEndian.Uint64(b))
 }
 
 // encodeQueue packs queue entries as big-endian (ref, nonce) word pairs.

@@ -195,12 +195,12 @@ func TestGrantTimeVisibleInPeek(t *testing.T) {
 		if !ok || head.StartTime != 0 {
 			t.Fatalf("ungranted head StartTime = %d, want 0", head.StartTime)
 		}
-		if err := svc.SetGrant("k", ref, 12345); err != nil {
+		if err := svc.SetGrant("k", ref, 12345, 7); err != nil {
 			t.Fatalf("SetGrant: %v", err)
 		}
 		head, ok, _ = svc.Peek("k")
-		if !ok || head.StartTime != 12345 {
-			t.Fatalf("granted head = %+v, want StartTime 12345", head)
+		if !ok || head.StartTime != 12345 || head.GrantEpoch != 7 {
+			t.Fatalf("granted head = %+v, want StartTime 12345 GrantEpoch 7", head)
 		}
 	})
 }

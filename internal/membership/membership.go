@@ -1,0 +1,331 @@
+// Package membership turns the cluster's site set from a build-time
+// constant into a first-class, epoch-versioned value. A Membership names
+// the member nodes (with their sites and, for real-wire deployments, TCP
+// addresses) and carries a monotonically increasing Epoch; a Change (join,
+// retire, replace) moves epoch N to N+1; a Log replicates changes through
+// a Raft config group so every process observes the same sequence of
+// epochs (Keyspace's master-configuration pattern, PAPERS.md); a View is
+// the process-local subscription point the store ring, replicas, clients
+// and daemons hang off.
+//
+// Epoch semantics, enforced by the layers that consume a View:
+//
+//   - Placement is a pure function of (epoch, key): internal/store
+//     recomputes its consistent-hash ring per epoch, so two nodes that
+//     agree on the epoch agree on every key's replica set.
+//   - Grants are issued under an epoch. A critical section started in
+//     epoch N either completes while N's placement still covers the
+//     granting site, or fails retryably (internal/core's epoch fence).
+//   - Failover preference tracks the live membership: clients drop
+//     retired sites and learn joined ones (music.Client).
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Member is one node of the cluster.
+type Member struct {
+	ID   transport.NodeID
+	Site string
+	// Addr is the node's TCP listen address; empty on simulated
+	// deployments where the transport routes by NodeID alone.
+	Addr string
+}
+
+// Membership is the epoch-versioned site set. Members are kept sorted by
+// node ID; the zero value (epoch 0) means "membership unknown".
+type Membership struct {
+	Epoch   int64
+	Members []Member
+}
+
+// Op enumerates reconfiguration kinds.
+type Op uint8
+
+const (
+	// OpJoin adds a brand-new site's nodes.
+	OpJoin Op = iota + 1
+	// OpRetire removes a site (planned decommission).
+	OpRetire
+	// OpReplace removes a site and adds a replacement in one epoch —
+	// the recovery path for a crashed site.
+	OpReplace
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpRetire:
+		return "retire"
+	case OpReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ParseOp reads the REST/CLI spelling of an Op.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "join":
+		return OpJoin, nil
+	case "retire":
+		return OpRetire, nil
+	case "replace":
+		return OpReplace, nil
+	default:
+		return 0, fmt.Errorf("membership: unknown action %q (want join, retire or replace)", s)
+	}
+}
+
+// Change is one reconfiguration step: epoch N -> N+1.
+type Change struct {
+	Op Op
+	// Site is the site leaving (retire, replace).
+	Site string
+	// Add holds the arriving members (join, replace); all must share one
+	// site name.
+	Add []Member
+}
+
+// Errors surfaced by Apply / Log.Propose.
+var (
+	ErrSiteExists    = errors.New("membership: site is already a member")
+	ErrUnknownSite   = errors.New("membership: site is not a member")
+	ErrTooFewSites   = errors.New("membership: change would leave fewer than two sites")
+	ErrBadChange     = errors.New("membership: malformed change")
+	ErrStaleEpoch    = errors.New("membership: proposal raced a newer epoch")
+	ErrNotReplicated = errors.New("membership: no config log attached (static membership)")
+)
+
+// Clone deep-copies m.
+func (m Membership) Clone() Membership {
+	out := Membership{Epoch: m.Epoch, Members: make([]Member, len(m.Members))}
+	copy(out.Members, m.Members)
+	return out
+}
+
+// Sites lists the member sites, deduplicated, in node-ID order of first
+// appearance — a stable order all processes agree on.
+func (m Membership) Sites() []string {
+	var sites []string
+	seen := make(map[string]bool, 4)
+	for _, mem := range m.Members {
+		if !seen[mem.Site] {
+			seen[mem.Site] = true
+			sites = append(sites, mem.Site)
+		}
+	}
+	return sites
+}
+
+// HasSite reports whether site is a member.
+func (m Membership) HasSite(site string) bool {
+	for _, mem := range m.Members {
+		if mem.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNode reports whether id is a member node.
+func (m Membership) HasNode(id transport.NodeID) bool {
+	for _, mem := range m.Members {
+		if mem.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SiteNodes returns the IDs of site's nodes, in ID order.
+func (m Membership) SiteNodes(site string) []transport.NodeID {
+	var ids []transport.NodeID
+	for _, mem := range m.Members {
+		if mem.Site == site {
+			ids = append(ids, mem.ID)
+		}
+	}
+	return ids
+}
+
+// NodeIDs returns all member node IDs, in ID order.
+func (m Membership) NodeIDs() []transport.NodeID {
+	ids := make([]transport.NodeID, len(m.Members))
+	for i, mem := range m.Members {
+		ids[i] = mem.ID
+	}
+	return ids
+}
+
+// String renders "epoch 3: site-a{0,1} site-b{2,3}".
+func (m Membership) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d:", m.Epoch)
+	for _, site := range m.Sites() {
+		fmt.Fprintf(&b, " %s{", site)
+		for i, id := range m.SiteNodes(site) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func (m Membership) normalize() Membership {
+	sort.Slice(m.Members, func(i, j int) bool { return m.Members[i].ID < m.Members[j].ID })
+	return m
+}
+
+// New builds an epoch-1 membership from members.
+func New(members []Member) Membership {
+	return Membership{Epoch: 1, Members: append([]Member(nil), members...)}.normalize()
+}
+
+// Apply validates ch against m and returns the epoch-(m.Epoch+1)
+// membership. m is not mutated. Validation is deterministic, so every
+// config-log peer applying the same committed change computes the same
+// next membership (or deterministically skips an invalid one).
+func (m Membership) Apply(ch Change) (Membership, error) {
+	switch ch.Op {
+	case OpJoin:
+		if err := validateAdd(m, ch.Add, ""); err != nil {
+			return Membership{}, err
+		}
+		next := m.Clone()
+		next.Members = append(next.Members, ch.Add...)
+		next.Epoch++
+		return next.normalize(), nil
+	case OpRetire:
+		if !m.HasSite(ch.Site) {
+			return Membership{}, fmt.Errorf("%w: %q", ErrUnknownSite, ch.Site)
+		}
+		next := m.without(ch.Site)
+		if len(next.Sites()) < 2 {
+			return Membership{}, ErrTooFewSites
+		}
+		next.Epoch = m.Epoch + 1
+		return next.normalize(), nil
+	case OpReplace:
+		if !m.HasSite(ch.Site) {
+			return Membership{}, fmt.Errorf("%w: %q", ErrUnknownSite, ch.Site)
+		}
+		if err := validateAdd(m.without(ch.Site), ch.Add, ch.Site); err != nil {
+			return Membership{}, err
+		}
+		next := m.without(ch.Site)
+		next.Members = append(next.Members, ch.Add...)
+		next.Epoch = m.Epoch + 1
+		return next.normalize(), nil
+	default:
+		return Membership{}, fmt.Errorf("%w: op %d", ErrBadChange, ch.Op)
+	}
+}
+
+func (m Membership) without(site string) Membership {
+	out := Membership{Epoch: m.Epoch}
+	for _, mem := range m.Members {
+		if mem.Site != site {
+			out.Members = append(out.Members, mem)
+		}
+	}
+	return out
+}
+
+// validateAdd checks joining members: non-empty, one site, site not
+// already present (unless it is the site being replaced), no node-ID
+// collisions with the remaining membership.
+func validateAdd(base Membership, add []Member, replacing string) error {
+	if len(add) == 0 {
+		return fmt.Errorf("%w: no members to add", ErrBadChange)
+	}
+	site := add[0].Site
+	if site == "" {
+		return fmt.Errorf("%w: empty site name", ErrBadChange)
+	}
+	seen := make(map[transport.NodeID]bool, len(add))
+	for _, mem := range add {
+		if mem.Site != site {
+			return fmt.Errorf("%w: members span sites %q and %q", ErrBadChange, site, mem.Site)
+		}
+		if seen[mem.ID] {
+			return fmt.Errorf("%w: duplicate node %d", ErrBadChange, mem.ID)
+		}
+		seen[mem.ID] = true
+		if base.HasNode(mem.ID) {
+			return fmt.Errorf("%w: node %d already a member", ErrBadChange, mem.ID)
+		}
+	}
+	if site != replacing && base.HasSite(site) {
+		return fmt.Errorf("%w: %q", ErrSiteExists, site)
+	}
+	return nil
+}
+
+// View is the process-local observation point for membership: the current
+// value plus change subscriptions. Updates are monotone — a Set with a
+// stale or equal epoch is ignored — so a lagging fetch can never roll a
+// process back.
+type View struct {
+	mu   sync.Mutex
+	cur  Membership
+	subs []func(Membership)
+}
+
+// NewView starts a view at initial.
+func NewView(initial Membership) *View {
+	return &View{cur: initial.Clone()}
+}
+
+// Current returns the membership as of now.
+func (v *View) Current() Membership {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cur.Clone()
+}
+
+// Epoch returns the current epoch.
+func (v *View) Epoch() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cur.Epoch
+}
+
+// Subscribe registers fn to run (synchronously, in Set's caller) on every
+// epoch advance. Subscribers appended earlier run earlier, so layered
+// consumers (ring before clients) can rely on registration order.
+func (v *View) Subscribe(fn func(Membership)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.subs = append(v.subs, fn)
+}
+
+// Set advances the view to m if m.Epoch is newer, notifying subscribers.
+// It reports whether the view advanced.
+func (v *View) Set(m Membership) bool {
+	v.mu.Lock()
+	if m.Epoch <= v.cur.Epoch {
+		v.mu.Unlock()
+		return false
+	}
+	v.cur = m.Clone()
+	subs := make([]func(Membership), len(v.subs))
+	copy(subs, v.subs)
+	v.mu.Unlock()
+	for _, fn := range subs {
+		fn(m)
+	}
+	return true
+}

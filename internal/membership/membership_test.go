@@ -1,0 +1,224 @@
+package membership
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func threeSites() Membership {
+	return New([]Member{
+		{ID: 0, Site: "site-a"}, {ID: 1, Site: "site-a"},
+		{ID: 2, Site: "site-b"}, {ID: 3, Site: "site-b"},
+		{ID: 4, Site: "site-c"}, {ID: 5, Site: "site-c"},
+	})
+}
+
+func TestApplyJoinRetireReplace(t *testing.T) {
+	m := threeSites()
+	if m.Epoch != 1 {
+		t.Fatalf("initial epoch = %d, want 1", m.Epoch)
+	}
+
+	joined, err := m.Apply(Change{Op: OpJoin, Add: []Member{{ID: 6, Site: "site-d"}, {ID: 7, Site: "site-d"}}})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if joined.Epoch != 2 || !joined.HasSite("site-d") || len(joined.Members) != 8 {
+		t.Fatalf("join result: %v", joined)
+	}
+	if !m.HasSite("site-a") || m.HasSite("site-d") || m.Epoch != 1 {
+		t.Fatalf("join mutated the base membership: %v", m)
+	}
+
+	retired, err := joined.Apply(Change{Op: OpRetire, Site: "site-b"})
+	if err != nil {
+		t.Fatalf("retire: %v", err)
+	}
+	if retired.Epoch != 3 || retired.HasSite("site-b") || len(retired.Members) != 6 {
+		t.Fatalf("retire result: %v", retired)
+	}
+
+	replaced, err := retired.Apply(Change{Op: OpReplace, Site: "site-c",
+		Add: []Member{{ID: 8, Site: "site-e"}, {ID: 9, Site: "site-e"}}})
+	if err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if replaced.Epoch != 4 || replaced.HasSite("site-c") || !replaced.HasSite("site-e") {
+		t.Fatalf("replace result: %v", replaced)
+	}
+	// Replacement may reuse the departing site's name (re-homing).
+	if _, err := retired.Apply(Change{Op: OpReplace, Site: "site-c",
+		Add: []Member{{ID: 8, Site: "site-c"}}}); err != nil {
+		t.Fatalf("replace with same name: %v", err)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	m := threeSites()
+	cases := []struct {
+		name string
+		ch   Change
+		want error
+	}{
+		{"join existing site", Change{Op: OpJoin, Add: []Member{{ID: 9, Site: "site-a"}}}, ErrSiteExists},
+		{"join empty", Change{Op: OpJoin}, ErrBadChange},
+		{"join colliding id", Change{Op: OpJoin, Add: []Member{{ID: 0, Site: "site-d"}}}, ErrBadChange},
+		{"join spanning sites", Change{Op: OpJoin, Add: []Member{{ID: 9, Site: "site-d"}, {ID: 10, Site: "site-e"}}}, ErrBadChange},
+		{"retire unknown", Change{Op: OpRetire, Site: "nowhere"}, ErrUnknownSite},
+		{"replace unknown", Change{Op: OpReplace, Site: "nowhere", Add: []Member{{ID: 9, Site: "site-d"}}}, ErrUnknownSite},
+		{"bad op", Change{}, ErrBadChange},
+	}
+	for _, tc := range cases {
+		if _, err := m.Apply(tc.ch); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Retiring down to one site is refused.
+	two, err := m.Apply(Change{Op: OpRetire, Site: "site-c"})
+	if err != nil {
+		t.Fatalf("retire to two sites: %v", err)
+	}
+	if _, err := two.Apply(Change{Op: OpRetire, Site: "site-b"}); !errors.Is(err, ErrTooFewSites) {
+		t.Fatalf("retire to one site: err = %v, want ErrTooFewSites", err)
+	}
+}
+
+func TestViewMonotoneAndSubscriptions(t *testing.T) {
+	v := NewView(threeSites())
+	var epochs []int64
+	v.Subscribe(func(m Membership) { epochs = append(epochs, m.Epoch) })
+
+	next, _ := v.Current().Apply(Change{Op: OpJoin, Add: []Member{{ID: 6, Site: "site-d"}}})
+	if !v.Set(next) {
+		t.Fatal("Set(next) did not advance")
+	}
+	if v.Set(next) {
+		t.Fatal("Set with equal epoch advanced")
+	}
+	if v.Set(threeSites()) {
+		t.Fatal("Set with stale epoch advanced")
+	}
+	if v.Epoch() != 2 || !reflect.DeepEqual(epochs, []int64{2}) {
+		t.Fatalf("epoch = %d, notifications = %v", v.Epoch(), epochs)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	m := threeSites()
+	m.Members[0].Addr = "127.0.0.1:7001"
+	for _, v := range []any{
+		m,
+		Change{Op: OpReplace, Site: "site-b", Add: []Member{{ID: 9, Site: "site-d", Addr: "x:1"}}},
+		fetchReq{},
+		proposeChangeReq{Change: Change{Op: OpRetire, Site: "site-c"}},
+		proposeChangeResp{Membership: m, Err: "boom"},
+	} {
+		b, err := wire.Marshal(v)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", v, err)
+		}
+		got, err := wire.Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip %T: got %#v want %#v", v, got, v)
+		}
+	}
+}
+
+// logFixture runs fn on a virtual-time 3-site network (2 nodes per site)
+// whose config group is one node per site.
+func logFixture(t *testing.T, fn func(rt *sim.Virtual, net *simnet.Network, l *Log)) {
+	t.Helper()
+	rt := sim.New(7)
+	net := simnet.New(rt, simnet.Config{Profile: simnet.ProfileLocal, NodesPerSite: 2})
+	l, err := NewLog(LogConfig{
+		Transport: net,
+		Group:     []transport.NodeID{0, 2, 4},
+		Serve:     []transport.NodeID{1, 3, 5},
+		Initial:   threeSites(),
+	})
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	if err := rt.Run(func() { fn(rt, net, l) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLogProposeConvergesOnce(t *testing.T) {
+	logFixture(t, func(rt *sim.Virtual, net *simnet.Network, l *Log) {
+		var epochs []int64
+		l.View().Subscribe(func(m Membership) { epochs = append(epochs, m.Epoch) })
+
+		next, err := l.Propose(0, Change{Op: OpJoin, Add: []Member{{ID: 6, Site: "site-d"}}})
+		if err != nil {
+			t.Fatalf("Propose join: %v", err)
+		}
+		if next.Epoch != 2 || !next.HasSite("site-d") {
+			t.Fatalf("join result: %v", next)
+		}
+		// Three local group peers apply the same entry; the view must
+		// advance exactly once.
+		rt.Sleep(2 * time.Second)
+		if !reflect.DeepEqual(epochs, []int64{2}) {
+			t.Fatalf("view notifications = %v, want [2]", epochs)
+		}
+
+		if _, err := l.Propose(0, Change{Op: OpJoin, Add: []Member{{ID: 7, Site: "site-d"}}}); !errors.Is(err, ErrSiteExists) {
+			t.Fatalf("second join of site-d: err = %v, want ErrSiteExists", err)
+		}
+	})
+}
+
+func TestFetchAndProposeRemote(t *testing.T) {
+	logFixture(t, func(rt *sim.Virtual, net *simnet.Network, l *Log) {
+		// Node 1 is not in the config group but serves fetch/propose.
+		m, err := Fetch(net, 5, 1)
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		if m.Epoch != 1 {
+			t.Fatalf("fetched epoch = %d, want 1", m.Epoch)
+		}
+		next, err := ProposeRemote(net, 5, 1, Change{Op: OpRetire, Site: "site-c"}, 0)
+		if err != nil {
+			t.Fatalf("ProposeRemote: %v", err)
+		}
+		if next.Epoch != 2 || next.HasSite("site-c") {
+			t.Fatalf("retire result: %v", next)
+		}
+		if _, err := ProposeRemote(net, 5, 1, Change{Op: OpRetire, Site: "site-b"}, 0); err == nil {
+			t.Fatal("retire to one site via RPC should fail")
+		}
+	})
+}
+
+func TestPollerFollowsEpochs(t *testing.T) {
+	logFixture(t, func(rt *sim.Virtual, net *simnet.Network, l *Log) {
+		// A follower view outside the config group tracks via polling.
+		follower := NewView(threeSites())
+		p := Poll(net, 5, []transport.NodeID{0, 2}, follower, 100*time.Millisecond)
+		defer p.Stop()
+
+		if _, err := l.Propose(0, Change{Op: OpJoin, Add: []Member{{ID: 6, Site: "site-d"}}}); err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		deadline := rt.Now() + 10*time.Second
+		for rt.Now() < deadline && follower.Epoch() < 2 {
+			rt.Sleep(50 * time.Millisecond)
+		}
+		if follower.Epoch() != 2 {
+			t.Fatalf("follower epoch = %d, want 2", follower.Epoch())
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package membership
+
+import (
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Wire codecs: Membership values and Changes cross processes both inside
+// Raft log entries (nested in raft's Entry.Data encoding) and as the
+// Fetch/Propose RPC payloads.
+const (
+	idMembership  = 56
+	idChange      = 57
+	idFetchReq    = 58
+	idProposeReq  = 59
+	idProposeResp = 60
+)
+
+func encodeMember(e *wire.Encoder, m Member) {
+	e.Int32(int32(m.ID))
+	e.String(m.Site)
+	e.String(m.Addr)
+}
+
+func decodeMember(d *wire.Decoder) Member {
+	return Member{
+		ID:   transport.NodeID(d.Int32()),
+		Site: d.String(),
+		Addr: d.String(),
+	}
+}
+
+func encodeMembership(e *wire.Encoder, m Membership) {
+	e.Int64(m.Epoch)
+	e.Uint32(uint32(len(m.Members)))
+	for _, mem := range m.Members {
+		encodeMember(e, mem)
+	}
+}
+
+func decodeMembership(d *wire.Decoder) Membership {
+	m := Membership{Epoch: d.Int64()}
+	n := int(d.Uint32())
+	if n > 0 && d.Err() == nil {
+		m.Members = make([]Member, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			m.Members = append(m.Members, decodeMember(d))
+		}
+	}
+	return m
+}
+
+func encodeChange(e *wire.Encoder, ch Change) {
+	e.Uint8(uint8(ch.Op))
+	e.String(ch.Site)
+	e.Uint32(uint32(len(ch.Add)))
+	for _, mem := range ch.Add {
+		encodeMember(e, mem)
+	}
+}
+
+func decodeChange(d *wire.Decoder) Change {
+	ch := Change{Op: Op(d.Uint8()), Site: d.String()}
+	n := int(d.Uint32())
+	if n > 0 && d.Err() == nil {
+		ch.Add = make([]Member, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			ch.Add = append(ch.Add, decodeMember(d))
+		}
+	}
+	return ch
+}
+
+func init() {
+	wire.Register(idMembership, "member.membership", encodeMembership, decodeMembership)
+	wire.Register(idChange, "member.change", encodeChange, decodeChange)
+	wire.Register(idFetchReq, "member.fetchReq",
+		func(e *wire.Encoder, v fetchReq) {},
+		func(d *wire.Decoder) fetchReq { return fetchReq{} })
+	wire.Register(idProposeReq, "member.proposeReq",
+		func(e *wire.Encoder, v proposeChangeReq) { encodeChange(e, v.Change) },
+		func(d *wire.Decoder) proposeChangeReq {
+			return proposeChangeReq{Change: decodeChange(d)}
+		})
+	wire.Register(idProposeResp, "member.proposeResp",
+		func(e *wire.Encoder, v proposeChangeResp) {
+			encodeMembership(e, v.Membership)
+			e.String(v.Err)
+		},
+		func(d *wire.Decoder) proposeChangeResp {
+			return proposeChangeResp{Membership: decodeMembership(d), Err: d.String()}
+		})
+}

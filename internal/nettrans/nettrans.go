@@ -153,6 +153,8 @@ type handlerEntry struct {
 }
 
 var _ transport.Transport = (*Transport)(nil)
+var _ transport.PeerEditor = (*Transport)(nil)
+var _ transport.AddrReporter = (*Transport)(nil)
 
 // New builds the transport and starts its accept loop. The returned
 // Transport serves inbound calls immediately; outbound connections are
@@ -221,6 +223,8 @@ func (t *Transport) Tracer() *obs.Tracer { return t.obs.Tracer() }
 
 // Nodes returns every node id in the peer set, ascending.
 func (t *Transport) Nodes() []transport.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ids := make([]transport.NodeID, 0, len(t.peers))
 	for id := range t.peers {
 		ids = append(ids, id)
@@ -230,17 +234,89 @@ func (t *Transport) Nodes() []transport.NodeID {
 }
 
 // SiteOf returns the site hosting id.
-func (t *Transport) SiteOf(id transport.NodeID) string { return t.peers[id].Site }
+func (t *Transport) SiteOf(id transport.NodeID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[id].Site
+}
 
 // NodesInSite returns the ids in the named site, ascending.
 func (t *Transport) NodesInSite(site string) []transport.NodeID {
 	var ids []transport.NodeID
 	for _, id := range t.Nodes() {
-		if t.peers[id].Site == site {
+		if t.SiteOf(id) == site {
 			ids = append(ids, id)
 		}
 	}
 	return ids
+}
+
+// AddrOf returns id's listen address (the transport.AddrReporter
+// capability), or "" for a peer this process does not know.
+func (t *Transport) AddrOf(id transport.NodeID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[id].Addr
+}
+
+// Peers returns a snapshot of the current peer table, ascending by id.
+func (t *Transport) Peers() []Peer {
+	t.mu.Lock()
+	out := make([]Peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, p)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddPeer makes id dialable at addr (the transport.PeerEditor capability —
+// how a membership join reaches this process's message plane). Re-adding an
+// existing id with a new address drops its cached connection so the next
+// send dials the replacement process.
+func (t *Transport) AddPeer(id transport.NodeID, site, addr string) error {
+	if site == "" || addr == "" {
+		return fmt.Errorf("nettrans: AddPeer n%d: empty site or addr", id)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("nettrans: transport closed")
+	}
+	prev, existed := t.peers[id]
+	t.peers[id] = Peer{ID: id, Site: site, Addr: addr}
+	var stale *peerConn
+	if existed && prev.Addr != addr {
+		stale = t.conns[id]
+		delete(t.conns, id)
+	}
+	t.mu.Unlock()
+	if stale != nil {
+		stale.close()
+	}
+	return nil
+}
+
+// RemovePeer forgets id and closes any connection to it. In-flight calls to
+// the removed peer fail with ErrTimeout like any lost message.
+func (t *Transport) RemovePeer(id transport.NodeID) error {
+	if id == t.self {
+		return fmt.Errorf("nettrans: RemovePeer n%d: cannot remove self", id)
+	}
+	t.mu.Lock()
+	if _, ok := t.peers[id]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("nettrans: RemovePeer n%d: unknown peer", id)
+	}
+	delete(t.peers, id)
+	pc := t.conns[id]
+	delete(t.conns, id)
+	t.mu.Unlock()
+	if pc != nil {
+		pc.close()
+	}
+	return nil
 }
 
 // RTT returns the configured round-trip estimate for a site pair (0 when

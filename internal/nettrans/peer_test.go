@@ -1,0 +1,119 @@
+package nettrans_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/nettrans"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// TestRuntimePeerEditing drives the transport.PeerEditor capability end to
+// end: a node outside the boot-time peer set becomes reachable only after
+// AddPeer, is unreachable again after RemovePeer, and re-adding an id at a
+// new address (the replaced-process case) redials the replacement.
+func TestRuntimePeerEditing(t *testing.T) {
+	c := newCluster(t, 2)
+	defer c.Close()
+
+	// The capability must be discoverable through the interface.
+	var tr transport.Transport = c.Transport(0)
+	pe, ok := tr.(transport.PeerEditor)
+	if !ok {
+		t.Fatal("nettrans.Transport does not implement transport.PeerEditor")
+	}
+
+	// A third process boots outside everyone's peer set (it knows the
+	// cluster; the cluster does not know it — the join direction).
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	joiner, err := nettrans.New(sim.NewReal(9), nettrans.Config{
+		Self: 2,
+		Peers: []nettrans.Peer{
+			{ID: 0, Site: "east", Addr: c.ts[0].Addr()},
+			{ID: 1, Site: "east", Addr: c.ts[1].Addr()},
+			{ID: 2, Site: "south", Addr: lis.Addr().String()},
+		},
+		Listener:   lis,
+		RPCTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("nettrans.New: %v", err)
+	}
+	defer joiner.Close()
+	joiner.Handle(2, "echo", func(from transport.NodeID, req any) (any, error) {
+		return req, nil
+	})
+
+	if _, err := tr.CallTimeout(0, 2, "echo", conformance.Msg{Tag: "x"}, 200*time.Millisecond); err == nil {
+		t.Fatal("call to an unknown peer succeeded before AddPeer")
+	}
+	if err := pe.AddPeer(2, "south", joiner.Addr()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	resp, err := tr.Call(0, 2, "echo", conformance.Msg{Tag: "joined"})
+	if err != nil || resp.(conformance.Msg).Tag != "joined" {
+		t.Fatalf("post-AddPeer call: %v %v", resp, err)
+	}
+	if site := tr.SiteOf(2); site != "south" {
+		t.Fatalf("SiteOf(2) = %q, want south", site)
+	}
+	if got := tr.NodesInSite("south"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("NodesInSite(south) = %v, want [2]", got)
+	}
+
+	if err := pe.RemovePeer(2); err != nil {
+		t.Fatalf("RemovePeer: %v", err)
+	}
+	if _, err := tr.CallTimeout(0, 2, "echo", conformance.Msg{}, 200*time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("call after RemovePeer: %v, want ErrTimeout", err)
+	}
+	if err := pe.RemovePeer(2); err == nil {
+		t.Fatal("double RemovePeer succeeded")
+	}
+	if err := pe.RemovePeer(0); err == nil {
+		t.Fatal("RemovePeer(self) succeeded")
+	}
+
+	// Replacement: the same id comes back at a different address, like a
+	// respawned process on a new port. AddPeer must drop the stale route.
+	lis2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	joiner.Close()
+	replacement, err := nettrans.New(sim.NewReal(10), nettrans.Config{
+		Self: 2,
+		Peers: []nettrans.Peer{
+			{ID: 0, Site: "east", Addr: c.ts[0].Addr()},
+			{ID: 2, Site: "south", Addr: lis2.Addr().String()},
+		},
+		Listener:   lis2,
+		RPCTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("nettrans.New: %v", err)
+	}
+	defer replacement.Close()
+	replacement.Handle(2, "echo", func(from transport.NodeID, req any) (any, error) {
+		return conformance.Msg{Tag: "reborn"}, nil
+	})
+	if err := pe.AddPeer(2, "south", replacement.Addr()); err != nil {
+		t.Fatalf("AddPeer(replacement): %v", err)
+	}
+	resp, err = tr.Call(0, 2, "echo", conformance.Msg{})
+	if err != nil || resp.(conformance.Msg).Tag != "reborn" {
+		t.Fatalf("call to replacement: %v %v", resp, err)
+	}
+
+	peers := c.ts[0].Peers()
+	if len(peers) != 3 || peers[2].ID != 2 || peers[2].Addr != replacement.Addr() {
+		t.Fatalf("Peers() = %v, want 3 entries with n2 at %s", peers, replacement.Addr())
+	}
+}

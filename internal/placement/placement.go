@@ -1,0 +1,205 @@
+// Package placement is the pure consistent-hash placement function used by
+// epoch-versioned dynamic membership: given a member set (nodes tagged with
+// their sites) and a replication factor, it answers "which nodes hold this
+// key?" deterministically, with no reference to any live cluster.
+//
+// It exists as a leaf package (importing only internal/transport for the
+// NodeID type) so that every layer can agree on placement without import
+// cycles: internal/store builds its dynamic ring on it, admin tooling
+// previews the effect of a membership change before proposing it, and
+// internal/history's epoch checker re-derives each epoch's placement from
+// the membership recorded in the history to certify sections that span an
+// epoch change — the checker must not trust the store it is checking.
+//
+// Placement is a pure function of (members, rf, key): every process that
+// agrees on the membership epoch agrees on every key's replica set.
+package placement
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/transport"
+)
+
+// Node names one placement participant: a node and the site hosting it.
+type Node struct {
+	ID   transport.NodeID
+	Site string
+}
+
+// VnodesPerNode is the number of virtual points each node projects onto the
+// hash circle. 64 keeps per-node load within a few percent of fair while
+// bounding ring size (a 12-node cluster walks a 768-entry circle).
+const VnodesPerNode = 64
+
+// fnv64a is hash/fnv's 64-bit FNV-1a inlined over a string so key lookup
+// stays allocation-free. internal/store carries its own copy for ShardOf;
+// both are pinned by tests and must never diverge.
+func fnv64a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is MurmurHash3's 64-bit avalanche finalizer. FNV-1a alone is a poor
+// circle hash: near-identical short strings ("vn-3#17", "key-42") yield
+// hashes that differ only in their low bits, so a node's 64 vnodes would
+// cluster in one narrow arc and placement would degenerate to a handful of
+// nodes. Finalizing spreads those hashes uniformly over the circle.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+type vnode struct {
+	hash uint64
+	id   transport.NodeID
+	site string
+}
+
+// Ring is one member set's consistent-hash circle. Each node projects
+// VnodesPerNode points onto a 64-bit circle; a key's replicas are found by
+// walking clockwise from the key's hash, preferring distinct sites until
+// every site holds one copy, then distinct nodes. When a site joins or
+// retires, only keys whose clockwise walk crosses one of the
+// arriving/departing vnodes move — an RF·(nodes changed / nodes total)
+// fraction in expectation — instead of a near-total reshuffle.
+// store's TestRebalanceBound pins that property.
+//
+// A Ring is immutable after New; methods are safe for concurrent use.
+type Ring struct {
+	vnodes []vnode
+	rf     int
+	nsites int
+	sites  map[transport.NodeID]string
+}
+
+// New builds the circle for a member set. rf is clamped to the node count.
+func New(members []Node, rf int) *Ring {
+	r := &Ring{
+		vnodes: make([]vnode, 0, len(members)*VnodesPerNode),
+		sites:  make(map[transport.NodeID]string, len(members)),
+	}
+	seen := make(map[string]bool, 4)
+	for _, m := range members {
+		r.sites[m.ID] = m.Site
+		if !seen[m.Site] {
+			seen[m.Site] = true
+			r.nsites++
+		}
+		base := "vn-" + strconv.Itoa(int(m.ID)) + "#"
+		for v := 0; v < VnodesPerNode; v++ {
+			h := mix64(fnv64a(base + strconv.Itoa(v)))
+			r.vnodes = append(r.vnodes, vnode{hash: h, id: m.ID, site: m.Site})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.id < b.id // deterministic tiebreak on (vanishingly rare) collisions
+	})
+	if rf > len(members) {
+		rf = len(members)
+	}
+	r.rf = rf
+	return r
+}
+
+// RF returns the effective (clamped) replication factor.
+func (r *Ring) RF() int { return r.rf }
+
+// Sites returns the number of distinct sites in the member set.
+func (r *Ring) Sites() int { return r.nsites }
+
+// SiteOf returns the site hosting id, or "" for a non-member.
+func (r *Ring) SiteOf(id transport.NodeID) string { return r.sites[id] }
+
+// Nodes returns the member node IDs in ascending order.
+func (r *Ring) Nodes() []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(r.sites))
+	for id := range r.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReplicasFor returns the RF nodes responsible for key.
+func (r *Ring) ReplicasFor(key string) []transport.NodeID {
+	out := make([]transport.NodeID, 0, r.rf)
+	r.ReplicasInto(key, &out)
+	return out
+}
+
+// ReplicasInto appends key's replicas to *out (reusable buffer form).
+func (r *Ring) ReplicasInto(key string, out *[]transport.NodeID) {
+	n := len(r.vnodes)
+	if n == 0 || r.rf == 0 {
+		return
+	}
+	h := mix64(fnv64a(key))
+	start := sort.Search(n, func(i int) bool { return r.vnodes[i].hash >= h })
+	if start == n {
+		start = 0
+	}
+	// Pass 1: one node per distinct site, clockwise.
+	var siteBuf [8]string
+	sites := siteBuf[:0]
+	for i := 0; i < n && len(*out) < r.rf && len(sites) < r.nsites; i++ {
+		vn := &r.vnodes[(start+i)%n]
+		if containsStr(sites, vn.site) {
+			continue
+		}
+		sites = append(sites, vn.site)
+		*out = append(*out, vn.id)
+	}
+	// Pass 2 (rf > #sites): continue with distinct nodes, same walk.
+	for i := 0; i < n && len(*out) < r.rf; i++ {
+		vn := &r.vnodes[(start+i)%n]
+		if containsID(*out, vn.id) {
+			continue
+		}
+		*out = append(*out, vn.id)
+	}
+}
+
+// PlacesSite reports whether any replica of key lives in site.
+func (r *Ring) PlacesSite(key, site string) bool {
+	var buf [8]transport.NodeID
+	out := buf[:0]
+	r.ReplicasInto(key, &out)
+	for _, id := range out {
+		if r.sites[id] == site {
+			return true
+		}
+	}
+	return false
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsID(ids []transport.NodeID, id transport.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -3,11 +3,18 @@
 // election timeouts, RequestVote, AppendEntries with heartbeats, quorum
 // commit and in-order apply. It is the consensus substrate for the
 // CockroachDB-style transactional store (internal/crdb) that the paper
-// compares MUSIC against (§VIII-d): each transaction there costs two Raft
-// consensus rounds, versus MUSIC's one quorum write per state update.
+// compares MUSIC against (§VIII-d) and for the cluster-membership config
+// log (internal/membership) that drives live reconfiguration.
+//
+// The group runs over any transport.Transport: the simulated network for
+// single-process deployments and internal/nettrans for a group whose peers
+// live in different OS processes. In the multi-process case each process
+// passes the peers it hosts in Config.LocalNodes; message codecs are
+// registered in wire.go so every RPC crosses the real wire.
 //
 // Log compaction and snapshot transfer are out of scope — the evaluation
-// workloads never restart from a truncated log.
+// workloads never restart from a truncated log, and the config log stays
+// tiny.
 package raft
 
 import (
@@ -17,7 +24,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Service names.
@@ -44,20 +51,27 @@ type Entry struct {
 	Size int
 }
 
-// Apply delivers committed entries, in log order, on every peer.
-type Apply func(peer simnet.NodeID, index uint64, e Entry)
+// Apply delivers committed entries, in log order, on every local peer.
+type Apply func(peer transport.NodeID, index uint64, e Entry)
 
 // Config describes a Raft group.
 type Config struct {
-	Nodes []simnet.NodeID
-	Apply Apply
+	// Nodes is the full group membership (every process lists the same
+	// set). Defaults to all transport nodes.
+	Nodes []transport.NodeID
+	// LocalNodes is the subset of Nodes hosted by this process; handlers
+	// and tickers are only started for these. Defaults to Nodes (the
+	// single-process case).
+	LocalNodes []transport.NodeID
+	Apply      Apply
 	// ElectionTimeout is the base follower timeout (randomized 1x-2x).
 	// Defaults to 1.5s (comfortably above WAN RTTs).
 	ElectionTimeout time.Duration
 	// HeartbeatInterval is the leader's replication cadence. Defaults to
 	// 300ms.
 	HeartbeatInterval time.Duration
-	// ProposeTimeout bounds one proposal. Defaults to the net RPC timeout.
+	// ProposeTimeout bounds one proposal. Defaults to the transport RPC
+	// timeout.
 	ProposeTimeout time.Duration
 	// MsgCost is the per-message CPU cost. Defaults to 100µs.
 	MsgCost time.Duration
@@ -65,11 +79,12 @@ type Config struct {
 	PerKB time.Duration
 }
 
-// Cluster is a Raft group over a simnet.Network.
+// Cluster is a Raft group over a transport.Transport. It holds peer state
+// only for the nodes this process hosts (Config.LocalNodes).
 type Cluster struct {
-	net   *simnet.Network
+	tr    transport.Transport
 	cfg   Config
-	peers map[simnet.NodeID]*peer
+	peers map[transport.NodeID]*peer
 
 	mu      sync.Mutex
 	stopped bool
@@ -98,24 +113,23 @@ const (
 )
 
 type peer struct {
-	c    *Cluster
-	id   simnet.NodeID
-	node *simnet.Node
+	c  *Cluster
+	id transport.NodeID
 
 	mu sync.Mutex
 	// Persistent state (survives Crash/Restart, like disk).
 	term     uint64
-	votedFor simnet.NodeID // -1 none
-	log      []Entry       // log[0] is a sentinel
+	votedFor transport.NodeID // -1 none
+	log      []Entry          // log[0] is a sentinel
 
 	// Volatile state.
 	role        role
-	leaderHint  simnet.NodeID // -1 unknown
+	leaderHint  transport.NodeID // -1 unknown
 	commitIdx   uint64
 	lastApplied uint64
 	deadline    time.Duration // election deadline
-	nextIndex   map[simnet.NodeID]uint64
-	matchIndex  map[simnet.NodeID]uint64
+	nextIndex   map[transport.NodeID]uint64
+	matchIndex  map[transport.NodeID]uint64
 	waiters     map[uint64]*waitEntry
 }
 
@@ -124,10 +138,14 @@ type waitEntry struct {
 	done *sim.Promise[bool]
 }
 
-// New builds and starts a Raft group.
-func New(net *simnet.Network, cfg Config) (*Cluster, error) {
+// New builds and starts a Raft group over tr, hosting the peers named in
+// cfg.LocalNodes (all of cfg.Nodes by default).
+func New(tr transport.Transport, cfg Config) (*Cluster, error) {
 	if len(cfg.Nodes) == 0 {
-		cfg.Nodes = net.Nodes()
+		cfg.Nodes = tr.Nodes()
+	}
+	if len(cfg.LocalNodes) == 0 {
+		cfg.LocalNodes = cfg.Nodes
 	}
 	if cfg.ElectionTimeout == 0 {
 		cfg.ElectionTimeout = 1500 * time.Millisecond
@@ -136,7 +154,7 @@ func New(net *simnet.Network, cfg Config) (*Cluster, error) {
 		cfg.HeartbeatInterval = 300 * time.Millisecond
 	}
 	if cfg.ProposeTimeout == 0 {
-		cfg.ProposeTimeout = net.Config().RPCTimeout
+		cfg.ProposeTimeout = tr.RPCTimeout()
 	}
 	if cfg.MsgCost == 0 {
 		cfg.MsgCost = 100 * time.Microsecond
@@ -145,48 +163,60 @@ func New(net *simnet.Network, cfg Config) (*Cluster, error) {
 		cfg.PerKB = 1500 * time.Nanosecond
 	}
 
-	c := &Cluster{net: net, cfg: cfg, peers: make(map[simnet.NodeID]*peer, len(cfg.Nodes))}
-	rt := net.Runtime()
-	for _, id := range cfg.Nodes {
+	c := &Cluster{tr: tr, cfg: cfg, peers: make(map[transport.NodeID]*peer, len(cfg.LocalNodes))}
+	rt := tr.Runtime()
+	for _, id := range cfg.LocalNodes {
+		if !containsNode(cfg.Nodes, id) {
+			return nil, fmt.Errorf("raft: local node %d not in group %v", id, cfg.Nodes)
+		}
 		p := &peer{
 			c:          c,
 			id:         id,
-			node:       net.Node(id),
 			votedFor:   -1,
 			log:        make([]Entry, 1),
 			role:       follower,
 			leaderHint: -1,
-			nextIndex:  make(map[simnet.NodeID]uint64),
-			matchIndex: make(map[simnet.NodeID]uint64),
+			nextIndex:  make(map[transport.NodeID]uint64),
+			matchIndex: make(map[transport.NodeID]uint64),
 			waiters:    make(map[uint64]*waitEntry),
 		}
 		c.peers[id] = p
-		p.node.HandleWithCost(svcRequestVote, p.handleRequestVote, cfg.MsgCost, 0)
-		p.node.HandleWithCost(svcAppendEntries, p.handleAppendEntries, cfg.MsgCost, cfg.PerKB)
-		p.node.HandleWithCost(svcPropose, p.handlePropose, cfg.MsgCost, cfg.PerKB)
-		p.node.OnRestart(p.onRestart)
+		tr.HandleWithCost(id, svcRequestVote, p.handleRequestVote, cfg.MsgCost, 0)
+		tr.HandleWithCost(id, svcAppendEntries, p.handleAppendEntries, cfg.MsgCost, cfg.PerKB)
+		tr.HandleWithCost(id, svcPropose, p.handlePropose, cfg.MsgCost, cfg.PerKB)
+		tr.OnRestart(id, p.onRestart)
 		p.resetDeadline()
 		rt.Go(p.ticker)
 	}
 	return c, nil
 }
 
-// Leader returns the node currently believed to lead, or -1.
-func (c *Cluster) Leader() simnet.NodeID {
+func containsNode(ids []transport.NodeID, id transport.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Leader returns the local node currently believed to lead, or -1. In a
+// multi-process group only a peer hosted here can be reported.
+func (c *Cluster) Leader() transport.NodeID {
 	for _, p := range c.peers {
 		p.mu.Lock()
 		isLeader := p.role == leader
 		p.mu.Unlock()
-		if isLeader && p.node.ID() >= 0 {
+		if isLeader {
 			return p.id
 		}
 	}
 	return -1
 }
 
-// WaitForLeader blocks until some peer leads (tests, warmup).
-func (c *Cluster) WaitForLeader(timeout time.Duration) (simnet.NodeID, error) {
-	rt := c.net.Runtime()
+// WaitForLeader blocks until some local peer leads (tests, warmup).
+func (c *Cluster) WaitForLeader(timeout time.Duration) (transport.NodeID, error) {
+	rt := c.tr.Runtime()
 	deadline := rt.Now() + timeout
 	for rt.Now() < deadline {
 		if id := c.Leader(); id >= 0 {
@@ -207,21 +237,21 @@ func (r proposeReq) WireSize() int { return r.Size + 16 }
 
 type proposeResp struct {
 	Index uint64
-	Hint  simnet.NodeID
+	Hint  transport.NodeID
 	Err   string
 }
 
 // Propose submits data for replication via the peer at `from` (forwarding
 // to the leader if needed) and returns the committed log index.
-func (c *Cluster) Propose(from simnet.NodeID, data any, size int) (index uint64, err error) {
-	sp := c.net.Tracer().Child("raft.propose")
+func (c *Cluster) Propose(from transport.NodeID, data any, size int) (index uint64, err error) {
+	sp := c.tr.Tracer().Child("raft.propose")
 	defer func() { sp.EndErr(err) }()
 	target := from
 	for attempt := 0; attempt < 8; attempt++ {
-		resp, err := c.net.CallTimeout(from, target, svcPropose,
+		resp, err := c.tr.CallTimeout(from, target, svcPropose,
 			proposeReq{Data: data, Size: size}, c.cfg.ProposeTimeout)
 		if err != nil {
-			c.net.Runtime().Sleep(100 * time.Millisecond)
+			c.tr.Runtime().Sleep(100 * time.Millisecond)
 			target = c.nextTarget(target)
 			continue
 		}
@@ -233,14 +263,14 @@ func (c *Cluster) Propose(from simnet.NodeID, data any, size int) (index uint64,
 		case pr.Hint >= 0:
 			target = pr.Hint
 		default:
-			c.net.Runtime().Sleep(150 * time.Millisecond)
+			c.tr.Runtime().Sleep(150 * time.Millisecond)
 			target = c.nextTarget(target)
 		}
 	}
 	return 0, ErrTimeout
 }
 
-func (c *Cluster) nextTarget(cur simnet.NodeID) simnet.NodeID {
+func (c *Cluster) nextTarget(cur transport.NodeID) transport.NodeID {
 	for i, id := range c.cfg.Nodes {
 		if id == cur {
 			return c.cfg.Nodes[(i+1)%len(c.cfg.Nodes)]
@@ -250,7 +280,7 @@ func (c *Cluster) nextTarget(cur simnet.NodeID) simnet.NodeID {
 }
 
 // handlePropose runs at any peer; only the leader appends and replicates.
-func (p *peer) handlePropose(from simnet.NodeID, req any) (any, error) {
+func (p *peer) handlePropose(from transport.NodeID, req any) (any, error) {
 	m := req.(proposeReq)
 	p.mu.Lock()
 	if p.role != leader {
@@ -262,13 +292,13 @@ func (p *peer) handlePropose(from simnet.NodeID, req any) (any, error) {
 	p.log = append(p.log, entry)
 	index := uint64(len(p.log) - 1)
 	p.matchIndex[p.id] = index
-	done := sim.NewPromise[bool](p.c.net.Runtime())
+	done := sim.NewPromise[bool](p.c.tr.Runtime())
 	p.waiters[index] = &waitEntry{term: p.term, done: done}
 	p.mu.Unlock()
 
 	// The append span covers replication fan-out plus the in-order commit
 	// wait — the leader-pipeline residence time of this entry.
-	ap := p.c.net.Tracer().Child("raft.leader.append")
+	ap := p.c.tr.Tracer().Child("raft.leader.append")
 	ap.Annotatef("index", "%d", index)
 	p.replicateAll()
 
@@ -283,7 +313,7 @@ func (p *peer) handlePropose(from simnet.NodeID, req any) (any, error) {
 
 // ticker drives elections (followers/candidates) and heartbeats (leader).
 func (p *peer) ticker() {
-	rt := p.c.net.Runtime()
+	rt := p.c.tr.Runtime()
 	for !p.c.isStopped() {
 		rt.Sleep(p.c.cfg.HeartbeatInterval / 3)
 		p.mu.Lock()
@@ -301,7 +331,7 @@ func (p *peer) ticker() {
 }
 
 func (p *peer) resetDeadline() {
-	rt := p.c.net.Runtime()
+	rt := p.c.tr.Runtime()
 	jitter := time.Duration(rt.Rand().Int63n(int64(p.c.cfg.ElectionTimeout)))
 	p.deadline = rt.Now() + p.c.cfg.ElectionTimeout + jitter
 }
@@ -310,7 +340,7 @@ func (p *peer) resetDeadline() {
 
 type voteReq struct {
 	Term         uint64
-	Candidate    simnet.NodeID
+	Candidate    transport.NodeID
 	LastLogIndex uint64
 	LastLogTerm  uint64
 }
@@ -321,7 +351,7 @@ type voteResp struct {
 }
 
 func (p *peer) startElection() {
-	rt := p.c.net.Runtime()
+	rt := p.c.tr.Runtime()
 	p.mu.Lock()
 	p.role = candidate
 	p.term++
@@ -344,7 +374,7 @@ func (p *peer) startElection() {
 		}
 		id := id
 		rt.Go(func() {
-			resp, err := p.c.net.CallTimeout(p.id, id, svcRequestVote, req, p.c.cfg.ElectionTimeout)
+			resp, err := p.c.tr.CallTimeout(p.id, id, svcRequestVote, req, p.c.cfg.ElectionTimeout)
 			if err != nil {
 				return
 			}
@@ -415,7 +445,7 @@ func (p *peer) failWaitersLocked() {
 	}
 }
 
-func (p *peer) handleRequestVote(from simnet.NodeID, req any) (any, error) {
+func (p *peer) handleRequestVote(from transport.NodeID, req any) (any, error) {
 	m := req.(voteReq)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -439,7 +469,7 @@ func (p *peer) handleRequestVote(from simnet.NodeID, req any) (any, error) {
 
 type appendReq struct {
 	Term         uint64
-	Leader       simnet.NodeID
+	Leader       transport.NodeID
 	PrevIndex    uint64
 	PrevTerm     uint64
 	Entries      []Entry
@@ -462,7 +492,7 @@ type appendResp struct {
 
 // replicateAll pushes log suffixes (or heartbeats) to every follower.
 func (p *peer) replicateAll() {
-	rt := p.c.net.Runtime()
+	rt := p.c.tr.Runtime()
 	for _, id := range p.c.cfg.Nodes {
 		if id == p.id {
 			continue
@@ -472,7 +502,7 @@ func (p *peer) replicateAll() {
 	}
 }
 
-func (p *peer) replicateTo(id simnet.NodeID) {
+func (p *peer) replicateTo(id transport.NodeID) {
 	p.mu.Lock()
 	if p.role != leader {
 		p.mu.Unlock()
@@ -495,7 +525,7 @@ func (p *peer) replicateTo(id simnet.NodeID) {
 	}
 	p.mu.Unlock()
 
-	resp, err := p.c.net.CallTimeout(p.id, id, svcAppendEntries, req, p.c.cfg.ProposeTimeout)
+	resp, err := p.c.tr.CallTimeout(p.id, id, svcAppendEntries, req, p.c.cfg.ProposeTimeout)
 	if err != nil {
 		return
 	}
@@ -563,7 +593,7 @@ func (p *peer) applyLocked() {
 	}
 }
 
-func (p *peer) handleAppendEntries(from simnet.NodeID, req any) (any, error) {
+func (p *peer) handleAppendEntries(from transport.NodeID, req any) (any, error) {
 	m := req.(appendReq)
 	p.mu.Lock()
 	if m.Term < p.term {
@@ -616,9 +646,12 @@ func (p *peer) onRestart() {
 	p.failWaitersLocked()
 }
 
-// CommitIndex exposes a peer's commit index (tests).
-func (c *Cluster) CommitIndex(id simnet.NodeID) uint64 {
-	p := c.peers[id]
+// CommitIndex exposes a local peer's commit index (tests).
+func (c *Cluster) CommitIndex(id transport.NodeID) uint64 {
+	p, ok := c.peers[id]
+	if !ok {
+		return 0
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.commitIdx

@@ -1,0 +1,178 @@
+package raft
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Wire codecs for the Raft RPCs, so a group can span OS processes over
+// internal/nettrans (the membership config log) while the same messages
+// keep flowing as marshaled bytes over the simulated network.
+//
+// Entry.Data is an `any`: committed commands are application-defined. The
+// codec preserves the dynamic type for nil, []byte, string and int (the
+// types tests and simple state machines propose) and routes everything
+// else through a nested wire.Marshal — so struct commands (membership
+// changes, crdb transactions) must register their own codecs.
+const (
+	idVoteReq     = 48
+	idVoteResp    = 49
+	idAppendReq   = 50
+	idAppendResp  = 51
+	idProposeReq  = 52
+	idProposeResp = 53
+)
+
+const (
+	dataNil uint8 = iota
+	dataBytes
+	dataString
+	dataInt
+	dataWire
+)
+
+func encodeData(e *wire.Encoder, data any) {
+	switch v := data.(type) {
+	case nil:
+		e.Uint8(dataNil)
+	case []byte:
+		e.Uint8(dataBytes)
+		e.RawBytes(v)
+	case string:
+		e.Uint8(dataString)
+		e.String(v)
+	case int:
+		e.Uint8(dataInt)
+		e.Int64(int64(v))
+	default:
+		b, err := wire.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("raft: log entry data %T has no wire codec", v))
+		}
+		e.Uint8(dataWire)
+		e.RawBytes(b)
+	}
+}
+
+func decodeData(d *wire.Decoder) any {
+	switch d.Uint8() {
+	case dataNil:
+		return nil
+	case dataBytes:
+		return d.RawBytes()
+	case dataString:
+		return d.String()
+	case dataInt:
+		return int(d.Int64())
+	default:
+		b := d.RawBytesView()
+		v, err := wire.Unmarshal(b)
+		if err != nil {
+			return nil
+		}
+		return v
+	}
+}
+
+func encodeEntry(e *wire.Encoder, en Entry) {
+	e.Uint64(en.Term)
+	e.Int64(int64(en.Size))
+	encodeData(e, en.Data)
+}
+
+func decodeEntry(d *wire.Decoder) Entry {
+	var en Entry
+	en.Term = d.Uint64()
+	en.Size = int(d.Int64())
+	en.Data = decodeData(d)
+	return en
+}
+
+func init() {
+	wire.Register(idVoteReq, "raft.voteReq",
+		func(e *wire.Encoder, v voteReq) {
+			e.Uint64(v.Term)
+			e.Int32(int32(v.Candidate))
+			e.Uint64(v.LastLogIndex)
+			e.Uint64(v.LastLogTerm)
+		},
+		func(d *wire.Decoder) voteReq {
+			return voteReq{
+				Term:         d.Uint64(),
+				Candidate:    transport.NodeID(d.Int32()),
+				LastLogIndex: d.Uint64(),
+				LastLogTerm:  d.Uint64(),
+			}
+		})
+	wire.Register(idVoteResp, "raft.voteResp",
+		func(e *wire.Encoder, v voteResp) {
+			e.Uint64(v.Term)
+			e.Bool(v.Granted)
+		},
+		func(d *wire.Decoder) voteResp {
+			return voteResp{Term: d.Uint64(), Granted: d.Bool()}
+		})
+	wire.Register(idAppendReq, "raft.appendReq",
+		func(e *wire.Encoder, v appendReq) {
+			e.Uint64(v.Term)
+			e.Int32(int32(v.Leader))
+			e.Uint64(v.PrevIndex)
+			e.Uint64(v.PrevTerm)
+			e.Uint64(v.LeaderCommit)
+			e.Uint32(uint32(len(v.Entries)))
+			for _, en := range v.Entries {
+				encodeEntry(e, en)
+			}
+		},
+		func(d *wire.Decoder) appendReq {
+			v := appendReq{
+				Term:         d.Uint64(),
+				Leader:       transport.NodeID(d.Int32()),
+				PrevIndex:    d.Uint64(),
+				PrevTerm:     d.Uint64(),
+				LeaderCommit: d.Uint64(),
+			}
+			n := int(d.Uint32())
+			if n > 0 && d.Err() == nil {
+				v.Entries = make([]Entry, 0, n)
+				for i := 0; i < n && d.Err() == nil; i++ {
+					v.Entries = append(v.Entries, decodeEntry(d))
+				}
+			}
+			return v
+		})
+	wire.Register(idAppendResp, "raft.appendResp",
+		func(e *wire.Encoder, v appendResp) {
+			e.Uint64(v.Term)
+			e.Bool(v.Success)
+			e.Uint64(v.Match)
+		},
+		func(d *wire.Decoder) appendResp {
+			return appendResp{Term: d.Uint64(), Success: d.Bool(), Match: d.Uint64()}
+		})
+	wire.Register(idProposeReq, "raft.proposeReq",
+		func(e *wire.Encoder, v proposeReq) {
+			e.Int64(int64(v.Size))
+			encodeData(e, v.Data)
+		},
+		func(d *wire.Decoder) proposeReq {
+			v := proposeReq{Size: int(d.Int64())}
+			v.Data = decodeData(d)
+			return v
+		})
+	wire.Register(idProposeResp, "raft.proposeResp",
+		func(e *wire.Encoder, v proposeResp) {
+			e.Uint64(v.Index)
+			e.Int32(int32(v.Hint))
+			e.String(v.Err)
+		},
+		func(d *wire.Decoder) proposeResp {
+			return proposeResp{
+				Index: d.Uint64(),
+				Hint:  transport.NodeID(d.Int32()),
+				Err:   d.String(),
+			}
+		})
+}

@@ -67,6 +67,39 @@ func (p *Profile) RTT(a, b string) time.Duration {
 // OneWay returns half the round-trip time between two sites.
 func (p *Profile) OneWay(a, b string) time.Duration { return p.RTT(a, b) / 2 }
 
+// Extend returns a copy of p (renamed to name) with additional sites
+// appended — the substrate for live-membership scenarios, where a cluster
+// starts on p's sites and spare sites join later. Every link touching a
+// new site defaults to the worst inter-site RTT already in p (or the
+// intra-site RTT when p has none); callers can override with SetRTT.
+func (p *Profile) Extend(name string, spares ...string) *Profile {
+	out := &Profile{
+		name:  name,
+		sites: append(p.Sites(), spares...),
+		rtt:   make(map[sitePair]time.Duration, len(p.rtt)),
+		local: p.local,
+	}
+	worst := p.local
+	for k, d := range p.rtt {
+		out.rtt[k] = d
+		if d > worst {
+			worst = d
+		}
+	}
+	for _, s := range spares {
+		for _, other := range out.sites {
+			if other == s {
+				continue
+			}
+			pair := orderedPair(s, other)
+			if _, ok := out.rtt[pair]; !ok {
+				out.rtt[pair] = worst
+			}
+		}
+	}
+	return out
+}
+
 // The paper's Table II latency profiles. RTTs are given in the order
 // Site1-Site2, Site1-Site3, Site2-Site3 and mirror AWS inter-region
 // measurements.

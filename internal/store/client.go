@@ -108,7 +108,7 @@ func (cl *Client) Delete(table, key string, cols []string, cons Consistency) err
 func (cl *Client) replicate(req applyReq, cons Consistency) error {
 	cfg := cl.c.cfg
 	rt := cl.c.net.Runtime()
-	targets := cl.c.ring.replicasFor(req.Key)
+	targets := cl.c.ringNow().replicasFor(req.Key)
 	need := cons.need(len(targets))
 
 	firstTry := sim.NewMailbox[error](rt)
@@ -193,7 +193,7 @@ func (cl *Client) get(table, key string, cols []string, cons Consistency, charge
 		cl.c.net.Work(cl.node, cfg.Costs.CoordRead)
 	}
 	req := readReq{Table: table, Key: key, Cols: cols}
-	targets := cl.c.ring.replicasFor(key)
+	targets := cl.c.ringNow().replicasFor(key)
 
 	if cons == One {
 		return cl.getOne(req, targets)
@@ -254,7 +254,8 @@ func (cl *Client) readRepair(table, key string, merged Row, responders []transpo
 func (cl *Client) AllKeys(table string) ([]string, error) {
 	cfg := cl.c.cfg
 	cl.c.net.Work(cl.node, cfg.Costs.CoordRead)
-	results := cl.c.net.Multicast(cl.node, cl.c.cfg.Nodes, svcScan, scanReq{Table: table}, len(cl.c.cfg.Nodes), cfg.Timeout)
+	members := cl.c.MemberNodes()
+	results := cl.c.net.Multicast(cl.node, members, svcScan, scanReq{Table: table}, len(members), cfg.Timeout)
 	oks := transport.Successes(results)
 	if len(oks) == 0 {
 		return nil, fmt.Errorf("%w: scan %s", ErrUnavailable, table)

@@ -27,7 +27,7 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 	cfg := cl.c.cfg
 	net := cl.c.net
 	rt := net.Runtime()
-	targets := cl.c.ring.replicasFor(key)
+	targets := cl.c.ringNow().replicasFor(key)
 	quorum := len(targets)/2 + 1
 
 	sp := cl.tracer().Child("store.cas")

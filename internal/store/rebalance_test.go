@@ -1,0 +1,155 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// rebalanceSample is the key-sample size for the movement-bound property.
+// 100k keys keeps the observed movement fraction within a fraction of a
+// percent of its expectation, so the slack below is generous.
+const rebalanceSample = 100_000
+
+func replicaSets(r ring, n int) [][]transport.NodeID {
+	out := make([][]transport.NodeID, n)
+	for i := range out {
+		out[i] = r.replicasFor(fmt.Sprintf("user-%d", i))
+	}
+	return out
+}
+
+// movement compares per-key replica sets across an epoch change and
+// returns the number of new replica assignments (the rows that must
+// transfer), plus the arrived/departed node sets per key for the caller's
+// stronger structural assertions.
+func movement(before, after [][]transport.NodeID) (movedSlots int, arrived, departed [][]transport.NodeID) {
+	arrived = make([][]transport.NodeID, len(before))
+	departed = make([][]transport.NodeID, len(before))
+	for i := range before {
+		for _, id := range after[i] {
+			if !contains(before[i], id) {
+				arrived[i] = append(arrived[i], id)
+				movedSlots++
+			}
+		}
+		for _, id := range before[i] {
+			if !contains(after[i], id) {
+				departed[i] = append(departed[i], id)
+			}
+		}
+	}
+	return
+}
+
+// TestRebalanceBound pins the property that makes live membership viable:
+// a join or retire on the consistent-hash ring moves at most the
+// consistent-hashing-bounded fraction of keys — RF·(changed nodes / total
+// nodes) of the replica assignments in expectation — and every move
+// involves the joining/retiring site. Keys the change doesn't touch keep
+// byte-identical replica sets; nothing is gratuitously reshuffled. (The
+// static modulo ring would move nearly every key on any size change,
+// which is why dynamic membership switches placement modes.)
+func TestRebalanceBound(t *testing.T) {
+	three := []RingNode{
+		{ID: 0, Site: "site-a"}, {ID: 1, Site: "site-a"},
+		{ID: 2, Site: "site-b"}, {ID: 3, Site: "site-b"},
+		{ID: 4, Site: "site-c"}, {ID: 5, Site: "site-c"},
+	}
+	four := append(append([]RingNode{}, three...), RingNode{ID: 6, Site: "site-d"}, RingNode{ID: 7, Site: "site-d"})
+	const rf = 3
+
+	siteOf := func(members []RingNode) map[transport.NodeID]string {
+		m := make(map[transport.NodeID]string)
+		for _, n := range members {
+			m[n.ID] = n.Site
+		}
+		return m
+	}
+
+	t.Run("join", func(t *testing.T) {
+		before := replicaSets(buildRingMembers(three, rf), rebalanceSample)
+		after := replicaSets(buildRingMembers(four, rf), rebalanceSample)
+		movedSlots, arrived, departed := movement(before, after)
+
+		// The joining site owns 2 of 8 nodes' worth of the circle, so at
+		// most ~1/4 of the RF·keys replica assignments should move; 1.5×
+		// slack absorbs vnode-placement variance.
+		bound := int(1.5 * 0.25 * float64(rebalanceSample*rf))
+		if movedSlots > bound {
+			t.Fatalf("join moved %d replica slots, want <= %d (2/8 of circle + slack)", movedSlots, bound)
+		}
+		if movedSlots == 0 {
+			t.Fatal("join moved nothing; the new site holds no keys")
+		}
+		sites := siteOf(four)
+		for i := range arrived {
+			for _, id := range arrived[i] {
+				if sites[id] != "site-d" {
+					t.Fatalf("key %d gained replica on node %d (%s); a join may only add replicas on the joining site", i, id, sites[id])
+				}
+			}
+			if len(arrived[i]) != len(departed[i]) {
+				t.Fatalf("key %d: %d arrivals vs %d departures; RF must be conserved", i, len(arrived[i]), len(departed[i]))
+			}
+			if len(arrived[i]) == 0 && len(departed[i]) == 0 {
+				for j, id := range before[i] {
+					if after[i][j] != id {
+						t.Fatalf("unmoved key %d changed replica order: %v -> %v", i, before[i], after[i])
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("retire", func(t *testing.T) {
+		before := replicaSets(buildRingMembers(four, rf), rebalanceSample)
+		after := replicaSets(buildRingMembers(three, rf), rebalanceSample)
+		movedSlots, arrived, departed := movement(before, after)
+
+		bound := int(1.5 * 0.25 * float64(rebalanceSample*rf))
+		if movedSlots > bound {
+			t.Fatalf("retire moved %d replica slots, want <= %d", movedSlots, bound)
+		}
+		sites := siteOf(four)
+		for i := range departed {
+			for _, id := range departed[i] {
+				if sites[id] != "site-d" {
+					t.Fatalf("key %d lost replica on node %d (%s); a retire may only drop replicas on the retiring site", i, id, sites[id])
+				}
+			}
+			if len(arrived[i]) == 0 && len(departed[i]) == 0 {
+				for j, id := range before[i] {
+					if after[i][j] != id {
+						t.Fatalf("unmoved key %d changed replica order: %v -> %v", i, before[i], after[i])
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("scale-out-one-site", func(t *testing.T) {
+		// Adding one node to an existing site only re-elects that site's
+		// representative for the keys whose walk now meets the new node
+		// first — the other sites' replicas never move.
+		grown := append(append([]RingNode{}, three...), RingNode{ID: 6, Site: "site-a"})
+		before := replicaSets(buildRingMembers(three, rf), rebalanceSample)
+		after := replicaSets(buildRingMembers(grown, rf), rebalanceSample)
+		movedSlots, arrived, _ := movement(before, after)
+
+		// Node 6 holds 1/3 of site-a's vnodes and each key has exactly one
+		// site-a replica, so ~1/3 of keys move exactly one slot.
+		bound := int(1.5 / 3.0 * float64(rebalanceSample))
+		if movedSlots > bound {
+			t.Fatalf("scale-out moved %d replica slots, want <= %d", movedSlots, bound)
+		}
+		for i := range arrived {
+			for _, id := range arrived[i] {
+				if id != 6 {
+					t.Fatalf("key %d gained replica on node %d; only the new node may gain keys", i, id)
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"sort"
 
+	"repro/internal/placement"
 	"repro/internal/transport"
 )
 
@@ -29,38 +30,59 @@ func ShardOf(key string, shards int) int {
 	return int(fnv64a(key) % uint64(shards))
 }
 
-// ring places keys on replicas. Nodes are arranged in a site-interleaved
-// walk (site1[0], site2[0], site3[0], site1[1], ...) so that taking RF
-// consecutive entries spreads a key's replicas across sites — the paper's
-// deployment keeps one copy of every key-value pair per site
-// (NetworkTopologyStrategy in Cassandra terms).
+// RingNode names one placement participant: a node and the site hosting
+// it. It aliases placement.Node so membership can cross layer boundaries
+// (store, history's epoch checker, admin tooling) without conversion.
+type RingNode = placement.Node
+
+// ring places keys on replicas. It has two modes:
+//
+// Static (walk != nil): nodes are arranged in a site-interleaved walk
+// (site1[0], site2[0], site3[0], site1[1], ...) and a key takes RF
+// consecutive entries starting at hash(key) mod len(walk), spreading its
+// replicas across sites — the paper's deployment keeps one copy of every
+// key-value pair per site (NetworkTopologyStrategy in Cassandra terms).
+// This is the historical placement for fixed-membership clusters; every
+// pinned fault/explorer seed was recorded against it, so it must stay
+// byte-identical.
+//
+// Consistent-hash (cons != nil): placement delegates to a
+// placement.Ring — the epoch-versioned dynamic-membership mode with
+// bounded key movement on join/retire. See package placement.
 type ring struct {
-	walk []transport.NodeID
-	rf   int
+	walk   []transport.NodeID
+	cons   *placement.Ring
+	rf     int
+	nsites int
+	sites  map[transport.NodeID]string
 }
 
+// buildRing derives sites from the transport and builds a static
+// (site-interleaved modulo) ring — the fixed-membership path.
 func buildRing(tr transport.Transport, nodes []transport.NodeID, rf int) ring {
 	bySite := make(map[string][]transport.NodeID)
 	var sites []string
+	r := ring{sites: make(map[transport.NodeID]string, len(nodes))}
 	for _, id := range nodes {
 		site := tr.SiteOf(id)
+		r.sites[id] = site
 		if len(bySite[site]) == 0 {
 			sites = append(sites, site)
 		}
 		bySite[site] = append(bySite[site], id)
 	}
 	sort.Strings(sites)
+	r.nsites = len(sites)
 	for _, site := range sites {
 		ids := bySite[site]
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 
-	var walk []transport.NodeID
 	for i := 0; ; i++ {
 		added := false
 		for _, site := range sites {
 			if i < len(bySite[site]) {
-				walk = append(walk, bySite[site][i])
+				r.walk = append(r.walk, bySite[site][i])
 				added = true
 			}
 		}
@@ -68,21 +90,95 @@ func buildRing(tr transport.Transport, nodes []transport.NodeID, rf int) ring {
 			break
 		}
 	}
-	if rf > len(walk) {
-		rf = len(walk)
+	if rf > len(r.walk) {
+		rf = len(r.walk)
 	}
-	return ring{walk: walk, rf: rf}
+	r.rf = rf
+	return r
+}
+
+// buildRingMembers builds a consistent-hash ring for an explicit member
+// set — the dynamic-membership path. rf is clamped to the node count.
+func buildRingMembers(members []RingNode, rf int) ring {
+	cons := placement.New(members, rf)
+	r := ring{
+		cons:   cons,
+		rf:     cons.RF(),
+		nsites: cons.Sites(),
+		sites:  make(map[transport.NodeID]string, len(members)),
+	}
+	for _, m := range members {
+		r.sites[m.ID] = m.Site
+	}
+	return r
 }
 
 // replicasFor returns the RF nodes responsible for key.
 func (r ring) replicasFor(key string) []transport.NodeID {
-	pos := int(fnv64a(key) % uint64(len(r.walk)))
 	out := make([]transport.NodeID, 0, r.rf)
-	for i := 0; i < r.rf; i++ {
-		out = append(out, r.walk[(pos+i)%len(r.walk)])
-	}
+	r.replicasInto(key, &out)
 	return out
 }
+
+// replicasInto appends key's replicas to *out (reusable buffer form).
+func (r ring) replicasInto(key string, out *[]transport.NodeID) {
+	if r.cons != nil {
+		r.cons.ReplicasInto(key, out)
+		return
+	}
+	if len(r.walk) == 0 || r.rf == 0 {
+		return
+	}
+	pos := int(fnv64a(key) % uint64(len(r.walk)))
+	for i := 0; i < r.rf; i++ {
+		*out = append(*out, r.walk[(pos+i)%len(r.walk)])
+	}
+}
+
+// placesSite reports whether any replica of key lives in site.
+func (r ring) placesSite(key, site string) bool {
+	if r.cons != nil {
+		return r.cons.PlacesSite(key, site)
+	}
+	var buf [8]transport.NodeID
+	out := buf[:0]
+	r.replicasInto(key, &out)
+	for _, id := range out {
+		if r.sites[id] == site {
+			return true
+		}
+	}
+	return false
+}
+
+// nodes returns the member node IDs in ascending order.
+func (r ring) nodes() []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(r.sites))
+	for id := range r.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Placement is a standalone read-only view of one member set's
+// consistent-hash placement — what a cluster's ring becomes after
+// ApplyMembership with the same members. Admin tooling and tests use it to
+// ask "where would this key live under that epoch?" without touching a
+// live cluster.
+type Placement struct{ r *placement.Ring }
+
+// PreviewRing builds the placement for a prospective member set. rf is
+// clamped to the member count, matching ApplyMembership.
+func PreviewRing(members []RingNode, rf int) Placement {
+	return Placement{r: placement.New(members, rf)}
+}
+
+// ReplicasFor returns the nodes that would hold key.
+func (p Placement) ReplicasFor(key string) []transport.NodeID { return p.r.ReplicasFor(key) }
+
+// PlacesSite reports whether any replica of key would live in site.
+func (p Placement) PlacesSite(key, site string) bool { return p.r.PlacesSite(key, site) }
 
 // contains reports whether id is one of the given replicas.
 func contains(ids []transport.NodeID, id transport.NodeID) bool {

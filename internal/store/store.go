@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/history"
@@ -213,6 +214,11 @@ type Config struct {
 	Timeout time.Duration
 	// MaxCASAttempts bounds Paxos retries under contention. Defaults to 16.
 	MaxCASAttempts int
+	// Members, when set, seeds epoch-1 placement explicitly (node + site
+	// pairs) instead of deriving it from Nodes and the transport's site
+	// map. Dynamic deployments use it to start the ring on the member
+	// sites while spare nodes (future joiners) already run services.
+	Members []RingNode
 	// Shards stripes each replica's row engine and the coordinator's
 	// timestamp/ballot mints by ShardOf(key, Shards), so operations on
 	// keys in different shards never contend on a shared mutex. Placement
@@ -229,12 +235,36 @@ type Config struct {
 	History *history.Recorder
 }
 
+// placement is one epoch's immutable view of the ring. The cluster swaps
+// the whole value atomically on a membership change, so readers on the hot
+// path take no lock and an operation observes one consistent epoch.
+type epochView struct {
+	epoch int64
+	ring  ring
+}
+
 // Cluster is a store deployment over a Transport. Build one with New, then
 // obtain per-node Clients to issue operations.
 type Cluster struct {
-	net  transport.Transport
-	cfg  Config
-	ring ring
+	net transport.Transport
+	cfg Config
+	// wantRF is the requested replication factor before clamping, so a
+	// later epoch with more nodes can restore the full factor.
+	wantRF int
+	place  atomic.Pointer[epochView]
+
+	// hist retains recent epochs' rings (including the current one) so a
+	// replica adopting a grant issued under an older epoch can re-derive
+	// that epoch's placement. Bounded to ringHistory entries —
+	// reconfigurations are rare, and a grant old enough to fall off the
+	// window is refused adoption conservatively.
+	histMu sync.Mutex
+	hist   map[int64]*ring
+	// histSeeded marks the construction-time hist entry, which is labeled
+	// epoch 1 on faith. A process built mid-life (a joiner fast-forwarding
+	// straight to a later epoch) proves that label wrong on its first
+	// non-consecutive apply, and the entry is dropped.
+	histSeeded bool
 
 	replicas map[transport.NodeID]*replica
 
@@ -264,6 +294,7 @@ func New(tr transport.Transport, cfg Config) *Cluster {
 	if cfg.RF == 0 {
 		cfg.RF = 3
 	}
+	wantRF := cfg.RF
 	if cfg.RF > len(cfg.Nodes) {
 		cfg.RF = len(cfg.Nodes)
 	}
@@ -299,17 +330,122 @@ func New(tr transport.Transport, cfg Config) *Cluster {
 	c := &Cluster{
 		net:      tr,
 		cfg:      cfg,
-		ring:     buildRing(tr, cfg.Nodes, cfg.RF),
+		wantRF:   wantRF,
 		replicas: make(map[transport.NodeID]*replica, len(cfg.LocalNodes)),
 		clocks:   make([]clockStripe, cfg.Shards),
 	}
+	// Fixed-membership clusters (no cfg.Members) keep the historical
+	// site-interleaved modulo placement, byte-identical to what every
+	// pinned fault/explorer seed was recorded against. Dynamic clusters
+	// seed epoch 1 from the explicit member list on the consistent-hash
+	// circle so later epochs move a bounded key fraction.
+	if len(cfg.Members) == 0 {
+		c.place.Store(&epochView{epoch: 1, ring: buildRing(tr, cfg.Nodes, cfg.RF)})
+	} else {
+		rf := wantRF
+		if rf > len(cfg.Members) {
+			rf = len(cfg.Members)
+		}
+		c.place.Store(&epochView{epoch: 1, ring: buildRingMembers(cfg.Members, rf)})
+	}
+	c.hist = map[int64]*ring{1: &c.place.Load().ring}
+	c.histSeeded = true
 	for _, id := range cfg.LocalNodes {
 		r := newReplica(cfg.Shards)
 		c.replicas[id] = r
 		r.register(tr, id, cfg.Costs)
+		c.registerTransfer(id, r)
 	}
 	return c
 }
+
+// ringNow returns the current epoch's placement.
+func (c *Cluster) ringNow() *ring { return &c.place.Load().ring }
+
+// Epoch returns the membership epoch placement currently follows.
+func (c *Cluster) Epoch() int64 { return c.place.Load().epoch }
+
+// ApplyMembership recomputes placement for a new membership epoch. Stale
+// or duplicate epochs are ignored, so delivery order across subscribers
+// doesn't matter. Placement changes take effect atomically: in-flight
+// operations finish under the ring they started with.
+func (c *Cluster) ApplyMembership(epoch int64, members []RingNode) {
+	rf := c.wantRF
+	if rf > len(members) {
+		rf = len(members)
+	}
+	for {
+		cur := c.place.Load()
+		if epoch <= cur.epoch {
+			return
+		}
+		next := &epochView{epoch: epoch, ring: buildRingMembers(members, rf)}
+		if c.place.CompareAndSwap(cur, next) {
+			c.histMu.Lock()
+			if c.histSeeded {
+				c.histSeeded = false
+				if epoch != 2 {
+					delete(c.hist, 1)
+				}
+			}
+			c.hist[epoch] = &next.ring
+			for e := range c.hist {
+				if e <= epoch-ringHistory {
+					delete(c.hist, e)
+				}
+			}
+			c.histMu.Unlock()
+			return
+		}
+	}
+}
+
+// ringHistory bounds how many past epochs' rings ReplicasForAt can answer
+// for.
+const ringHistory = 16
+
+// ReplicasForAt returns key's replica set under a specific (possibly past)
+// membership epoch, with ok=false when the epoch predates this process or
+// fell off the bounded ring history. Core uses it to certify adopting a
+// grant issued under an older epoch: adoption is sound only if the key's
+// replica set is unchanged between the grant's epoch and now.
+func (c *Cluster) ReplicasForAt(key string, epoch int64) ([]transport.NodeID, bool) {
+	c.histMu.Lock()
+	r, ok := c.hist[epoch]
+	c.histMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return r.replicasFor(key), true
+}
+
+// SitePlaced reports whether the current epoch places a replica of key in
+// site — the check core's epoch fence uses to decide whether a grant
+// issued under an older epoch may keep running at its site.
+func (c *Cluster) SitePlaced(key, site string) bool {
+	return c.ringNow().placesSite(key, site)
+}
+
+// MemberSite reports whether the current epoch's membership includes any
+// node in site. Retired (and not-yet-joined) sites must stop serving
+// critical sections; core's epoch fence consults this.
+func (c *Cluster) MemberSite(site string) bool {
+	for _, s := range c.ringNow().sites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Dynamic reports whether this cluster uses epoch-versioned consistent-hash
+// placement (Config.Members / ApplyMembership) rather than the historical
+// fixed-membership modulo walk. Epoch-sensitive checks in higher layers are
+// inert on static clusters, whose epoch never leaves 1.
+func (c *Cluster) Dynamic() bool { return c.ringNow().cons != nil }
+
+// MemberNodes returns the node IDs in the current placement epoch.
+func (c *Cluster) MemberNodes() []transport.NodeID { return c.ringNow().nodes() }
 
 // Shards returns the configured shard count (≥ 1).
 func (c *Cluster) Shards() int { return c.cfg.Shards }
@@ -320,12 +456,14 @@ func (c *Cluster) Net() transport.Transport { return c.net }
 // Nodes returns the store nodes.
 func (c *Cluster) Nodes() []transport.NodeID { return append([]transport.NodeID(nil), c.cfg.Nodes...) }
 
-// RF returns the effective replication factor.
-func (c *Cluster) RF() int { return c.ring.rf }
+// RF returns the effective replication factor of the current epoch.
+func (c *Cluster) RF() int { return c.ringNow().rf }
 
 // ReplicasFor returns the nodes holding key (exposed for tests and for the
 // lock store's local peek).
-func (c *Cluster) ReplicasFor(key string) []transport.NodeID { return c.ring.replicasFor(key) }
+func (c *Cluster) ReplicasFor(key string) []transport.NodeID {
+	return c.ringNow().replicasFor(key)
+}
 
 // NowMicros returns the cluster clock in microseconds, used to timestamp
 // plain writes.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/paxos"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -145,6 +146,28 @@ func init() {
 	wire.Register(31, "paxos.Ballot",
 		func(e *wire.Encoder, b paxos.Ballot) { encodeBallot(e, b) },
 		func(d *wire.Decoder) paxos.Ballot { return decodeBallot(d) })
+	wire.Register(32, "store.transferReq",
+		func(e *wire.Encoder, m transferReq) { e.Int32(int32(m.Requester)) },
+		func(d *wire.Decoder) transferReq { return transferReq{Requester: transport.NodeID(d.Int32())} })
+	wire.Register(33, "store.transferResp",
+		func(e *wire.Encoder, m transferResp) {
+			e.Int64(m.Epoch)
+			e.Uint32(uint32(len(m.Rows)))
+			for _, r := range m.Rows {
+				e.String(r.Table)
+				e.String(r.Key)
+				encodeRow(e, r.Cells)
+			}
+		},
+		func(d *wire.Decoder) transferResp {
+			var m transferResp
+			m.Epoch = d.Int64()
+			n := d.Uint32()
+			for i := uint32(0); i < n && d.Err() == nil; i++ {
+				m.Rows = append(m.Rows, transferRow{Table: d.String(), Key: d.String(), Cells: decodeRow(d)})
+			}
+			return m
+		})
 }
 
 func encodeCell(e *wire.Encoder, c Cell) {

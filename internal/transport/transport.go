@@ -137,3 +137,30 @@ type Transport interface {
 	// pools). Further calls fail or time out.
 	Close()
 }
+
+// PeerEditor is the optional capability of transports whose peer set can
+// change while the process runs — a membership join must make the new site's
+// nodes dialable, and a retire should drop their connections. The TCP plane
+// (internal/nettrans) implements it; the simulated plane does not (its
+// universe is fixed at construction — spares are provisioned up front and
+// membership decides who *serves*, not who exists). Callers type-assert:
+//
+//	if pe, ok := tr.(transport.PeerEditor); ok { pe.AddPeer(id, site, addr) }
+type PeerEditor interface {
+	// AddPeer makes id dialable at addr within site. Re-adding an existing
+	// id updates its address (the replacement-process case) and drops any
+	// connection to the old one.
+	AddPeer(id NodeID, site, addr string) error
+	// RemovePeer forgets id and closes its connections. Removing the
+	// process's own node or an unknown id is an error.
+	RemovePeer(id NodeID) error
+}
+
+// AddrReporter is the optional capability of transports that know their
+// peers' dialable addresses (the TCP plane). Membership changes proposed
+// through such a transport carry each arriving node's address, so every
+// process applying the new epoch can AddPeer nodes it has never dialed.
+type AddrReporter interface {
+	// AddrOf returns id's listen address, or "" for an unknown peer.
+	AddrOf(id NodeID) string
+}

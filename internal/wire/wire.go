@@ -31,7 +31,10 @@ import (
 //
 //	0           nil payload
 //	1–15        wire: basic types (string, []byte, int64)
-//	16–47       internal/store (rows, Paxos rounds, scans, digests)
+//	16–47       internal/store (rows, Paxos rounds, scans, digests, transfer)
+//	48–55       internal/raft (votes, appends, proposals)
+//	56–63       internal/membership (config log, fetch/propose)
+//	64–79       internal/crdb (replicated transaction commands)
 //	900–999     test and conformance payloads
 const (
 	idNil    = 0

@@ -27,6 +27,7 @@ type Client struct {
 	home     string
 	retry    RetryPolicy
 	failover []string // candidate sites tried in order; nil = no failover
+	dynamic  bool     // resolve candidates from the live membership instead
 
 	// Critical-section fast path (see session.go): write-behind policy and
 	// holder-cached reads, both off by default (paper-faithful behavior).
@@ -79,13 +80,48 @@ func (cl *Client) rebind(site string) *core.Replica {
 }
 
 // nextSite picks the first failover candidate not yet tried this operation.
+// Dynamic clients resolve candidates from the live membership at decision
+// time — a retired site drops out of rotation, a joined site becomes
+// eligible — instead of the list frozen at construction.
 func (cl *Client) nextSite(tried map[string]bool) (string, bool) {
+	if cl.dynamic {
+		for _, s := range cl.c.memView.Current().Sites() {
+			if !tried[s] {
+				if _, ok := cl.c.replicas[s]; ok {
+					return s, true
+				}
+			}
+		}
+		return "", false
+	}
 	for _, s := range cl.failover {
 		if !tried[s] {
 			return s, true
 		}
 	}
 	return "", false
+}
+
+// ensureMemberSite re-binds a dynamic client whose bound site has left the
+// membership (retired or replaced — or a spare site not yet joined). Every
+// section at such a site is epoch-fenced outright, so burning the retry
+// budget there before failing over is pure wasted time.
+func (cl *Client) ensureMemberSite(opName, key string, ref LockRef) {
+	if !cl.dynamic {
+		return
+	}
+	m := cl.c.memView.Current()
+	_, site := cl.bound()
+	if m.HasSite(site) {
+		return
+	}
+	for _, s := range m.Sites() {
+		if _, ok := cl.c.replicas[s]; ok {
+			cl.noteFailover(opName, key, ref, site, s, ErrEpochFenced)
+			cl.rebind(s)
+			return
+		}
+	}
 }
 
 // counter bumps a client-layer metric (no-op without observability).
@@ -146,6 +182,7 @@ func (cl *Client) withRetry(opName, key string, ref LockRef, reacquire bool, op 
 	var tried map[string]bool
 	var lastErr error
 	for {
+		cl.ensureMemberSite(opName, key, ref)
 		rep, site := cl.bound()
 		backoff := pol.BaseBackoff
 		for attempt := 1; ; attempt++ {
@@ -236,6 +273,7 @@ func (cl *Client) awaitLockSeeded(key string, ref LockRef, timeout time.Duration
 	consecutive := 0
 	var tried map[string]bool
 	for {
+		cl.ensureMemberSite("acquireLock", key, ref)
 		rep, site := cl.bound()
 		ok, seed, err := rep.AcquireLockSeeded(key, int64(ref))
 		switch {

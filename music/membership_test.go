@@ -1,0 +1,190 @@
+package music
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/membership"
+)
+
+// TestLiveMembershipReconfiguration walks a dynamic cluster through the
+// full reconfiguration lifecycle on one deterministic schedule — a site
+// joins during a held section, the lockholder's site retires, a crashed
+// site is replaced — while a critical-section workload keeps running at
+// every phase. The recorded history must pass every ECF checker including
+// the epoch rules.
+func TestLiveMembershipReconfiguration(t *testing.T) {
+	c, err := New(
+		WithSpareSites("site-d", "site-e"),
+		WithHistory(),
+		WithT(30*time.Second),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	keys := []string{"acct-0", "acct-1", "acct-2", "acct-3", "acct-4", "acct-5"}
+
+	// phase runs one section per key from the given client, tagging values
+	// with the phase name. Epoch fences are retried (the section re-runs
+	// under the new placement); anything else fails the test.
+	phase := func(cl *Client, tag string) {
+		for _, key := range keys {
+			for attempt := 0; ; attempt++ {
+				err := cl.RunCritical(key, func(cs *CriticalSection) error {
+					if _, err := cs.Get(); err != nil {
+						return err
+					}
+					return cs.Put([]byte(tag))
+				})
+				if err == nil {
+					break
+				}
+				if !IsEpochFenced(err) || attempt > 5 {
+					t.Errorf("phase %s key %s: %v", tag, key, err)
+					break
+				}
+				c.Sleep(100 * time.Millisecond)
+			}
+		}
+	}
+
+	runErr := c.Run(func() {
+		if got := c.Epoch(); got != 1 {
+			t.Errorf("initial epoch = %d, want 1", got)
+		}
+		m := c.Membership()
+		if len(m.Sites()) != 3 || m.HasSite("site-d") || m.HasSite("site-e") {
+			t.Errorf("initial membership = %v, want the 3 non-spare sites", m.Sites())
+		}
+		clOhio := c.FailoverClient("ohio")
+		clNcal := c.FailoverClient("ncalifornia")
+		clOregon := c.FailoverClient("oregon")
+
+		// A spare site refuses sections until it joins.
+		if err := c.Client("site-d").RunCritical("early", func(cs *CriticalSection) error { return nil }); !IsEpochFenced(err) {
+			t.Errorf("section at unjoined spare site: err=%v, want ErrEpochFenced", err)
+		}
+
+		phase(clOhio, "A")
+
+		// Join during a held section: the holder either sails through (key
+		// unmoved by the epoch) or is fenced and re-runs — both are legal,
+		// and the history checker certifies whichever happened.
+		ref, err := clOregon.CreateLockRef("span-key")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		if err := clOregon.AwaitLock("span-key", ref, time.Minute); err != nil {
+			t.Fatalf("AwaitLock: %v", err)
+		}
+		if err := clOregon.CriticalPut("span-key", ref, []byte("pre-join")); err != nil {
+			t.Fatalf("CriticalPut pre-join: %v", err)
+		}
+		m2, err := c.JoinSite("site-d")
+		if err != nil {
+			t.Fatalf("JoinSite: %v", err)
+		}
+		if m2.Epoch != 2 || !m2.HasSite("site-d") {
+			t.Fatalf("post-join membership = %+v, want epoch 2 with site-d", m2)
+		}
+		if err := clOregon.CriticalPut("span-key", ref, []byte("post-join")); err != nil {
+			if !IsEpochFenced(err) {
+				t.Fatalf("CriticalPut post-join: %v", err)
+			}
+		} else if err := clOregon.ReleaseLock("span-key", ref); err != nil {
+			t.Errorf("ReleaseLock: %v", err)
+		}
+
+		clD := c.FailoverClient("site-d")
+		phase(clD, "B")
+
+		// Retire the lockholder's site: a section held at ohio is preempted
+		// by the epoch fence, and ohio's client re-binds off the retired
+		// site on its next operation.
+		ref, err = clOhio.CreateLockRef("retire-key")
+		if err != nil {
+			t.Fatalf("CreateLockRef: %v", err)
+		}
+		if err := clOhio.AwaitLock("retire-key", ref, time.Minute); err != nil {
+			t.Fatalf("AwaitLock: %v", err)
+		}
+		m3, err := c.RetireSite("ohio")
+		if err != nil {
+			t.Fatalf("RetireSite: %v", err)
+		}
+		if m3.Epoch != 3 || m3.HasSite("ohio") {
+			t.Fatalf("post-retire membership = %+v, want epoch 3 without ohio", m3)
+		}
+		if err := clOhio.CriticalPut("retire-key", ref, []byte("zombie")); !IsEpochFenced(err) {
+			t.Errorf("holder at retired site: err=%v, want ErrEpochFenced", err)
+		}
+		phase(clOhio, "C")
+		if s := clOhio.Site(); s == "ohio" {
+			t.Errorf("client still bound to retired site %q", s)
+		}
+
+		// Replace a crashed site: ncalifornia dies, site-e takes its place.
+		c.CrashSite("ncalifornia")
+		var m4 membership.Membership
+		for attempt := 0; ; attempt++ {
+			m4, err = c.ReplaceSite("ncalifornia", "site-e")
+			if err == nil {
+				break
+			}
+			if attempt > 10 {
+				t.Fatalf("ReplaceSite: %v", err)
+			}
+			c.Sleep(2 * time.Second)
+		}
+		if m4.Epoch != 4 || m4.HasSite("ncalifornia") || !m4.HasSite("site-e") {
+			t.Fatalf("post-replace membership = %+v, want epoch 4 with site-e for ncalifornia", m4)
+		}
+		phase(clNcal, "D") // re-binds off the dead site via live failover
+		phase(c.FailoverClient("site-e"), "E")
+
+		// Data continuity: every key ends at the last phase's tag, readable
+		// through a surviving site.
+		for _, key := range keys {
+			if err := clOregon.RunCritical(key, func(cs *CriticalSection) error {
+				v, err := cs.Get()
+				if err != nil {
+					return err
+				}
+				if string(v) != "E" {
+					return fmt.Errorf("key %s = %q, want %q", key, v, "E")
+				}
+				return nil
+			}); err != nil {
+				t.Errorf("final read %s: %v", key, err)
+			}
+		}
+		if got := c.Epoch(); got != 4 {
+			t.Errorf("final epoch = %d, want 4", got)
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+
+	ops := c.History().Ops()
+	if len(ops) == 0 {
+		t.Fatal("empty history")
+	}
+	epochs := 0
+	for _, o := range ops {
+		if o.Kind == history.KindEpoch {
+			epochs++
+		}
+	}
+	if epochs < 4 {
+		t.Errorf("history records %d epoch events, want >= 4", epochs)
+	}
+	res := history.Check(ops, history.CheckOptions{})
+	for _, v := range res.Violations {
+		t.Errorf("ECF violation: %s", v)
+	}
+}

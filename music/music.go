@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/lockstore"
+	"repro/internal/membership"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -65,6 +66,14 @@ var (
 	// clients for its whole retry budget (Zipfian hot keys); backing off
 	// and retrying — or enqueueing via another site — usually succeeds.
 	ErrContention = lockstore.ErrContention
+	// ErrEpochFenced means a live-membership epoch change moved the key's
+	// placement while the section ran (or a failover site was asked to
+	// adopt a grant for a key it no longer hosts). The lockRef is dead —
+	// the fencing replica force-released it so the next holder
+	// synchronizes — but the failure is retryable at section granularity:
+	// re-run the critical section and it will be granted under the new
+	// placement (see IsEpochFenced).
+	ErrEpochFenced = core.ErrEpochFenced
 )
 
 // Named latency profiles (Table II plus a fast local one for live demos).
@@ -91,6 +100,8 @@ type options struct {
 	history      bool
 	mutation     core.Mutation
 	shards       int
+	dynamic      bool
+	spares       []string
 }
 
 // Option configures New.
@@ -229,6 +240,13 @@ type Cluster struct {
 	replicas map[string]*core.Replica
 	obs      *obs.Obs          // nil unless WithObservability
 	history  *history.Recorder // nil unless WithHistory
+
+	// Live membership (nil / zero on fixed-membership clusters).
+	memView *membership.View // the epoch-versioned site set this cluster follows
+	memLog  *membership.Log  // the config log, owned when built by New
+	memRF   int              // replication factor epochs are applied with
+	memSite string           // site name stamped on recorded epoch events
+	propose func(membership.Change) (membership.Membership, error)
 }
 
 // New builds a cluster. With the default virtual-time mode, issue all
@@ -246,6 +264,9 @@ func New(opts ...Option) (*Cluster, error) {
 	}
 	if o.profile == nil {
 		return nil, errors.New("music: unknown latency profile")
+	}
+	if len(o.spares) > 0 {
+		o.profile = o.profile.Extend(o.profile.Name()+"+spares", o.spares...)
 	}
 
 	var rt sim.Runtime
@@ -273,7 +294,31 @@ func New(opts ...Option) (*Cluster, error) {
 	if o.shards <= 0 {
 		o.shards = 1
 	}
-	st := store.New(net, store.Config{RF: o.rf, DigestReads: o.digestReads, History: rec, Shards: o.shards})
+	// Dynamic clusters carve the initial membership out of the non-spare
+	// sites; spares run store/replica services from boot but join later.
+	var initial membership.Membership
+	var spareNodes []transport.NodeID
+	if o.dynamic {
+		spare := make(map[string]bool, len(o.spares))
+		for _, s := range o.spares {
+			spare[s] = true
+		}
+		var mems []membership.Member
+		for _, site := range o.profile.Sites() {
+			for _, id := range net.NodesInSite(site) {
+				if spare[site] {
+					spareNodes = append(spareNodes, id)
+					continue
+				}
+				mems = append(mems, membership.Member{ID: id, Site: site})
+			}
+		}
+		initial = membership.New(mems)
+	}
+	st := store.New(net, store.Config{
+		RF: o.rf, DigestReads: o.digestReads, History: rec, Shards: o.shards,
+		Members: memberNodes(initial),
+	})
 
 	c := &Cluster{
 		rt:       rt,
@@ -302,6 +347,19 @@ func New(opts ...Option) (*Cluster, error) {
 			History:  rec,
 			Mutation: o.mutation,
 		})
+	}
+	if o.dynamic {
+		memLog, err := membership.NewLog(membership.LogConfig{
+			Transport: net,
+			Group:     initial.NodeIDs(),
+			Serve:     spareNodes,
+			Initial:   initial,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.memLog = memLog
+		c.attachMembership(memLog.View(), o.rf, initial.Members[0].Site)
 	}
 	return c, nil
 }
@@ -334,6 +392,18 @@ type TransportConfig struct {
 	// linearizability checkers. Pass one shared recorder to every cluster of
 	// a multi-deployment test and the merged timeline checks as one history.
 	History *history.Recorder
+	// Membership, when set, switches placement to epoch-versioned live
+	// membership driven by this view: the cluster fast-forwards to the
+	// view's current epoch and re-applies placement on every later one. The
+	// caller owns the view's feed — cmd/musicd feeds it from a config log
+	// (group members) or a poller (joiners). Nil keeps fixed membership.
+	Membership *membership.View
+	// Propose, when set alongside Membership, is how this deployment drives
+	// reconfiguration: JoinSite / RetireSite / ReplaceSite submit their
+	// change through it. A config-group process proposes through its local
+	// log peer; a joiner forwards with membership.ProposeRemote. Nil makes
+	// reconfiguration calls fail with ErrNotReplicated (follow-only).
+	Propose func(membership.Change) (membership.Membership, error)
 }
 
 // NewOverTransport builds a MUSIC deployment over an externally constructed
@@ -349,12 +419,17 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
+	var members []store.RingNode
+	if cfg.Membership != nil {
+		members = memberNodes(cfg.Membership.Current())
+	}
 	st := store.New(tr, store.Config{
 		RF:          cfg.RF,
 		DigestReads: cfg.DigestReads,
 		LocalNodes:  cfg.LocalNodes,
 		History:     cfg.History,
 		Shards:      cfg.Shards,
+		Members:     members,
 	})
 	local := cfg.LocalNodes
 	if len(local) == 0 {
@@ -412,6 +487,10 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 			History: cfg.History,
 		})
 	}
+	if cfg.Membership != nil {
+		c.propose = cfg.Propose
+		c.attachMembership(cfg.Membership, cfg.RF, sites[0])
+	}
 	return c, nil
 }
 
@@ -463,7 +542,10 @@ func (c *Cluster) Client(site string, opts ...ClientOption) *Client {
 // FailoverClient returns a client homed at the named site that fails over
 // to every other site of the cluster, in profile order, when the current
 // site keeps failing transiently — the full §III-A "retry at another MUSIC
-// replica" behavior.
+// replica" behavior. On a dynamic cluster the candidate set follows the
+// live membership instead: sites that retire drop out of rotation, sites
+// that join become eligible, and a client bound to a site the membership
+// drops re-binds on its next operation.
 func (c *Cluster) FailoverClient(site string, opts ...ClientOption) *Client {
 	var others []string
 	for _, s := range c.sites {
@@ -471,7 +553,9 @@ func (c *Cluster) FailoverClient(site string, opts ...ClientOption) *Client {
 			others = append(others, s)
 		}
 	}
-	return c.Client(site, append([]ClientOption{WithFailoverSites(others...)}, opts...)...)
+	cl := c.Client(site, append([]ClientOption{WithFailoverSites(others...)}, opts...)...)
+	cl.dynamic = c.memView != nil
+	return cl
 }
 
 // tracer returns the cluster tracer (nil when observability is off).

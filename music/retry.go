@@ -17,9 +17,10 @@ import (
 //     the locally peeked queue yet — the lock store replica may simply be
 //     behind, which another poll or another site resolves).
 //   - Terminal: ErrNoLongerLockHolder (the lockRef was released or forcibly
-//     preempted) and ErrExpired (the critical section overran its T bound).
-//     Both mean the lockRef is dead; the client must start a new critical
-//     section. AwaitLock timeouts are likewise terminal.
+//     preempted), ErrExpired (the critical section overran its T bound),
+//     and ErrEpochFenced (a membership change moved the key's placement
+//     mid-section). All mean the lockRef is dead; the client must start a
+//     new critical section. AwaitLock timeouts are likewise terminal.
 //
 // Wrapping is preserved end-to-end (every layer uses %w), so classification
 // works on errors returned from any depth of the stack.
@@ -29,7 +30,8 @@ func IsRetryable(err error) bool {
 	}
 	// Terminal outcomes dominate: a dead lockRef cannot be revived by
 	// retrying, no matter what else went wrong around it.
-	if errors.Is(err, ErrNoLongerLockHolder) || errors.Is(err, ErrExpired) || errors.Is(err, errAwaitTimeout) {
+	if errors.Is(err, ErrNoLongerLockHolder) || errors.Is(err, ErrExpired) ||
+		errors.Is(err, ErrEpochFenced) || errors.Is(err, errAwaitTimeout) {
 		return false
 	}
 	return errors.Is(err, ErrUnavailable) ||
@@ -37,6 +39,12 @@ func IsRetryable(err error) bool {
 		errors.Is(err, store.ErrContention) ||
 		errors.Is(err, ErrNotLockHolder)
 }
+
+// IsEpochFenced reports whether err is a live-membership epoch fence: the
+// lockRef is dead, but re-running the whole critical section under the new
+// epoch's placement is expected to succeed. Section-level drivers (workload
+// loops, the soak harness) treat it as a section retry, not a failure.
+func IsEpochFenced(err error) bool { return errors.Is(err, ErrEpochFenced) }
 
 // RetryPolicy bounds how a Client re-drives operations that fail with
 // retryable errors (IsRetryable). Backoff doubles from BaseBackoff up to

@@ -22,6 +22,8 @@ func TestIsRetryableClassification(t *testing.T) {
 		{"not lock holder", ErrNotLockHolder, true},
 		{"no longer lock holder", ErrNoLongerLockHolder, false},
 		{"expired", ErrExpired, false},
+		{"epoch fenced", ErrEpochFenced, false},
+		{"wrapped epoch fenced", fmt.Errorf("criticalPut: %w", ErrEpochFenced), false},
 		{"await timeout", errAwaitTimeout, false},
 		{"unknown", errors.New("disk on fire"), false},
 

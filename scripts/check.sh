@@ -32,6 +32,13 @@ MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
 # rationale as the fault campaign above.
 MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
     go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1
+# Membership-churn campaign under pinned seeds: seeded epoch-change schedules
+# (join during a held section, retire of the lockholder's site, replace under
+# partition) against live dynamic clusters, every history checked against the
+# full ECF rule set including the epoch rules. The nightly churn job runs a
+# fresh-seed batch; this pinned subset keeps the local gate deterministic.
+MUSIC_MEMBER_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
+    go test ./internal/history/explore/ -run 'TestChurnPinnedSeeds' -count=1
 # Chaosnet campaign under pinned seeds: the same ECF checkers, but over the
 # REAL TCP message plane with seed-driven latency / loss / partition / reset
 # faults injected into the dial path (internal/chaosnet). The regexp matches
@@ -69,13 +76,20 @@ grep -q '"experiment": "fastpath"' "$fastpath_json"
 go run ./cmd/musicbench -exp transport -quick -quiet -json "$transport_json" > /dev/null
 grep -q '"experiment": "transport"' "$transport_json"
 
-# Soak smoke: the soak scenarios must run end to end in quick mode over real
-# TCP with chaosnet faults and emit a well-formed BENCH_soak.json SLO report.
+# Soak smoke: the soak scenarios must run end to end in quick mode and emit a
+# well-formed BENCH_soak.json SLO report. restarts and reconfig deploy real
+# musicd OS processes: restarts must prove the SIGKILLed-and-restarted process
+# caught up through the startup state-transfer pull ("caught_up": true), and
+# reconfig drives join/retire/replace through POST /v1/admin/membership while
+# the workload keeps running (final_epoch 4).
 soak_json=$(mktemp)
 trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json"' EXIT
 go run ./cmd/musicbench -exp soak -quick -quiet -json "$soak_json" > /dev/null
 grep -q '"experiment": "soak"' "$soak_json"
 grep -q '"scenario": "restarts"' "$soak_json"
+grep -q '"caught_up": true' "$soak_json"
+grep -q '"scenario": "reconfig"' "$soak_json"
+grep -q '"final_epoch": 4' "$soak_json"
 
 # Scale smoke: the sharded-plane campaign must run end to end in quick mode
 # (shard counts 1 and 4 over the million-key uniform YCSB workload) and emit
