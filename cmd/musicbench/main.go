@@ -35,7 +35,7 @@ func run(args []string) error {
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		workers  = fs.Int("workers", 0, "closed-loop workers per site (0 = default)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
-		jsonOut  = fs.String("json", "", "with -exp fastpath, transport, soak or scale: also write per-config results as JSON to this path (pick one experiment per path)")
+		jsonOut  = fs.String("json", "", "with -exp fastpath, transport, soak, scale or readpath: also write per-config results as JSON to this path (pick one experiment per path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +52,7 @@ func run(args []string) error {
 		return fmt.Errorf("pick experiments with -exp (ids: %s, or 'all')", strings.Join(bench.IDs(), ", "))
 	}
 
-	opts := bench.Options{Quick: *quick, Workers: *workers, FastpathJSON: *jsonOut, TransportJSON: *jsonOut, SoakJSON: *jsonOut, ScaleJSON: *jsonOut}
+	opts := bench.Options{Quick: *quick, Workers: *workers, FastpathJSON: *jsonOut, TransportJSON: *jsonOut, SoakJSON: *jsonOut, ScaleJSON: *jsonOut, ReadpathJSON: *jsonOut}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

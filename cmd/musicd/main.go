@@ -21,6 +21,14 @@
 // ops and merging them by timestamp yields one timeline the internal/history
 // ECF checkers can validate (cmd/musicd's tests do exactly this).
 //
+// -leases issues site-scoped holder read leases: any client routed to the
+// lockholder's site serves GET /v1/keys/{key} locally for the
+// clock-skew-bounded lease window. -adaptive serves critical gets at ONE
+// consistency while the live monitor judges the site safe, flips the site
+// back to QUORUM when staleness violations trip the threshold, and exports
+// the per-site standing on GET /v1/consistency (multi-process mode implies
+// -history, which the monitor needs).
+//
 // where peers.json lists every node in the deployment:
 //
 //	[
@@ -91,8 +99,11 @@ func run(args []string) error {
 		site      = fs.String("site", "", "this process's site (multi-process mode)")
 		listen    = fs.String("listen", "", "transport TCP listen address (default: this node's addr from peers.json)")
 		node      = fs.Int("node", -1, "this process's node id (default: the single -site node in peers.json)")
-		histOn    = fs.Bool("history", false, "record the operation history and serve it on /v1/history (multi-process mode; timestamps share the Unix epoch so per-process histories merge)")
-		join      = fs.Bool("join", false, "propose this spare site into the live membership at startup (multi-process mode; the node must be marked \"spare\" in peers.json)")
+		leases    = fs.Bool("leases", false, "issue site-scoped holder read leases: any client at the lockholder's site serves Get locally for the lease window")
+		adaptive  = fs.Bool("adaptive", false, "serve critical gets at ONE while the live consistency monitor judges the site safe; the monitor's standing is served on GET /v1/consistency (multi-process mode implies -history)")
+
+		histOn = fs.Bool("history", false, "record the operation history and serve it on /v1/history (multi-process mode; timestamps share the Unix epoch so per-process histories merge)")
+		join   = fs.Bool("join", false, "propose this spare site into the live membership at startup (multi-process mode; the node must be marked \"spare\" in peers.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +120,8 @@ func run(args []string) error {
 			histOn:    *histOn,
 			join:      *join,
 			shards:    *shards,
+			leases:    *leases,
+			adaptive:  *adaptive,
 		})
 	}
 	if *join {
@@ -116,6 +129,12 @@ func run(args []string) error {
 	}
 
 	opts := []music.Option{music.WithProfile(*profile), music.WithRealTime(), music.WithT(*t)}
+	if *leases {
+		opts = append(opts, music.WithHolderLeases())
+	}
+	if *adaptive {
+		opts = append(opts, music.WithAdaptiveReads())
+	}
 	if *shards > 1 {
 		// Each shard coordinates through its own store node, so give every
 		// site one node per shard.
@@ -173,6 +192,7 @@ type multiConfig struct {
 	t                       time.Duration
 	obsOn, histOn, join     bool
 	shards                  int
+	leases, adaptive        bool
 }
 
 // runMulti is one process of a multi-process deployment: a TCP transport
@@ -196,9 +216,27 @@ func runMulti(mc multiConfig) error {
 	// checker harness can merge them into one timeline.
 	rt := sim.NewReal(1)
 	var rec *history.Recorder
-	if mc.histOn {
+	if mc.histOn || mc.adaptive {
+		// Adaptive reads imply -history: the monitor observes the recorded
+		// op stream, so it cannot run without a recorder.
 		rt = sim.NewRealAt(time.Unix(0, 0), 1)
 		rec = history.New(rt)
+	}
+	// The monitor watches this process's weak reads for staleness and flips
+	// the site back to QUORUM on its trip threshold; repairRead (assigned
+	// once the cluster exists) wires its violation hook to a quorum read
+	// that re-converges the stale replica.
+	var mon *history.Monitor
+	var repairRead func(key string)
+	if mc.adaptive {
+		mon = history.NewMonitor(history.MonitorConfig{
+			OnViolation: func(site, key string) {
+				if repairRead != nil && site == self.Site {
+					repairRead(key)
+				}
+			},
+		})
+		rec.Attach(mon)
 	}
 	var ob *obs.Obs
 	if mc.obsOn {
@@ -291,19 +329,28 @@ func runMulti(mc multiConfig) error {
 	}
 
 	c, err := music.NewOverTransport(tr, music.TransportConfig{
-		T:          mc.t,
-		Shards:     mc.shards,
-		LocalNodes: []transport.NodeID{self.ID},
-		Obs:        ob,
-		History:    rec,
-		Membership: view,
-		Propose:    propose,
+		T:             mc.t,
+		Shards:        mc.shards,
+		LocalNodes:    []transport.NodeID{self.ID},
+		Obs:           ob,
+		History:       rec,
+		Leases:        mc.leases,
+		AdaptiveReads: mc.adaptive,
+		Monitor:       mon,
+		Membership:    view,
+		Propose:       propose,
 	})
 	if err != nil {
 		tr.Close()
 		return err
 	}
 	defer c.Close()
+	if mon != nil {
+		rep := c.Replica(self.Site)
+		repairRead = func(key string) {
+			rt.Go(func() { _ = rep.RepairRead(key) })
+		}
+	}
 
 	// Crash-restart catch-up: pull whatever this node's key ranges
 	// accumulated while the process was down, before serving traffic. On a

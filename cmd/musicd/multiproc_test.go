@@ -279,7 +279,10 @@ func TestThreeProcessCluster(t *testing.T) {
 	siteURL := make(map[string]string, 3)
 	for i, p := range peers {
 		httpAddr := fmt.Sprintf("127.0.0.1:%d", ports[3+i])
-		cmd := exec.Command(bin, "-peers", peersPath, "-site", p.Site, "-addr", httpAddr, "-history")
+		// -leases and -adaptive ride along so the flag plumbing for the
+		// adaptive read plane is exercised over a real multi-process
+		// deployment; the merged history must still check clean.
+		cmd := exec.Command(bin, "-peers", peersPath, "-site", p.Site, "-addr", httpAddr, "-history", "-leases", "-adaptive")
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -308,6 +311,18 @@ func TestThreeProcessCluster(t *testing.T) {
 		}
 	}
 	ecfCheck(t, siteURL)
+
+	// -adaptive serves the live monitor's standing on every process.
+	for _, site := range testSites {
+		resp, err := http.Get(siteURL[site] + "/v1/consistency")
+		if err != nil {
+			t.Fatalf("GET /v1/consistency at %s: %v", site, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/consistency at %s: status %d", site, resp.StatusCode)
+		}
+	}
 
 	// Each process recorded its own history on the shared Unix-epoch clock;
 	// fetch all three, merge them into one timeline, and check it — the

@@ -98,6 +98,10 @@ type Options struct {
 	// per-shard-count results to this path as JSON (the BENCH_scale.json
 	// artifact).
 	ScaleJSON string
+	// ReadpathJSON, when non-empty, makes the readpath experiment also write
+	// its per-config results to this path as JSON (the BENCH_readpath.json
+	// artifact).
+	ReadpathJSON string
 }
 
 func (o Options) workers() int {
@@ -145,6 +149,7 @@ func Experiments() []Experiment {
 		{"explore", "Seeded chaos explorer: randomized fault schedules checked against ECF (internal/history)", runExplore},
 		{"soak", "Soak scenarios over TCP with chaosnet faults: SLO report per scenario (internal/chaosnet)", runSoak},
 		{"scale", "Sharded lock/data plane scale-out: YCSB over a million-key uniform space, shards 1/2/4/8", runScale},
+		{"readpath", "Adaptive read plane: quorum vs holder leases vs monitored ONE reads, metro fabric", runReadpath},
 	}
 }
 

@@ -63,8 +63,8 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestRegistryAndRunValidation(t *testing.T) {
-	if len(Experiments()) != 19 {
-		t.Fatalf("experiments = %d, want 19 (every paper artifact + ablation + trace + faults + fastpath + transport + explore + soak + scale)", len(Experiments()))
+	if len(Experiments()) != 20 {
+		t.Fatalf("experiments = %d, want 20 (every paper artifact + ablation + trace + faults + fastpath + transport + explore + soak + scale + readpath)", len(Experiments()))
 	}
 	if _, err := Run([]string{"nope"}, quickOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -260,6 +260,46 @@ func TestFaultsShape(t *testing.T) {
 		if diff := got - base; diff > base/100 || diff < -base/100 {
 			t.Errorf("%s CS latency %.1fms, want within 1%% of NoRetry %.1fms", row[0], got, base)
 		}
+	}
+}
+
+// TestReadpathShape checks the adaptive-consistency acceptance criteria on
+// the quick sweep: holder leases must serve gets at least 3x below the
+// quorum plane's median, and under injected staleness the monitor must trip
+// (violations seen), flip the sites to QUORUM, and see nothing after the
+// flip.
+func TestReadpathShape(t *testing.T) {
+	tb := findTable(t, runReadpath(quickOpts), "readpath")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 configs", len(tb.Rows))
+	}
+	rows := make(map[string][]string)
+	for _, row := range tb.Rows {
+		rows[row[0]] = row
+	}
+	quorumP50 := parseLat(t, rows["quorum"][1])
+	leaseP50 := parseLat(t, rows["lease"][1])
+	adaptiveP50 := parseLat(t, rows["adaptive"][1])
+	if quorumP50 < 3*leaseP50 {
+		t.Errorf("lease p50 %.2fms not ≥3x below quorum p50 %.2fms", leaseP50, quorumP50)
+	}
+	if adaptiveP50 >= quorumP50 {
+		t.Errorf("adaptive ONE p50 %.2fms not below quorum p50 %.2fms", adaptiveP50, quorumP50)
+	}
+	for _, cfg := range []string{"quorum", "lease", "adaptive"} {
+		if rows[cfg][4] != "0" || rows[cfg][6] != "false" {
+			t.Errorf("%s: clean run saw violations=%s flipped=%s", cfg, rows[cfg][4], rows[cfg][6])
+		}
+	}
+	stale := rows["adaptive_stale"]
+	if stale[4] == "0" {
+		t.Errorf("adaptive_stale: injected staleness produced no monitor violations")
+	}
+	if stale[5] != "0" {
+		t.Errorf("adaptive_stale: %s violations after the flip, want 0", stale[5])
+	}
+	if stale[6] != "true" {
+		t.Errorf("adaptive_stale: monitor never flipped the site to QUORUM")
 	}
 }
 

@@ -70,7 +70,7 @@ func (o Outcome) Repro() string {
 // recorder, so the merged timeline checks as a single history. Individual
 // section errors under faults are expected and fine — the checkers judge
 // what the protocol admitted, not whether every attempt succeeded.
-func RunSeed(seed int64) Outcome { return runCampaignSeed(seed, 1) }
+func RunSeed(seed int64) Outcome { return runCampaignSeed(seed, 1, "") }
 
 // RunSeedSharded is RunSeed over a sharded deployment: each site runs
 // `shards` single-node processes, every process hosting a full MUSIC
@@ -79,9 +79,18 @@ func RunSeed(seed int64) Outcome { return runCampaignSeed(seed, 1) }
 // state, forced release and failover all play out per shard while the
 // merged history still has to check as one ECF timeline. The key set is
 // widened so sections land in more than one shard per site.
-func RunSeedSharded(seed int64, shards int) Outcome { return runCampaignSeed(seed, shards) }
+func RunSeedSharded(seed int64, shards int) Outcome { return runCampaignSeed(seed, shards, "") }
 
-func runCampaignSeed(seed int64, shards int) Outcome {
+// RunSeedMode is RunSeed with an adaptive read plane switched on: mode
+// "lease" turns on site-scoped holder leases, mode "adaptive" runs monitored
+// ONE reads with one shared consistency monitor watching all three processes
+// through the shared history recorder. Both modes also drive a plain-Get
+// reader per site so the lease serve path and the weak read path are
+// exercised while the fault schedule plays, and the merged history must
+// check clean under the lease/monitor ECF rules.
+func RunSeedMode(seed int64, mode string) Outcome { return runCampaignSeed(seed, 1, mode) }
+
+func runCampaignSeed(seed int64, shards int, mode string) Outcome {
 	if shards < 1 {
 		shards = 1
 	}
@@ -93,6 +102,28 @@ func runCampaignSeed(seed int64, shards int) Outcome {
 	// One single-node process per (site, shard); node IDs are dense in
 	// site-major order so process si*shards+sh serves site si, shard sh.
 	nProcs := len(CampaignSites) * shards
+	clusters := make([]*music.Cluster, nProcs)
+
+	// In adaptive mode one monitor spans the whole deployment, attached to
+	// the shared recorder; its repair hook routes the quorum re-read through
+	// the flagged site's owning shard process. The clusters slice is fully
+	// populated before the workload (and thus any violation) can run.
+	var mon *history.Monitor
+	if mode == "adaptive" {
+		mon = history.NewMonitor(history.MonitorConfig{
+			OnViolation: func(site, key string) {
+				for si, s := range CampaignSites {
+					if s == site {
+						rep := clusters[si*shards+store.ShardOf(key, shards)].Replica(site)
+						rt.Go(func() { _ = rep.RepairRead(key) })
+						return
+					}
+				}
+			},
+		})
+		rec.Attach(mon)
+	}
+
 	listeners := make([]net.Listener, nProcs)
 	peers := make([]nettrans.Peer, nProcs)
 	for i := range peers {
@@ -104,7 +135,6 @@ func runCampaignSeed(seed int64, shards int) Outcome {
 		listeners[i] = lis
 		peers[i] = nettrans.Peer{ID: transport.NodeID(i), Site: site, Addr: lis.Addr().String()}
 	}
-	clusters := make([]*music.Cluster, len(peers))
 	for i, p := range peers {
 		tr, err := nettrans.New(rt, nettrans.Config{
 			Self:         p.ID,
@@ -120,10 +150,13 @@ func runCampaignSeed(seed int64, shards int) Outcome {
 			return Outcome{Schedule: sched, RunErr: fmt.Errorf("nettrans: %w", err)}
 		}
 		c, err := music.NewOverTransport(tr, music.TransportConfig{
-			T:          5 * time.Second,
-			Shards:     shards,
-			LocalNodes: []transport.NodeID{p.ID},
-			History:    rec,
+			T:             5 * time.Second,
+			Shards:        shards,
+			LocalNodes:    []transport.NodeID{p.ID},
+			History:       rec,
+			Leases:        mode == "lease",
+			AdaptiveReads: mode == "adaptive",
+			Monitor:       mon,
 		})
 		if err != nil {
 			tr.Close()
@@ -175,6 +208,24 @@ func runCampaignSeed(seed int64, shards int) Outcome {
 				rt.Sleep(10 * time.Millisecond)
 			}
 		}()
+	}
+	if mode != "" {
+		// One plain-Get reader per site: in lease mode these land on the
+		// site lease while its section is live, in adaptive mode they keep
+		// the weak read plane busy while the fault schedule plays.
+		for ci := range CampaignSites {
+			ci, site := ci, CampaignSites[ci]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ri := 0; inj.Elapsed() < until; ri++ {
+					key := fmt.Sprintf("cn-%c", 'a'+ri%keySpan)
+					cl := clusters[ci*shards+store.ShardOf(key, shards)].Client(site)
+					_, _ = cl.Get(key)
+					rt.Sleep(15 * time.Millisecond)
+				}
+			}()
+		}
 	}
 
 	done := make(chan struct{})

@@ -176,6 +176,77 @@ func TestChaosnetCampaignSharded(t *testing.T) {
 	t.Logf("sharded campaign: %d seeds, %d violating", len(seeds), violations)
 }
 
+// TestChaosnetCampaignModes replays the fault campaign with the adaptive
+// read plane on — site-scoped holder leases, then monitored ONE reads — over
+// the real loopback TCP transport, so the lease-window safety argument and
+// the monitor-coverage accounting are certified against genuine network
+// faults, not just the simnet. Seeds come from MUSIC_CHAOSNET_SEEDS when
+// pinned, trimmed to 6 per mode (each seed spawns 2× the default batch's
+// processes), else 1..6 by default, 2 under -short.
+func TestChaosnetCampaignModes(t *testing.T) {
+	seeds := chaosnetSeeds(t)
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	if len(seeds) > n {
+		seeds = seeds[:n]
+	}
+	reproDir := os.Getenv("MUSIC_CHAOSNET_REPRO_DIR")
+
+	type job struct {
+		mode string
+		seed int64
+	}
+	var jobs []job
+	for _, mode := range []string{"lease", "adaptive"} {
+		for _, seed := range seeds {
+			jobs = append(jobs, job{mode, seed})
+		}
+	}
+	outs := make([]Outcome, len(jobs))
+	sem := make(chan struct{}, 6)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i] = RunSeedMode(j.seed, j.mode)
+		}()
+	}
+	wg.Wait()
+
+	violations := 0
+	for i, j := range jobs {
+		out := outs[i]
+		if out.Violating() {
+			violations++
+			t.Errorf("mode %s seed %d: %d violations, run error %v",
+				j.mode, j.seed, len(out.Result.Violations), out.RunErr)
+			repro := out.Repro()
+			if len(repro) > 16<<10 {
+				repro = repro[:16<<10] + "\n  ... (truncated)\n"
+			}
+			t.Log(repro)
+			if reproDir != "" {
+				path := filepath.Join(reproDir, fmt.Sprintf("chaosnet-%s-seed-%d.txt", j.mode, j.seed))
+				if err := os.WriteFile(path, []byte(out.Repro()), 0o644); err != nil {
+					t.Errorf("write repro: %v", err)
+				} else {
+					t.Logf("repro archived at %s", path)
+				}
+			}
+		}
+		if len(out.Ops) == 0 && out.RunErr == nil {
+			t.Errorf("mode %s seed %d: empty history — the workload recorded nothing", j.mode, j.seed)
+		}
+	}
+	t.Logf("mode campaign: %d jobs (%d seeds × 2 modes), %d violating", len(jobs), len(seeds), violations)
+}
+
 func classKeys(m map[Class]bool) []string {
 	var out []string
 	for c := range m {

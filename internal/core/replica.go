@@ -78,6 +78,7 @@ const (
 	OpForcedRelease
 	OpEventualPut
 	OpEventualGet
+	OpLeaseGet // a plain Get served locally from the site's holder lease
 )
 
 // String names the operation for reports.
@@ -101,6 +102,8 @@ func (o Op) String() string {
 		return "put"
 	case OpEventualGet:
 		return "get"
+	case OpLeaseGet:
+		return "leaseGet"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -135,6 +138,29 @@ type Config struct {
 	// eventual reads, turning every acquireLock poll and critical-op guard
 	// into a WAN round trip (§III-A motivates the local peek).
 	QuorumPeek bool
+
+	// Leases turns on site-scoped holder leases (see lease.go): a certified
+	// grant issues this replica's site a clock-skew-bounded lease on the
+	// key, and any client routed to the site serves Get locally for the
+	// lease window. Grant recording switches from an async plain write to a
+	// synchronous LWT so grants and orphan reaps serialize.
+	Leases bool
+	// LeaseTTL is the nominal lease window, clamped to T − 2·LeaseSkew.
+	// Defaults to 2s.
+	LeaseTTL time.Duration
+	// LeaseSkew bounds the assumed inter-site clock skew the lease window
+	// must absorb. Defaults to 250ms.
+	LeaseSkew time.Duration
+
+	// AdaptiveReads serves critical gets at ONE consistency while the
+	// attached Monitor judges the site safe (per Nguyen/Charapko/Kulkarni/
+	// Demirbas): the monitor watches the recorded op stream for staleness
+	// and flips the site back to QUORUM when violations trip its threshold.
+	// Requires History and Monitor.
+	AdaptiveReads bool
+	// Monitor is the online consistency monitor adaptive reads consult; it
+	// must be attached to the same History recorder.
+	Monitor *history.Monitor
 
 	// Shards partitions the replica's lock/data plane by
 	// store.ShardOf(key, Shards): each shard owns its own lockstore
@@ -172,6 +198,11 @@ const (
 	// the section clock never advanced: a section's writes collide on one
 	// v2s stamp and last-writer-wins order becomes value-dependent.
 	MutationFrozenElapsed
+	// MutationStaleReads serves every adaptive weak read one write behind
+	// (the previously observed row instead of the current one) —
+	// deterministic injected staleness proving the consistency monitor
+	// detects violations and flips the site to QUORUM.
+	MutationStaleReads
 )
 
 // String names the mutation for explorer repro headers.
@@ -183,6 +214,8 @@ func (m Mutation) String() string {
 		return "skipSynchronize"
 	case MutationFrozenElapsed:
 		return "frozenElapsed"
+	case MutationStaleReads:
+		return "staleReads"
 	default:
 		return fmt.Sprintf("mutation(%d)", int(m))
 	}
@@ -197,6 +230,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OrphanTimeout == 0 {
 		c.OrphanTimeout = c.T
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 2 * time.Second
+	}
+	if c.LeaseSkew == 0 {
+		c.LeaseSkew = 250 * time.Millisecond
 	}
 	return c
 }
@@ -224,9 +263,11 @@ type planeShard struct {
 	ls *lockstore.Service
 
 	mu     sync.Mutex
-	grants map[string]grant   // key → local record of our granted head
-	seen   map[string]headAge // key → when we first saw the current head
-	behind map[string]int64   // key/ref → when the local queue first hid it
+	grants map[string]grant       // key → local record of our granted head
+	seen   map[string]headAge     // key → when we first saw the current head
+	behind map[string]int64       // key/ref → when the local queue first hid it
+	leases map[string]*leaseState // key → live site lease (lease mode only)
+	stale  map[string]store.Row   // MutationStaleReads: last row served per key
 }
 
 type grant struct {
@@ -287,6 +328,8 @@ func NewReplicaSharded(clients []*store.Client, cfg Config) *Replica {
 			grants: make(map[string]grant),
 			seen:   make(map[string]headAge),
 			behind: make(map[string]int64),
+			leases: make(map[string]*leaseState),
+			stale:  make(map[string]store.Row),
 		}
 	}
 	return r
@@ -453,6 +496,17 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 		return true, ValueSeed{}, nil
 	}
 	if head.StartTime > 0 {
+		if r.cfg.Leases && head.GrantTag == r.siteTag() {
+			// Our own site's grant whose SetGrantLWT ack was lost: re-own it
+			// with the recorded instant — no lease wait, the window is
+			// measured on this site's own clock. No seed survives the lost
+			// call, so the lease serves nothing until a section write.
+			r.rememberGrant(key, ref, head.StartTime)
+			r.installLease(key, ref, head.StartTime, ValueSeed{})
+			sp.Annotate("outcome", "reowned grant")
+			hc.Note("adopted")
+			return true, ValueSeed{}, nil
+		}
 		// Another replica already granted this ref — the §III-A failover
 		// case, where the client re-drives its acquire at this site. Adopt
 		// the replicated grant time instead of re-granting: the original T
@@ -505,6 +559,39 @@ func (r *Replica) AcquireLockSeeded(key string, ref int64) (acquired bool, seed 
 	r.observe(OpAcquireGrant, grantStart)
 
 	now := r.nowMicros()
+	if r.cfg.Leases {
+		// In lease mode the grant issues the site a lease, so the grant cell
+		// must be recorded *synchronously and exclusively* before the holder
+		// is admitted: an LWT conditioned on the queue bytes and on no
+		// existing cell, serializing against competing granters and against
+		// DequeueIfUngranted's orphan reap through the same Paxos row.
+		epoch, _ := r.placeStamp(key)
+		applied, curStart, curEpoch, gerr := s.ls.SetGrantLWT(key, ref, now, epoch, r.siteTag())
+		if gerr != nil {
+			return false, ValueSeed{}, fmt.Errorf("acquireLock %s: grant: %w", key, gerr)
+		}
+		if !applied {
+			if curStart > 0 {
+				// Another site recorded the grant first (concurrent failover
+				// drive): adopt it. The adoption gate waits out that site's
+				// lease window before admitting us.
+				if aerr := r.adoptGrant(key, ref, curStart, curEpoch); aerr != nil {
+					return false, ValueSeed{}, aerr
+				}
+				sp.Annotate("outcome", "adopted grant")
+				hc.Note("adopted")
+				return true, ValueSeed{}, nil
+			}
+			// The ref was reaped from the queue while we were granting.
+			return false, ValueSeed{}, fmt.Errorf("%w: %s/%d reaped during grant", ErrNoLongerLockHolder, key, ref)
+		}
+		// applied: curStart/curEpoch are the authoritative cell contents —
+		// this call's instant, or an earlier lost-ack call's that SetGrantLWT
+		// recognized by tag. The lease window runs from the recorded instant.
+		r.rememberGrant(key, ref, curStart)
+		r.installLease(key, ref, curStart, seed)
+		return true, seed, nil
+	}
 	r.rememberGrant(key, ref, now)
 	// Record the grant time in the lock store so other MUSIC replicas can
 	// detect expiry and serve failover clients. Off the critical path, but
@@ -603,6 +690,7 @@ func (r *Replica) CriticalPut(key string, ref int64, value []byte) (err error) {
 	}
 	cell := store.Cell{Value: value, TS: v2s(ref, elapsed, r.cfg.T)}
 	hc.TS(cell.TS)
+	r.leaseUpdate(key, ref, value, true)
 	s := r.shardFor(key)
 	if r.cfg.Mode == ModeLWT {
 		res, casErr := s.ds.CAS(DataTable, key, nil, store.Row{colValue: cell})
@@ -635,6 +723,7 @@ func (r *Replica) CriticalDelete(key string, ref int64) (err error) {
 	}
 	cell := store.Cell{TS: v2s(ref, elapsed, r.cfg.T), Deleted: true}
 	hc.TS(cell.TS)
+	r.leaseUpdate(key, ref, nil, false)
 	if err := r.shardFor(key).ds.Put(DataTable, key, store.Row{colValue: cell}, store.Quorum); err != nil {
 		return fmt.Errorf("criticalDelete %s: %w", key, err)
 	}
@@ -654,9 +743,33 @@ func (r *Replica) CriticalGet(key string, ref int64) (value []byte, err error) {
 	if _, err := r.guardCritical(key, ref); err != nil {
 		return nil, err
 	}
-	row, err := r.shardFor(key).ds.GetCols(DataTable, key, []string{colValue}, store.Quorum)
+	if v, present, ok := r.leasePeek(key, ref); ok {
+		// The site lease covers this section's key: serve locally. The guard
+		// above already certified head, grant, epoch, and T.
+		hc.Note(history.NoteLease)
+		r.observe(OpCriticalGet, start)
+		if present {
+			hc.Value(v, true)
+			return v, nil
+		}
+		return nil, nil
+	}
+	cons := store.Quorum
+	if r.cfg.AdaptiveReads && r.cfg.Monitor.Weak(r.site) {
+		// Adaptive mode: the monitor judges this site safe for weak reads,
+		// so the data column is read at ONE (typically the local replica).
+		// The op is noted so the monitor — and the offline checker's
+		// adaptive rules — judge it as a weak read, not a quorum one.
+		cons = store.One
+		hc.Note(history.NoteWeak)
+	}
+	row, err := r.shardFor(key).ds.GetCols(DataTable, key, []string{colValue}, cons)
 	if err != nil {
 		return nil, fmt.Errorf("criticalGet %s: %w", key, err)
+	}
+	if cons == store.One && r.cfg.Mutation == MutationStaleReads {
+		// Injected bug under test: serve the previously observed row.
+		row = r.staleSwap(key, row)
 	}
 	r.observe(OpCriticalGet, start)
 	if c, ok := row[colValue]; ok {
@@ -718,6 +831,7 @@ func (r *Replica) criticalWriteAsync(key string, ref int64, value []byte, delete
 		kind = history.KindDelete
 	}
 	hc := r.cfg.History.Begin(r.site, kind, key, ref).Value(value, !deleted).TS(cell.TS)
+	r.leaseUpdate(key, ref, value, !deleted)
 	pending := r.shardFor(key).ds.PutAsync(DataTable, key, store.Row{colValue: cell}, store.Quorum)
 	if hc != nil {
 		// Close the record at quorum-ack time: the op's response interval is
@@ -819,6 +933,15 @@ func (r *Replica) grantTime(key string, ref int64, head lockstore.Entry) (int64,
 // epoch is unknown (cell written before the epoch extension, or older than
 // the store's bounded ring history) are refused conservatively.
 func (r *Replica) adoptGrant(key string, ref, startMicros, grantEpoch int64) error {
+	if r.cfg.Leases {
+		// The granting site's lease may still be serving reads of this key;
+		// admitting a writer here before that window provably closed would
+		// let those local reads miss our writes. Refuse retryably until
+		// effTTL + skew past the grant instant.
+		if now := r.nowMicros(); now < r.leaseWaitMicros(startMicros) {
+			return fmt.Errorf("%w: %s/%d granting site's lease window still open", ErrNotLockHolder, key, ref)
+		}
+	}
 	c := r.shardFor(key).ds.Cluster()
 	if c.Dynamic() {
 		if !c.SitePlaced(key, r.site) {
@@ -925,13 +1048,22 @@ func (r *Replica) ReleaseLock(key string, ref int64) (err error) {
 	defer func() { hc.End(err) }()
 	start := r.now()
 	s := r.shardFor(key)
-	r.forgetGrant(key, ref)
+	held := r.forgetGrant(key, ref)
 	head, ok, err := s.ls.Peek(key)
 	if err != nil {
 		return err
 	}
 	if ok && ref < head.Ref {
 		return nil // lock was forcibly released already (§IV-A)
+	}
+	if r.cfg.Leases && !held && ok && head.Ref == ref && head.StartTime > 0 {
+		// A release driven at a site that never held the grant locally (a
+		// failover client releasing without re-acquiring here): the granting
+		// site's lease may still be serving reads, and the dequeue would
+		// admit the next writer under it. Wait the lease window out first.
+		if wait := r.leaseWaitMicros(head.StartTime) - r.nowMicros(); wait > 0 {
+			r.ds0().Cluster().Net().Runtime().Sleep(time.Duration(wait) * time.Microsecond)
+		}
 	}
 	if err := s.ls.Dequeue(key, ref); err != nil {
 		return fmt.Errorf("releaseLock %s/%d: %w", key, ref, err)
@@ -960,6 +1092,10 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 	if ok && ref < head.Ref {
 		return nil // previously released (not an effective preemption: no history op)
 	}
+	// Revoke any local grant/lease record before the dequeue: once the ref
+	// leaves the queue a successor can be granted, and a still-installed
+	// lease must not serve across that boundary.
+	r.forgetGrant(key, ref)
 	// Effective preemption: record it with the δ stamp the mark carries.
 	hc := r.cfg.History.Begin(r.site, history.KindForcedRelease, key, ref).TS(v2sForced(ref, r.cfg.T))
 	defer func() { hc.End(err) }()
@@ -970,18 +1106,62 @@ func (r *Replica) ForcedRelease(key string, ref int64) (err error) {
 	if err := s.ls.Dequeue(key, ref); err != nil {
 		return fmt.Errorf("forcedRelease %s/%d: %w", key, ref, err)
 	}
+	r.observe(OpForcedRelease, start)
+	return nil
+}
+
+// forcedReleaseIfUngranted is the lease-mode orphan reap: the δ mark
+// followed by a dequeue conditioned on the grant cell's absence, so it can
+// never race a SetGrantLWT that just issued a lease. If the grant won, the
+// reap backs off (the mark stays — the next grant synchronizes, which is
+// harmless) and the T expiry path handles a truly dead holder. The history
+// op is recorded only when the preemption took effect.
+func (r *Replica) forcedReleaseIfUngranted(key string, ref int64) (err error) {
+	sp := r.tracer().Start("music.forcedRelease.orphan")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
+	start := r.now()
+	s := r.shardFor(key)
+	head, ok, err := s.ls.Peek(key)
+	if err != nil {
+		return err
+	}
+	if ok && ref < head.Ref {
+		return nil
+	}
+	hc := r.cfg.History.Begin(r.site, history.KindForcedRelease, key, ref).TS(v2sForced(ref, r.cfg.T))
+	mark := store.Row{colSynch: store.Cell{Value: synchTrueVal, TS: v2sForced(ref, r.cfg.T)}}
+	if err := s.ds.Put(DataTable, key, mark, store.Quorum); err != nil {
+		return fmt.Errorf("forcedRelease %s/%d: synchFlag: %w", key, ref, err)
+	}
+	dequeued, err := s.ls.DequeueIfUngranted(key, ref)
+	if err != nil {
+		return fmt.Errorf("forcedRelease %s/%d: %w", key, ref, err)
+	}
+	if !dequeued {
+		sp.Annotate("outcome", "granted after all")
+		return nil // hc dropped: no effective preemption happened
+	}
+	hc.End(nil)
 	r.forgetGrant(key, ref)
 	r.observe(OpForcedRelease, start)
 	return nil
 }
 
-func (r *Replica) forgetGrant(key string, ref int64) {
+// forgetGrant drops the local grant record (and revokes the site lease it
+// issued). held reports whether this replica actually had the grant.
+func (r *Replica) forgetGrant(key string, ref int64) (held bool) {
 	s := r.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if g, ok := s.grants[key]; ok && g.ref == ref {
 		delete(s.grants, key)
+		held = true
 	}
+	if l, ok := s.leases[key]; ok && l.ref == ref {
+		delete(s.leases, key)
+	}
+	return held
 }
 
 // reapExpiredHead force-releases a head lockRef whose holder appears failed:
@@ -1008,6 +1188,13 @@ func (r *Replica) reapExpiredHead(key string, head lockstore.Entry) {
 	expired := now-age.sinceMicros > int64(r.cfg.OrphanTimeout/time.Microsecond)
 	s.mu.Unlock()
 	if expired {
+		if r.cfg.Leases {
+			// The "orphan" may be a grant racing us through SetGrantLWT; the
+			// conditioned dequeue makes reap-vs-grant a Paxos-serialized
+			// either/or instead of a lost lease.
+			_ = r.forcedReleaseIfUngranted(key, head.Ref)
+			return
+		}
 		_ = r.ForcedRelease(key, head.Ref)
 	}
 }
@@ -1078,8 +1265,17 @@ func (r *Replica) Put(key string, value []byte) error {
 }
 
 // Get reads a key without locks from the nearest replica; the result may be
-// stale (§VI).
+// stale (§VI). In lease mode a live site lease upgrades the read for free:
+// it is served locally from the leased value under the full critical-check
+// guard, giving any client routed to this site a critical-grade read at
+// local cost for the lease window.
 func (r *Replica) Get(key string) ([]byte, error) {
+	if v, present, served := r.leaseServe(key); served {
+		if !present {
+			return nil, nil
+		}
+		return v, nil
+	}
 	sp := r.tracer().Start("music.get")
 	sp.Annotate("key", key)
 	hc := r.cfg.History.Begin(r.site, history.KindEventualGet, key, 0)

@@ -36,6 +36,24 @@ import (
 //   - echo: session reads served from the holder cache or write buffer must
 //     echo a value that belongs to the section — the grant seed or one of
 //     the section's own writes — never another lockRef's value.
+//   - lease-order: a lease-served read (Note "lease") must follow, at the
+//     same site, a certified grant of its lockRef — the site lease is issued
+//     by the grant, so a lease read with no prior local grant read outside
+//     any live lease window.
+//   - lease-window: no lease-served read after the section ended — a
+//     voluntary release or an effective forced release of the lockRef that
+//     completed before the read began revoked the lease.
+//   - lease-epoch: a lease-served read stamped with a later epoch than its
+//     grant is certified only if the key's replica set is unchanged between
+//     the two epochs (same silent-adoption bar as epoch-span); a moved key
+//     means the lease outlived its placement fence.
+//   - monitor-coverage: adaptive weak reads (Note "one") are exempt from
+//     strict freshness — serving at ONE is the point — but every weak read
+//     that is *attributably stale* (its value matches a write that completed
+//     before the read began while a strictly newer write had also completed,
+//     both within the monitor's recent-write ring) must be matched by a
+//     KindMonitor staleness event at the same site: the online monitor may
+//     never miss a violation the offline checker can prove.
 //
 // Stale lockRefs *can* commit quorum writes in a correct run (the holder
 // check reads an eventually-consistent local lock view), so "stale lockRefs
@@ -90,6 +108,7 @@ func Check(ops []Op, opt CheckOptions) Result {
 	// Global rules first: the epoch checker certifies membership changes
 	// across the whole history (see epoch.go) before the per-key ECF rules.
 	res.Violations = append(res.Violations, checkEpochs(ops)...)
+	epochs, _ := epochTable(ops) // conflicts already reported by checkEpochs
 	keys := partition(ops)
 	names := make([]string, 0, len(keys))
 	for k := range keys {
@@ -98,6 +117,7 @@ func Check(ops []Op, opt CheckOptions) Result {
 	sort.Strings(names)
 	for _, name := range names {
 		kh := keys[name]
+		kh.epochs = epochs
 		res.Keys++
 		if kh.mixed {
 			res.Skipped = append(res.Skipped, name)
@@ -131,7 +151,9 @@ type keyHistory struct {
 	failed    []Op                    // failed stamped writes (may still settle)
 	gets      []Op                    // successful critical gets
 	releases  []Op                    // successful voluntary releases
+	staleness []Op                    // monitor staleness events, by Resp
 	mixed     bool                    // key also saw successful eventual puts
+	epochs    map[int64]*epochInfo    // shared epoch table (lease-epoch rule)
 }
 
 // echoNote reports whether a get was served by the session layer from its
@@ -189,11 +211,16 @@ func partition(ops []Op) map[string]*keyHistory {
 			if !o.Failed() {
 				at(o.Key).mixed = true
 			}
+		case KindMonitor:
+			if !o.Failed() && o.Note == NoteStaleness {
+				at(o.Key).staleness = append(at(o.Key).staleness, o)
+			}
 		}
 	}
 	for _, kh := range keys {
 		sort.Slice(kh.grants, func(i, j int) bool { return kh.grants[i].Resp < kh.grants[j].Resp })
 		sort.Slice(kh.forcedOps, func(i, j int) bool { return kh.forcedOps[i].Resp < kh.forcedOps[j].Resp })
+		sort.Slice(kh.staleness, func(i, j int) bool { return kh.staleness[i].Resp < kh.staleness[j].Resp })
 		sort.Slice(kh.writes, func(i, j int) bool {
 			a, b := kh.writes[i], kh.writes[j]
 			if a.Inv != b.Inv {
@@ -258,6 +285,8 @@ func (kh *keyHistory) checkECF() []Violation {
 	vs = append(vs, kh.checkSyncSkip()...)
 	vs = append(vs, kh.checkReleaseAck()...)
 	vs = append(vs, kh.checkGrantOrder()...)
+	vs = append(vs, kh.checkLease()...)
+	vs = append(vs, kh.checkAdaptive()...)
 	return vs
 }
 
@@ -271,6 +300,9 @@ func (kh *keyHistory) checkFreshness() []Violation {
 				vs = append(vs, *v)
 			}
 			continue
+		}
+		if g.Note == NoteWeak {
+			continue // adaptive ONE read: judged by checkAdaptive instead
 		}
 		// The latest committed write: max v2s among successful writes that
 		// responded before the read began, excluding committed-but-masked
@@ -358,7 +390,10 @@ func (kh *keyHistory) explainStale(g Op) []Op {
 }
 
 // checkEcho validates cache/buffer-served session reads: the value must
-// belong to the section (grant seed or the lockRef's own writes).
+// belong to the section — the grant seed, one of the lockRef's own writes, or
+// an earlier successful non-echo read of the same section (the session cache
+// refreshes from in-section quorum reads; that prior read was itself
+// freshness-checked, so echoing it is sound).
 func (kh *keyHistory) checkEcho(g Op) *Violation {
 	for _, gr := range kh.grants {
 		if gr.Ref == g.Ref && sameValue(g.Value, g.Present, gr.Value, gr.Present) {
@@ -371,10 +406,17 @@ func (kh *keyHistory) checkEcho(g Op) *Violation {
 			return nil
 		}
 	}
+	for _, prior := range kh.gets {
+		if prior.Ref == g.Ref && prior.ID != g.ID && !echoNote(prior.Note) &&
+			!prior.Failed() && prior.Resp <= g.Inv &&
+			sameValue(g.Value, g.Present, prior.Value, prior.Present) {
+			return nil
+		}
+	}
 	return &Violation{
 		Rule: "echo",
 		Key:  kh.key,
-		Detail: fmt.Sprintf("%s-served read by lockRef %d returned %s, which is neither the grant seed nor one of the section's own writes",
+		Detail: fmt.Sprintf("%s-served read by lockRef %d returned %s, which is neither the grant seed, one of the section's own writes, nor an earlier read of the section",
 			g.Note, g.Ref, renderValue(g.Value, g.Present)),
 		Ops: []Op{g},
 	}
@@ -569,6 +611,184 @@ func (kh *keyHistory) checkGrantOrder() []Violation {
 		}
 	}
 	return vs
+}
+
+// checkLease certifies lease-served reads (Note "lease"): the site lease is
+// issued by a certified grant at that site and dies with the section, so a
+// lease read must follow a local grant of its lockRef (lease-order), precede
+// any release of it (lease-window), and — across an epoch change — serve
+// only if the key's replica set did not move (lease-epoch). Freshness is
+// checked separately: lease reads stay in checkFreshness.
+func (kh *keyHistory) checkLease() []Violation {
+	var vs []Violation
+	for _, g := range kh.gets {
+		if g.Note != NoteLease {
+			continue
+		}
+		// lease-order: a certified grant of this ref at the reading site,
+		// completed before the read began.
+		var grant Op
+		haveGrant := false
+		for _, gr := range kh.grants {
+			if gr.Ref == g.Ref && gr.Site == g.Site && gr.Resp <= g.Inv {
+				if !haveGrant || gr.Resp < grant.Resp {
+					grant, haveGrant = gr, true
+				}
+			}
+		}
+		if !haveGrant {
+			vs = append(vs, Violation{
+				Rule: "lease-order",
+				Key:  kh.key,
+				Detail: fmt.Sprintf("site %s lease-served a read of lockRef %d with no prior certified grant at that site",
+					g.Site, g.Ref),
+				Ops: []Op{g},
+			})
+			continue
+		}
+		// lease-window: the section's release (voluntary or forced) revokes
+		// the lease; a lease read that began after one is a use-after-free.
+		closed := false
+		for _, rel := range kh.releases {
+			if rel.Ref == g.Ref && rel.Resp <= g.Inv {
+				vs = append(vs, Violation{
+					Rule: "lease-window",
+					Key:  kh.key,
+					Detail: fmt.Sprintf("lease-served read of lockRef %d began after the section's voluntary release completed",
+						g.Ref),
+					Ops: []Op{g, rel},
+				})
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			for _, fo := range kh.forcedOps {
+				if fo.Ref == g.Ref && fo.Resp <= g.Inv {
+					vs = append(vs, Violation{
+						Rule: "lease-window",
+						Key:  kh.key,
+						Detail: fmt.Sprintf("lease-served read of lockRef %d began after its forced release completed",
+							g.Ref),
+						Ops: []Op{g, fo},
+					})
+					closed = true
+					break
+				}
+			}
+		}
+		if closed {
+			continue
+		}
+		// lease-epoch: same silent-adoption bar as epoch-span — a lease may
+		// outlive an epoch change only if the key's replica set is unchanged.
+		if g.Epoch != 0 && grant.Epoch != 0 && g.Epoch != grant.Epoch && kh.epochs != nil {
+			from, to := kh.epochs[grant.Epoch], kh.epochs[g.Epoch]
+			if from != nil && to != nil &&
+				!sameReplicas(from.placement().ReplicasFor(kh.key), to.placement().ReplicasFor(kh.key)) {
+				vs = append(vs, Violation{
+					Rule: "lease-epoch",
+					Key:  kh.key,
+					Detail: fmt.Sprintf("lease granted under epoch %d served a read under epoch %d, which moved the key's replicas",
+						grant.Epoch, g.Epoch),
+					Ops: []Op{g, grant},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// monitorRing mirrors MonitorConfig.Writes' default: the per-key ring of
+// recent writes the online monitor can attribute a stale value to. The
+// offline coverage rule only holds the monitor to staleness it could have
+// seen — a value older than the ring is beyond an online checker's model.
+const monitorRing = 8
+
+// checkAdaptive is the monitor-coverage rule: every adaptive weak read that
+// is attributably stale — by the same judgment the online monitor applies —
+// must be matched (one to one, in completion order) by a KindMonitor
+// staleness event at the same site. Inert on histories with no weak reads.
+func (kh *keyHistory) checkAdaptive() []Violation {
+	var weak []Op
+	for _, g := range kh.gets {
+		if g.Note == NoteWeak {
+			weak = append(weak, g)
+		}
+	}
+	if len(weak) == 0 {
+		return nil
+	}
+	sort.Slice(weak, func(i, j int) bool { return weak[i].Resp < weak[j].Resp })
+	used := make([]bool, len(kh.staleness))
+	var vs []Violation
+	for _, g := range weak {
+		if !kh.weakStale(g) {
+			continue
+		}
+		covered := false
+		for i, e := range kh.staleness {
+			if used[i] || e.Site != g.Site || e.Resp < g.Resp {
+				continue
+			}
+			used[i], covered = true, true
+			break
+		}
+		if !covered {
+			vs = append(vs, Violation{
+				Rule: "monitor-coverage",
+				Key:  kh.key,
+				Detail: fmt.Sprintf("weak read at site %s was attributably stale but the consistency monitor recorded no staleness event for it",
+					g.Site),
+				Ops: []Op{g},
+			})
+		}
+	}
+	return vs
+}
+
+// weakStale mirrors Monitor.observeWeakRead offline: the read's value matches
+// a write that completed before the read began while a strictly newer write
+// had also completed — and nothing concurrent or unsettled could explain the
+// value. Attribution is limited to the last monitorRing completed writes,
+// matching the online model.
+func (kh *keyHistory) weakStale(g Op) bool {
+	var max Op
+	haveMax := false
+	var done []Op // writes completed before the read began, in completion order
+	for _, w := range kh.writes {
+		if w.Resp > g.Inv {
+			continue
+		}
+		done = append(done, w)
+		if !haveMax || wins(w, max) {
+			max, haveMax = w, true
+		}
+	}
+	if !haveMax || sameValue(g.Value, g.Present, max.Value, max.Present) {
+		return false
+	}
+	// A concurrent or unsettled write matching the value explains the read.
+	for _, w := range kh.writes {
+		if w.Inv <= g.Resp && w.Resp > g.Inv && sameValue(g.Value, g.Present, w.Value, w.Present) {
+			return false
+		}
+	}
+	for _, w := range kh.failed {
+		if w.Inv <= g.Resp && sameValue(g.Value, g.Present, w.Value, w.Present) {
+			return false
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Resp < done[j].Resp })
+	if len(done) > monitorRing {
+		done = done[len(done)-monitorRing:]
+	}
+	for _, w := range done {
+		if w.TS < max.TS && sameValue(g.Value, g.Present, w.Value, w.Present) {
+			return true
+		}
+	}
+	return false
 }
 
 func renderValue(v []byte, present bool) string {

@@ -156,17 +156,12 @@ func sameReplicas(a, b []transport.NodeID) bool {
 	return true
 }
 
-// checkEpochs runs the four epoch rules over a full history.
-func checkEpochs(ops []Op) []Violation {
-	var vs []Violation
-
-	// Collect the epoch table from KindEpoch events, flagging conflicts.
-	epochs := make(map[int64]*epochInfo)
-	any := false
+// epochTable collects the epoch table from KindEpoch events, flagging
+// announcements that disagree on what an epoch means. Shared by checkEpochs
+// and the per-key lease-epoch rule.
+func epochTable(ops []Op) (epochs map[int64]*epochInfo, conflicts []Violation) {
+	epochs = make(map[int64]*epochInfo)
 	for _, o := range ops {
-		if o.Epoch != 0 {
-			any = true
-		}
 		if o.Kind != KindEpoch || o.Failed() {
 			continue
 		}
@@ -176,7 +171,7 @@ func checkEpochs(ops []Op) []Violation {
 		}
 		if prev, dup := epochs[o.Epoch]; dup {
 			if prev.rf != rf || !sameMembers(prev.members, members) {
-				vs = append(vs, Violation{
+				conflicts = append(conflicts, Violation{
 					Rule:   "epoch-conflict",
 					Detail: fmt.Sprintf("epoch %d announced with two different member sets", o.Epoch),
 					Ops:    []Op{o, prev.op},
@@ -185,6 +180,19 @@ func checkEpochs(ops []Op) []Violation {
 			continue
 		}
 		epochs[o.Epoch] = &epochInfo{op: o, rf: rf, members: members}
+	}
+	return epochs, conflicts
+}
+
+// checkEpochs runs the four epoch rules over a full history.
+func checkEpochs(ops []Op) []Violation {
+	epochs, vs := epochTable(ops)
+	any := false
+	for _, o := range ops {
+		if o.Epoch != 0 {
+			any = true
+			break
+		}
 	}
 	if !any {
 		return vs // fixed-membership history: rules inert

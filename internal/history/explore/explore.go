@@ -94,9 +94,15 @@ type Script struct {
 	Policy      music.WritePolicy
 	HolderCache bool
 	Mutation    music.Mutation // injected protocol bug (checker validation only)
-	Keys        []string
-	Clients     []ClientPlan
-	Faults      []FaultEvent
+	// ReadMode selects the adaptive read plane: "" is the legacy quorum read
+	// path (every Generate script, byte-identical replay), "lease" turns on
+	// site-scoped holder leases, "adaptive" serves critical gets at ONE under
+	// the consistency monitor. Either mode also spawns plain-Get reader tasks
+	// so non-holder clients exercise the site-lease serve path.
+	ReadMode string
+	Keys     []string
+	Clients  []ClientPlan
+	Faults   []FaultEvent
 	// Spares and Membership turn the script into a live-membership churn
 	// schedule: the cluster starts dynamic with the spare sites provisioned
 	// but unjoined, and each MembershipEvent reconfigures it mid-workload.
@@ -244,6 +250,12 @@ func Run(s Script) Outcome {
 		music.WithObservability(),
 		music.WithProtocolMutation(s.Mutation),
 	}
+	switch s.ReadMode {
+	case "lease":
+		opts = append(opts, music.WithHolderLeases())
+	case "adaptive":
+		opts = append(opts, music.WithAdaptiveReads())
+	}
 	if len(s.Spares) > 0 {
 		opts = append(opts, music.WithSpareSites(s.Spares...))
 	}
@@ -318,6 +330,25 @@ func Run(s Script) Outcome {
 			})
 		}
 
+		// Plain-Get readers (adaptive read plane only): one task per
+		// site × key, so clients that never hold the lock read through the
+		// site lease while sections are open and through the eventual path
+		// otherwise. Bounded iteration keeps every run terminating.
+		if s.ReadMode != "" {
+			for _, site := range c.Sites() {
+				for _, key := range s.Keys {
+					rcl := c.Client(site)
+					key := key
+					c.Go(func() {
+						for i := 0; i < 40; i++ {
+							_, _ = rcl.Get(key)
+							c.Sleep(75 * time.Millisecond)
+						}
+					})
+				}
+			}
+		}
+
 		done := sim.NewMailbox[struct{}](v)
 		for ci, plan := range s.Clients {
 			ci, plan := ci, plan
@@ -381,6 +412,14 @@ func Run(s Script) Outcome {
 		out.Traces = captureTraces(c)
 	}
 	return out
+}
+
+// GenerateMode derives the mode variant of seed's schedule: the same faults
+// and workload as Generate(seed), with the adaptive read plane enabled.
+func GenerateMode(seed int64, mode string) Script {
+	s := Generate(seed)
+	s.ReadMode = mode
+	return s
 }
 
 // Explore generates and runs one schedule per seed — the campaign loop

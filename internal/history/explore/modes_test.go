@@ -1,0 +1,80 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// exploreModes returns the read modes the mode campaign covers:
+// MUSIC_EXPLORE_MODES (comma-separated, how scripts/check.sh and the nightly
+// CI job pin the batch) or both adaptive read planes by default.
+func exploreModes(t *testing.T) []string {
+	t.Helper()
+	if env := os.Getenv("MUSIC_EXPLORE_MODES"); env != "" {
+		var modes []string
+		for _, part := range strings.Split(env, ",") {
+			m := strings.TrimSpace(part)
+			if m != "lease" && m != "adaptive" {
+				t.Fatalf("MUSIC_EXPLORE_MODES: unknown mode %q", m)
+			}
+			modes = append(modes, m)
+		}
+		return modes
+	}
+	return []string{"lease", "adaptive"}
+}
+
+// TestExploreModesPinnedSeeds re-runs the pinned exploration batch with the
+// adaptive read plane on — site-scoped holder leases, then monitored ONE
+// reads — so the lease-order/lease-window/lease-epoch and monitor-coverage
+// ECF rules are certified against real fault schedules, not just fixtures.
+// The batch must also actually exercise the new read paths: at least one
+// lease-served and one weak read must appear across the default seeds.
+func TestExploreModesPinnedSeeds(t *testing.T) {
+	modes := exploreModes(t)
+	seeds := exploreSeeds(t)
+	pinnedDefault := os.Getenv("MUSIC_EXPLORE_SEEDS") == ""
+	if pinnedDefault && len(seeds) > 12 {
+		seeds = seeds[:12]
+	}
+	reproDir := os.Getenv("MUSIC_EXPLORE_REPRO_DIR")
+	served := map[string]int{}
+	for _, mode := range modes {
+		note := history.NoteLease
+		if mode == "adaptive" {
+			note = history.NoteWeak
+		}
+		for _, seed := range seeds {
+			out := Run(GenerateMode(seed, mode))
+			for _, op := range out.Ops {
+				if op.Kind == history.KindGet && !op.Failed() && op.Note == note {
+					served[mode]++
+				}
+			}
+			if out.Violating() {
+				_, mout := Minimize(out.Script)
+				repro := mout.Repro()
+				if reproDir != "" {
+					path := filepath.Join(reproDir, fmt.Sprintf("repro-%s-seed-%d.txt", mode, seed))
+					if err := os.WriteFile(path, []byte(repro), 0o644); err != nil {
+						t.Errorf("writing repro: %v", err)
+					}
+				}
+				t.Errorf("mode %s seed %d violating:\n%s", mode, seed, repro)
+			}
+		}
+	}
+	if pinnedDefault && !testing.Short() {
+		for _, mode := range modes {
+			if served[mode] == 0 {
+				t.Errorf("mode %s: no %s-path reads across the pinned batch — the mode ran inert", mode, mode)
+			}
+		}
+	}
+	t.Logf("mode-path reads: %v", served)
+}

@@ -68,6 +68,29 @@ const (
 	// placement. Appended after the store kinds so every earlier kind keeps
 	// its historical numeric value (pinned repro artifacts render ids).
 	KindEpoch
+	// KindMonitor is a consistency-monitor point event: a detected staleness
+	// violation ("staleness") or a site flipping its adaptive read level
+	// ("flip one->quorum"). Appended after KindEpoch for the same numeric-
+	// stability reason.
+	KindMonitor
+)
+
+// Notes attached to ops by the adaptive read plane. The checkers and the
+// online monitor classify gets by these, so core and the checker must agree
+// on the exact strings.
+const (
+	// NoteWeak marks a critical get served at ONE consistency under adaptive
+	// reads — checked by the adaptive rules, judged online by the Monitor.
+	NoteWeak = "one"
+	// NoteLease marks a critical get served locally from the site's holder
+	// lease — checked by the lease rules and the full freshness rule.
+	NoteLease = "lease"
+	// NoteStaleness is the KindMonitor event recording a detected weak-read
+	// staleness violation.
+	NoteStaleness = "staleness"
+	// NoteFlip is the KindMonitor event recording a site flipping its
+	// adaptive read level from ONE to QUORUM.
+	NoteFlip = "flip one->quorum"
 )
 
 // String names the kind for reports.
@@ -99,6 +122,8 @@ func (k Kind) String() string {
 		return "store.get"
 	case KindEpoch:
 		return "epoch"
+	case KindMonitor:
+		return "monitor"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -176,9 +201,33 @@ type Recorder struct {
 	// record byte-identical histories with or without this feature.
 	epoch atomic.Int64
 
+	// mon, when attached, observes every completed op online — the live
+	// consistency monitor behind adaptive reads. Nil (one atomic load per
+	// End) on every recorder that never called Attach.
+	mon atomic.Pointer[Monitor]
+
 	mu   sync.Mutex
 	ops  []Op
 	next uint64
+}
+
+// Attach connects an online consistency monitor: every op appended from now
+// on (except the monitor's own KindMonitor events) is fed to m.observe after
+// the recorder's lock is released.
+func (r *Recorder) Attach(m *Monitor) {
+	if r == nil || m == nil {
+		return
+	}
+	m.rec = r
+	r.mon.Store(m)
+}
+
+// Monitor returns the attached consistency monitor, or nil.
+func (r *Recorder) Monitor() *Monitor {
+	if r == nil {
+		return nil
+	}
+	return r.mon.Load()
 }
 
 // New builds an enabled recorder clocked by rt.
@@ -270,6 +319,9 @@ func (c *Call) End(err error) {
 	c.op.ID = c.r.next
 	c.r.ops = append(c.r.ops, c.op)
 	c.r.mu.Unlock()
+	if m := c.r.mon.Load(); m != nil {
+		m.observe(c.op)
+	}
 }
 
 // Event records an instantaneous operation (failover decisions and other
@@ -279,13 +331,18 @@ func (r *Recorder) Event(site string, kind Kind, key string, ref int64, note str
 		return
 	}
 	now := r.rt.Now()
+	op := Op{
+		Site: site, Kind: kind, Key: key, Ref: ref,
+		Inv: now, Resp: now, Note: note, Epoch: r.epoch.Load(),
+	}
 	r.mu.Lock()
 	r.next++
-	r.ops = append(r.ops, Op{
-		ID: r.next, Site: site, Kind: kind, Key: key, Ref: ref,
-		Inv: now, Resp: now, Note: note, Epoch: r.epoch.Load(),
-	})
+	op.ID = r.next
+	r.ops = append(r.ops, op)
 	r.mu.Unlock()
+	if m := r.mon.Load(); m != nil && kind != KindMonitor {
+		m.observe(op)
+	}
 }
 
 // EpochEvent records a membership epoch becoming visible at site and makes

@@ -1,0 +1,142 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// Broken-history fixtures for the lease and adaptive-read rules: each rule
+// gets one deliberately violating history (the checker must name it) and one
+// correct-protocol variant (the rule must stay quiet).
+
+func noted(o Op, note string) Op {
+	o.Note = note
+	return o
+}
+
+// leaseSection is a clean lease-mode section: grant at site-a, a write, a
+// lease-served read of the section's own value, release.
+func leaseSection() []Op {
+	return []Op{
+		mk(KindAcquire, 1, 0, 10*us),
+		withValue(mk(KindPut, 1, 20*us, 30*us), "a", ts(1, 20)),
+		noted(withValue(mk(KindGet, 1, 40*us, 50*us), "a", 0), NoteLease),
+		mk(KindRelease, 1, 60*us, 70*us),
+	}
+}
+
+func TestECFLeaseClean(t *testing.T) {
+	ops := finish(leaseSection())
+	if res := Check(ops, CheckOptions{}); !res.Ok() {
+		t.Fatalf("clean lease history flagged: [%s]", rules(res.Violations))
+	}
+}
+
+// TestECFLeaseOrder: a lease-served read at a site that never certified a
+// grant of the lockRef read outside any lease window.
+func TestECFLeaseOrder(t *testing.T) {
+	ops := leaseSection()
+	stray := noted(withValue(mk(KindGet, 1, 42*us, 52*us), "a", 0), NoteLease)
+	stray.Site = "site-b" // no grant of ref 1 ever certified here
+	ops = finish(append(ops, stray))
+	got := rules(CheckECF(ops))
+	if !strings.Contains(got, "lease-order") {
+		t.Fatalf("foreign-site lease read not flagged: [%s]", got)
+	}
+}
+
+// TestECFLeaseWindow: lease reads that begin after the section's release —
+// voluntary or forced — completed are use-after-revoke.
+func TestECFLeaseWindow(t *testing.T) {
+	late := noted(withValue(mk(KindGet, 1, 80*us, 90*us), "a", 0), NoteLease)
+	ops := finish(append(leaseSection(), late))
+	vs := CheckECF(ops)
+	if got := rules(vs); !strings.Contains(got, "lease-window") {
+		t.Fatalf("post-release lease read not flagged: [%s]", got)
+	}
+	// The violation names the read and the release that revoked the lease.
+	for _, v := range vs {
+		if v.Rule == "lease-window" {
+			if len(v.Ops) != 2 || v.Ops[0].Kind != KindGet || v.Ops[1].Kind != KindRelease {
+				t.Fatalf("lease-window ops: %+v", v.Ops)
+			}
+		}
+	}
+
+	// Forced-release variant: preemption revokes the lease the same way.
+	fr := mk(KindForcedRelease, 1, 60*us, 70*us)
+	fr.TS = tsForced(1)
+	g2 := mk(KindAcquire, 2, 75*us, 95*us)
+	g2.Synchronized = true
+	lateForced := noted(withValue(mk(KindGet, 1, 100*us, 110*us), "a", 0), NoteLease)
+	forcedOps := finish([]Op{
+		mk(KindAcquire, 1, 0, 10*us),
+		withValue(mk(KindPut, 1, 20*us, 30*us), "a", ts(1, 20)),
+		fr, g2, lateForced,
+	})
+	if got := rules(CheckECF(forcedOps)); !strings.Contains(got, "lease-window") {
+		t.Fatalf("post-preemption lease read not flagged: [%s]", got)
+	}
+}
+
+// TestECFLeaseEpoch: a lease serving across an epoch change is certified only
+// if the key's replica set did not move — the epoch-span bar applied to the
+// lease window.
+func TestECFLeaseEpoch(t *testing.T) {
+	moved, unmoved := epochKeys(t)
+	section := func(key string) []Op {
+		return finish([]Op{
+			epochEv("ohio", 1, epochMembers1, 0),
+			at(mk(KindAcquire, 1, 5*us, 10*us), "ohio", key, 1),
+			at(withValue(mk(KindPut, 1, 20*us, 30*us), "a", ts(1, 20)), "ohio", key, 1),
+			epochEv("ohio", 2, epochMembers2, 40*us),
+			at(noted(withValue(mk(KindGet, 1, 50*us, 60*us), "a", 0), NoteLease), "ohio", key, 2),
+			at(mk(KindRelease, 1, 70*us, 80*us), "ohio", key, 2),
+		})
+	}
+	if got := rules(CheckECF(section(unmoved))); strings.Contains(got, "lease-epoch") {
+		t.Fatalf("unmoved-key cross-epoch lease read flagged: [%s]", got)
+	}
+	if got := rules(CheckECF(section(moved))); !strings.Contains(got, "lease-epoch") {
+		t.Fatalf("moved-key cross-epoch lease read not flagged: [%s]", got)
+	}
+}
+
+// TestECFMonitorCoverage: an attributably stale weak read is exempt from
+// strict freshness but must be matched by a monitor staleness event at its
+// site; an unmatched one means the online monitor missed a violation the
+// offline checker can prove.
+func TestECFMonitorCoverage(t *testing.T) {
+	base := []Op{
+		mk(KindAcquire, 1, 0, 10*us),
+		withValue(mk(KindPut, 1, 20*us, 30*us), "v1", ts(1, 20)),
+		mk(KindRelease, 1, 40*us, 50*us),
+		mk(KindAcquire, 2, 60*us, 70*us),
+		withValue(mk(KindPut, 2, 80*us, 90*us), "v2", ts(2, 10)),
+		// Weak read one write behind: v1 completed, v2 completed and newer.
+		noted(withValue(mk(KindGet, 2, 100*us, 110*us), "v1", 0), NoteWeak),
+	}
+	vs := CheckECF(finish(append([]Op(nil), base...)))
+	got := rules(vs)
+	if !strings.Contains(got, "monitor-coverage") {
+		t.Fatalf("uncovered stale weak read not flagged: [%s]", got)
+	}
+	if strings.Contains(got, "freshness") {
+		t.Fatalf("weak read wrongly held to strict freshness: [%s]", got)
+	}
+
+	// The same history with the monitor's staleness event is certified.
+	ev := Op{Kind: KindMonitor, Site: "site-a", Key: "k", Ref: 2,
+		Inv: 110 * us, Resp: 110 * us, Note: NoteStaleness}
+	covered := finish(append(append([]Op(nil), base...), ev))
+	if got := rules(CheckECF(covered)); got != "" {
+		t.Fatalf("covered stale weak read flagged: [%s]", got)
+	}
+
+	// A weak read of the freshest value needs no coverage at all.
+	fresh := append([]Op(nil), base...)
+	fresh[5] = noted(withValue(mk(KindGet, 2, 100*us, 110*us), "v2", 0), NoteWeak)
+	if got := rules(CheckECF(finish(fresh))); got != "" {
+		t.Fatalf("fresh weak read flagged: [%s]", got)
+	}
+}

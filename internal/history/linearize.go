@@ -13,7 +13,8 @@ import (
 // The model:
 //
 //   - required ops: successful critical gets (quorum-backed; session echo
-//     reads are excluded — they are checked by the ECF "echo" rule instead)
+//     reads are excluded — the ECF "echo" rule checks them — and so are
+//     adaptive weak reads, which the "monitor-coverage" rule judges)
 //     and successful, non-stale critical writes including grant-time
 //     synchronize rewrites. Every required op must appear in the
 //     linearization, at a point inside its [Inv, Resp] interval.
@@ -78,6 +79,13 @@ func linearizeKey(kh *keyHistory, budget int) ([]Violation, bool) {
 	}
 	for _, g := range kh.gets {
 		if echoNote(g.Note) {
+			continue
+		}
+		if g.Note == NoteWeak {
+			// Adaptive ONE read: exempt from strict freshness by design (the
+			// monitor-coverage rule judges it), so it cannot anchor the
+			// register search either — a legitimately stale weak read would
+			// otherwise make a correct history non-linearizable.
 			continue
 		}
 		ops = append(ops, wglOp{op: g, val: valueID(g.Value, g.Present), resp: g.Resp})

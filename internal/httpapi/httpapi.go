@@ -27,6 +27,16 @@
 //
 //	GET    /v1/history                     → {"site": s, "ops": [...]}
 //
+// When the cluster serves adaptive reads (music.WithAdaptiveReads, or
+// musicd -adaptive), the live consistency monitor's per-site standing is
+// exported (404 otherwise):
+//
+//	GET    /v1/consistency                 → {"sites": [{"site": s,
+//	                                          "level": "one"|"quorum",
+//	                                          "weak_reads": n,
+//	                                          "violations": n,
+//	                                          "post_flip_violations": n}]}
+//
 // Live membership (epoch 0 = fixed build-time membership; reconfiguration
 // requires a dynamic cluster — music.WithSpareSites / musicd -join):
 //
@@ -94,6 +104,7 @@ func NewSharded(cls []*music.Client) *Server {
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /traces", s.traces)
 	s.mux.HandleFunc("GET /v1/history", s.history)
+	s.mux.HandleFunc("GET /v1/consistency", s.consistency)
 	s.mux.HandleFunc("GET /v1/membership", s.getMembership)
 	s.mux.HandleFunc("POST /v1/admin/membership", s.postMembership)
 	return s
@@ -303,6 +314,23 @@ func (s *Server) history(w http.ResponseWriter, r *http.Request) {
 		ops = []history.Op{} // a site with no ops yet serves [], not null
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"site": s.cls[0].Site(), "ops": ops})
+}
+
+// consistency serves the live adaptive-consistency monitor: every observed
+// site's read level ("one" while the monitor judges it safe, "quorum" once
+// staleness violations tripped it), with its weak-read and violation
+// counters. Operators watch this to see a site flip in production.
+func (s *Server) consistency(w http.ResponseWriter, r *http.Request) {
+	mon := s.cls[0].Cluster().Monitor()
+	if mon == nil {
+		writeJSON(w, http.StatusNotFound, errBody("adaptive reads disabled (music.WithAdaptiveReads, or musicd -adaptive)"))
+		return
+	}
+	sites := mon.Snapshot()
+	if sites == nil {
+		sites = []history.SiteStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sites": sites})
 }
 
 // membershipBody is the JSON rendering of an epoch-versioned membership.

@@ -292,3 +292,55 @@ func TestTracesEndpoint(t *testing.T) {
 		t.Fatalf("bad limit = %d, want 400", resp.StatusCode)
 	}
 }
+
+func TestConsistencyDisabledIs404(t *testing.T) {
+	srv, _ := harness(t)
+	resp, body := do(t, "GET", srv.URL+"/v1/consistency", "")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "adaptive reads disabled") {
+		t.Fatalf("consistency = %d %s, want 404 adaptive reads disabled", resp.StatusCode, body)
+	}
+}
+
+func TestConsistencyEndpoint(t *testing.T) {
+	c, err := music.New(music.WithProfile(music.ProfileLocal), music.WithRealTime(),
+		music.WithAdaptiveReads())
+	if err != nil {
+		t.Fatalf("New cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	srv := httptest.NewServer(New(c.Client("site-a")))
+	t.Cleanup(srv.Close)
+
+	// No weak reads yet: the monitor has observed no site.
+	resp, body := do(t, "GET", srv.URL+"/v1/consistency", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("consistency = %d %s", resp.StatusCode, body)
+	}
+
+	// One critical get inside a held section is one weak read at site-a.
+	ref := lockViaAPI(t, srv.URL, "k")
+	if resp, body := do(t, "PUT", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), "v"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("criticalPut: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do(t, "GET", fmt.Sprintf("%s/v1/keys/k?lockRef=%d", srv.URL, ref), ""); resp.StatusCode != http.StatusOK || body != "v" {
+		t.Fatalf("criticalGet = %d %q, want 200 v", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, "GET", srv.URL+"/v1/consistency", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("consistency = %d %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Sites []struct {
+			Site      string `json:"site"`
+			Level     string `json:"level"`
+			WeakReads int    `json:"weak_reads"`
+		} `json:"sites"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode %q: %v", body, err)
+	}
+	if len(got.Sites) != 1 || got.Sites[0].Site != "site-a" || got.Sites[0].Level != "one" || got.Sites[0].WeakReads < 1 {
+		t.Fatalf("consistency body = %s, want site-a at level one with >=1 weak read", body)
+	}
+}

@@ -41,6 +41,11 @@ type Entry struct {
 	// epoch extension). A replica adopting a foreign grant under dynamic
 	// membership certifies the section against this epoch's placement.
 	GrantEpoch int64
+	// GrantTag identifies the granting site (0 on plain SetGrant cells).
+	// Like Nonce for enqueues, it lets a granter whose SetGrantLWT lost its
+	// Paxos ack recognize its own grant on the next poll instead of
+	// treating it as foreign and waiting out the site-lease window.
+	GrantTag uint64
 }
 
 // ErrContention is returned when the enqueue/dequeue CAS loop exhausts its
@@ -163,6 +168,7 @@ func (s *Service) Peek(key string) (Entry, bool, error) {
 	}
 	head := queue[0]
 	head.StartTime, head.GrantEpoch = decodeGrant(row, head.Ref)
+	head.GrantTag = decodeGrantTag(row, head.Ref)
 	return head, true, nil
 }
 
@@ -176,6 +182,7 @@ func (s *Service) Queue(key string) ([]Entry, error) {
 	queue := decodeQueue(row)
 	for i := range queue {
 		queue[i].StartTime, queue[i].GrantEpoch = decodeGrant(row, queue[i].Ref)
+		queue[i].GrantTag = decodeGrantTag(row, queue[i].Ref)
 	}
 	return queue, nil
 }
@@ -187,13 +194,109 @@ func (s *Service) Queue(key string) ([]Entry, error) {
 func (s *Service) SetGrant(key string, ref int64, startMicros, epoch int64) error {
 	sp := s.tracer().Child("lockstore.setGrant")
 	sp.Annotatef("lockref", "%s/%d", key, ref)
-	cell := store.Cell{Value: encodeGrantCell(startMicros, epoch)}
+	cell := store.Cell{Value: encodeGrantCell(startMicros, epoch, 0)}
 	err := s.st.Put(Table, key, store.Row{grantCol(ref): cell}, store.Quorum)
 	sp.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("set grant %s/%d: %w", key, ref, err)
 	}
 	return nil
+}
+
+// SetGrantLWT records the grant time with a compare-and-set instead of a
+// plain write: the CAS asserts the observed guard/queue bytes (ref still at
+// the head) and that no grant cell exists yet. Lease mode needs this — the
+// grant *issues a site lease*, so recording it must serialize against both
+// competing granters and DequeueIfUngranted's orphan reap through the same
+// Paxos row. tag identifies the granting site; a cell already carrying the
+// same tag is this site's own earlier CAS whose ack was lost (or a racing
+// local poll's), and is returned as applied with the recorded instant.
+// Returns applied=true when this site's grant is recorded — curStart and
+// curEpoch are then the authoritative cell contents. On applied=false:
+// curStart > 0 means another site granted first (the caller adopts that
+// grant); curStart == 0 means ref is no longer queued (reaped), so the
+// caller must not treat itself as holder.
+func (s *Service) SetGrantLWT(key string, ref int64, startMicros, epoch int64, tag uint64) (applied bool, curStart, curEpoch int64, err error) {
+	sp := s.tracer().Child("lockstore.setGrantLWT")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
+	row, err := s.st.Get(Table, key, store.One)
+	if err != nil {
+		row = store.Row{}
+	}
+	for attempt := 0; attempt < 24; attempt++ {
+		s.backoff(attempt)
+		if st, ep := decodeGrant(row, ref); st != 0 {
+			return tag != 0 && decodeGrantTag(row, ref) == tag, st, ep, nil
+		}
+		queue := decodeQueue(row)
+		if len(queue) == 0 || queue[0].Ref != ref {
+			// The local replica may lag the enqueue (or the reap): refresh
+			// from a quorum before concluding ref left the queue.
+			qrow, qerr := s.st.Get(Table, key, store.Quorum)
+			if qerr != nil {
+				return false, 0, 0, fmt.Errorf("set grant lwt %s/%d: %w", key, ref, qerr)
+			}
+			qq := decodeQueue(qrow)
+			if len(qq) == 0 || qq[0].Ref != ref {
+				st, ep := decodeGrant(qrow, ref)
+				return tag != 0 && st != 0 && decodeGrantTag(qrow, ref) == tag, st, ep, nil
+			}
+			row = qrow
+			continue
+		}
+		conds := append(rowConds(row), store.Cond{Col: grantCol(ref), Want: nil})
+		update := store.Row{grantCol(ref): store.Cell{Value: encodeGrantCell(startMicros, epoch, tag)}}
+		res, casErr := s.st.CAS(Table, key, conds, update)
+		if casErr != nil {
+			return false, 0, 0, fmt.Errorf("set grant lwt %s/%d: %w", key, ref, casErr)
+		}
+		if res.Applied {
+			return true, startMicros, epoch, nil
+		}
+		row = res.Current
+	}
+	return false, 0, 0, fmt.Errorf("set grant lwt %s/%d: %w", key, ref, ErrContention)
+}
+
+// DequeueIfUngranted removes ref from the key's queue only if no grant cell
+// has been recorded for it — the orphan-reap side of the SetGrantLWT
+// serialization. Returns dequeued=false (and no error) when a grant cell is
+// observed: the "orphan" was granted after all and must be left to the T
+// expiry path.
+func (s *Service) DequeueIfUngranted(key string, ref int64) (dequeued bool, err error) {
+	sp := s.tracer().Child("lockstore.dequeueIfUngranted")
+	sp.Annotatef("lockref", "%s/%d", key, ref)
+	defer func() { sp.EndErr(err) }()
+	row, err := s.st.Get(Table, key, store.Quorum)
+	if err != nil {
+		return false, fmt.Errorf("dequeue ungranted %s/%d: %w", key, ref, err)
+	}
+	for attempt := 0; attempt < 24; attempt++ {
+		s.backoff(attempt)
+		if st, _ := decodeGrant(row, ref); st != 0 {
+			return false, nil
+		}
+		queue := decodeQueue(row)
+		trimmed := removeRef(queue, ref)
+		if len(trimmed) == len(queue) {
+			return true, nil // already gone (quorum view)
+		}
+		conds := append(rowConds(row), store.Cond{Col: grantCol(ref), Want: nil})
+		update := store.Row{
+			colQueue:      store.Cell{Value: encodeQueue(trimmed)},
+			grantCol(ref): store.Cell{Deleted: true},
+		}
+		res, casErr := s.st.CAS(Table, key, conds, update)
+		if casErr != nil {
+			return false, fmt.Errorf("dequeue ungranted %s/%d: %w", key, ref, casErr)
+		}
+		if res.Applied {
+			return true, nil
+		}
+		row = res.Current
+	}
+	return false, fmt.Errorf("dequeue ungranted %s/%d: %w", key, ref, ErrContention)
 }
 
 // nonce mints a random enqueue identity.
@@ -258,26 +361,43 @@ func decodeGuard(row store.Row) int64 {
 	return int64(binary.BigEndian.Uint64(b))
 }
 
-// encodeGrantCell packs (startMicros, grantEpoch) as two big-endian words.
-func encodeGrantCell(startMicros, epoch int64) []byte {
-	b := make([]byte, 16)
+// encodeGrantCell packs (startMicros, grantEpoch) as two big-endian words,
+// with the granter tag as an optional third (tag 0 keeps the 16-byte
+// pre-tag format plain SetGrant still writes).
+func encodeGrantCell(startMicros, epoch int64, tag uint64) []byte {
+	n := 16
+	if tag != 0 {
+		n = 24
+	}
+	b := make([]byte, n)
 	binary.BigEndian.PutUint64(b, uint64(startMicros))
 	binary.BigEndian.PutUint64(b[8:], uint64(epoch))
+	if tag != 0 {
+		binary.BigEndian.PutUint64(b[16:], tag)
+	}
 	return b
 }
 
 // decodeGrant reads a grant cell. 8-byte cells (pre-epoch format) decode
-// with epoch 0, meaning "epoch unknown".
+// with epoch 0, meaning "epoch unknown"; 24-byte cells carry a granter tag.
 func decodeGrant(row store.Row, ref int64) (startMicros, epoch int64) {
 	b := cellBytes(row, grantCol(ref))
 	switch len(b) {
 	case 8:
 		return int64(binary.BigEndian.Uint64(b)), 0
-	case 16:
+	case 16, 24:
 		return int64(binary.BigEndian.Uint64(b)), int64(binary.BigEndian.Uint64(b[8:]))
 	default:
 		return 0, 0
 	}
+}
+
+// decodeGrantTag reads the granter tag of a grant cell (0 on untagged cells).
+func decodeGrantTag(row store.Row, ref int64) uint64 {
+	if b := cellBytes(row, grantCol(ref)); len(b) == 24 {
+		return binary.BigEndian.Uint64(b[16:])
+	}
+	return 0
 }
 
 // encodeQueue packs queue entries as big-endian (ref, nonce) word pairs.

@@ -114,8 +114,24 @@ func (cl *Client) CAS(table, key string, conds []Cond, update Row) (res CASResul
 			return CASResult{Applied: false, Current: current}, nil
 		}
 
-		// Rounds 3 and 4: propose and commit.
-		if err := cl.proposeCommit(table, key, targets, quorum, b, update.clone()); err != nil {
+		// Rounds 3 and 4: propose and commit. Unstamped cells are stamped
+		// here, once, from the ballot counter — every replica then stores an
+		// identical cell. Stamping at commit time per replica (the old
+		// scheme) let one logical CAS write carry different timestamps on
+		// different replicas, and a later quorum read could merge a stale
+		// replica's higher-stamped older cell over a newer commit — observed
+		// as a lock-row guard regression re-minting an already-used lockRef.
+		// Ballot counters give the order LWW needs: a later successful CAS
+		// must out-prepare the quorum that promised this one, so its counter
+		// (and stamp) is strictly higher.
+		up := update.clone()
+		for col, c := range up {
+			if c.TS == 0 {
+				c.TS = int64(b.Counter)
+				up[col] = c
+			}
+		}
+		if err := cl.proposeCommit(table, key, targets, quorum, b, up); err != nil {
 			if err == errProposeRejected {
 				continue // beaten by a higher ballot; retry
 			}

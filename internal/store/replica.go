@@ -219,15 +219,16 @@ func (r *replica) handleCommit(from transport.NodeID, req any) (any, error) {
 	defer s.mu.Unlock()
 	rs := s.row(m.Table, m.Key, true)
 	if rs.ax.HandleCommit(m.B) {
-		// Stamp unstamped cells so that later CAS commits always beat
-		// earlier ones regardless of coordinator clocks.
+		// Cells arrive stamped by the coordinator (CAS stamps from the
+		// ballot counter before propose, so every replica stores an
+		// identical cell). The ballot-counter fallback only covers a value
+		// that somehow reached commit unstamped; it must NOT consult local
+		// state — per-replica bumps made one logical write carry divergent
+		// stamps, which quorum LWW merges turned into row regressions.
 		cells := make(Row, len(m.Update))
 		for col, c := range m.Update {
 			if c.TS == 0 {
 				c.TS = int64(m.B.Counter)
-				if cur, ok := rs.cells[col]; ok && c.TS <= cur.TS {
-					c.TS = cur.TS + 1
-				}
 			}
 			cells[col] = c
 		}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/paxos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -305,6 +306,44 @@ func TestCASLatencyIsFourRoundTrips(t *testing.T) {
 		// 4 quorum rounds from ohio ≈ 4 × 54ms.
 		if elapsed < 190*time.Millisecond || elapsed > 280*time.Millisecond {
 			t.Fatalf("LWT took %v, want ≈215ms (4 RTTs)", elapsed)
+		}
+	})
+}
+
+func TestCASCommitStampIsBallotPure(t *testing.T) {
+	// Regression: commit-time stamping used to bump an unstamped cell above
+	// the replica's own current cell (cur.TS+1), so one logical CAS write
+	// carried different timestamps on different replicas depending on what
+	// each had locally. A quorum read then LWW-merged a stale replica's
+	// higher-stamped older cell over a newer commit — observed in the
+	// chaosnet campaign as a lock-row guard regression that re-minted an
+	// already-used lockRef, admitting two writers to one critical section.
+	// The stamp must be a pure function of the ballot: identical on a
+	// replica that has never seen the row and on one holding a cell stamped
+	// above the ballot counter (where LWW rightly keeps the newer cell).
+	fixture(t, Config{}, func(rt *sim.Virtual, net *simnet.Network, c *Cluster) {
+		seeded, empty := c.replicas[0], c.replicas[1]
+		const high = int64(1) << 50
+		if _, err := seeded.handleApply(0, applyReq{Table: tbl, Key: "k",
+			Cells: Row{"v": Cell{Value: []byte("old"), TS: high}}}); err != nil {
+			t.Fatalf("seed apply: %v", err)
+		}
+		b := paxos.Ballot{Counter: 12345, Node: 1}
+		req := commitReq{Table: tbl, Key: "k", B: b, Update: Row{"v": Cell{Value: []byte("new")}}}
+		if _, err := seeded.handleCommit(1, req); err != nil {
+			t.Fatalf("commit at seeded replica: %v", err)
+		}
+		if _, err := empty.handleCommit(1, req); err != nil {
+			t.Fatalf("commit at empty replica: %v", err)
+		}
+		got := empty.dump(tbl, "k")["v"]
+		if string(got.Value) != "new" || got.TS != int64(b.Counter) {
+			t.Fatalf("empty replica cell = %q ts=%d, want \"new\" ts=%d", got.Value, got.TS, b.Counter)
+		}
+		kept := seeded.dump(tbl, "k")["v"]
+		if string(kept.Value) != "old" || kept.TS != high {
+			t.Fatalf("seeded replica cell = %q ts=%d, want the local \"old\" cell kept at ts=%d (no per-replica stamp bump)",
+				kept.Value, kept.TS, high)
 		}
 	})
 }

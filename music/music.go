@@ -102,6 +102,12 @@ type options struct {
 	shards       int
 	dynamic      bool
 	spares       []string
+	leases       bool
+	leaseTTL     time.Duration
+	leaseSkew    time.Duration
+	adaptive     bool
+	tripCount    int
+	tripWindow   int
 }
 
 // Option configures New.
@@ -130,6 +136,13 @@ func WithProfile(name string) Option {
 			o.profile = nil
 		}
 	})
+}
+
+// WithSimnetProfile runs the cluster on a caller-built latency profile —
+// benches that model fabrics the named profiles don't cover (e.g. a 500µs
+// metro ring) construct one with simnet.NewProfile and pass it here.
+func WithSimnetProfile(p *simnet.Profile) Option {
+	return optionFunc(func(o *options) { o.profile = p })
 }
 
 // WithNodesPerSite sets how many store nodes each site runs (default 1).
@@ -204,6 +217,43 @@ func WithHistory() Option {
 	return optionFunc(func(o *options) { o.history = true })
 }
 
+// WithHolderLeases turns on site-scoped holder leases: when a site's
+// replica certifies a grant, the whole site acquires a clock-skew-bounded
+// lease on the key, and any client routed there — not just the lockholder's
+// session — serves Get locally for the lease window. Every lease read runs
+// the full CriticalCheck guard, and leases are revoked on release, forced
+// release, and epoch fencing (see DESIGN.md "Adaptive consistency").
+func WithHolderLeases() Option {
+	return optionFunc(func(o *options) { o.leases = true })
+}
+
+// WithLeaseTTL tunes the holder-lease window and the clock-skew bound it
+// must absorb (defaults 2s / 250ms; the effective window is clamped to
+// T − 2·skew). Implies WithHolderLeases.
+func WithLeaseTTL(ttl, skew time.Duration) Option {
+	return optionFunc(func(o *options) { o.leases = true; o.leaseTTL, o.leaseSkew = ttl, skew })
+}
+
+// WithAdaptiveReads serves critical gets at ONE consistency by default while
+// a live consistency monitor — an online incremental checker over the same
+// recorded op history — watches for staleness violations and flips the site
+// back to QUORUM reads when the violation rate trips. Detected violations
+// also trigger asynchronous quorum repair reads of the affected key.
+// Implies WithHistory (the monitor consumes the recorded op stream).
+func WithAdaptiveReads() Option {
+	return optionFunc(func(o *options) { o.adaptive = true; o.history = true })
+}
+
+// WithAdaptiveTrip tunes the monitor's flip threshold: the site flips to
+// QUORUM once count violations land within a sliding window of window weak
+// reads (defaults 3 / 200). Implies WithAdaptiveReads.
+func WithAdaptiveTrip(count, window int) Option {
+	return optionFunc(func(o *options) {
+		o.adaptive, o.history = true, true
+		o.tripCount, o.tripWindow = count, window
+	})
+}
+
 // Mutation is a deliberate protocol bug injected under test (see the
 // Mutation* constants); it exists so the history checkers can prove they
 // detect real ECF violations. Never enable one outside a test.
@@ -220,6 +270,9 @@ const (
 	// MutationFrozenElapsed stamps every critical write of a section with
 	// v2s(ref, 0), breaking write ordering inside the lockRef's window.
 	MutationFrozenElapsed = core.MutationFrozenElapsed
+	// MutationStaleReads serves every adaptive weak read one write behind —
+	// deterministic injected staleness for monitor validation.
+	MutationStaleReads = core.MutationStaleReads
 )
 
 // WithProtocolMutation injects a deliberate protocol bug for checker
@@ -240,6 +293,7 @@ type Cluster struct {
 	replicas map[string]*core.Replica
 	obs      *obs.Obs          // nil unless WithObservability
 	history  *history.Recorder // nil unless WithHistory
+	monitor  *history.Monitor  // nil unless adaptive reads are on
 
 	// Live membership (nil / zero on fixed-membership clusters).
 	memView *membership.View // the epoch-versioned site set this cluster follows
@@ -284,6 +338,27 @@ func New(opts ...Option) (*Cluster, error) {
 	var rec *history.Recorder
 	if o.history {
 		rec = history.New(rt)
+	}
+	var mon *history.Monitor
+	// repairRep resolves a site to its replica for the monitor's repair
+	// hook; it is assigned once the replicas exist, before any op can run.
+	var repairRep func(site string) *core.Replica
+	if o.adaptive {
+		mon = history.NewMonitor(history.MonitorConfig{
+			TripCount: o.tripCount,
+			Window:    o.tripWindow,
+			OnViolation: func(site, key string) {
+				if repairRep == nil {
+					return
+				}
+				if rep := repairRep(site); rep != nil {
+					// Repair asynchronously: a quorum read re-converges the
+					// stale replica through the store's read-repair path.
+					rt.Go(func() { _ = rep.RepairRead(key) })
+				}
+			},
+		})
+		rec.Attach(mon)
 	}
 	net := simnet.New(rt, simnet.Config{
 		Profile:      o.profile,
@@ -330,7 +405,9 @@ func New(opts ...Option) (*Cluster, error) {
 		replicas: make(map[string]*core.Replica, len(o.profile.Sites())),
 		obs:      ob,
 		history:  rec,
+		monitor:  mon,
 	}
+	repairRep = func(site string) *core.Replica { return c.replicas[site] }
 	for _, site := range c.sites {
 		// Shard i coordinates through the site's i-th node (wrapping when
 		// the site has fewer nodes than shards), so with NodesPerSite ≥
@@ -341,11 +418,16 @@ func New(opts ...Option) (*Cluster, error) {
 			clients[i] = st.Client(nodes[i%len(nodes)])
 		}
 		c.replicas[site] = core.NewReplicaSharded(clients, core.Config{
-			T:        o.t,
-			Mode:     o.mode,
-			Observer: o.observer,
-			History:  rec,
-			Mutation: o.mutation,
+			T:             o.t,
+			Mode:          o.mode,
+			Observer:      o.observer,
+			History:       rec,
+			Mutation:      o.mutation,
+			Leases:        o.leases,
+			LeaseTTL:      o.leaseTTL,
+			LeaseSkew:     o.leaseSkew,
+			AdaptiveReads: o.adaptive,
+			Monitor:       mon,
 		})
 	}
 	if o.dynamic {
@@ -392,6 +474,17 @@ type TransportConfig struct {
 	// linearizability checkers. Pass one shared recorder to every cluster of
 	// a multi-deployment test and the merged timeline checks as one history.
 	History *history.Recorder
+	// Leases turns on site-scoped holder leases (see WithHolderLeases);
+	// LeaseTTL and LeaseSkew tune the window (0 keeps the 2s/250ms defaults).
+	Leases    bool
+	LeaseTTL  time.Duration
+	LeaseSkew time.Duration
+	// AdaptiveReads serves critical gets at ONE while Monitor judges the
+	// site safe (see WithAdaptiveReads). The caller owns the monitor — build
+	// it with history.NewMonitor and attach it to the shared History recorder
+	// so one monitor watches the whole multi-process deployment.
+	AdaptiveReads bool
+	Monitor       *history.Monitor
 	// Membership, when set, switches placement to epoch-versioned live
 	// membership driven by this view: the cluster fast-forwards to the
 	// view's current epoch and re-applies placement on every later one. The
@@ -482,11 +575,17 @@ func NewOverTransport(tr transport.Transport, cfg TransportConfig) (*Cluster, er
 			clients[i] = st.Client(siteNodes[i%len(siteNodes)])
 		}
 		c.replicas[site] = core.NewReplicaSharded(clients, core.Config{
-			T:       cfg.T,
-			Mode:    cfg.Mode,
-			History: cfg.History,
+			T:             cfg.T,
+			Mode:          cfg.Mode,
+			History:       cfg.History,
+			Leases:        cfg.Leases,
+			LeaseTTL:      cfg.LeaseTTL,
+			LeaseSkew:     cfg.LeaseSkew,
+			AdaptiveReads: cfg.AdaptiveReads,
+			Monitor:       cfg.Monitor,
 		})
 	}
+	c.monitor = cfg.Monitor
 	if cfg.Membership != nil {
 		c.propose = cfg.Propose
 		c.attachMembership(cfg.Membership, cfg.RF, sites[0])
@@ -517,6 +616,11 @@ func (c *Cluster) Obs() *obs.Obs { return c.obs }
 // cluster was built WithHistory. Feed History().Ops() to history.Check to
 // validate the run against the ECF contract.
 func (c *Cluster) History() *history.Recorder { return c.history }
+
+// Monitor returns the cluster's live consistency monitor — nil unless
+// adaptive reads are on. Snapshot it for each site's current read level and
+// violation counters.
+func (c *Cluster) Monitor() *history.Monitor { return c.monitor }
 
 // Client returns a client bound to the MUSIC replica at the named site.
 // Options tune its transient-failure handling; by default it retries

@@ -15,53 +15,66 @@ fi
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race ./music/ ./internal/httpapi/ ./internal/nettrans/ ./cmd/...
+# -shuffle surfaces inter-test state leaks (each failure logs the shuffle
+# seed for replay); every invocation carries an explicit -timeout so a hung
+# test fails the gate in minutes instead of stalling it for go test's
+# 10-minute default per package.
+go test -shuffle=on -timeout 600s ./...
+go test -race -timeout 600s ./music/ ./internal/httpapi/ ./internal/nettrans/ ./cmd/...
 
 # Fault-injection campaign under pinned seeds: the deterministic crash /
 # partition / ack-loss scenarios plus the chaos interleavings, re-run with
 # a fixed seed list so a schedule regression cannot hide behind seed drift.
-MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./internal/core/ -run 'TestFault|TestChaos' -count=1
+MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./internal/core/ -run 'TestFault|TestChaos' -count=1 -timeout 300s
 # Session-layer fault edges of the critical-section fast path: forced
 # release / T-expiry invalidating the holder cache, write-behind buffers
 # surviving cross-site failover, pipelined flush re-drives.
-MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1
+MUSIC_FAULT_SEEDS="1,2,3,4,5" go test ./music/ -run 'TestSessionFault' -count=1 -timeout 300s
 # Pinned-seed exploration batch: deterministic randomized fault schedules
 # (crash / partition / loss / clock skew) with every history checked against
 # the ECF + linearizability rules (internal/history). Same seed-pinning
 # rationale as the fault campaign above.
 MUSIC_EXPLORE_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20" \
-    go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1
+    go test ./internal/history/explore/ -run 'TestExplorePinnedSeeds' -count=1 -timeout 600s
 # Membership-churn campaign under pinned seeds: seeded epoch-change schedules
 # (join during a held section, retire of the lockholder's site, replace under
 # partition) against live dynamic clusters, every history checked against the
 # full ECF rule set including the epoch rules. The nightly churn job runs a
 # fresh-seed batch; this pinned subset keeps the local gate deterministic.
 MUSIC_MEMBER_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
-    go test ./internal/history/explore/ -run 'TestChurnPinnedSeeds' -count=1
+    go test ./internal/history/explore/ -run 'TestChurnPinnedSeeds' -count=1 -timeout 600s
+# Adaptive read-plane campaign under pinned seeds: the exploration schedules
+# re-run with holder leases and then monitored ONE reads on, so the
+# lease-order / lease-window / lease-epoch and monitor-coverage ECF rules
+# are certified against real fault schedules (12 pinned seeds x both modes;
+# the test also asserts both read paths actually served). The nightly
+# adaptive job runs a fresh-seed batch of the same campaign.
+MUSIC_EXPLORE_MODES="lease,adaptive" \
+    go test ./internal/history/explore/ -run 'TestExploreModesPinnedSeeds' -count=1 -timeout 600s
 # Chaosnet campaign under pinned seeds: the same ECF checkers, but over the
 # REAL TCP message plane with seed-driven latency / loss / partition / reset
 # faults injected into the dial path (internal/chaosnet). The regexp matches
-# both the single-shard campaign and the sharded one (RunSeedSharded: two
-# processes per site, keys routed to their owning shard), so the 12 pinned
-# seeds run against both deployments. The full 50-seed batch runs in CI's
+# the single-shard campaign, the sharded one (RunSeedSharded: two processes
+# per site, keys routed to their owning shard), and the mode campaign
+# (lease + adaptive read planes over the same faults), so the 12 pinned
+# seeds run against every deployment. The full 50-seed batch runs in CI's
 # chaosnet job and nightly; this subset keeps the local gate fast without
 # losing the wire-path coverage.
 MUSIC_CHAOSNET_SEEDS="1,2,3,4,5,6,7,8,9,10,11,12" \
-    go test ./internal/chaosnet/ -run 'TestChaosnetCampaign' -count=1
+    go test ./internal/chaosnet/ -run 'TestChaosnetCampaign' -count=1 -timeout 900s
 
 # Hot-path allocation ceilings: encoding a call frame must not allocate at
 # all (pooled buffer, in-place marshal, back-patched length prefixes) and
 # decoding may allocate at most once per frame (the svc string). A dropped
 # pool or an intermediate payload copy fails here by name instead of hiding
 # inside the package test run above.
-go test ./internal/nettrans/ -run 'TestAllocCeiling' -count=1
+go test ./internal/nettrans/ -run 'TestAllocCeiling' -count=1 -timeout 300s
 # Store/core allocation gates from the sharding work: shard routing is
 # alloc-free, critical ops allocate no more on an 8-shard plane than on an
 # unsharded one, and the store's disabled-observability hot path stays under
 # its pinned per-op ceilings (the span/history nil-guard regression).
-go test ./internal/store/ -run 'TestAllocCeilingStoreOps|TestShardOfZeroAlloc' -count=1
-go test ./internal/core/ -run 'TestShardedSingleKeyNoExtraAllocs' -count=1
+go test ./internal/store/ -run 'TestAllocCeilingStoreOps|TestShardOfZeroAlloc' -count=1 -timeout 300s
+go test ./internal/core/ -run 'TestShardedSingleKeyNoExtraAllocs' -count=1 -timeout 300s
 
 # Fast-path benchmark smoke: the fastpath experiment must run end to end in
 # quick mode and emit a well-formed BENCH_fastpath.json.
@@ -100,5 +113,17 @@ trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json" "$scale_json"' EXIT
 go run ./cmd/musicbench -exp scale -quick -quiet -json "$scale_json" > /dev/null
 grep -q '"experiment": "scale"' "$scale_json"
 grep -q '"shards": "4"' "$scale_json"
+
+# Read-path smoke: the adaptive-consistency experiment must run end to end
+# in quick mode and emit a well-formed BENCH_readpath.json covering all four
+# read planes, with the injected-staleness config actually tripping the
+# monitor ("flipped": true). The full sweep gates against the committed
+# baseline in CI's bench-gate job.
+readpath_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$transport_json" "$soak_json" "$scale_json" "$readpath_json"' EXIT
+go run ./cmd/musicbench -exp readpath -quick -quiet -json "$readpath_json" > /dev/null
+grep -q '"experiment": "readpath"' "$readpath_json"
+grep -q '"config": "adaptive_stale"' "$readpath_json"
+grep -q '"flipped": true' "$readpath_json"
 
 echo "check.sh: all green"
